@@ -1,0 +1,288 @@
+// Command ciflow regenerates the tables and figures of "CiFlow:
+// Dataflow Analysis and Optimization of Key Switching for Homomorphic
+// Encryption" (ISPASS 2024) from this repository's from-scratch
+// reproduction.
+//
+// Usage:
+//
+//	ciflow <experiment> [flags]
+//
+// Experiments:
+//
+//	table2         DRAM traffic and arithmetic intensity (Table II)
+//	table3         benchmark parameter sets (Table III)
+//	table4         OCbase bandwidths and speedups (Table IV)
+//	table5         configs matching ARK's saturation point (Table V)
+//	fig4           runtime vs bandwidth sweep (Figure 4; -bench)
+//	fig5           BTS3 evk streamed vs on-chip (Figure 5)
+//	fig6           ARK evk streamed vs on-chip (Figure 6)
+//	fig7           OC streaming slowdown per benchmark (Figure 7)
+//	fig8           ARK MODOPS sensitivity (Figure 8; -bench)
+//	fig9           equivalent configs with streamed evks (Figure 9)
+//	ablate-keycomp key-compression ablation (§IV-D)
+//	ablate-ocf     fused-ModDown OC extension vs plain OC
+//	roofline       memory/compute-bound classification at 8/64/256 GB/s
+//	memory         data traffic vs on-chip memory size (§IV working sets)
+//	area           SRAM/area saving summary (§VI-B)
+//	all            everything above in paper order
+//
+// Flags:
+//
+//	-bench NAME    benchmark for fig4/fig8/memory (default BTS3 / ARK)
+//	-mem MiB       on-chip data memory (default 32)
+//	-csv           emit CSV instead of the ASCII table (table2, table4,
+//	               fig4, fig5, fig6, memory)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ciflow/internal/analysis"
+	"ciflow/internal/params"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ciflow:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing experiment (try: ciflow all)")
+	}
+	verb := args[0]
+	fs := flag.NewFlagSet("ciflow", flag.ContinueOnError)
+	benchName := fs.String("bench", "", "benchmark name (BTS1, BTS2, BTS3, ARK, DPRIVE)")
+	memMiB := fs.Int64("mem", 32, "on-chip data memory in MiB")
+	csvOut := fs.Bool("csv", false, "emit CSV instead of ASCII tables")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+
+	r := analysis.NewRunner()
+	r.DataMemBytes = *memMiB << 20
+
+	pick := func(def params.Benchmark) (params.Benchmark, error) {
+		if *benchName == "" {
+			return def, nil
+		}
+		return params.ByName(*benchName)
+	}
+
+	csvMode = *csvOut
+
+	switch verb {
+	case "table2":
+		return table2(r)
+	case "table3":
+		fmt.Print(analysis.FormatTableIII())
+		return nil
+	case "table4":
+		return table4(r)
+	case "table5":
+		return table5(r)
+	case "fig4":
+		b, err := pick(params.BTS3)
+		if err != nil {
+			return err
+		}
+		return fig4(r, b)
+	case "fig5":
+		return figStream(r, params.BTS3, "Figure 5: BTS3 runtime, evk streamed vs on-chip")
+	case "fig6":
+		return figStream(r, params.ARK, "Figure 6: ARK runtime, evk streamed vs on-chip")
+	case "fig7":
+		return fig7(r)
+	case "fig8":
+		b, err := pick(params.ARK)
+		if err != nil {
+			return err
+		}
+		return fig8(r, b)
+	case "fig9":
+		return fig9(r)
+	case "ablate-keycomp":
+		return keycomp(r)
+	case "memory":
+		b, err := pick(params.BTS3)
+		if err != nil {
+			return err
+		}
+		return memorySweep(b)
+	case "ablate-ocf":
+		return ocf(r)
+	case "roofline":
+		for _, bw := range []float64{8, 64, 256} {
+			rows, err := r.Roofline(bw)
+			if err != nil {
+				return err
+			}
+			fmt.Print(analysis.FormatRoofline(bw, rows))
+			fmt.Println()
+		}
+		return nil
+	case "area":
+		fmt.Print(analysis.AreaSummary())
+		return nil
+	case "all":
+		fmt.Print(analysis.FormatTableIII())
+		fmt.Println()
+		for _, f := range []func(*analysis.Runner) error{table2, table4, table5, fig7, fig9, keycomp, ocf} {
+			if err := f(r); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		for _, b := range params.All() {
+			if err := fig4(r, b); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		if err := figStream(r, params.BTS3, "Figure 5: BTS3 runtime, evk streamed vs on-chip"); err != nil {
+			return err
+		}
+		fmt.Println()
+		if err := figStream(r, params.ARK, "Figure 6: ARK runtime, evk streamed vs on-chip"); err != nil {
+			return err
+		}
+		fmt.Println()
+		if err := fig8(r, params.ARK); err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(analysis.AreaSummary())
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", verb)
+	}
+}
+
+// csvMode switches the output format of the experiments that support
+// CSV emission.
+var csvMode bool
+
+func table2(r *analysis.Runner) error {
+	rows, err := r.TableII()
+	if err != nil {
+		return err
+	}
+	if csvMode {
+		return analysis.WriteTableIICSV(os.Stdout, rows)
+	}
+	fmt.Print(analysis.FormatTableII(rows))
+	return nil
+}
+
+func memorySweep(b params.Benchmark) error {
+	sizes := []int64{8, 16, 32, 64, 128, 256, 512, 1024}
+	pts, err := analysis.MemorySweep(b, sizes)
+	if err != nil {
+		return err
+	}
+	if csvMode {
+		return analysis.WriteMemoryCSV(os.Stdout, pts)
+	}
+	fmt.Print(analysis.FormatMemory(b, pts))
+	return nil
+}
+
+func table4(r *analysis.Runner) error {
+	rows, err := r.TableIV()
+	if err != nil {
+		return err
+	}
+	if csvMode {
+		return analysis.WriteTableIVCSV(os.Stdout, rows)
+	}
+	fmt.Print(analysis.FormatTableIV(rows))
+	return nil
+}
+
+func table5(r *analysis.Runner) error {
+	rows, err := r.TableV()
+	if err != nil {
+		return err
+	}
+	fmt.Print(analysis.FormatTableV(rows))
+	return nil
+}
+
+func fig4(r *analysis.Runner, b params.Benchmark) error {
+	bws := analysis.StdBandwidthsGBs
+	if b.Name == "ARK" || b.Name == "BTS3" {
+		bws = analysis.ExtBandwidthsGBs // the paper extends these two to 1 TB/s
+	}
+	pts, err := r.Figure4(b, bws)
+	if err != nil {
+		return err
+	}
+	if csvMode {
+		return analysis.WriteSweepCSV(os.Stdout, pts)
+	}
+	fmt.Print(analysis.FormatSweep(
+		fmt.Sprintf("Figure 4 (%s): HKS runtime vs off-chip bandwidth, evk on-chip", b.Name), pts))
+	return nil
+}
+
+func figStream(r *analysis.Runner, b params.Benchmark, title string) error {
+	pts, err := r.FigureStream(b, analysis.ExtBandwidthsGBs)
+	if err != nil {
+		return err
+	}
+	if csvMode {
+		return analysis.WriteStreamCSV(os.Stdout, pts)
+	}
+	fmt.Print(analysis.FormatStream(title, pts))
+	return nil
+}
+
+func fig7(r *analysis.Runner) error {
+	rows, err := r.Figure7()
+	if err != nil {
+		return err
+	}
+	fmt.Print(analysis.FormatFigure7(rows))
+	return nil
+}
+
+func fig8(r *analysis.Runner, b params.Benchmark) error {
+	pts, err := r.Figure8(b, analysis.ExtBandwidthsGBs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(analysis.FormatFigure8(
+		fmt.Sprintf("Figure 8 (%s): OC runtime at 1-16x MODOPS, evk on-chip", b.Name), pts))
+	return nil
+}
+
+func fig9(r *analysis.Runner) error {
+	sat, base, err := r.Figure9()
+	if err != nil {
+		return err
+	}
+	fmt.Print(analysis.FormatFigure9(sat, base))
+	return nil
+}
+
+func ocf(r *analysis.Runner) error {
+	rows, err := r.AblationOCF()
+	if err != nil {
+		return err
+	}
+	fmt.Print(analysis.FormatOCF(rows))
+	return nil
+}
+
+func keycomp(r *analysis.Runner) error {
+	rows, err := r.AblationKeyCompression()
+	if err != nil {
+		return err
+	}
+	fmt.Print(analysis.FormatKeyCompression(rows))
+	return nil
+}

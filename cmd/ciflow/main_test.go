@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunVerbs(t *testing.T) {
+	// Fast verbs run end to end; slower sweeps are covered by the
+	// analysis package's own tests.
+	for _, args := range [][]string{
+		{"table3"},
+		{"table2"},
+		{"area"},
+		{"ablate-keycomp"},
+		{"memory", "-bench", "ARK"},
+		{"table2", "-csv"},
+		{"fig4", "-bench", "DPRIVE"},
+		{"fig4", "-bench", "DPRIVE", "-csv"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		nil,
+		{"bogus"},
+		{"fig4", "-bench", "NOPE"},
+		{"table2", "-mem", "1"}, // far below any benchmark's minimum
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+// Package ciflow is a from-scratch Go reproduction of "CiFlow:
+// Dataflow Analysis and Optimization of Key Switching for Homomorphic
+// Encryption" (ISPASS 2024): a functional CKKS/HKS implementation, the
+// three HKS dataflows (Max-Parallel, Digit-Centric, Output-Centric),
+// and an RPU performance model that regenerates every table and figure
+// of the paper's evaluation. See README.md and DESIGN.md.
+package ciflow

@@ -1,0 +1,138 @@
+// Private inference: an encrypted fully-connected layer, the workload
+// the paper's introduction motivates. Computing y = W·x on an
+// encrypted x uses the rotate-and-accumulate ("diagonal") method, so
+// every matrix column costs one ciphertext rotation — and every
+// rotation triggers hybrid key switching. The example measures the
+// fraction of wall time spent inside key switching (the paper cites
+// ~70% for ResNet-20) and then asks the performance model what the
+// same rotation workload costs on the RPU under each dataflow.
+//
+// Run with: go run ./examples/private_inference
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/cmplx"
+	"time"
+
+	"ciflow/internal/analysis"
+	"ciflow/internal/ckks"
+	"ciflow/internal/dataflow"
+	"ciflow/internal/params"
+)
+
+func main() {
+	ctx, err := ckks.NewContext(1<<11, 5, 40, 3, 41, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := ckks.NewEncoder(ctx)
+	keys, pk := ckks.GenKeys(ctx, 7)
+	ev := ckks.NewEvaluator(ctx, keys)
+
+	// A small d x d layer evaluated with the diagonal method:
+	// y = sum_r diag_r(W) * rot(x, r).
+	const d = 8
+	var W [d][d]float64
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			W[i][j] = 0.01*float64(i+1) + 0.02*float64(j)
+		}
+	}
+	x := make([]complex128, d)
+	for i := range x {
+		x[i] = complex(0.1*float64(i)-0.3, 0)
+	}
+
+	px, err := enc.Encode(replicate(x, ctx.Slots()), ctx.MaxLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cx := ev.Encrypt(px, pk)
+
+	// Pre-encode the d diagonals.
+	diags := make([]*ckks.Plaintext, d)
+	for r := 0; r < d; r++ {
+		diag := make([]complex128, ctx.Slots())
+		for i := range diag {
+			diag[i] = complex(W[i%d][(i+r)%d], 0)
+		}
+		diags[r], err = enc.Encode(diag, ctx.MaxLevel)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var ksTime, totalTime time.Duration
+	start := time.Now()
+	var acc *ckks.Ciphertext
+	for r := 0; r < d; r++ {
+		rotStart := time.Now()
+		xr := cx
+		if r != 0 {
+			xr, err = ev.Rotate(cx, r) // hybrid key switching inside
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		ksTime += time.Since(rotStart)
+		term := ev.MulPlain(xr, diags[r])
+		if acc == nil {
+			acc = term
+		} else {
+			acc = ev.Add(acc, term)
+		}
+	}
+	acc, err = ev.Rescale(acc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	totalTime = time.Since(start)
+
+	dec := enc.Decode(ev.Decrypt(acc, keys.Secret()))
+	var worst float64
+	for i := 0; i < d; i++ {
+		var want complex128
+		for j := 0; j < d; j++ {
+			want += complex(W[i][j], 0) * x[j]
+		}
+		if e := cmplx.Abs(dec[i] - want); e > worst {
+			worst = e
+		}
+	}
+
+	fmt.Printf("Encrypted %dx%d linear layer (diagonal method, %d rotations)\n", d, d, d-1)
+	fmt.Printf("  worst-case output error:   %.2e\n", worst)
+	fmt.Printf("  rotation/key-switch share: %.0f%% of %.0f ms wall time\n",
+		100*float64(ksTime)/float64(totalTime), float64(totalTime.Milliseconds()))
+	fmt.Printf("  (the paper reports ~70%% of ResNet-20 inference is key switching)\n\n")
+
+	// What would the rotation workload cost on the RPU? One HKS per
+	// rotation at ARK-scale parameters, per dataflow, at DDR4/DDR5
+	// bandwidths.
+	r := analysis.NewRunner()
+	rotations := 3306 // paper §I: one ResNet-20 inference
+	fmt.Printf("RPU model: %d rotations (ResNet-20) at ARK parameters, evk streamed, 32MB on-chip\n", rotations)
+	fmt.Printf("%10s %12s %12s %12s\n", "BW GB/s", "MP total s", "DC total s", "OC total s")
+	for _, bw := range []float64{12.8, 25.6, 64} {
+		var t [3]float64
+		for i, df := range dataflow.AllDataflows() {
+			ms, err := r.RuntimeMS(df, params.ARK, false, bw, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t[i] = ms * float64(rotations) / 1e3
+		}
+		fmt.Printf("%10.1f %12.1f %12.1f %12.1f\n", bw, t[0], t[1], t[2])
+	}
+}
+
+// replicate tiles v across all slots so rotations wrap consistently.
+func replicate(v []complex128, slots int) []complex128 {
+	out := make([]complex128, slots)
+	for i := range out {
+		out[i] = v[i%len(v)]
+	}
+	return out
+}

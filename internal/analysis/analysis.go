@@ -1,0 +1,149 @@
+// Package analysis drives the paper's experiments: it combines the
+// dataflow schedule generators with the RPU performance model and
+// reproduces every table and figure of the evaluation (§VI). Each
+// experiment returns a typed result plus an ASCII rendering, and is
+// wired to a CLI verb in cmd/ciflow and a benchmark in bench_test.go
+// (see DESIGN.md's per-experiment index).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ciflow/internal/dataflow"
+	"ciflow/internal/params"
+	"ciflow/internal/rpu"
+	"ciflow/internal/sim"
+)
+
+// GB is the decimal gigabyte used for bandwidth figures.
+const GB = 1e9
+
+// StdBandwidthsGBs is the paper's 8–64 GB/s sweep (DDR4 through DDR5).
+var StdBandwidthsGBs = []float64{8, 12.8, 16, 25.6, 32, 51.2, 64}
+
+// ExtBandwidthsGBs extends to 1 TB/s (HBM2/HBM3) as in Figure 4(d,e).
+var ExtBandwidthsGBs = []float64{8, 12.8, 16, 25.6, 32, 51.2, 64, 128, 256, 512, 1024}
+
+// BaselineBandwidthGBs anchors Table IV: MP at peak DDR5 bandwidth
+// with evks pre-loaded on-chip.
+const BaselineBandwidthGBs = 64
+
+// Runner evaluates HKS runtimes with schedule caching (schedules
+// depend only on the dataflow, benchmark and memory configuration, not
+// on bandwidth or compute throughput).
+type Runner struct {
+	DataMemBytes int64
+	RPU          rpu.Config
+
+	mu    sync.Mutex
+	cache map[schedKey]*dataflow.Schedule
+}
+
+type schedKey struct {
+	df      dataflow.Dataflow
+	bench   string
+	evk     bool
+	keyComp bool
+	mem     int64
+}
+
+// NewRunner returns a runner with the paper's configuration: 32 MB
+// data memory on the default RPU.
+func NewRunner() *Runner {
+	return &Runner{
+		DataMemBytes: rpu.DataMemBytes,
+		RPU:          rpu.Default(),
+		cache:        map[schedKey]*dataflow.Schedule{},
+	}
+}
+
+// Schedule returns (generating on first use) the schedule for one
+// configuration.
+func (r *Runner) Schedule(df dataflow.Dataflow, b params.Benchmark, evkOnChip, keyComp bool) (*dataflow.Schedule, error) {
+	key := schedKey{df, b.Name, evkOnChip, keyComp, r.DataMemBytes}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.cache[key]; ok {
+		return s, nil
+	}
+	s, err := dataflow.Generate(df, dataflow.Config{
+		Bench:          b,
+		DataMemBytes:   r.DataMemBytes,
+		EvkOnChip:      evkOnChip,
+		KeyCompression: keyComp,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.cache[key] = s
+	return s, nil
+}
+
+// Runtime simulates one configuration and returns the result.
+func (r *Runner) Runtime(df dataflow.Dataflow, b params.Benchmark, evkOnChip bool, bwGBs, modopsScale float64) (sim.Result, error) {
+	s, err := r.Schedule(df, b, evkOnChip, false)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	m := sim.Machine{
+		BandwidthBytesPerSec: bwGBs * GB,
+		ModopsPerSec:         r.RPU.WithModops(modopsScale).ModopsPerSec(),
+	}
+	return sim.Run(s.Prog, m)
+}
+
+// RuntimeMS is Runtime in milliseconds, for the common case.
+func (r *Runner) RuntimeMS(df dataflow.Dataflow, b params.Benchmark, evkOnChip bool, bwGBs, modopsScale float64) (float64, error) {
+	res, err := r.Runtime(df, b, evkOnChip, bwGBs, modopsScale)
+	return res.RuntimeSec * 1e3, err
+}
+
+// Baseline returns the Table IV reference runtime: MP at 64 GB/s with
+// evks on-chip.
+func (r *Runner) Baseline(b params.Benchmark) (float64, error) {
+	return r.RuntimeMS(dataflow.MP, b, true, BaselineBandwidthGBs, 1)
+}
+
+// FindBandwidthToMatch bisects for the smallest bandwidth (GB/s) at
+// which the given configuration meets or beats targetMS. Runtime is
+// non-increasing in bandwidth, so bisection is sound. Returns an error
+// if even maxGBs cannot reach the target.
+func (r *Runner) FindBandwidthToMatch(df dataflow.Dataflow, b params.Benchmark, evkOnChip bool, modopsScale, targetMS, maxGBs float64) (float64, error) {
+	lo, hi := 0.5, maxGBs
+	ms, err := r.RuntimeMS(df, b, evkOnChip, hi, modopsScale)
+	if err != nil {
+		return 0, err
+	}
+	if ms > targetMS {
+		return 0, fmt.Errorf("analysis: %s/%s cannot reach %.2f ms below %.0f GB/s (best %.2f ms)",
+			df, b.Name, targetMS, maxGBs, ms)
+	}
+	for i := 0; i < 60 && hi-lo > 1e-3; i++ {
+		mid := (lo + hi) / 2
+		ms, err := r.RuntimeMS(df, b, evkOnChip, mid, modopsScale)
+		if err != nil {
+			return 0, err
+		}
+		if ms <= targetMS {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// OCBaseGridGBs snaps a continuous bandwidth requirement up to the
+// paper's sweep grid, which is how Table IV reports OCbase.
+func OCBaseGridGBs(contGBs float64) float64 {
+	grid := append([]float64(nil), ExtBandwidthsGBs...)
+	sort.Float64s(grid)
+	for _, g := range grid {
+		if g >= contGBs-1e-9 {
+			return g
+		}
+	}
+	return grid[len(grid)-1]
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV writers so experiment outputs can feed external plotting
+// (matching the paper's figures). Each writer emits a header row
+// followed by one record per data point.
+
+// WriteSweepCSV emits a Figure 4-style sweep.
+func WriteSweepCSV(w io.Writer, pts []SweepPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"bw_gbs", "mp_ms", "dc_ms", "oc_ms", "mp_idle", "dc_idle", "oc_idle"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		rec := []string{
+			f(p.BWGBs), f(p.MS[0]), f(p.MS[1]), f(p.MS[2]),
+			f(p.Idle[0]), f(p.Idle[1]), f(p.Idle[2]),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteStreamCSV emits a Figure 5/6-style streamed-vs-on-chip sweep.
+func WriteStreamCSV(w io.Writer, pts []StreamPoint) error {
+	cw := csv.NewWriter(w)
+	header := []string{"bw_gbs",
+		"mp_stream_ms", "dc_stream_ms", "oc_stream_ms",
+		"mp_onchip_ms", "dc_onchip_ms", "oc_onchip_ms"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		rec := []string{f(p.BWGBs),
+			f(p.StreamMS[0]), f(p.StreamMS[1]), f(p.StreamMS[2]),
+			f(p.OnChipMS[0]), f(p.OnChipMS[1]), f(p.OnChipMS[2])}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTableIICSV emits the traffic/AI table.
+func WriteTableIICSV(w io.Writer, rows []TableIIRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"bench", "mp_mb", "mp_ai", "dc_mb", "dc_ai", "oc_mb", "oc_ai"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.Bench, f(r.MB[0]), f(r.AI[0]), f(r.MB[1]), f(r.AI[1]), f(r.MB[2]), f(r.AI[2])}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTableIVCSV emits the OCbase/speedup table.
+func WriteTableIVCSV(w io.Writer, rows []TableIVRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{"bench", "ocbase_gbs", "saved_bw_x", "oc_ms", "mp_ms", "speedup_x", "baseline_ms"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.Bench, f(r.OCBaseGBs), f(r.SavedBW), f(r.OCms), f(r.MPms), f(r.Speedup), f(r.BaselineMS)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMemoryCSV emits a memory sweep.
+func WriteMemoryCSV(w io.Writer, pts []MemoryPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"mem_mib", "mp_mb", "dc_mb", "oc_mb", "mp_ovh", "dc_ovh", "oc_ovh"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		rec := []string{strconv.FormatInt(p.MemMiB, 10),
+			f(p.TotalMB[0]), f(p.TotalMB[1]), f(p.TotalMB[2]),
+			f(p.Overhead[0]), f(p.Overhead[1]), f(p.Overhead[2])}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return fmt.Sprintf("%.4f", v) }

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"ciflow/internal/params"
+)
+
+func TestWriteSweepCSV(t *testing.T) {
+	r := NewRunner()
+	pts, err := r.Figure4(params.ARK, []float64{8, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteSweepCSV(&sb, pts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "bw_gbs,mp_ms") {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "8.0000,") {
+		t.Fatalf("bad first row %q", lines[1])
+	}
+}
+
+func TestWriteStreamCSV(t *testing.T) {
+	r := NewRunner()
+	pts, err := r.FigureStream(params.ARK, []float64{16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteStreamCSV(&sb, pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "oc_onchip_ms") {
+		t.Fatal("missing column")
+	}
+}
+
+func TestWriteTableCSVs(t *testing.T) {
+	r := NewRunner()
+	t2, err := r.TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteTableIICSV(&sb, t2); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(sb.String()), "\n")); got != 6 {
+		t.Fatalf("table II: want 6 lines, got %d", got)
+	}
+
+	t4, err := r.TableIV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := WriteTableIVCSV(&sb, t4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ARK") {
+		t.Fatal("table IV missing ARK row")
+	}
+}
+
+func TestWriteMemoryCSV(t *testing.T) {
+	pts, err := MemorySweep(params.ARK, []int64{16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteMemoryCSV(&sb, pts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "16,") {
+		t.Fatalf("bad row %q", lines[1])
+	}
+}

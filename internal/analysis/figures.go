@@ -1,0 +1,297 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"ciflow/internal/dataflow"
+	"ciflow/internal/params"
+)
+
+// ---- Figure 4: runtime vs bandwidth for the three dataflows ----
+
+// SweepPoint is one bandwidth point of a Figure 4 curve set.
+type SweepPoint struct {
+	BWGBs float64
+	MS    [3]float64 // MP, DC, OC runtimes (ms)
+	Idle  [3]float64 // compute idle fractions
+}
+
+// Figure4 sweeps off-chip bandwidth with evks pre-loaded on-chip
+// (392 MB SRAM configuration) for one benchmark. The paper extends
+// the sweep to 1 TB/s for ARK and BTS3.
+func (r *Runner) Figure4(b params.Benchmark, bws []float64) ([]SweepPoint, error) {
+	var pts []SweepPoint
+	for _, bw := range bws {
+		p := SweepPoint{BWGBs: bw}
+		for i, df := range dataflow.AllDataflows() {
+			res, err := r.Runtime(df, b, true, bw, 1)
+			if err != nil {
+				return nil, err
+			}
+			p.MS[i] = res.RuntimeSec * 1e3
+			p.Idle[i] = res.CmpIdleFrac
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// FormatSweep renders a bandwidth sweep as an ASCII table.
+func FormatSweep(title string, pts []SweepPoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%10s %10s %10s %10s %8s %8s %8s\n",
+		"BW GB/s", "MP ms", "DC ms", "OC ms", "MPidle", "DCidle", "OCidle")
+	for _, p := range pts {
+		fmt.Fprintf(&sb, "%10.1f %10.2f %10.2f %10.2f %7.0f%% %7.0f%% %7.0f%%\n",
+			p.BWGBs, p.MS[0], p.MS[1], p.MS[2], p.Idle[0]*100, p.Idle[1]*100, p.Idle[2]*100)
+	}
+	return sb.String()
+}
+
+// ---- Figures 5 & 6: evk streamed vs on-chip ----
+
+// StreamPoint compares the streamed-evk and on-chip-evk runtimes of
+// the three dataflows at one bandwidth.
+type StreamPoint struct {
+	BWGBs    float64
+	OnChipMS [3]float64
+	StreamMS [3]float64
+}
+
+// FigureStream sweeps bandwidth with evks streamed versus on-chip for
+// one benchmark (Figure 5 uses BTS3, Figure 6 ARK).
+func (r *Runner) FigureStream(b params.Benchmark, bws []float64) ([]StreamPoint, error) {
+	var pts []StreamPoint
+	for _, bw := range bws {
+		p := StreamPoint{BWGBs: bw}
+		for i, df := range dataflow.AllDataflows() {
+			on, err := r.Runtime(df, b, true, bw, 1)
+			if err != nil {
+				return nil, err
+			}
+			st, err := r.Runtime(df, b, false, bw, 1)
+			if err != nil {
+				return nil, err
+			}
+			p.OnChipMS[i] = on.RuntimeSec * 1e3
+			p.StreamMS[i] = st.RuntimeSec * 1e3
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// FormatStream renders a streamed-vs-on-chip sweep.
+func FormatStream(title string, pts []StreamPoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (solid: evk streamed, dotted: evk on-chip)\n", title)
+	fmt.Fprintf(&sb, "%10s %28s %28s\n", "", "streamed  MP/DC/OC (ms)", "on-chip  MP/DC/OC (ms)")
+	for _, p := range pts {
+		fmt.Fprintf(&sb, "%10.1f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f\n",
+			p.BWGBs, p.StreamMS[0], p.StreamMS[1], p.StreamMS[2],
+			p.OnChipMS[0], p.OnChipMS[1], p.OnChipMS[2])
+	}
+	return sb.String()
+}
+
+// ---- Figure 7: OC streaming slowdown and equivalent bandwidth ----
+
+// Figure7Row reports, per benchmark, OC at its OCbase bandwidth with
+// evks on-chip versus streamed, and the (higher) bandwidth at which
+// streaming matches the on-chip runtime.
+type Figure7Row struct {
+	Bench         string
+	OCBaseGBs     float64
+	OnChipMS      float64 // OC, evk on-chip, at OCbase
+	StreamMS      float64 // OC, evk streamed, at OCbase
+	Slowdown      float64
+	EquivGBs      float64 // streamed bandwidth matching the on-chip runtime
+	ExtraBWFactor float64 // EquivGBs / OCbase
+}
+
+// Figure7 reproduces the paper's streaming-slowdown study (§VI-B).
+func (r *Runner) Figure7() ([]Figure7Row, error) {
+	ivRows, err := r.TableIV()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Figure7Row
+	for i, b := range params.All() {
+		bw := ivRows[i].OCBaseGBs
+		on, err := r.RuntimeMS(dataflow.OC, b, true, bw, 1)
+		if err != nil {
+			return nil, err
+		}
+		st, err := r.RuntimeMS(dataflow.OC, b, false, bw, 1)
+		if err != nil {
+			return nil, err
+		}
+		equiv, err := r.FindBandwidthToMatch(dataflow.OC, b, false, 1, on, 4096)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Figure7Row{
+			Bench: b.Name, OCBaseGBs: bw,
+			OnChipMS: on, StreamMS: st, Slowdown: st / on,
+			EquivGBs: equiv, ExtraBWFactor: equiv / bw,
+		})
+	}
+	return rows, nil
+}
+
+// FormatFigure7 renders the study.
+func FormatFigure7(rows []Figure7Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 7: OC with evks streamed vs on-chip (12.25x SRAM saving)\n")
+	fmt.Fprintf(&sb, "%-10s %9s %12s %12s %9s %10s %8s\n",
+		"Benchmark", "OCbase", "on-chip ms", "stream ms", "slowdown", "equiv BW", "xBW")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %8.1fG %12.2f %12.2f %8.2fx %9.2fG %7.2fx\n",
+			r.Bench, r.OCBaseGBs, r.OnChipMS, r.StreamMS, r.Slowdown, r.EquivGBs, r.ExtraBWFactor)
+	}
+	return sb.String()
+}
+
+// ---- Figure 8: MODOPS scaling ----
+
+// ModopsPoint is one bandwidth point of the ARK MODOPS study.
+type ModopsPoint struct {
+	BWGBs float64
+	MS    map[int]float64 // MODOPS multiplier -> runtime ms
+}
+
+// ModopsScales are the paper's multipliers.
+var ModopsScales = []int{1, 2, 4, 8, 16}
+
+// Figure8 reproduces the ARK OC runtime across bandwidths at 1–16x
+// MODOPS with evks on-chip (§VI-C-2).
+func (r *Runner) Figure8(b params.Benchmark, bws []float64) ([]ModopsPoint, error) {
+	var pts []ModopsPoint
+	for _, bw := range bws {
+		p := ModopsPoint{BWGBs: bw, MS: map[int]float64{}}
+		for _, sc := range ModopsScales {
+			ms, err := r.RuntimeMS(dataflow.OC, b, true, bw, float64(sc))
+			if err != nil {
+				return nil, err
+			}
+			p.MS[sc] = ms
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// FormatFigure8 renders the MODOPS sweep.
+func FormatFigure8(title string, pts []ModopsPoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%10s", "BW GB/s")
+	for _, sc := range ModopsScales {
+		fmt.Fprintf(&sb, " %9s", fmt.Sprintf("%dx ms", sc))
+	}
+	sb.WriteString("\n")
+	for _, p := range pts {
+		fmt.Fprintf(&sb, "%10.1f", p.BWGBs)
+		for _, sc := range ModopsScales {
+			fmt.Fprintf(&sb, " %9.2f", p.MS[sc])
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// ---- Figure 9: equivalent configurations with streamed evks ----
+
+// Figure9Row is one (bandwidth, MODOPS) configuration that matches a
+// target runtime with evks streamed and 32 MB on-chip memory.
+type Figure9Row struct {
+	Modops   float64
+	BWGBs    float64
+	TargetMS float64
+}
+
+// Figure9 finds, for each MODOPS multiplier, the bandwidth at which
+// ARK's OC with streamed evks matches (a) the saturation-point
+// runtime and (b) the baseline runtime (§VI-C-2, Figure 9).
+func (r *Runner) Figure9() (sat, base []Figure9Row, err error) {
+	b := params.ARK
+	satMS, err := r.RuntimeMS(dataflow.OC, b, true, SaturationGBs, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	baseMS, err := r.Baseline(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, sc := range []float64{1, 2, 4} {
+		if bw, err := r.FindBandwidthToMatch(dataflow.OC, b, false, sc, satMS, 8192); err == nil {
+			sat = append(sat, Figure9Row{Modops: sc, BWGBs: bw, TargetMS: satMS})
+		}
+		if bw, err := r.FindBandwidthToMatch(dataflow.OC, b, false, sc, baseMS, 8192); err == nil {
+			base = append(base, Figure9Row{Modops: sc, BWGBs: bw, TargetMS: baseMS})
+		}
+	}
+	return sat, base, nil
+}
+
+// FormatFigure9 renders both equivalence sets.
+func FormatFigure9(sat, base []Figure9Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 9: ARK OC with streamed evks, configs matching reference performance\n")
+	write := func(name string, rows []Figure9Row) {
+		fmt.Fprintf(&sb, "(%s)\n%10s %10s %12s\n", name, "MODOPS", "BW GB/s", "target ms")
+		for _, r := range rows {
+			fmt.Fprintf(&sb, "%9.0fx %10.2f %12.2f\n", r.Modops, r.BWGBs, r.TargetMS)
+		}
+	}
+	write("a: saturation point", sat)
+	write("b: baseline", base)
+	return sb.String()
+}
+
+// ---- §IV-D key-compression ablation ----
+
+// KeyCompressionRow compares streamed-evk AI with and without the
+// 2x key compression of MAD.
+type KeyCompressionRow struct {
+	Bench      string
+	AI, AIComp float64
+	MB, MBComp float64
+}
+
+// AblationKeyCompression reproduces the paper's claim that key
+// compression boosts OC's arithmetic intensity (up to 3.82 ops/byte).
+func (r *Runner) AblationKeyCompression() ([]KeyCompressionRow, error) {
+	var rows []KeyCompressionRow
+	for _, b := range params.All() {
+		plain, err := r.Schedule(dataflow.OC, b, false, false)
+		if err != nil {
+			return nil, err
+		}
+		comp, err := r.Schedule(dataflow.OC, b, false, true)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, KeyCompressionRow{
+			Bench:  b.Name,
+			AI:     plain.ArithmeticIntensity(),
+			AIComp: comp.ArithmeticIntensity(),
+			MB:     float64(plain.Traffic.TotalBytes()) / mib,
+			MBComp: float64(comp.Traffic.TotalBytes()) / mib,
+		})
+	}
+	return rows, nil
+}
+
+// FormatKeyCompression renders the ablation.
+func FormatKeyCompression(rows []KeyCompressionRow) string {
+	var sb strings.Builder
+	sb.WriteString("Key-compression ablation (OC, evk streamed, 32MB on-chip)\n")
+	fmt.Fprintf(&sb, "%-10s %10s %8s %12s %10s\n", "Benchmark", "MB", "AI", "MB (comp)", "AI (comp)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %10.0f %8.2f %12.0f %10.2f\n", r.Bench, r.MB, r.AI, r.MBComp, r.AIComp)
+	}
+	return sb.String()
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"ciflow/internal/dataflow"
+	"ciflow/internal/params"
+)
+
+// ---- On-chip memory requirements (paper §IV-A/B/C) ----
+//
+// The paper quantifies each dataflow by the memory it needs to avoid
+// excessive off-chip traffic: MP wants the full intermediate working
+// set on-chip (≥675 MB for BTS3), DC needs 255 MB, and OC delivers
+// near-compulsory traffic from 32 MB. These drivers regenerate that
+// analysis.
+
+// MemoryPoint is one (memory size, traffic) sample.
+type MemoryPoint struct {
+	MemMiB   int64
+	TotalMB  [3]float64 // MP, DC, OC non-evk traffic (MiB)
+	Overhead [3]float64 // traffic / compulsory (1.0 = perfect reuse)
+}
+
+// MemorySweep evaluates non-evk DRAM traffic across on-chip memory
+// sizes. Sizes too small for a dataflow's pinned working set are
+// reported as +Inf overhead.
+func MemorySweep(b params.Benchmark, memMiBs []int64) ([]MemoryPoint, error) {
+	compulsory := float64(b.InputBytes()+b.OutputBytes()) / mib
+	var pts []MemoryPoint
+	for _, m := range memMiBs {
+		p := MemoryPoint{MemMiB: m}
+		for i, df := range dataflow.AllDataflows() {
+			s, err := dataflow.Generate(df, dataflow.Config{
+				Bench:        b,
+				DataMemBytes: m * mib,
+				EvkOnChip:    true, // isolate data traffic
+			})
+			if err != nil {
+				p.TotalMB[i] = -1
+				p.Overhead[i] = -1
+				continue
+			}
+			tot := float64(s.Traffic.LoadBytes+s.Traffic.StoreBytes) / mib
+			p.TotalMB[i] = tot
+			p.Overhead[i] = tot / compulsory
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// SpillFreeMemoryMiB binary-searches the smallest on-chip memory (in
+// tower granularity) at which the dataflow achieves compulsory
+// traffic: every input byte loaded once, every output byte stored
+// once, nothing else.
+func SpillFreeMemoryMiB(df dataflow.Dataflow, b params.Benchmark) (int64, error) {
+	compulsory := b.InputBytes() + b.OutputBytes()
+	tb := b.TowerBytes()
+	isFree := func(towers int64) (bool, error) {
+		s, err := dataflow.Generate(df, dataflow.Config{
+			Bench:        b,
+			DataMemBytes: towers * tb,
+			EvkOnChip:    true,
+		})
+		if err != nil {
+			return false, nil // too small to schedule at all
+		}
+		return s.Traffic.LoadBytes+s.Traffic.StoreBytes == compulsory, nil
+	}
+	lo, hi := int64(1), int64(4096)
+	if ok, err := isFree(hi); err != nil {
+		return 0, err
+	} else if !ok {
+		return 0, fmt.Errorf("analysis: %s/%s not spill-free even at %d towers", df, b.Name, hi)
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		ok, err := isFree(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi * tb / mib, nil
+}
+
+// MemoryRequirements summarizes the spill-free memory per dataflow for
+// one benchmark (the §IV working-set comparison).
+type MemoryRequirements struct {
+	Bench     string
+	SpillFree [3]int64   // MiB per dataflow
+	At32Over  [3]float64 // traffic overhead factor at 32 MiB
+}
+
+// MemoryRequirementsFor computes the summary.
+func MemoryRequirementsFor(b params.Benchmark) (MemoryRequirements, error) {
+	out := MemoryRequirements{Bench: b.Name}
+	for i, df := range dataflow.AllDataflows() {
+		m, err := SpillFreeMemoryMiB(df, b)
+		if err != nil {
+			return out, err
+		}
+		out.SpillFree[i] = m
+	}
+	pts, err := MemorySweep(b, []int64{32})
+	if err != nil {
+		return out, err
+	}
+	out.At32Over = pts[0].Overhead
+	return out, nil
+}
+
+// FormatMemory renders a memory sweep.
+func FormatMemory(b params.Benchmark, pts []MemoryPoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Data traffic vs on-chip memory (%s, evk on-chip, non-evk bytes)\n", b.Name)
+	fmt.Fprintf(&sb, "%9s %10s %10s %10s %9s %9s %9s\n",
+		"MiB", "MP MiB", "DC MiB", "OC MiB", "MP ovh", "DC ovh", "OC ovh")
+	for _, p := range pts {
+		row := fmt.Sprintf("%9d", p.MemMiB)
+		for i := 0; i < 3; i++ {
+			if p.TotalMB[i] < 0 {
+				row += fmt.Sprintf(" %10s", "n/a")
+			} else {
+				row += fmt.Sprintf(" %10.0f", p.TotalMB[i])
+			}
+		}
+		for i := 0; i < 3; i++ {
+			if p.Overhead[i] < 0 {
+				row += fmt.Sprintf(" %9s", "n/a")
+			} else {
+				row += fmt.Sprintf(" %8.1fx", p.Overhead[i])
+			}
+		}
+		sb.WriteString(row + "\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationOCF(t *testing.T) {
+	r := NewRunner()
+	rows, err := r.AblationOCF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	fusedAny := false
+	for _, row := range rows {
+		if row.OCFMB > row.OCMB+1e-9 {
+			t.Errorf("%s: OCF moved more data than OC", row.Bench)
+		}
+		if row.OCFms > row.OCms*1.001 {
+			t.Errorf("%s: OCF slower than OC (%.2f vs %.2f ms)", row.Bench, row.OCFms, row.OCms)
+		}
+		if row.Fused {
+			fusedAny = true
+			if row.SavedPct <= 0 {
+				t.Errorf("%s: fused but saved nothing", row.Bench)
+			}
+		}
+	}
+	if !fusedAny {
+		t.Error("fusion never engaged; expected it for ARK/DPRIVE at 32MB")
+	}
+	t.Log("\n" + FormatOCF(rows))
+}
+
+func TestRoofline(t *testing.T) {
+	r := NewRunner()
+	rows, err := r.Roofline(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At DDR5 bandwidth the machine balance is 54.4e9/64e9 = 0.85
+	// ops/byte; every MP configuration has AI above that in our model,
+	// so check internal consistency rather than a fixed claim.
+	for _, row := range rows {
+		if (row.AI < row.BalanceAI) != row.MemoryBound {
+			t.Errorf("%s/%s: classification inconsistent", row.Bench, row.Dataflow)
+		}
+	}
+	// At DDR4-low bandwidth everything is memory bound (the paper's
+	// "HE is memory bound" framing).
+	low, err := r.Roofline(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range low {
+		if !row.MemoryBound {
+			t.Errorf("%s/%s compute-bound at 8 GB/s?", row.Bench, row.Dataflow)
+		}
+	}
+	out := FormatRoofline(8, low)
+	if !strings.Contains(out, "memory") {
+		t.Error("formatting broken")
+	}
+}

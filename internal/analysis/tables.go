@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"ciflow/internal/dataflow"
+	"ciflow/internal/params"
+	"ciflow/internal/rpu"
+)
+
+const mib = 1 << 20
+
+// ---- Table II: DRAM transfers and arithmetic intensity ----
+
+// TableIIRow is one benchmark's traffic and AI per dataflow.
+type TableIIRow struct {
+	Bench string
+	MB    [3]float64 // MP, DC, OC total DRAM traffic (MiB, evk streamed)
+	AI    [3]float64 // weighted modular ops per DRAM byte
+}
+
+// TableII reproduces paper Table II: total DRAM transfers including
+// streamed evks with a 32 MB data memory, and the resulting
+// arithmetic intensity, for all benchmarks and dataflows.
+func (r *Runner) TableII() ([]TableIIRow, error) {
+	var rows []TableIIRow
+	for _, b := range params.All() {
+		row := TableIIRow{Bench: b.Name}
+		for i, df := range dataflow.AllDataflows() {
+			s, err := r.Schedule(df, b, false, false)
+			if err != nil {
+				return nil, err
+			}
+			row.MB[i] = float64(s.Traffic.TotalBytes()) / mib
+			row.AI[i] = s.ArithmeticIntensity()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTableII renders the rows like the paper's table.
+func FormatTableII(rows []TableIIRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table II: DRAM transfers (MB) incl. streamed evk, 32MB on-chip, and AI (ops/byte)\n")
+	fmt.Fprintf(&sb, "%-10s %9s %6s %9s %6s %9s %6s\n", "Benchmark", "MP MB", "AI", "DC MB", "AI", "OC MB", "AI")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %9.0f %6.2f %9.0f %6.2f %9.0f %6.2f\n",
+			r.Bench, r.MB[0], r.AI[0], r.MB[1], r.AI[1], r.MB[2], r.AI[2])
+	}
+	return sb.String()
+}
+
+// ---- Table III: benchmark parameters ----
+
+// FormatTableIII renders the parameter sets with derived sizes.
+func FormatTableIII() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table III: 128-bit-secure HKS parameter sets\n")
+	fmt.Fprintf(&sb, "%-10s %5s %4s %4s %5s %6s %10s %10s\n",
+		"Benchmark", "logN", "kl", "kp", "dnum", "alpha", "evk MiB", "temp MiB")
+	for _, b := range params.All() {
+		fmt.Fprintf(&sb, "%-10s %5d %4d %4d %5d %6d %10.0f %10.1f\n",
+			b.Name, b.LogN, b.KL, b.KP, b.Dnum, b.Alpha(),
+			float64(b.EvkBytes())/mib, float64(b.TempBytes())/mib)
+	}
+	return sb.String()
+}
+
+// ---- Table IV: OCbase bandwidth and speedups ----
+
+// TableIVRow summarizes the OC-vs-MP comparison for one benchmark.
+type TableIVRow struct {
+	Bench      string
+	OCBaseGBs  float64 // grid bandwidth where OC matches the baseline
+	SavedBW    float64 // 64 / OCbase
+	OCms, MPms float64 // runtimes at OCbase
+	Speedup    float64 // MP/OC at OCbase
+	BaselineMS float64 // MP at 64 GB/s (reference)
+	OCIdle     float64 // compute idle fraction of OC at OCbase
+	MPIdle     float64
+}
+
+// TableIV reproduces paper Table IV: the bandwidth at which OC (evk
+// on-chip) matches the MP baseline running at 64 GB/s, the bandwidth
+// saving, and the OC speedup over MP at that bandwidth.
+func (r *Runner) TableIV() ([]TableIVRow, error) {
+	var rows []TableIVRow
+	for _, b := range params.All() {
+		base, err := r.Baseline(b)
+		if err != nil {
+			return nil, err
+		}
+		cont, err := r.FindBandwidthToMatch(dataflow.OC, b, true, 1, base, 2048)
+		if err != nil {
+			return nil, err
+		}
+		bw := OCBaseGridGBs(cont)
+		ocRes, err := r.Runtime(dataflow.OC, b, true, bw, 1)
+		if err != nil {
+			return nil, err
+		}
+		mpRes, err := r.Runtime(dataflow.MP, b, true, bw, 1)
+		if err != nil {
+			return nil, err
+		}
+		oc := ocRes.RuntimeSec * 1e3
+		mp := mpRes.RuntimeSec * 1e3
+		rows = append(rows, TableIVRow{
+			Bench: b.Name, OCBaseGBs: bw, SavedBW: BaselineBandwidthGBs / bw,
+			OCms: oc, MPms: mp, Speedup: mp / oc, BaselineMS: base,
+			OCIdle: ocRes.CmpIdleFrac, MPIdle: mpRes.CmpIdleFrac,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTableIV renders the rows like the paper's table.
+func FormatTableIV(rows []TableIVRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table IV: OC bandwidth matching MP@64GB/s baseline (evk on-chip)\n")
+	fmt.Fprintf(&sb, "%-10s %10s %9s %9s %9s %9s %10s\n",
+		"Benchmark", "OCbase", "SavedBW", "OC ms", "MP ms", "Speedup", "Base ms")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %8.1fG %8.2fx %9.2f %9.2f %8.2fx %10.2f\n",
+			r.Bench, r.OCBaseGBs, r.SavedBW, r.OCms, r.MPms, r.Speedup, r.BaselineMS)
+	}
+	return sb.String()
+}
+
+// ---- Table V: matching ARK's saturation point ----
+
+// SaturationGBs is where ARK's OC becomes fully compute bound
+// (paper §VI-C-1: 128 GB/s).
+const SaturationGBs = 128
+
+// TableVRow is the configuration one dataflow needs to match ARK's
+// saturation-point performance.
+type TableVRow struct {
+	Dataflow  string
+	BWGBs     float64
+	Modops    float64 // MODOPS multiplier
+	RelBW     float64 // vs the saturation point's 128 GB/s
+	RelModops float64
+}
+
+// TableV reproduces paper Table V: the (bandwidth, MODOPS) each
+// dataflow needs to match ARK's saturation point, holding MODOPS at
+// 2x as the paper does.
+func (r *Runner) TableV() ([]TableVRow, error) {
+	b := params.ARK
+	sat, err := r.RuntimeMS(dataflow.OC, b, true, SaturationGBs, 1)
+	if err != nil {
+		return nil, err
+	}
+	rows := []TableVRow{{Dataflow: "Sat. Point", BWGBs: SaturationGBs, Modops: 1, RelBW: 1, RelModops: 1}}
+	for _, df := range []dataflow.Dataflow{dataflow.OC, dataflow.DC, dataflow.MP} {
+		bw, err := r.FindBandwidthToMatch(df, b, true, 2, sat, 4096)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TableVRow{
+			Dataflow: df.String(), BWGBs: bw, Modops: 2,
+			RelBW: bw / SaturationGBs, RelModops: 2,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTableV renders the rows like the paper's table.
+func FormatTableV(rows []TableVRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table V: configurations matching ARK's saturation point (OC@128GB/s, 1x MODOPS)\n")
+	fmt.Fprintf(&sb, "%-11s %9s %8s %8s %11s\n", "Dataflow", "BW GB/s", "MODOPS", "Rel.BW", "Rel.MODOPS")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-11s %9.2f %7.2fx %7.2fx %10.2fx\n",
+			r.Dataflow, r.BWGBs, r.Modops, r.RelBW, r.RelModops)
+	}
+	return sb.String()
+}
+
+// ---- §VI-B area claim ----
+
+// AreaSummary returns the paper's SRAM-saving numbers: the 392 MB
+// (evk-resident) RPU versus the 32 MB (evk-streamed) RPU.
+func AreaSummary() string {
+	big := int64(32*mib) + params.BTS3.EvkBytes() // 392 MB configuration
+	small := int64(32 * mib)
+	return fmt.Sprintf(
+		"On-chip SRAM: %.0f MiB -> %.0f MiB (%.2fx saving)\nRPU area:     %.2f mm^2 -> %.2f mm^2\n",
+		float64(big)/mib, float64(small)/mib, float64(big)/float64(small),
+		rpu.AreaMM2(big), rpu.AreaMM2(small))
+}

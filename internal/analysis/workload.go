@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"ciflow/internal/dataflow"
+	"ciflow/internal/params"
+)
+
+// Workload models the key-switch volume of a composite HE computation.
+// The paper motivates the dataflow work with exactly such workloads: a
+// single ResNet-20 inference performs 3,306 rotations (§I), each one a
+// hybrid key switch, plus one key switch per ciphertext multiplication.
+type Workload struct {
+	Name      string
+	Rotations int // each costs one HKS
+	Mults     int // each relinearization costs one HKS
+}
+
+// KeySwitches returns the total HKS invocations.
+func (w Workload) KeySwitches() int { return w.Rotations + w.Mults }
+
+// ResNet20 is the paper's motivating workload (§I, Lee et al.).
+var ResNet20 = Workload{Name: "ResNet-20", Rotations: 3306, Mults: 1226}
+
+// WorkloadEstimate is the projected cost of running a workload's key
+// switches back to back on one configuration.
+type WorkloadEstimate struct {
+	Workload string
+	Dataflow string
+	PerKSms  float64
+	TotalSec float64
+	DRAMGB   float64 // total DRAM traffic including streamed keys
+}
+
+// EstimateWorkload projects the HKS cost of w at the given benchmark
+// parameters, bandwidth and evk placement, for every dataflow.
+// Per-operation state (inputs/outputs) is assumed to flow through DRAM
+// between operations, which the per-schedule traffic already counts.
+func (r *Runner) EstimateWorkload(w Workload, b params.Benchmark, evkOnChip bool, bwGBs float64) ([]WorkloadEstimate, error) {
+	var out []WorkloadEstimate
+	for _, df := range dataflow.AllDataflows() {
+		ms, err := r.RuntimeMS(df, b, evkOnChip, bwGBs, 1)
+		if err != nil {
+			return nil, err
+		}
+		s, err := r.Schedule(df, b, evkOnChip, false)
+		if err != nil {
+			return nil, err
+		}
+		ks := float64(w.KeySwitches())
+		out = append(out, WorkloadEstimate{
+			Workload: w.Name,
+			Dataflow: df.String(),
+			PerKSms:  ms,
+			TotalSec: ms * ks / 1e3,
+			DRAMGB:   float64(s.Traffic.TotalBytes()) * ks / 1e9,
+		})
+	}
+	return out, nil
+}
+
+// FormatWorkload renders the estimates.
+func FormatWorkload(bwGBs float64, rows []WorkloadEstimate) string {
+	var sb strings.Builder
+	if len(rows) == 0 {
+		return "(no estimates)\n"
+	}
+	fmt.Fprintf(&sb, "Workload %s at %.1f GB/s (key-switch time only)\n", rows[0].Workload, bwGBs)
+	fmt.Fprintf(&sb, "%-4s %12s %12s %14s\n", "DF", "per-KS ms", "total s", "DRAM GB")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-4s %12.2f %12.1f %14.0f\n", r.Dataflow, r.PerKSms, r.TotalSec, r.DRAMGB)
+	}
+	return sb.String()
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"ciflow/internal/params"
+)
+
+func TestEstimateWorkload(t *testing.T) {
+	r := NewRunner()
+	rows, err := r.EstimateWorkload(ResNet20, params.ARK, false, 25.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// OC total must be the lowest; totals must equal per-KS x count.
+	ks := float64(ResNet20.KeySwitches())
+	for _, row := range rows {
+		want := row.PerKSms * ks / 1e3
+		if diff := row.TotalSec - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: total %.3f != per-KS x count %.3f", row.Dataflow, row.TotalSec, want)
+		}
+	}
+	if !(rows[2].TotalSec < rows[1].TotalSec && rows[1].TotalSec < rows[0].TotalSec) {
+		t.Errorf("expected OC < DC < MP totals, got %+v", rows)
+	}
+	out := FormatWorkload(25.6, rows)
+	if !strings.Contains(out, "ResNet-20") {
+		t.Error("missing workload name")
+	}
+}
+
+func TestWorkloadKeySwitches(t *testing.T) {
+	if got := ResNet20.KeySwitches(); got != 3306+1226 {
+		t.Fatalf("ResNet20 key switches = %d", got)
+	}
+	w := Workload{Rotations: 2, Mults: 3}
+	if w.KeySwitches() != 5 {
+		t.Fatal("key switch count wrong")
+	}
+}
+
+func TestFormatWorkloadEmpty(t *testing.T) {
+	if out := FormatWorkload(8, nil); !strings.Contains(out, "no estimates") {
+		t.Fatalf("unexpected %q", out)
+	}
+}

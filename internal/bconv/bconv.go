@@ -1,0 +1,208 @@
+// Package bconv implements fast RNS basis conversion (the BConv
+// kernel, paper ModUp P2 / ModDown P2), following the approximate
+// conversion of Halevi–Polyakov–Shoup used by full-RNS CKKS.
+//
+// For a source basis B = {b_0..b_{k-1}} with product B* and a target
+// basis C, the conversion of x given by residues x_i is
+//
+//	Conv(x) ≡ Σ_i [x_i · (B*/b_i)^{-1} mod b_i] · (B*/b_i)   (mod c_j)
+//
+// which equals x̂ + u·B* for the representative x̂ ∈ [0, B*) and some
+// integer overshoot 0 ≤ u < k. The overshoot adds a small multiple of
+// B* that hybrid key switching absorbs into its noise budget.
+//
+// The kernel costs N·|B|·|C| modular multiply-accumulates plus N·|B|
+// multiplications — exactly the count the paper charges BConv with
+// (§III-B: "roughly N×α×β modular multiplications").
+package bconv
+
+import (
+	"fmt"
+	"math/big"
+
+	"ciflow/internal/ring"
+)
+
+// Converter performs basis conversion from a fixed source basis to a
+// fixed destination basis over one ring. Immutable after construction;
+// safe for concurrent use.
+type Converter struct {
+	r   *ring.Ring
+	src ring.Basis
+	dst ring.Basis
+
+	// bHatInv[i] = (B*/b_i)^(-1) mod b_i
+	bHatInv []uint64
+	// bHatMod[i][j] = (B*/b_i) mod c_j
+	bHatMod [][]uint64
+}
+
+// New builds a Converter from basis src to basis dst. The bases must
+// be disjoint (a tower cannot be converted onto itself).
+func New(r *ring.Ring, src, dst ring.Basis) (*Converter, error) {
+	if len(src) == 0 || len(dst) == 0 {
+		return nil, fmt.Errorf("bconv: empty basis (src=%v dst=%v)", src, dst)
+	}
+	for _, t := range dst {
+		if src.Contains(t) {
+			return nil, fmt.Errorf("bconv: tower %d in both source and destination", t)
+		}
+	}
+	c := &Converter{
+		r:       r,
+		src:     append(ring.Basis(nil), src...),
+		dst:     append(ring.Basis(nil), dst...),
+		bHatInv: make([]uint64, len(src)),
+		bHatMod: make([][]uint64, len(src)),
+	}
+	B := r.BasisProduct(src)
+	for i, ti := range src {
+		bi := new(big.Int).SetUint64(r.Moduli[ti])
+		bHat := new(big.Int).Div(B, bi)
+		inv := new(big.Int).ModInverse(new(big.Int).Mod(bHat, bi), bi)
+		if inv == nil {
+			return nil, fmt.Errorf("bconv: moduli not coprime at tower %d", ti)
+		}
+		c.bHatInv[i] = inv.Uint64()
+		c.bHatMod[i] = make([]uint64, len(dst))
+		for j, tj := range dst {
+			cj := new(big.Int).SetUint64(r.Moduli[tj])
+			c.bHatMod[i][j] = new(big.Int).Mod(bHat, cj).Uint64()
+		}
+	}
+	return c, nil
+}
+
+// Src returns the converter's source basis.
+func (c *Converter) Src() ring.Basis { return c.src }
+
+// Dst returns the converter's destination basis.
+func (c *Converter) Dst() ring.Basis { return c.dst }
+
+// Convert converts in (coefficient domain, basis = Src) into out
+// (basis = Dst), overwriting out. in is not modified.
+func (c *Converter) Convert(in, out *ring.Poly) {
+	if !in.Basis.Equal(c.src) {
+		panic(fmt.Sprintf("bconv: input basis %v, converter source %v", in.Basis, c.src))
+	}
+	if !out.Basis.Equal(c.dst) {
+		panic(fmt.Sprintf("bconv: output basis %v, converter destination %v", out.Basis, c.dst))
+	}
+	if in.IsNTT {
+		panic("bconv: conversion requires coefficient domain")
+	}
+	n := c.r.N
+	// y_i = x_i · (B*/b_i)^{-1} mod b_i, computed per source tower.
+	y := make([][]uint64, len(c.src))
+	for i, ti := range c.src {
+		m := c.r.Mods[ti]
+		y[i] = make([]uint64, n)
+		row := in.Coeffs[i]
+		for k := 0; k < n; k++ {
+			y[i][k] = m.Mul(row[k], c.bHatInv[i])
+		}
+	}
+	for j, tj := range c.dst {
+		m := c.r.Mods[tj]
+		dst := out.Coeffs[j]
+		for k := 0; k < n; k++ {
+			dst[k] = 0
+		}
+		for i := range c.src {
+			w := c.bHatMod[i][j]
+			yi := y[i]
+			for k := 0; k < n; k++ {
+				dst[k] = m.Add(dst[k], m.Mul(yi[k], w))
+			}
+		}
+	}
+	out.IsNTT = false
+}
+
+// ConvertExact converts in into out like Convert, but removes the
+// overshoot with the Halevi–Polyakov–Shoup floating-point correction:
+// u = round(Σ_i y_i / b_i) is subtracted, so the result is the
+// *centered* representative x̃ ∈ [-B*/2, B*/2) reduced into each
+// destination tower. Used by ModDown, where the overshoot would
+// otherwise add P-scaled noise.
+func (c *Converter) ConvertExact(in, out *ring.Poly) {
+	if !in.Basis.Equal(c.src) {
+		panic(fmt.Sprintf("bconv: input basis %v, converter source %v", in.Basis, c.src))
+	}
+	if !out.Basis.Equal(c.dst) {
+		panic(fmt.Sprintf("bconv: output basis %v, converter destination %v", out.Basis, c.dst))
+	}
+	if in.IsNTT {
+		panic("bconv: conversion requires coefficient domain")
+	}
+	n := c.r.N
+	y := make([][]uint64, len(c.src))
+	for i, ti := range c.src {
+		m := c.r.Mods[ti]
+		y[i] = make([]uint64, n)
+		row := in.Coeffs[i]
+		for k := 0; k < n; k++ {
+			y[i][k] = m.Mul(row[k], c.bHatInv[i])
+		}
+	}
+	// Overshoot per coefficient: u_k = round(Σ_i y_i[k] / b_i).
+	u := make([]uint64, n)
+	for k := 0; k < n; k++ {
+		var v float64
+		for i, ti := range c.src {
+			v += float64(y[i][k]) / float64(c.r.Moduli[ti])
+		}
+		u[k] = uint64(v + 0.5)
+	}
+	for j, tj := range c.dst {
+		m := c.r.Mods[tj]
+		bMod := bigModUint64(c.r.BasisProduct(c.src), c.r.Moduli[tj])
+		dst := out.Coeffs[j]
+		for k := 0; k < n; k++ {
+			var acc uint64
+			for i := range c.src {
+				acc = m.Add(acc, m.Mul(y[i][k], c.bHatMod[i][j]))
+			}
+			dst[k] = m.Sub(acc, m.Mul(m.Reduce(u[k]), bMod))
+		}
+	}
+	out.IsNTT = false
+}
+
+func bigModUint64(x *big.Int, q uint64) uint64 {
+	return new(big.Int).Mod(x, new(big.Int).SetUint64(q)).Uint64()
+}
+
+// ConvertTower computes only destination tower dstIdx (an index into
+// Dst) of the conversion, writing the length-N result into dst. This
+// is the tile the Output-Centric dataflow schedules: one output tower
+// at a time from the resident source towers (paper §IV-C).
+func (c *Converter) ConvertTower(in *ring.Poly, dstIdx int, dst []uint64) {
+	if !in.Basis.Equal(c.src) {
+		panic("bconv: input basis mismatch")
+	}
+	if in.IsNTT {
+		panic("bconv: conversion requires coefficient domain")
+	}
+	n := c.r.N
+	tj := c.dst[dstIdx]
+	m := c.r.Mods[tj]
+	for k := 0; k < n; k++ {
+		dst[k] = 0
+	}
+	for i, ti := range c.src {
+		mi := c.r.Mods[ti]
+		w := c.bHatMod[i][dstIdx]
+		row := in.Coeffs[i]
+		for k := 0; k < n; k++ {
+			yi := mi.Mul(row[k], c.bHatInv[i])
+			dst[k] = m.Add(dst[k], m.Mul(m.Reduce(yi), w))
+		}
+	}
+}
+
+// Ops returns the modular-multiplication count of one full conversion:
+// N·|src| for the ŷ scaling plus N·|src|·|dst| for the accumulation.
+func (c *Converter) Ops() int {
+	return c.r.N*len(c.src) + c.r.N*len(c.src)*len(c.dst)
+}

@@ -1,0 +1,64 @@
+// Package ckks implements a compact CKKS scheme (Cheon–Kim–Kim–Song)
+// on top of the hybrid key-switching core in internal/hks: encoding of
+// real/complex vectors via the canonical embedding, public-key
+// encryption, addition, multiplication with relinearization and
+// rescaling, and slot rotation via Galois automorphisms.
+//
+// This is the workload layer of the CiFlow reproduction: rotations and
+// multiplications are exactly the operations that trigger key
+// switching (paper §II), and examples/private_inference uses this
+// package to measure the HKS share of a linear-layer workload.
+//
+// The implementation favours clarity and exact testability over
+// performance and side-channel hygiene; it must not be used to protect
+// real data.
+package ckks
+
+import (
+	"fmt"
+
+	"ciflow/internal/hks"
+	"ciflow/internal/ring"
+)
+
+// Context carries the public parameters of a CKKS instance.
+type Context struct {
+	R        *ring.Ring
+	Scale    float64 // Δ, the encoding scale
+	Dnum     int     // key-switching digit count
+	MaxLevel int     // top level L (towers q_0..q_L)
+}
+
+// NewContext builds a CKKS context over a generated ring with numQ
+// Q-moduli of qBits bits and numP P-moduli of pBits bits. The scale is
+// set to 2^qBits so that rescaling after multiplication approximately
+// preserves it.
+func NewContext(n, numQ, qBits, numP, pBits, dnum int) (*Context, error) {
+	r, err := ring.NewRingGenerated(n, numQ, qBits, numP, pBits)
+	if err != nil {
+		return nil, err
+	}
+	if dnum < 1 || dnum > numQ {
+		return nil, fmt.Errorf("ckks: dnum %d out of range [1,%d]", dnum, numQ)
+	}
+	return &Context{
+		R:        r,
+		Scale:    float64(uint64(1) << uint(qBits)),
+		Dnum:     dnum,
+		MaxLevel: numQ - 1,
+	}, nil
+}
+
+// Slots returns the number of message slots, N/2.
+func (c *Context) Slots() int { return c.R.N / 2 }
+
+// switcherFor returns a hybrid key switcher at the given level. The
+// digit count shrinks automatically when fewer towers than dnum·1
+// remain active.
+func (c *Context) switcherFor(level int) (*hks.Switcher, error) {
+	dnum := c.Dnum
+	if dnum > level+1 {
+		dnum = level + 1
+	}
+	return hks.NewSwitcher(c.R, level, dnum)
+}

@@ -1,0 +1,121 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/cmplx"
+
+	"ciflow/internal/ring"
+)
+
+// Encoder maps complex vectors to plaintext polynomials through the
+// canonical embedding: slot j of a message is the evaluation of the
+// plaintext polynomial at ζ^(5^j), ζ = e^(iπ/N). The direct O(N²)
+// evaluation keeps the code transparent; functional tests and examples
+// run at N ≤ 2^13 where this is fast enough.
+type Encoder struct {
+	ctx    *Context
+	powers []int        // 5^j mod 2N for each slot j
+	zeta   []complex128 // ζ^k for k in [0, 2N)
+}
+
+// NewEncoder builds an encoder for the context.
+func NewEncoder(ctx *Context) *Encoder {
+	n := ctx.R.N
+	twoN := 2 * n
+	e := &Encoder{ctx: ctx}
+	e.powers = make([]int, n/2)
+	g := 1
+	for j := range e.powers {
+		e.powers[j] = g
+		g = (g * 5) % twoN
+	}
+	e.zeta = make([]complex128, twoN)
+	for k := range e.zeta {
+		theta := math.Pi * float64(k) / float64(n)
+		e.zeta[k] = cmplx.Exp(complex(0, theta))
+	}
+	return e
+}
+
+// Plaintext is an encoded message: a polynomial over B_level carrying
+// an encoding scale.
+type Plaintext struct {
+	P     *ring.Poly // NTT domain
+	Level int
+	Scale float64
+}
+
+// Encode embeds values (len ≤ N/2; shorter vectors are zero-padded)
+// into a plaintext at the given level with the context scale.
+func (e *Encoder) Encode(values []complex128, level int) (*Plaintext, error) {
+	n := e.ctx.R.N
+	slots := n / 2
+	if len(values) > slots {
+		return nil, fmt.Errorf("ckks: %d values exceed %d slots", len(values), slots)
+	}
+	z := make([]complex128, slots)
+	copy(z, values)
+
+	// m_k = (2Δ/N)·Re( Σ_j z_j · conj(ζ^(5^j·k)) ), rounded.
+	p := e.ctx.R.NewPoly(e.ctx.R.QBasis(level))
+	twoN := 2 * n
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for j, zj := range z {
+			if zj == 0 {
+				continue
+			}
+			rot := (e.powers[j] * k) % twoN
+			acc += zj * cmplx.Conj(e.zeta[rot])
+		}
+		v := real(acc) * 2 / float64(n) * e.ctx.Scale
+		setFloat(e.ctx.R, p, k, v)
+	}
+	e.ctx.R.NTT(p)
+	return &Plaintext{P: p, Level: level, Scale: e.ctx.Scale}, nil
+}
+
+// Decode evaluates the plaintext polynomial at the slot roots and
+// rescales, returning all N/2 slots.
+func (e *Encoder) Decode(pt *Plaintext) []complex128 {
+	r := e.ctx.R
+	p := pt.P.Copy()
+	r.INTT(p)
+	n := r.N
+	twoN := 2 * n
+
+	// Centered coefficients as floats (safe: decrypted plaintexts are
+	// far below the basis product).
+	coeffs := make([]float64, n)
+	for k := 0; k < n; k++ {
+		coeffs[k] = bigToFloat(r.ToBigCentered(p, k))
+	}
+	out := make([]complex128, n/2)
+	for j := range out {
+		var acc complex128
+		for k := 0; k < n; k++ {
+			if coeffs[k] == 0 {
+				continue
+			}
+			rot := (e.powers[j] * k) % twoN
+			acc += complex(coeffs[k], 0) * e.zeta[rot]
+		}
+		out[j] = acc / complex(pt.Scale, 0)
+	}
+	return out
+}
+
+// setFloat writes round(v) into coefficient k across all towers.
+func setFloat(r *ring.Ring, p *ring.Poly, k int, v float64) {
+	bi, _ := big.NewFloat(math.Round(v)).Int(nil)
+	r.SetBig(p, k, bi)
+}
+
+// bigToFloat converts exactly enough of a centered big.Int for
+// decoding purposes.
+func bigToFloat(x *big.Int) float64 {
+	f, _ := new(big.Float).SetInt(x).Float64()
+	return f
+}

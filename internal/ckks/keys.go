@@ -1,0 +1,156 @@
+package ckks
+
+import (
+	"fmt"
+
+	"ciflow/internal/hks"
+	"ciflow/internal/ring"
+)
+
+// SecretKey is the ternary secret over the full D basis (coefficient
+// domain), so it can be restricted to any level and to the P towers.
+type SecretKey struct {
+	S *ring.Poly
+}
+
+// PublicKey is an RLWE encryption of zero at the top level, NTT domain.
+type PublicKey struct {
+	B, A *ring.Poly
+}
+
+// KeyChain owns the secret key and lazily materializes the evaluation
+// keys (relinearization and rotation) that homomorphic operations
+// need, one per level. A production library would precompute and
+// serialize these; for analysis purposes lazy generation keeps tests
+// and examples self-contained.
+type KeyChain struct {
+	ctx     *Context
+	sampler *ring.Sampler
+	sk      *SecretKey
+	sSquare *ring.Poly // s², full D basis, coefficient domain
+
+	switchers map[int]*hks.Switcher
+	relin     map[int]*hks.Evk
+	rot       map[int]map[int]*hks.Evk // rot -> level -> evk
+}
+
+// GenKeys samples a fresh secret/public key pair and its key chain.
+func GenKeys(ctx *Context, seed int64) (*KeyChain, *PublicKey) {
+	r := ctx.R
+	sampler := ring.NewSampler(r, seed)
+	full := r.DBasis(r.NumQ - 1)
+	sk := &SecretKey{S: sampler.Ternary(full)}
+
+	// s² over the full basis, kept in the coefficient domain for evk
+	// generation at any level.
+	sN := sk.S.Copy()
+	r.NTT(sN)
+	s2 := r.NewPoly(full)
+	r.MulCoeffwise(sN, sN, s2)
+	r.INTT(s2)
+
+	// pk = (-a·s + e, a) at the top level.
+	top := r.QBasis(ctx.MaxLevel)
+	a := sampler.Uniform(top)
+	a.IsNTT = true
+	e := sampler.Gaussian(top)
+	r.NTT(e)
+	sTop := sk.S.SubPoly(top).Copy()
+	r.NTT(sTop)
+	b := r.NewPoly(top)
+	r.MulCoeffwise(a, sTop, b)
+	r.Sub(e, b, b)
+
+	kc := &KeyChain{
+		ctx:       ctx,
+		sampler:   sampler,
+		sk:        sk,
+		sSquare:   s2,
+		switchers: map[int]*hks.Switcher{},
+		relin:     map[int]*hks.Evk{},
+		rot:       map[int]map[int]*hks.Evk{},
+	}
+	return kc, &PublicKey{B: b, A: a}
+}
+
+// Secret exposes the secret key for decryption and testing.
+func (kc *KeyChain) Secret() *SecretKey { return kc.sk }
+
+// Switcher returns (building if needed) the HKS switcher for a level.
+func (kc *KeyChain) Switcher(level int) (*hks.Switcher, error) {
+	if sw, ok := kc.switchers[level]; ok {
+		return sw, nil
+	}
+	sw, err := kc.ctx.switcherFor(level)
+	if err != nil {
+		return nil, fmt.Errorf("ckks: no switcher at level %d: %w", level, err)
+	}
+	kc.switchers[level] = sw
+	return sw, nil
+}
+
+// RelinKey returns the s²→s evaluation key for a level.
+func (kc *KeyChain) RelinKey(level int) (*hks.Evk, error) {
+	if evk, ok := kc.relin[level]; ok {
+		return evk, nil
+	}
+	sw, err := kc.Switcher(level)
+	if err != nil {
+		return nil, err
+	}
+	evk := sw.GenEvk(kc.sampler, kc.sSquare, kc.sk.S)
+	kc.relin[level] = evk
+	return evk, nil
+}
+
+// ConjKey returns the evaluation key for slot conjugation (the
+// automorphism X → X^(2N−1)) at a level.
+func (kc *KeyChain) ConjKey(level int) (*hks.Evk, error) {
+	// Reserved map key far outside the valid rotation range
+	// (rotations are reduced modulo N/2, so no collision).
+	const conjSlot = 1 << 30
+	if m, ok := kc.rot[conjSlot]; ok {
+		if evk, ok := m[level]; ok {
+			return evk, nil
+		}
+	}
+	sw, err := kc.Switcher(level)
+	if err != nil {
+		return nil, err
+	}
+	r := kc.ctx.R
+	full := r.DBasis(r.NumQ - 1)
+	sConj := r.NewPoly(full)
+	r.Automorphism(kc.sk.S, 2*r.N-1, sConj)
+	evk := sw.GenEvk(kc.sampler, sConj, kc.sk.S)
+	if kc.rot[conjSlot] == nil {
+		kc.rot[conjSlot] = map[int]*hks.Evk{}
+	}
+	kc.rot[conjSlot][level] = evk
+	return evk, nil
+}
+
+// RotKey returns the σ_g(s)→s evaluation key for a rotation amount at
+// a level.
+func (kc *KeyChain) RotKey(rotBy, level int) (*hks.Evk, error) {
+	if m, ok := kc.rot[rotBy]; ok {
+		if evk, ok := m[level]; ok {
+			return evk, nil
+		}
+	}
+	sw, err := kc.Switcher(level)
+	if err != nil {
+		return nil, err
+	}
+	r := kc.ctx.R
+	g := r.GaloisElement(rotBy)
+	full := r.DBasis(r.NumQ - 1)
+	sRot := r.NewPoly(full)
+	r.Automorphism(kc.sk.S, g, sRot)
+	evk := sw.GenEvk(kc.sampler, sRot, kc.sk.S)
+	if kc.rot[rotBy] == nil {
+		kc.rot[rotBy] = map[int]*hks.Evk{}
+	}
+	kc.rot[rotBy][level] = evk
+	return evk, nil
+}

@@ -1,0 +1,157 @@
+package ckks
+
+import (
+	"fmt"
+
+	"ciflow/internal/ring"
+)
+
+// Conjugate applies complex conjugation to every slot via the Galois
+// automorphism X → X^(2N−1), followed by a key switch back to s.
+func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
+	r := ev.ctx.R
+	b := r.QBasis(ct.Level)
+	k := 2*r.N - 1
+
+	rc0 := ct.C0.Copy()
+	rc1 := ct.C1.Copy()
+	r.INTT(rc0)
+	r.INTT(rc1)
+	a0 := r.NewPoly(b)
+	a1 := r.NewPoly(b)
+	r.Automorphism(rc0, k, a0)
+	r.Automorphism(rc1, k, a1)
+	r.NTT(a0)
+	r.NTT(a1)
+
+	sw, err := ev.kc.Switcher(ct.Level)
+	if err != nil {
+		return nil, err
+	}
+	rk, err := ev.kc.ConjKey(ct.Level)
+	if err != nil {
+		return nil, err
+	}
+	k0, k1 := sw.KeySwitch(a1, rk)
+	r.Add(a0, k0, a0)
+	return &Ciphertext{C0: a0, C1: k1, Level: ct.Level, Scale: ct.Scale}, nil
+}
+
+// InnerSum adds the first n slots (n a power of two) into every one of
+// those slot positions using log2(n) rotations — the rotate-and-sum
+// reduction used by dot products and pooling layers. Each rotation is
+// one hybrid key switch.
+func (ev *Evaluator) InnerSum(ct *Ciphertext, n int) (*Ciphertext, error) {
+	if n < 1 || n&(n-1) != 0 || n > ev.ctx.Slots() {
+		return nil, fmt.Errorf("ckks: InnerSum width %d must be a power of two <= %d", n, ev.ctx.Slots())
+	}
+	out := ct.Copy()
+	for step := 1; step < n; step <<= 1 {
+		rot, err := ev.Rotate(out, step)
+		if err != nil {
+			return nil, err
+		}
+		out = ev.Add(out, rot)
+	}
+	return out, nil
+}
+
+// LinearTransform is a plaintext matrix in diagonal form, ready to be
+// applied to a ciphertext with the rotate-multiply-accumulate
+// ("diagonal") method. Rotation r contributes diag_r(W)[i] = W[i][i+r].
+type LinearTransform struct {
+	Dim   int
+	diags map[int]*Plaintext
+}
+
+// NewLinearTransform encodes the dim×dim real matrix W (row-major) at
+// the given level. Only non-zero diagonals are stored; slots beyond
+// the matrix replicate W so rotations wrap correctly (dim must divide
+// the slot count).
+func (e *Encoder) NewLinearTransform(w [][]float64, level int) (*LinearTransform, error) {
+	dim := len(w)
+	if dim == 0 {
+		return nil, fmt.Errorf("ckks: empty matrix")
+	}
+	slots := e.ctx.Slots()
+	if slots%dim != 0 {
+		return nil, fmt.Errorf("ckks: matrix dim %d must divide slot count %d", dim, slots)
+	}
+	for i, row := range w {
+		if len(row) != dim {
+			return nil, fmt.Errorf("ckks: row %d has %d entries, want %d", i, len(row), dim)
+		}
+	}
+	lt := &LinearTransform{Dim: dim, diags: map[int]*Plaintext{}}
+	for r := 0; r < dim; r++ {
+		vals := make([]complex128, slots)
+		zero := true
+		for i := range vals {
+			v := w[i%dim][(i+r)%dim]
+			vals[i] = complex(v, 0)
+			if v != 0 {
+				zero = false
+			}
+		}
+		if zero {
+			continue
+		}
+		pt, err := e.Encode(vals, level)
+		if err != nil {
+			return nil, err
+		}
+		lt.diags[r] = pt
+	}
+	return lt, nil
+}
+
+// Rotations returns the rotation amounts the transform needs (its
+// non-zero diagonals, excluding 0).
+func (lt *LinearTransform) Rotations() []int {
+	var rs []int
+	for r := range lt.diags {
+		if r != 0 {
+			rs = append(rs, r)
+		}
+	}
+	return rs
+}
+
+// Apply evaluates y = W·x homomorphically. The input vector must be
+// replicated across the slots with period Dim (see
+// Encoder.NewLinearTransform). Hoisting note: every rotation repeats
+// the ModUp of ct.C1; see hks.KeySwitchMany for the shared-ModUp
+// primitive a production evaluator would use here.
+func (ev *Evaluator) Apply(lt *LinearTransform, ct *Ciphertext) (*Ciphertext, error) {
+	if lt == nil || len(lt.diags) == 0 {
+		return nil, fmt.Errorf("ckks: empty linear transform")
+	}
+	var acc *Ciphertext
+	for r := 0; r < lt.Dim; r++ {
+		pt, ok := lt.diags[r]
+		if !ok {
+			continue
+		}
+		if pt.Level != ct.Level {
+			return nil, fmt.Errorf("ckks: transform encoded at level %d, ciphertext at %d", pt.Level, ct.Level)
+		}
+		x := ct
+		if r != 0 {
+			var err error
+			x, err = ev.Rotate(ct, r)
+			if err != nil {
+				return nil, err
+			}
+		}
+		term := ev.MulPlain(x, pt)
+		if acc == nil {
+			acc = term
+		} else {
+			acc = ev.Add(acc, term)
+		}
+	}
+	return ev.Rescale(acc)
+}
+
+// ringOf is a tiny helper for tests that need the evaluator's ring.
+func (ev *Evaluator) ringOf() *ring.Ring { return ev.ctx.R }

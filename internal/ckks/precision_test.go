@@ -1,0 +1,119 @@
+package ckks
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+// TestPrecisionOverDepth tracks error growth along a multiplication
+// chain: x, x², x⁴ — each squaring costs one relinearization (a hybrid
+// key switch) plus a rescale. Error must grow gracefully, staying far
+// below the 2^-10 usefulness floor for inputs of magnitude ~1.
+func TestPrecisionOverDepth(t *testing.T) {
+	ctx, err := NewContext(128, 5, 35, 3, 36, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder(ctx)
+	kc, pk := GenKeys(ctx, 3)
+	ev := NewEvaluator(ctx, kc)
+
+	vals := make([]complex128, ctx.Slots())
+	for i := range vals {
+		vals[i] = complex(0.9-0.01*float64(i%50), 0)
+	}
+	pt, err := enc.Encode(vals, ctx.MaxLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := ev.Encrypt(pt, pk)
+	want := append([]complex128(nil), vals...)
+
+	var prevErr float64
+	for depth := 1; depth <= 2; depth++ {
+		sq, err := ev.MulRelin(ct, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err = ev.Rescale(sq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			want[i] *= want[i]
+		}
+		dec := enc.Decode(ev.Decrypt(ct, kc.Secret()))
+		e := maxErr(want, dec[:len(want)])
+		t.Logf("depth %d: max slot error %.3e", depth, e)
+		if e > math.Pow(2, -10) {
+			t.Fatalf("depth %d: error %g too large", depth, e)
+		}
+		if depth > 1 && e < prevErr/1e3 {
+			t.Fatalf("error shrank implausibly between depths: %g -> %g", prevErr, e)
+		}
+		prevErr = e
+	}
+}
+
+// TestQuickEncodeLinearity: Encode(a) + Encode(b) decodes to a+b.
+func TestQuickEncodeLinearity(t *testing.T) {
+	ctx, err := NewContext(64, 3, 30, 2, 31, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder(ctx)
+	f := func(re1, im1, re2, im2 float64) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0.5
+			}
+			return math.Mod(v, 1)
+		}
+		a := complex(clamp(re1), clamp(im1))
+		b := complex(clamp(re2), clamp(im2))
+		pa, err1 := enc.Encode([]complex128{a}, ctx.MaxLevel)
+		pb, err2 := enc.Encode([]complex128{b}, ctx.MaxLevel)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		sum := &Plaintext{P: ctx.R.NewPoly(pa.P.Basis), Level: pa.Level, Scale: pa.Scale}
+		ctx.R.Add(pa.P, pb.P, sum.P)
+		got := enc.Decode(sum)[0]
+		return cmplx.Abs(got-(a+b)) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScaleTrackingThroughOps pins the scale bookkeeping rules.
+func TestScaleTrackingThroughOps(t *testing.T) {
+	ctx, enc, _, pk, ev := testContext(t)
+	pt, _ := enc.Encode(randomValues(4, 0.5), ctx.MaxLevel)
+	ct := ev.Encrypt(pt, pk)
+	if ct.Scale != ctx.Scale {
+		t.Fatalf("fresh ciphertext scale %g", ct.Scale)
+	}
+	prod, err := ev.MulRelin(ct, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prod.Scale != ctx.Scale*ctx.Scale {
+		t.Fatalf("product scale %g, want %g", prod.Scale, ctx.Scale*ctx.Scale)
+	}
+	res, err := ev.Rescale(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qLast := float64(ctx.R.Moduli[ctx.MaxLevel])
+	if math.Abs(res.Scale-prod.Scale/qLast) > 1e-6 {
+		t.Fatalf("rescaled scale %g, want %g", res.Scale, prod.Scale/qLast)
+	}
+	// Addition preserves scale.
+	sum := ev.Add(ct, ct)
+	if sum.Scale != ct.Scale {
+		t.Fatal("Add changed the scale")
+	}
+}

@@ -1,0 +1,57 @@
+package ckks
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Ciphertext serialization: level and scale header followed by the two
+// component polynomials (see ring.WritePoly for the wire format).
+
+// WriteCiphertext serializes ct.
+func (c *Context) WriteCiphertext(w io.Writer, ct *Ciphertext) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(ct.Level)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, math.Float64bits(ct.Scale)); err != nil {
+		return err
+	}
+	if err := c.R.WritePoly(w, ct.C0); err != nil {
+		return err
+	}
+	return c.R.WritePoly(w, ct.C1)
+}
+
+// ReadCiphertext deserializes a ciphertext written by WriteCiphertext.
+func (c *Context) ReadCiphertext(r io.Reader) (*Ciphertext, error) {
+	var level uint32
+	if err := binary.Read(r, binary.LittleEndian, &level); err != nil {
+		return nil, fmt.Errorf("ckks: short ciphertext header: %w", err)
+	}
+	if int(level) > c.MaxLevel {
+		return nil, fmt.Errorf("ckks: level %d exceeds context max %d", level, c.MaxLevel)
+	}
+	var scaleBits uint64
+	if err := binary.Read(r, binary.LittleEndian, &scaleBits); err != nil {
+		return nil, err
+	}
+	scale := math.Float64frombits(scaleBits)
+	if !(scale > 0) || math.IsInf(scale, 0) {
+		return nil, fmt.Errorf("ckks: invalid scale %g", scale)
+	}
+	c0, err := c.R.ReadPoly(r)
+	if err != nil {
+		return nil, err
+	}
+	c1, err := c.R.ReadPoly(r)
+	if err != nil {
+		return nil, err
+	}
+	want := c.R.QBasis(int(level))
+	if !c0.Basis.Equal(want) || !c1.Basis.Equal(want) {
+		return nil, fmt.Errorf("ckks: component basis does not match level %d", level)
+	}
+	return &Ciphertext{C0: c0, C1: c1, Level: int(level), Scale: scale}, nil
+}

@@ -1,0 +1,87 @@
+package ckks
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCiphertextRoundTrip(t *testing.T) {
+	ctx, enc, kc, pk, ev := testContext(t)
+	vals := randomValues(ctx.Slots(), 0.44)
+	pt, _ := enc.Encode(vals, ctx.MaxLevel)
+	ct := ev.Encrypt(pt, pk)
+
+	var buf bytes.Buffer
+	if err := ctx.WriteCiphertext(&buf, ct); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ctx.ReadCiphertext(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Level != ct.Level || got.Scale != ct.Scale {
+		t.Fatalf("header mismatch: %d/%g vs %d/%g", got.Level, got.Scale, ct.Level, ct.Scale)
+	}
+	if !got.C0.Equal(ct.C0) || !got.C1.Equal(ct.C1) {
+		t.Fatal("components differ after roundtrip")
+	}
+	// The deserialized ciphertext must still decrypt.
+	dec := enc.Decode(ev.Decrypt(got, kc.Secret()))
+	if e := maxErr(vals, dec[:len(vals)]); e > 1e-4 {
+		t.Fatalf("decryption after roundtrip error %g", e)
+	}
+}
+
+func TestCiphertextRoundTripAfterRescale(t *testing.T) {
+	ctx, enc, _, pk, ev := testContext(t)
+	pt, _ := enc.Encode(randomValues(4, 0.2), ctx.MaxLevel)
+	ct, err := ev.Rescale(ev.Encrypt(pt, pk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ctx.WriteCiphertext(&buf, ct); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ctx.ReadCiphertext(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Level != ctx.MaxLevel-1 {
+		t.Fatalf("level %d after roundtrip", got.Level)
+	}
+}
+
+func TestReadCiphertextRejectsCorruption(t *testing.T) {
+	ctx, enc, _, pk, ev := testContext(t)
+	pt, _ := enc.Encode(randomValues(4, 0.9), ctx.MaxLevel)
+	ct := ev.Encrypt(pt, pk)
+	var buf bytes.Buffer
+	if err := ctx.WriteCiphertext(&buf, ct); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Absurd level.
+	bad := append([]byte(nil), good...)
+	bad[0] = 0xee
+	if _, err := ctx.ReadCiphertext(bytes.NewReader(bad)); err == nil {
+		t.Error("bad level accepted")
+	}
+	// Zero scale.
+	bad = append([]byte(nil), good...)
+	for i := 4; i < 12; i++ {
+		bad[i] = 0
+	}
+	if _, err := ctx.ReadCiphertext(bytes.NewReader(bad)); err == nil {
+		t.Error("zero scale accepted")
+	}
+	// Truncation.
+	if _, err := ctx.ReadCiphertext(bytes.NewReader(good[:20])); err == nil {
+		t.Error("truncated ciphertext accepted")
+	}
+	if _, err := ctx.ReadCiphertext(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+}

@@ -1,0 +1,239 @@
+// Package dataflow generates RPU task-graph schedules for the hybrid
+// key-switching algorithm under the three dataflows the paper proposes
+// (§IV): Max-Parallel (MP), Digit-Centric (DC) and Output-Centric (OC).
+//
+// All three schedules compute the same operations — the total weighted
+// op count always equals params.Ops().WeightedTotal() — but they order
+// the work differently, which changes what can stay in the on-chip
+// data memory and therefore how many bytes cross the DRAM interface.
+// That traffic difference is the paper's entire story (Table II), and
+// the simulator in internal/sim turns it into runtime (Figures 4–9).
+package dataflow
+
+import (
+	"fmt"
+
+	"ciflow/internal/params"
+	"ciflow/internal/trace"
+)
+
+// Dataflow selects the scheduling strategy.
+type Dataflow int
+
+const (
+	// MP is the Max-Parallel baseline: stage by stage over all towers
+	// (Cheetah/HEAX style, paper §IV-A).
+	MP Dataflow = iota
+	// DC is Digit-Centric: one digit at a time through all ModUp
+	// stages (MAD style, paper §IV-B).
+	DC
+	// OC is Output-Centric: one output tower at a time, the paper's
+	// contribution (§IV-C).
+	OC
+	// OCF is this repository's extension: Output-Centric with the
+	// ModDown conversion fused into Section 1, so finished output
+	// towers never round-trip through DRAM. Falls back to OC when the
+	// ModDown towers do not fit alongside a Section 1 digit pass.
+	OCF
+)
+
+// String names the dataflow as in the paper.
+func (d Dataflow) String() string {
+	switch d {
+	case MP:
+		return "MP"
+	case DC:
+		return "DC"
+	case OC:
+		return "OC"
+	case OCF:
+		return "OCF"
+	}
+	return fmt.Sprintf("Dataflow(%d)", int(d))
+}
+
+// AllDataflows returns the paper's three dataflows, MP, DC, OC, in
+// paper order.
+func AllDataflows() []Dataflow { return []Dataflow{MP, DC, OC} }
+
+// AllDataflowsExtended additionally includes this repository's OCF
+// extension.
+func AllDataflowsExtended() []Dataflow { return []Dataflow{MP, DC, OC, OCF} }
+
+// Config parameterizes schedule generation.
+type Config struct {
+	Bench params.Benchmark
+	// DataMemBytes is the on-chip memory available for inputs and
+	// intermediates (32 MB in the paper's evaluations).
+	DataMemBytes int64
+	// EvkOnChip pre-loads evaluation keys into dedicated SRAM (the
+	// paper's 392 MB configuration); when false they stream from DRAM.
+	EvkOnChip bool
+	// KeyCompression halves streamed evk bytes (paper §IV-D ablation).
+	KeyCompression bool
+}
+
+// Traffic is the DRAM byte accounting of one schedule.
+type Traffic struct {
+	LoadBytes  int64 // data loads (inputs, spills, reloads)
+	StoreBytes int64 // data stores (spills, outputs)
+	EvkBytes   int64 // streamed evaluation keys (0 when on-chip)
+}
+
+// TotalBytes returns all DRAM traffic including streamed keys.
+func (t Traffic) TotalBytes() int64 { return t.LoadBytes + t.StoreBytes + t.EvkBytes }
+
+// Schedule is a generated HKS program plus its traffic accounting.
+type Schedule struct {
+	Dataflow Dataflow
+	Cfg      Config
+	Prog     *trace.Program
+	Traffic  Traffic
+}
+
+// ArithmeticIntensity returns weighted modular operations per DRAM
+// byte (paper Table II's AI column).
+func (s *Schedule) ArithmeticIntensity() float64 {
+	total := s.Traffic.TotalBytes()
+	if s.Cfg.EvkOnChip {
+		// The paper's AI is defined for the streaming configuration;
+		// with resident keys, count the one-time key footprint like
+		// Table II does by construction (keys still cross DRAM once).
+		total += s.Cfg.Bench.EvkBytes()
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Cfg.Bench.Ops().WeightedTotal()) / float64(total)
+}
+
+// Generate builds the schedule for one dataflow and configuration.
+func Generate(df Dataflow, cfg Config) (*Schedule, error) {
+	if err := cfg.Bench.Validate(); err != nil {
+		return nil, err
+	}
+	tb := cfg.Bench.TowerBytes()
+	minTowers := int64(cfg.Bench.KP) + 4
+	if mt := int64(cfg.Bench.Alpha()) + 4; mt > minTowers {
+		minTowers = mt
+	}
+	if cfg.DataMemBytes < minTowers*tb {
+		return nil, fmt.Errorf("dataflow: %s needs at least %d towers (%d bytes) of on-chip memory, have %d",
+			cfg.Bench.Name, minTowers, minTowers*tb, cfg.DataMemBytes)
+	}
+	g := &gen{
+		cfg: cfg,
+		m:   newMachine(cfg.DataMemBytes, cfg.EvkOnChip, cfg.KeyCompression),
+	}
+	switch df {
+	case MP:
+		g.generateMP()
+	case DC:
+		g.generateDC()
+	case OC:
+		g.generateOC()
+	case OCF:
+		g.generateOCF()
+	default:
+		return nil, fmt.Errorf("dataflow: unknown dataflow %d", int(df))
+	}
+	s := &Schedule{Dataflow: df, Cfg: cfg, Prog: g.m.b.Program(), Traffic: g.m.traffic}
+	if err := s.Prog.Validate(); err != nil {
+		return nil, fmt.Errorf("dataflow: generated invalid program: %w", err)
+	}
+	if got, want := s.Prog.Stats().ComputeOps, cfg.Bench.Ops().WeightedTotal(); got != want {
+		return nil, fmt.Errorf("dataflow: %s op count %d differs from model %d (dataflow must not change work)",
+			df, got, want)
+	}
+	return s, nil
+}
+
+// gen carries the per-generation state shared by the three dataflow
+// emitters.
+type gen struct {
+	cfg Config
+	m   *machine
+}
+
+func (g *gen) bench() params.Benchmark { return g.cfg.Bench }
+func (g *gen) tb() int64               { return g.cfg.Bench.TowerBytes() }
+
+// ---- Tower naming ----
+// D-basis tower indices run 0..KL-1 (Q part) then KL..KL+KP-1 (P part).
+
+func inName(t int) string       { return fmt.Sprintf("in.%d", t) }
+func inttName(t int) string     { return fmt.Sprintf("intt.%d", t) }
+func muName(j, t int) string    { return fmt.Sprintf("mu.%d.%d", j, t) }
+func ppName(j, p, t int) string { return fmt.Sprintf("pp.%d.%d.%d", j, p, t) }
+func accName(p, t int) string   { return fmt.Sprintf("acc.%d.%d", p, t) }
+func cvName(p, t int) string    { return fmt.Sprintf("cv.%d.%d", p, t) }
+func outName(p, t int) string   { return fmt.Sprintf("out.%d.%d", p, t) }
+func evkName(j, t int) string   { return fmt.Sprintf("%d.%d", j, t) }
+
+// digitOf returns which digit Q-tower t belongs to.
+func (g *gen) digitOf(t int) int {
+	a := g.bench().Alpha()
+	return t / a
+}
+
+// digitTowers returns the Q-tower indices of digit j.
+func (g *gen) digitTowers(j int) []int {
+	a := g.bench().Alpha()
+	w := g.bench().DigitWidths()[j]
+	ts := make([]int, w)
+	for i := range ts {
+		ts[i] = j*a + i
+	}
+	return ts
+}
+
+// dTowers returns all D-basis tower indices (Q then P).
+func (g *gen) dTowers() []int {
+	n := g.bench().KL + g.bench().KP
+	ts := make([]int, n)
+	for i := range ts {
+		ts[i] = i
+	}
+	return ts
+}
+
+// isP reports whether D-tower t is a P tower.
+func (g *gen) isP(t int) bool { return t >= g.bench().KL }
+
+// ---- Weighted op costs per tile (see params for the weights) ----
+
+func (g *gen) nttOps() int64 {
+	n := int64(g.bench().N())
+	logN := int64(g.bench().LogN)
+	return params.ButterflyWeight * (n / 2 * logN)
+}
+
+// inttWithPreOps is an INTT plus this tower's share of the digit's
+// BConv ŷ pre-multiplication (N mul-accs, folded here so the premul is
+// counted exactly once per tower regardless of dataflow).
+func (g *gen) inttWithPreOps() int64 {
+	return g.nttOps() + params.MulAccWeight*int64(g.bench().N())
+}
+
+// bconvTowerOps is one converted output tower from a digit of width
+// alpha: N·alpha mul-accs.
+func (g *gen) bconvTowerOps(alpha int) int64 {
+	return params.MulAccWeight * int64(g.bench().N()) * int64(alpha)
+}
+
+// applyKeyOps is one poly's share of ApplyKey on one D-tower:
+// N mul-accs against the streamed (or resident) evk tower.
+func (g *gen) applyKeyOps() int64 {
+	return params.MulAccWeight * int64(g.bench().N())
+}
+
+// reduceOps is one poly's share of accumulating one extra digit's
+// partial product on one D-tower: N additions.
+func (g *gen) reduceOps() int64 {
+	return params.AddWeight * int64(g.bench().N())
+}
+
+// scaleOps is the ModDown P4 sub-and-scale on one tower of one poly.
+func (g *gen) scaleOps() int64 {
+	return params.ScaleWeight * int64(g.bench().N())
+}

@@ -1,0 +1,126 @@
+package dataflow
+
+// generateDC emits the Digit-Centric schedule (paper §IV-B): each
+// digit runs through all ModUp stages before the next digit starts,
+// so a digit's INTT outputs never leave the chip. The per-digit
+// partial products accumulate into the off-chip output ("sent
+// off-chip to minimize on-chip memory requirements"), which is why DC
+// converges to MP on the large benchmarks: the BConv expansion still
+// spills, and the accumulator round-trips grow with dnum.
+//
+// With a single digit DC degenerates to MP exactly (paper §VI-A-2:
+// "for BTS1 with one digit, MP and DC have the same implementation").
+func (g *gen) generateDC() {
+	b := g.bench()
+	if b.Dnum == 1 {
+		g.generateMP()
+		return
+	}
+	tb := g.tb()
+	widths := b.DigitWidths()
+	// Keeping stage outputs resident must never starve a later digit
+	// iteration, which pins up to 2α input/INTT towers and wants room
+	// for the β-wide BConv expansion, nor ModDown's P-tower pin.
+	maxBeta := 0
+	for j := 0; j < b.Dnum; j++ {
+		if bj := b.Beta(j); bj > maxBeta {
+			maxBeta = bj
+		}
+	}
+	reserve := int64(2*b.Alpha()+maxBeta+8) * tb
+	if r := int64(b.KP+8) * tb; r > reserve {
+		reserve = r
+	}
+
+	for t := 0; t < b.KL; t++ {
+		g.m.announceDRAM(inName(t), tb)
+	}
+
+	for j := 0; j < b.Dnum; j++ {
+		digit := g.digitTowers(j)
+		alpha := widths[j]
+		// Keep both the NTT-domain digit (bypass at P4) and its INTT
+		// when they fit; otherwise reload the bypass towers at P4.
+		keepBoth := int64(2*alpha+4)*tb <= g.cfg.DataMemBytes
+
+		inttReads := make([]string, len(digit))
+		for i, t := range digit {
+			g.m.load(inName(t))
+			g.m.compute("p1.intt", g.inttWithPreOps(), []string{inName(t)}, inttName(t), tb)
+			inttReads[i] = inttName(t)
+			if !keepBoth {
+				g.m.free(inName(t), true) // clean; reload for bypass later
+			}
+		}
+
+		// P2 stage: convert to all complement towers, keeping as many
+		// outputs resident as the remaining space allows.
+		muBudget := g.m.freeTowers(tb) - 4
+		if muBudget < 0 {
+			muBudget = 0
+		}
+		idx := int64(0)
+		for _, t := range g.dTowers() {
+			if !g.isP(t) && g.digitOf(t) == j {
+				continue
+			}
+			mu := muName(j, t)
+			g.m.compute("p2.bconv", g.bconvTowerOps(alpha), inttReads, mu, tb)
+			if idx >= muBudget {
+				g.m.store(mu)
+				g.m.free(mu, false)
+			}
+			idx++
+		}
+		// The digit's INTT is dead once P2 is done.
+		for _, name := range inttReads {
+			g.m.free(name, true)
+		}
+
+		// P3 stage: NTT every converted tower; spilled towers make a
+		// DRAM round-trip (the DC inefficiency the paper calls out).
+		for _, t := range g.dTowers() {
+			if !g.isP(t) && g.digitOf(t) == j {
+				continue
+			}
+			mu := muName(j, t)
+			if g.m.resident(mu) {
+				g.m.compute("p3.ntt", g.nttOps(), []string{mu}, mu, 0)
+			} else {
+				g.m.ensure(mu)
+				g.m.compute("p3.ntt", g.nttOps(), []string{mu}, mu, 0)
+				g.m.spillUnless(mu, reserve)
+			}
+		}
+
+		// P4+P5: apply the key and accumulate into the off-chip
+		// output (incremental reduce).
+		for _, t := range g.dTowers() {
+			src := muName(j, t)
+			if !g.isP(t) && g.digitOf(t) == j {
+				src = inName(t)
+			}
+			g.m.ensure(src)
+			ek := g.m.streamEvk(evkName(j, t), 2*tb)
+			for p := 0; p < 2; p++ {
+				acc := accName(p, t)
+				if j == 0 {
+					g.m.compute("p4.apply", g.applyKeyOps(), []string{src}, acc, tb, ek)
+				} else {
+					g.m.ensure(acc)
+					g.m.compute("p4p5.acc", g.applyKeyOps()+g.reduceOps(), []string{src}, acc, 0, ek)
+				}
+				g.m.spillUnless(acc, reserve)
+			}
+			if src == inName(t) {
+				g.m.free(src, true) // clean input copy remains in DRAM
+			} else if g.m.get(src).inDRAM {
+				g.m.free(src, false)
+			} else {
+				g.m.free(src, true) // resident-only mu tower, now dead
+			}
+		}
+	}
+
+	g.emitModDown()
+}

@@ -1,0 +1,263 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"ciflow/internal/trace"
+)
+
+// machine is the schedule-time model of the RPU's on-chip data memory.
+// Generators drive it with named tiles (towers); it tracks residency
+// and capacity exactly, emits the load/store/compute tasks, wires
+// dependencies (including anti-dependencies through freed space), and
+// accounts DRAM traffic. Any attempt to exceed capacity or read a
+// non-resident tile panics: a generator bug, not a runtime condition.
+type machine struct {
+	b    *trace.Builder
+	cap  int64
+	used int64
+
+	tiles map[string]*tile
+	// holes records freed space together with the last task that
+	// touched it, so that a later allocation reusing the space cannot
+	// be scheduled (by the decoupled front-end) before the previous
+	// occupant's final use.
+	holes []hole
+
+	traffic   Traffic
+	evkOnChip bool
+	keyComp   bool
+}
+
+type tile struct {
+	bytes    int64
+	resident bool
+	inDRAM   bool
+	producer int // task providing the current on-chip copy (-1: none)
+	store    int // latest store task (-1: none)
+	lastUse  int // latest task touching the on-chip copy
+}
+
+type hole struct {
+	bytes int64
+	after int // anti-dependency: task that last used this space
+}
+
+func newMachine(capBytes int64, evkOnChip, keyComp bool) *machine {
+	return &machine{
+		b:         trace.NewBuilder(),
+		cap:       capBytes,
+		tiles:     map[string]*tile{},
+		evkOnChip: evkOnChip,
+		keyComp:   keyComp,
+	}
+}
+
+// announceDRAM declares a tile that already lives in DRAM (inputs).
+func (m *machine) announceDRAM(name string, bytes int64) {
+	if _, ok := m.tiles[name]; ok {
+		panic(fmt.Sprintf("dataflow: tile %q announced twice", name))
+	}
+	m.tiles[name] = &tile{bytes: bytes, inDRAM: true, producer: -1, store: -1, lastUse: -1}
+}
+
+// alloc reserves bytes of on-chip space, returning an anti-dependency
+// task ID (or -1) that the allocating task must wait on.
+func (m *machine) alloc(bytes int64) int {
+	if m.used+bytes > m.cap {
+		panic(fmt.Sprintf("dataflow: on-chip memory exceeded: %d + %d > %d", m.used, bytes, m.cap))
+	}
+	m.used += bytes
+	after := -1
+	need := bytes
+	for need > 0 && len(m.holes) > 0 {
+		h := &m.holes[0]
+		if h.after > after {
+			after = h.after
+		}
+		if h.bytes > need {
+			h.bytes -= need
+			need = 0
+		} else {
+			need -= h.bytes
+			m.holes = m.holes[1:]
+		}
+	}
+	return after
+}
+
+func (m *machine) get(name string) *tile {
+	t, ok := m.tiles[name]
+	if !ok {
+		panic(fmt.Sprintf("dataflow: unknown tile %q", name))
+	}
+	return t
+}
+
+// resident reports whether the named tile currently occupies on-chip
+// memory.
+func (m *machine) resident(name string) bool {
+	t, ok := m.tiles[name]
+	return ok && t.resident
+}
+
+// load brings a DRAM-resident tile on-chip and returns the task ID.
+func (m *machine) load(name string) int {
+	t := m.get(name)
+	if t.resident {
+		panic(fmt.Sprintf("dataflow: load of already-resident tile %q", name))
+	}
+	if !t.inDRAM {
+		panic(fmt.Sprintf("dataflow: load of tile %q with no DRAM copy", name))
+	}
+	deps := make([]int, 0, 2)
+	if t.store >= 0 {
+		deps = append(deps, t.store)
+	}
+	if anti := m.alloc(t.bytes); anti >= 0 {
+		deps = append(deps, anti)
+	}
+	id := m.b.Load("ld:"+name, t.bytes, deps...)
+	m.traffic.LoadBytes += t.bytes
+	t.resident = true
+	t.producer = id
+	t.lastUse = id
+	return id
+}
+
+// ensure loads the tile unless it is already resident; returns the
+// task providing the on-chip copy.
+func (m *machine) ensure(name string) int {
+	if m.resident(name) {
+		return m.get(name).producer
+	}
+	return m.load(name)
+}
+
+// compute emits a kernel task reading the named resident tiles and
+// writing tile write (created with writeBytes if absent, accumulated
+// in place if already resident). extraDeps (-1 entries ignored) wire
+// in streamed operands.
+func (m *machine) compute(name string, ops int64, reads []string, write string, writeBytes int64, extraDeps ...int) int {
+	var deps []int
+	for _, rd := range reads {
+		t := m.get(rd)
+		if !t.resident {
+			panic(fmt.Sprintf("dataflow: compute %q reads non-resident tile %q", name, rd))
+		}
+		if t.producer >= 0 {
+			deps = append(deps, t.producer)
+		}
+	}
+	wt, ok := m.tiles[write]
+	if ok && wt.resident {
+		if wt.producer >= 0 {
+			deps = append(deps, wt.producer)
+		}
+	} else {
+		if anti := m.alloc(writeBytes); anti >= 0 {
+			deps = append(deps, anti)
+		}
+		wt = &tile{bytes: writeBytes, resident: true, producer: -1, store: -1, lastUse: -1}
+		m.tiles[write] = wt
+	}
+	for _, d := range extraDeps {
+		if d >= 0 {
+			deps = append(deps, d)
+		}
+	}
+	id := m.b.Compute(name, ops, deps...)
+	wt.resident = true
+	wt.producer = id
+	wt.inDRAM = false // on-chip copy is now newer than any DRAM copy
+	wt.lastUse = id
+	for _, rd := range reads {
+		m.get(rd).lastUse = id
+	}
+	return id
+}
+
+// store writes a resident tile back to DRAM.
+func (m *machine) store(name string) int {
+	t := m.get(name)
+	if !t.resident {
+		panic(fmt.Sprintf("dataflow: store of non-resident tile %q", name))
+	}
+	var deps []int
+	if t.producer >= 0 {
+		deps = append(deps, t.producer)
+	}
+	id := m.b.Store("st:"+name, t.bytes, deps...)
+	m.traffic.StoreBytes += t.bytes
+	t.inDRAM = true
+	t.store = id
+	t.lastUse = id
+	return id
+}
+
+// free releases a tile's on-chip space. Unless discard is set, the
+// tile must already have a DRAM copy (store first) — losing live data
+// silently would corrupt the schedule.
+func (m *machine) free(name string, discard bool) {
+	t := m.get(name)
+	if !t.resident {
+		panic(fmt.Sprintf("dataflow: free of non-resident tile %q", name))
+	}
+	if !discard && !t.inDRAM {
+		panic(fmt.Sprintf("dataflow: freeing dirty tile %q without a store", name))
+	}
+	t.resident = false
+	m.used -= t.bytes
+	m.holes = append(m.holes, hole{bytes: t.bytes, after: t.lastUse})
+	if discard && !t.inDRAM {
+		delete(m.tiles, name) // fully dead; the name may be reused
+	}
+}
+
+// streamEvk emits the streaming load of one evk tile. When evks are
+// pre-loaded on-chip it is a no-op returning -1. Key compression
+// (paper §IV-D ablation) halves the streamed bytes.
+func (m *machine) streamEvk(name string, bytes int64) int {
+	if m.evkOnChip {
+		return -1
+	}
+	if m.keyComp {
+		bytes /= 2
+	}
+	id := m.b.Load("evk:"+name, bytes)
+	m.traffic.EvkBytes += bytes
+	return id
+}
+
+// fits reports whether bytes more would still fit on-chip.
+func (m *machine) fits(bytes int64) bool { return m.used+bytes <= m.cap }
+
+// spillUnless keeps the resident tile if at least reserve bytes remain
+// free; otherwise it stores (if dirty) and frees it. This is the
+// uniform "keep intermediates on-chip when memory allows" policy that
+// makes all dataflows converge to compulsory traffic with unlimited
+// memory (paper §IV).
+func (m *machine) spillUnless(name string, reserve int64) {
+	if m.fits(reserve) {
+		return
+	}
+	t := m.get(name)
+	if !t.inDRAM {
+		m.store(name)
+	}
+	m.free(name, false)
+}
+
+// discardUnless keeps a clean resident tile if at least reserve bytes
+// remain free; otherwise it frees it without a store.
+func (m *machine) discardUnless(name string, reserve int64) {
+	if m.fits(reserve) {
+		return
+	}
+	m.free(name, true)
+}
+
+// freeTowers returns how many whole tiles of the given size still fit.
+func (m *machine) freeTowers(towerBytes int64) int64 {
+	return (m.cap - m.used) / towerBytes
+}

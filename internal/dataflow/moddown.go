@@ -1,0 +1,45 @@
+package dataflow
+
+// emitModDown appends the ModDown phase (paper Figure 1, bottom):
+// both output polynomials' P towers are INTT'd, basis-converted to
+// B_ℓ one output tower at a time, NTT'd, and folded into the final
+// result with the P⁻¹ scaling. All dataflows share this emitter —
+// the paper's §IV-C observation that "calculating one output tower at
+// a time eliminates the expansion of ModDown P2" applies to the
+// ModDown loop structure used here; the dataflows differ in whether
+// the acc towers are still resident when ModDown starts.
+//
+// Preconditions: every acc(p,t) tile exists and is either resident or
+// has a DRAM copy.
+func (g *gen) emitModDown() {
+	b := g.bench()
+	tb := g.tb()
+	kl, kp := b.KL, b.KP
+
+	for p := 0; p < 2; p++ {
+		// P1: pin this poly's P towers and INTT them in place. The
+		// in-place transform also carries the BConv ŷ premultiply.
+		pintReads := make([]string, 0, kp)
+		for pt := kl; pt < kl+kp; pt++ {
+			name := accName(p, pt)
+			g.m.ensure(name)
+			g.m.compute("md.intt", g.inttWithPreOps(), []string{name}, name, 0)
+			pintReads = append(pintReads, name)
+		}
+		// P2–P4 per output tower.
+		for t := 0; t < kl; t++ {
+			cv := cvName(p, t)
+			g.m.compute("md.bconv", g.bconvTowerOps(kp), pintReads, cv, tb)
+			g.m.compute("md.ntt", g.nttOps(), []string{cv}, cv, 0)
+			g.m.ensure(accName(p, t))
+			g.m.compute("md.scale", g.scaleOps(), []string{cv, accName(p, t)}, outName(p, t), tb)
+			g.m.store(outName(p, t))
+			g.m.free(outName(p, t), false)
+			g.m.free(cv, true)
+			g.m.free(accName(p, t), true) // dead after the subtraction
+		}
+		for _, name := range pintReads {
+			g.m.free(name, true) // consumed
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package dataflow
+
+// generateMP emits the Max-Parallel schedule (paper §IV-A): every
+// stage runs over all towers before the next stage starts, maximizing
+// kernel-level parallelism. With a small data memory the stage
+// outputs — especially the BConv expansion of ModUp P2 and the P4
+// partial products — cannot stay on-chip, so MP pays heavy spill
+// traffic (the paper's 675 MB working-set observation for BTS3).
+//
+// Residency policy: keep the INTT outputs and then the NTT-domain
+// inputs resident across stages when they fit (small benchmarks);
+// everything else streams through.
+func (g *gen) generateMP() {
+	b := g.bench()
+	tb := g.tb()
+	kl, dnum := b.KL, b.Dnum
+	widths := b.DigitWidths()
+	// Stage outputs stay resident only while this much space stays
+	// free: enough for any later phase's pinned set (a digit's INTT
+	// towers at P2, the dnum partials at P5, the P towers at ModDown)
+	// plus transients.
+	reserveTowers := int64(b.KP)
+	for _, v := range []int64{int64(2 * dnum), int64(b.Alpha())} {
+		if v > reserveTowers {
+			reserveTowers = v
+		}
+	}
+	reserve := (reserveTowers + 8) * tb
+
+	for t := 0; t < kl; t++ {
+		g.m.announceDRAM(inName(t), tb)
+	}
+
+	// P1: INTT all towers. The original NTT-domain towers are needed
+	// again at P4 (digit bypass), the INTT outputs at P2.
+	keepINTT := int64(kl+2)*tb <= g.cfg.DataMemBytes
+	keepIN := int64(2*kl+2)*tb <= g.cfg.DataMemBytes
+	for t := 0; t < kl; t++ {
+		g.m.load(inName(t))
+		g.m.compute("p1.intt", g.inttWithPreOps(), []string{inName(t)}, inttName(t), tb)
+		if !keepINTT {
+			g.m.store(inttName(t))
+			g.m.free(inttName(t), false)
+		}
+		if !keepIN {
+			g.m.free(inName(t), true) // clean: the DRAM copy is the input
+		}
+	}
+
+	// P2+P3: per digit, convert to every complement tower and NTT the
+	// result while it is still on-chip, then spill (fused BConv+NTT).
+	for j := 0; j < dnum; j++ {
+		digit := g.digitTowers(j)
+		reads := make([]string, len(digit))
+		for i, t := range digit {
+			reads[i] = inttName(t)
+			if !keepINTT {
+				g.m.ensure(reads[i])
+			}
+		}
+		for _, t := range g.dTowers() {
+			if !g.isP(t) && g.digitOf(t) == j {
+				continue
+			}
+			mu := muName(j, t)
+			g.m.compute("p2.bconv", g.bconvTowerOps(widths[j]), reads, mu, tb)
+			g.m.compute("p3.ntt", g.nttOps(), []string{mu}, mu, 0)
+			g.m.spillUnless(mu, reserve)
+		}
+		if !keepINTT {
+			for _, name := range reads {
+				g.m.free(name, false) // DRAM copy exists from P1
+			}
+		}
+	}
+	if keepINTT {
+		for t := 0; t < kl; t++ {
+			g.m.free(inttName(t), true) // dead; never stored
+		}
+	}
+
+	// P4: apply the key digit by digit, spilling partial products.
+	// With a single digit the partials are already the reduced output.
+	for j := 0; j < dnum; j++ {
+		for _, t := range g.dTowers() {
+			src := muName(j, t)
+			if !g.isP(t) && g.digitOf(t) == j {
+				src = inName(t) // bypass tower: the original NTT-domain input
+			}
+			g.m.ensure(src)
+			ek := g.m.streamEvk(evkName(j, t), 2*tb)
+			for p := 0; p < 2; p++ {
+				out := ppName(j, p, t)
+				if dnum == 1 {
+					out = accName(p, t)
+				}
+				g.m.compute("p4.apply", g.applyKeyOps(), []string{src}, out, tb, ek)
+				g.m.spillUnless(out, reserve)
+			}
+			// The source is dead after its ApplyKey: inputs keep their
+			// original DRAM copy, spilled mu towers their stored one,
+			// and never-spilled mu towers are simply discarded.
+			g.m.free(src, !g.m.get(src).inDRAM)
+		}
+	}
+
+	// P5: reduce the dnum partial products per tower.
+	if dnum > 1 {
+		for _, t := range g.dTowers() {
+			for p := 0; p < 2; p++ {
+				reads := make([]string, dnum)
+				for j := 0; j < dnum; j++ {
+					reads[j] = ppName(j, p, t)
+					g.m.ensure(reads[j])
+				}
+				g.m.compute("p5.reduce", int64(dnum-1)*g.reduceOps(), reads, accName(p, t), tb)
+				g.m.spillUnless(accName(p, t), reserve)
+				for _, r := range reads {
+					g.m.free(r, !g.m.get(r).inDRAM)
+				}
+			}
+		}
+	}
+
+	g.emitModDown()
+}

@@ -1,0 +1,243 @@
+package dataflow
+
+// generateOC emits the Output-Centric schedule (paper §IV-C): compute
+// one output tower at a time, keeping the INTT'd digits resident and
+// streaming everything that has no reuse (evk towers, finished
+// output towers). Section 1 produces the output towers in modulo Q —
+// the tower's own digit bypasses BConv, the other dnum−1 digits are
+// converted; Section 2 produces the towers in modulo P, to which all
+// digits contribute. When the resident-digit budget cannot hold all
+// the digits a section needs, the section runs in multiple passes with
+// partial accumulations round-tripping through DRAM ("the final digit
+// is loaded to compute the last partial sum", §IV-C).
+func (g *gen) generateOC() {
+	b := g.bench()
+	tb := g.tb()
+	kl, kp, dnum := b.KL, b.KP, b.Dnum
+	widths := b.DigitWidths()
+
+	for t := 0; t < kl; t++ {
+		g.m.announceDRAM(inName(t), tb)
+	}
+
+	// Resident-digit budget: total capacity minus the per-tower
+	// working set (bypass/cv tile plus the two accumulator towers,
+	// with one tower of slack).
+	budget := g.cfg.DataMemBytes/tb - 4
+
+	// Plan all passes up front so the finished-tower residency policy
+	// knows how much space future passes will demand.
+	s1passes := make([][][]int, dnum)
+	for grp := 0; grp < dnum; grp++ {
+		var need []int
+		for j := 0; j < dnum; j++ {
+			if j != grp {
+				need = append(need, j)
+			}
+		}
+		s1passes[grp] = g.partitionDigits(need, budget)
+	}
+	all := make([]int, dnum)
+	for j := range all {
+		all[j] = j
+	}
+	s2passes := g.partitionDigits(all, budget)
+	maxPass := int64(kp)
+	count := func(pass []int) int64 {
+		var n int64
+		for _, j := range pass {
+			n += int64(widths[j])
+		}
+		return n
+	}
+	for _, passes := range append(s1passes, s2passes) {
+		for _, pass := range passes {
+			if c := count(pass); c > maxPass {
+				maxPass = c
+			}
+		}
+	}
+	// Finished acc towers stay resident for ModDown while at least
+	// reserve towers remain free for future passes (paper §IV-C:
+	// "we prioritize storing towers related to [P0]_B and [P1]_B").
+	reserve := (maxPass + 4) * tb
+
+	// Section 1: output towers in modulo Q, grouped by their digit.
+	for grp := 0; grp < dnum; grp++ {
+		passes := s1passes[grp]
+		for pi, pass := range passes {
+			g.ensureResidentINTT(pass)
+			for _, t := range g.digitTowers(grp) {
+				if pi == 0 {
+					// Bypass: the tower's own digit contributes the
+					// original NTT-domain input directly.
+					g.m.ensure(inName(t))
+					ek := g.m.streamEvk(evkName(grp, t), 2*tb)
+					for p := 0; p < 2; p++ {
+						g.m.compute("s1.bypass", g.applyKeyOps(), []string{inName(t)}, accName(p, t), tb, ek)
+					}
+					g.m.discardUnless(inName(t), reserve+8*tb)
+				} else {
+					for p := 0; p < 2; p++ {
+						g.m.ensure(accName(p, t))
+					}
+				}
+				for _, j := range pass {
+					g.convContribution(j, widths[j], t, false)
+				}
+				g.finishAcc(t, pi == len(passes)-1, reserve)
+			}
+		}
+	}
+
+	// Section 2: output towers in modulo P; every digit contributes.
+	for pi, pass := range s2passes {
+		g.ensureResidentINTT(pass)
+		for t := kl; t < kl+kp; t++ {
+			if pi > 0 {
+				for p := 0; p < 2; p++ {
+					g.m.ensure(accName(p, t))
+				}
+			}
+			for i, j := range pass {
+				first := pi == 0 && i == 0
+				g.convContribution(j, widths[j], t, first)
+			}
+			g.finishAcc(t, pi == len(s2passes)-1, reserve)
+		}
+	}
+
+	// Release every resident INTT tower before ModDown.
+	for t := 0; t < kl; t++ {
+		name := inttName(t)
+		if g.m.resident(name) {
+			g.m.free(name, !g.m.get(name).inDRAM)
+		}
+	}
+
+	g.emitModDown()
+}
+
+// finishAcc ends a pass's work on output tower t. Intermediate passes
+// must spill the partial accumulators; the final pass keeps the
+// finished towers resident for ModDown when at least reserve bytes
+// stay free for the remaining passes.
+func (g *gen) finishAcc(t int, lastPass bool, reserve int64) {
+	for p := 0; p < 2; p++ {
+		name := accName(p, t)
+		if lastPass && g.m.fits(reserve) {
+			continue // resident hand-off to ModDown
+		}
+		g.m.store(name)
+		g.m.free(name, false)
+	}
+}
+
+// convContribution converts digit j to D-tower t from its resident
+// INTT towers, NTTs the tile, applies the streamed key and folds the
+// result into acc(·, t). first marks the tower's first contribution
+// (which creates the accumulators and is charged without reduce adds).
+func (g *gen) convContribution(j, alpha, t int, first bool) {
+	tb := g.tb()
+	reads := make([]string, 0, alpha)
+	for _, dt := range g.digitTowers(j) {
+		reads = append(reads, inttName(dt))
+	}
+	cv := cvName(2+j, t) // poly slots 0/1 are taken by ModDown's cv names
+	g.m.compute("oc.bconv", g.bconvTowerOps(alpha), reads, cv, tb)
+	g.m.compute("oc.ntt", g.nttOps(), []string{cv}, cv, 0)
+	ek := g.m.streamEvk(evkName(j, t), 2*tb)
+	for p := 0; p < 2; p++ {
+		acc := accName(p, t)
+		if first {
+			g.m.compute("oc.apply", g.applyKeyOps(), []string{cv}, acc, tb, ek)
+		} else {
+			g.m.compute("oc.acc", g.applyKeyOps()+g.reduceOps(), []string{cv}, acc, tb, ek)
+		}
+	}
+	g.m.free(cv, true)
+}
+
+// partitionDigits splits the digit list into consecutive passes whose
+// INTT towers fit in the resident budget. An empty need list yields a
+// single empty pass (the dnum=1 Section 1 case, bypass only).
+func (g *gen) partitionDigits(need []int, budget int64) [][]int {
+	if len(need) == 0 {
+		return [][]int{nil}
+	}
+	widths := g.bench().DigitWidths()
+	var passes [][]int
+	var cur []int
+	var used int64
+	for _, j := range need {
+		w := int64(widths[j])
+		if w > budget {
+			// Guarded by Generate's minimum-capacity check.
+			panic("dataflow: digit exceeds OC resident budget")
+		}
+		if used+w > budget && len(cur) > 0 {
+			passes = append(passes, cur)
+			cur, used = nil, 0
+		}
+		cur = append(cur, j)
+		used += w
+	}
+	return append(passes, cur)
+}
+
+// ensureResidentINTT makes the INTT towers of the given digits
+// resident. Other resident INTT towers are evicted lazily — only when
+// space runs short — and are stored on first eviction so later passes
+// reload instead of recomputing (the op count must not depend on the
+// dataflow).
+func (g *gen) ensureResidentINTT(pass []int) {
+	b := g.bench()
+	tb := g.tb()
+	want := map[int]bool{}
+	missing := 0
+	for _, j := range pass {
+		for _, t := range g.digitTowers(j) {
+			want[t] = true
+			if !g.m.resident(inttName(t)) {
+				missing++
+			}
+		}
+	}
+	// Evict unwanted residents until the missing towers (plus the
+	// per-tower working set) fit: clean input towers first, then
+	// other digits' INTT towers (stored on first eviction).
+	needBytes := int64(missing+4) * tb
+	for t := 0; t < b.KL && !g.m.fits(needBytes); t++ {
+		if g.m.resident(inName(t)) {
+			g.m.free(inName(t), true)
+		}
+	}
+	for t := 0; t < b.KL && !g.m.fits(needBytes); t++ {
+		name := inttName(t)
+		if g.m.resident(name) && !want[t] {
+			if !g.m.get(name).inDRAM {
+				g.m.store(name)
+			}
+			g.m.free(name, false)
+		}
+	}
+	// Materialize what is missing: reload if previously stored,
+	// otherwise compute from the input tower.
+	for _, j := range pass {
+		for _, t := range g.digitTowers(j) {
+			name := inttName(t)
+			if g.m.resident(name) {
+				continue
+			}
+			if tl, ok := g.m.tiles[name]; ok && tl.inDRAM {
+				g.m.load(name)
+				continue
+			}
+			g.m.ensure(inName(t))
+			g.m.compute("p1.intt", g.inttWithPreOps(), []string{inName(t)}, name, g.tb())
+			// Keep the clean input tower around for its later bypass
+			// use when memory is plentiful.
+			g.m.discardUnless(inName(t), needBytes+4*g.tb())
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package dataflow
+
+// generateOCF emits the fused Output-Centric schedule, an extension
+// beyond the paper's three dataflows: ModUp Section 2 (the P output
+// towers) runs first, the ModDown INTT pins those towers on-chip, and
+// ModUp Section 1 then produces each Q output tower fused with its
+// ModDown conversion — the finished accumulators flow straight into
+// the final subtract-and-scale without ever visiting DRAM.
+//
+// The fusion needs the 2·KP ModDown towers resident alongside a
+// Section 1 digit pass; when that does not fit (BTS1/BTS2/BTS3 at
+// 32 MB) the generator falls back to plain OC, so OCF is never worse.
+// Operation counts are unchanged — only the order moves, in the spirit
+// of the paper's own thesis.
+func (g *gen) generateOCF() {
+	b := g.bench()
+	tb := g.tb()
+	kl, kp, dnum := b.KL, b.KP, b.Dnum
+	widths := b.DigitWidths()
+
+	capTowers := g.cfg.DataMemBytes / tb
+	maxWidth := 0
+	for _, w := range widths {
+		if w > maxWidth {
+			maxWidth = w
+		}
+	}
+	// Section 1 working set under fusion: the pinned ModDown towers,
+	// at least one resident digit, and the per-tower transients
+	// (bypass/cv/md-cv tiles plus the two accumulators).
+	s1Budget := capTowers - int64(2*kp) - 6
+	if s1Budget < int64(maxWidth) {
+		g.generateOC()
+		return
+	}
+
+	for t := 0; t < kl; t++ {
+		g.m.announceDRAM(inName(t), tb)
+	}
+
+	// ---- ModUp Section 2 (as in OC): P output towers. ----
+	budget := capTowers - 4
+	all := make([]int, dnum)
+	for j := range all {
+		all[j] = j
+	}
+	s2passes := g.partitionDigits(all, budget)
+	for pi, pass := range s2passes {
+		g.ensureResidentINTT(pass)
+		for t := kl; t < kl+kp; t++ {
+			if pi > 0 {
+				for p := 0; p < 2; p++ {
+					g.m.ensure(accName(p, t))
+				}
+			}
+			for i, j := range pass {
+				g.convContribution(j, widths[j], t, pi == 0 && i == 0)
+			}
+			if pi == len(s2passes)-1 {
+				// Keep the finished P towers resident: they are the
+				// ModDown input. Spill only under pressure.
+				for p := 0; p < 2; p++ {
+					g.m.spillUnless(accName(p, t), (int64(maxWidth)+6)*tb)
+				}
+			} else {
+				for p := 0; p < 2; p++ {
+					g.m.store(accName(p, t))
+					g.m.free(accName(p, t), false)
+				}
+			}
+		}
+	}
+	// Trim the INTT residency to leave room for the pinned ModDown
+	// towers during Section 1.
+	for t := 0; t < kl; t++ {
+		name := inttName(t)
+		if g.m.resident(name) && !g.m.fits((int64(2*kp)+6)*tb) {
+			if !g.m.get(name).inDRAM {
+				g.m.store(name)
+			}
+			g.m.free(name, false)
+		}
+	}
+
+	// ---- ModDown P1: pin and INTT the P towers of both polys. ----
+	pintReads := [2][]string{}
+	for p := 0; p < 2; p++ {
+		for pt := kl; pt < kl+kp; pt++ {
+			name := accName(p, pt)
+			g.m.ensure(name)
+			g.m.compute("md.intt", g.inttWithPreOps(), []string{name}, name, 0)
+			pintReads[p] = append(pintReads[p], name)
+		}
+	}
+
+	// ---- Section 1 fused with ModDown P2–P4. ----
+	for grp := 0; grp < dnum; grp++ {
+		var need []int
+		for j := 0; j < dnum; j++ {
+			if j != grp {
+				need = append(need, j)
+			}
+		}
+		passes := g.partitionDigits(need, s1Budget)
+		for pi, pass := range passes {
+			g.ensureResidentINTT(pass)
+			last := pi == len(passes)-1
+			for _, t := range g.digitTowers(grp) {
+				if pi == 0 {
+					g.m.ensure(inName(t))
+					ek := g.m.streamEvk(evkName(grp, t), 2*tb)
+					for p := 0; p < 2; p++ {
+						g.m.compute("s1.bypass", g.applyKeyOps(), []string{inName(t)}, accName(p, t), tb, ek)
+					}
+					g.m.free(inName(t), true)
+				} else {
+					for p := 0; p < 2; p++ {
+						g.m.ensure(accName(p, t))
+					}
+				}
+				for _, j := range pass {
+					g.convContribution(j, widths[j], t, false)
+				}
+				if !last {
+					for p := 0; p < 2; p++ {
+						g.m.store(accName(p, t))
+						g.m.free(accName(p, t), false)
+					}
+					continue
+				}
+				// Fused ModDown: the finished accumulator pair is
+				// converted and scaled right here; only the final
+				// output tower touches DRAM.
+				for p := 0; p < 2; p++ {
+					cv := cvName(p, t)
+					g.m.compute("md.bconv", g.bconvTowerOps(kp), pintReads[p], cv, tb)
+					g.m.compute("md.ntt", g.nttOps(), []string{cv}, cv, 0)
+					g.m.compute("md.scale", g.scaleOps(), []string{cv, accName(p, t)}, outName(p, t), tb)
+					g.m.store(outName(p, t))
+					g.m.free(outName(p, t), false)
+					g.m.free(cv, true)
+					g.m.free(accName(p, t), true)
+				}
+			}
+		}
+	}
+
+	for p := 0; p < 2; p++ {
+		for _, name := range pintReads[p] {
+			g.m.free(name, true)
+		}
+	}
+	// Any INTT towers still resident are dead now.
+	for t := 0; t < kl; t++ {
+		name := inttName(t)
+		if g.m.resident(name) {
+			g.m.free(name, !g.m.get(name).inDRAM)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package dataflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"ciflow/internal/params"
+)
+
+// TestRandomConfigurations fuzzes the schedule generators across
+// randomized HKS parameterizations and memory sizes. Every accepted
+// configuration must produce a structurally valid program whose op
+// count matches the analytic model and whose traffic is at least
+// compulsory; rejections must come back as errors, never panics.
+func TestRandomConfigurations(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	accepted := 0
+	for trial := 0; trial < 300; trial++ {
+		b := params.Benchmark{
+			Name: "fuzz",
+			LogN: 12 + rng.Intn(6), // 2^12 .. 2^17
+			KL:   1 + rng.Intn(48),
+			KP:   rng.Intn(29),
+			Dnum: 1 + rng.Intn(6),
+		}
+		if b.Dnum > b.KL {
+			b.Dnum = b.KL
+		}
+		memTowers := int64(4 + rng.Intn(200))
+		cfg := Config{
+			Bench:          b,
+			DataMemBytes:   memTowers * b.TowerBytes(),
+			EvkOnChip:      rng.Intn(2) == 0,
+			KeyCompression: rng.Intn(2) == 0,
+		}
+		df := AllDataflows()[rng.Intn(3)]
+
+		s, err := func() (s *Schedule, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d (%s %+v, mem=%d towers): panic %v", trial, df, b, memTowers, r)
+				}
+			}()
+			return Generate(df, cfg)
+		}()
+		if err != nil {
+			continue
+		}
+		accepted++
+		if err := s.Prog.Validate(); err != nil {
+			t.Fatalf("trial %d (%s %+v): invalid program: %v", trial, df, b, err)
+		}
+		if got, want := s.Prog.Stats().ComputeOps, b.Ops().WeightedTotal(); got != want {
+			t.Fatalf("trial %d (%s %+v): ops %d != %d", trial, df, b, got, want)
+		}
+		if s.Traffic.LoadBytes < b.InputBytes() {
+			t.Fatalf("trial %d (%s): loads %d below compulsory input %d", trial, df, s.Traffic.LoadBytes, b.InputBytes())
+		}
+		if s.Traffic.StoreBytes < b.OutputBytes() {
+			t.Fatalf("trial %d (%s): stores %d below compulsory output %d", trial, df, s.Traffic.StoreBytes, b.OutputBytes())
+		}
+		if cfg.EvkOnChip && s.Traffic.EvkBytes != 0 {
+			t.Fatalf("trial %d: evk traffic with on-chip keys", trial)
+		}
+		if !cfg.EvkOnChip {
+			want := b.EvkBytes()
+			if cfg.KeyCompression {
+				want /= 2
+			}
+			if s.Traffic.EvkBytes != want {
+				t.Fatalf("trial %d: evk traffic %d, want %d", trial, s.Traffic.EvkBytes, want)
+			}
+		}
+	}
+	if accepted < 50 {
+		t.Fatalf("only %d of 300 fuzz configurations were schedulable; fuzzer too strict", accepted)
+	}
+}
+
+// TestMachineMisusePanics pins the machine's fail-fast contract: the
+// generators rely on these panics to catch scheduling bugs at
+// generation time.
+func TestMachineMisusePanics(t *testing.T) {
+	expectPanic := func(name string, f func(m *machine)) {
+		t.Helper()
+		m := newMachine(1<<20, false, false)
+		m.announceDRAM("x", 1<<10)
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f(m)
+	}
+	expectPanic("load unknown tile", func(m *machine) { m.load("nope") })
+	expectPanic("double load", func(m *machine) { m.load("x"); m.load("x") })
+	expectPanic("capacity overflow", func(m *machine) {
+		m.announceDRAM("big", 2<<20)
+		m.load("big")
+	})
+	expectPanic("read non-resident", func(m *machine) {
+		m.compute("k", 1, []string{"x"}, "y", 8)
+	})
+	expectPanic("store non-resident", func(m *machine) { m.store("x") })
+	expectPanic("free non-resident", func(m *machine) { m.free("x", true) })
+	expectPanic("free dirty without store", func(m *machine) {
+		m.load("x")
+		m.compute("k", 1, []string{"x"}, "x", 0) // dirty now
+		m.free("x", false)
+	})
+	expectPanic("announce twice", func(m *machine) { m.announceDRAM("x", 8) })
+	expectPanic("load with no DRAM copy", func(m *machine) {
+		m.compute("k", 1, nil, "fresh", 8)
+		m.free("fresh", true)
+		// "fresh" was discarded entirely; recreate a record-less load.
+		m.load("fresh")
+	})
+}
+
+// TestAntiDependencyThroughFreedSpace verifies that a load reusing
+// freed space waits for the previous occupant's last use.
+func TestAntiDependencyThroughFreedSpace(t *testing.T) {
+	m := newMachine(1<<10, false, false) // room for exactly one 1 KiB tile
+	m.announceDRAM("a", 1<<10)
+	m.announceDRAM("b", 1<<10)
+	m.load("a")
+	use := m.compute("k", 10, []string{"a"}, "a", 0)
+	m.store("a")
+	m.free("a", false)
+	ld := m.load("b")
+	prog := m.b.Program()
+	deps := prog.Tasks[ld].Deps
+	found := false
+	for _, d := range deps {
+		if d >= use {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("load of b (deps %v) does not wait for a's last use (task %d)", deps, use)
+	}
+}

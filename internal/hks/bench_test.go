@@ -1,0 +1,85 @@
+package hks
+
+import (
+	"testing"
+
+	"ciflow/internal/ring"
+)
+
+func benchSetup(b *testing.B, n, numQ, dnum int) (*ring.Ring, *Switcher, *Evk, *ring.Poly) {
+	b.Helper()
+	r, err := ring.NewRingGenerated(n, numQ, 40, 3, 41)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw, err := NewSwitcher(r, numQ-1, dnum)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := ring.NewSampler(r, 1)
+	full := r.DBasis(r.NumQ - 1)
+	sOld := s.Ternary(full)
+	sNew := s.Ternary(full)
+	evk := sw.GenEvk(s, sOld, sNew)
+	d := s.Uniform(sw.QBasis())
+	d.IsNTT = true
+	return r, sw, evk, d
+}
+
+func BenchmarkKeySwitchN4096(b *testing.B) {
+	_, sw, evk, d := benchSetup(b, 4096, 6, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.KeySwitch(d, evk)
+	}
+}
+
+func BenchmarkModUpN4096(b *testing.B) {
+	_, sw, _, d := benchSetup(b, 4096, 6, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.ModUp(d)
+	}
+}
+
+func BenchmarkModDownN4096(b *testing.B) {
+	_, sw, evk, d := benchSetup(b, 4096, 6, 3)
+	ups := sw.ModUp(d)
+	c0, _ := sw.ApplyEvk(ups, evk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.ModDown(c0)
+	}
+}
+
+func BenchmarkKeySwitchManyHoisted8(b *testing.B) {
+	r, sw, _, d := benchSetup(b, 2048, 6, 3)
+	s := ring.NewSampler(r, 2)
+	full := r.DBasis(r.NumQ - 1)
+	sk := s.Ternary(full)
+	evks := make([]*Evk, 8)
+	for i := range evks {
+		evks[i] = sw.GenEvk(s, s.Ternary(full), sk)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.KeySwitchMany(d, evks)
+	}
+}
+
+func BenchmarkKeySwitch8Individual(b *testing.B) {
+	r, sw, _, d := benchSetup(b, 2048, 6, 3)
+	s := ring.NewSampler(r, 2)
+	full := r.DBasis(r.NumQ - 1)
+	sk := s.Ternary(full)
+	evks := make([]*Evk, 8)
+	for i := range evks {
+		evks[i] = sw.GenEvk(s, s.Ternary(full), sk)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, evk := range evks {
+			sw.KeySwitch(d, evk)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+// Package hks implements the hybrid key-switching (HKS) algorithm of
+// Han–Ki in its full-RNS form — the computation whose dataflow CiFlow
+// analyzes (paper §III).
+//
+// Key switching converts a ciphertext component d that is decryptable
+// under a secret s′ into a pair (c0, c1) decryptable under s, using a
+// pre-computed evaluation key. The RNS pipeline follows paper Figure 1:
+//
+//	ModUp   P1 INTT      — all ℓ towers to the coefficient domain
+//	        P2 BConv     — each digit extended from α to β towers
+//	        P3 NTT       — extended towers back to evaluation domain
+//	        P4 Apply Key — point-wise multiply with evk digits
+//	        P5 Reduce    — sum the dnum partial products
+//	ModDown P1 INTT      — the K P-towers of both output polys
+//	        P2 BConv     — basis conversion from P to Q_ℓ
+//	        P3 NTT       — converted towers back to evaluation domain
+//	        P4 Sum&Scale — subtract and multiply by P⁻¹
+//
+// Every stage is exposed separately so that the dataflow generators in
+// internal/dataflow can be validated against the real computation.
+package hks
+
+import (
+	"fmt"
+	"math/big"
+
+	"ciflow/internal/bconv"
+	"ciflow/internal/ring"
+)
+
+// Switcher holds the precomputed state for hybrid key switching at a
+// fixed level with a fixed digit count. Immutable after construction;
+// safe for concurrent use.
+type Switcher struct {
+	R     *ring.Ring
+	Level int // ℓ: towers q_0..q_ℓ are active
+	Dnum  int // number of digits Q_ℓ is decomposed into
+	Alpha int // towers per digit, ⌈(ℓ+1)/dnum⌉
+
+	qBasis ring.Basis // B_ℓ
+	pBasis ring.Basis // C
+	dBasis ring.Basis // D_ℓ = B_ℓ ∪ C
+
+	digits   []ring.Basis       // tower indices per digit
+	upConv   []*bconv.Converter // digit towers -> complement in D_ℓ
+	downConv *bconv.Converter   // P -> Q_ℓ
+	gadget   [][]uint64         // gadget factor per digit per D_ℓ tower
+	pInvModQ []uint64           // P^-1 mod q_i, aligned with qBasis
+}
+
+// NewSwitcher prepares hybrid key switching over r at the given level
+// (0-based: level+1 Q towers are active) with dnum digits. The ring
+// must carry at least one P tower and P must exceed every digit
+// product for the noise analysis to hold.
+func NewSwitcher(r *ring.Ring, level, dnum int) (*Switcher, error) {
+	if level < 0 || level >= r.NumQ {
+		return nil, fmt.Errorf("hks: level %d out of range [0,%d)", level, r.NumQ)
+	}
+	if r.NumP == 0 {
+		return nil, fmt.Errorf("hks: ring has no P towers")
+	}
+	ell := level + 1
+	if dnum < 1 || dnum > ell {
+		return nil, fmt.Errorf("hks: dnum %d out of range [1,%d]", dnum, ell)
+	}
+	sw := &Switcher{
+		R:      r,
+		Level:  level,
+		Dnum:   dnum,
+		Alpha:  (ell + dnum - 1) / dnum,
+		qBasis: r.QBasis(level),
+		pBasis: r.PBasis(),
+		dBasis: r.DBasis(level),
+	}
+
+	// Digit partition: digit j covers towers [j·α, min((j+1)·α, ℓ+1)).
+	for j := 0; j < dnum; j++ {
+		lo := j * sw.Alpha
+		hi := lo + sw.Alpha
+		if hi > ell {
+			hi = ell
+		}
+		if lo >= hi {
+			return nil, fmt.Errorf("hks: dnum %d leaves digit %d empty at level %d", dnum, j, level)
+		}
+		sw.digits = append(sw.digits, sw.qBasis.Sub(lo, hi))
+	}
+
+	// P must dominate the largest digit product (Han–Ki condition).
+	P := r.BasisProduct(sw.pBasis)
+	for j, dg := range sw.digits {
+		D := r.BasisProduct(dg)
+		if P.Cmp(D) < 0 {
+			return nil, fmt.Errorf("hks: P < digit %d product; increase K or digit count", j)
+		}
+	}
+
+	// Converters: each digit to its complement in D_ℓ, and P to Q_ℓ.
+	for _, dg := range sw.digits {
+		var compl ring.Basis
+		for _, t := range sw.dBasis {
+			if !dg.Contains(t) {
+				compl = append(compl, t)
+			}
+		}
+		c, err := bconv.New(r, dg, compl)
+		if err != nil {
+			return nil, err
+		}
+		sw.upConv = append(sw.upConv, c)
+	}
+	var err error
+	sw.downConv, err = bconv.New(r, sw.pBasis, sw.qBasis)
+	if err != nil {
+		return nil, err
+	}
+
+	// Gadget factors: w_j = P · Q̂_j · (Q̂_j^{-1} mod D_j) reduced into
+	// every tower of D_ℓ (≡ 0 on the P towers).
+	Q := r.BasisProduct(sw.qBasis)
+	sw.gadget = make([][]uint64, dnum)
+	for j, dg := range sw.digits {
+		D := r.BasisProduct(dg)
+		qHat := new(big.Int).Div(Q, D)
+		inv := new(big.Int).ModInverse(new(big.Int).Mod(qHat, D), D)
+		if inv == nil {
+			return nil, fmt.Errorf("hks: digit %d gadget inverse does not exist", j)
+		}
+		w := new(big.Int).Mul(qHat, inv)
+		w.Mul(w, P)
+		sw.gadget[j] = make([]uint64, len(sw.dBasis))
+		for i, t := range sw.dBasis {
+			qi := new(big.Int).SetUint64(r.Moduli[t])
+			sw.gadget[j][i] = new(big.Int).Mod(w, qi).Uint64()
+		}
+	}
+
+	// P^{-1} mod q_i for the ModDown scaling.
+	sw.pInvModQ = make([]uint64, len(sw.qBasis))
+	for i, t := range sw.qBasis {
+		qi := new(big.Int).SetUint64(r.Moduli[t])
+		inv := new(big.Int).ModInverse(new(big.Int).Mod(P, qi), qi)
+		if inv == nil {
+			return nil, fmt.Errorf("hks: P not invertible modulo q_%d", i)
+		}
+		sw.pInvModQ[i] = inv.Uint64()
+	}
+	return sw, nil
+}
+
+// QBasis returns the active Q basis B_ℓ.
+func (sw *Switcher) QBasis() ring.Basis { return sw.qBasis }
+
+// PBasis returns the auxiliary basis C.
+func (sw *Switcher) PBasis() ring.Basis { return sw.pBasis }
+
+// DBasis returns the extended basis D_ℓ.
+func (sw *Switcher) DBasis() ring.Basis { return sw.dBasis }
+
+// Digits returns the tower partition of the active Q basis.
+func (sw *Switcher) Digits() []ring.Basis { return sw.digits }
+
+// Evk is an evaluation key converting ciphertexts under sOld to sNew:
+// one RLWE pair (B_j, A_j) over D_ℓ per digit, in the NTT domain.
+// Its size is dnum × 2 × N × (ℓ+K) words (paper §III-B P4).
+type Evk struct {
+	B []*ring.Poly
+	A []*ring.Poly
+}
+
+// SizeBytes returns the evk footprint at 8 bytes per residue, the
+// quantity Table III reports (112–360 MB at paper scale).
+func (e *Evk) SizeBytes() int {
+	var n int
+	for i := range e.B {
+		n += (len(e.B[i].Coeffs) + len(e.A[i].Coeffs)) * len(e.B[i].Coeffs[0]) * 8
+	}
+	return n
+}
+
+// GenEvk generates the evaluation key that re-encrypts from sOld to
+// sNew. Both secrets must span the full D basis (coefficient domain).
+func (sw *Switcher) GenEvk(sampler *ring.Sampler, sOld, sNew *ring.Poly) *Evk {
+	r := sw.R
+	sNewD := sNew.SubPoly(sw.dBasis).Copy()
+	sOldD := sOld.SubPoly(sw.dBasis).Copy()
+	r.NTT(sNewD)
+	r.NTT(sOldD)
+
+	evk := &Evk{}
+	for j := 0; j < sw.Dnum; j++ {
+		a := sampler.Uniform(sw.dBasis)
+		a.IsNTT = true // uniform residues are uniform in either domain
+		e := sampler.Gaussian(sw.dBasis)
+		r.NTT(e)
+
+		// b = -a·sNew + e + w_j ⊙ sOld  over D_ℓ.
+		b := r.NewPoly(sw.dBasis)
+		b.IsNTT = true
+		r.MulCoeffwise(a, sNewD, b)
+		r.Sub(e, b, b) // b = e - a·sNew
+		ws := r.NewPoly(sw.dBasis)
+		r.MulTowerScalars(sOldD, sw.gadget[j], ws)
+		r.Add(b, ws, b)
+
+		evk.B = append(evk.B, b)
+		evk.A = append(evk.A, a)
+	}
+	return evk
+}
+
+// Decompose splits d (NTT domain over B_ℓ) into its digit sub-
+// polynomials (views sharing d's storage).
+func (sw *Switcher) Decompose(d *ring.Poly) []*ring.Poly {
+	if !d.Basis.Equal(sw.qBasis) {
+		panic(fmt.Sprintf("hks: Decompose input basis %v, want %v", d.Basis, sw.qBasis))
+	}
+	out := make([]*ring.Poly, sw.Dnum)
+	for j, dg := range sw.digits {
+		out[j] = d.SubPoly(dg)
+	}
+	return out
+}
+
+// ModUp runs P1–P3 for every digit of d (NTT domain over B_ℓ) and
+// returns one polynomial per digit over the full D_ℓ basis, in the
+// NTT domain. Towers belonging to the digit itself bypass
+// INTT→BConv→NTT and reuse the input rows directly (paper Figure 1,
+// red towers).
+func (sw *Switcher) ModUp(d *ring.Poly) []*ring.Poly {
+	r := sw.R
+	digits := sw.Decompose(d)
+	out := make([]*ring.Poly, sw.Dnum)
+	for j, dj := range digits {
+		// P1: INTT the digit's towers (on a copy; the originals stay
+		// in the evaluation domain for the bypass path).
+		coeff := dj.Copy()
+		r.INTT(coeff)
+
+		// P2: basis-convert to the complement towers.
+		conv := r.NewPoly(sw.upConv[j].Dst())
+		sw.upConv[j].Convert(coeff, conv)
+
+		// P3: NTT the converted towers.
+		r.NTT(conv)
+
+		// Assemble the D_ℓ polynomial: bypass towers from the input,
+		// converted towers from P2/P3.
+		up := r.NewPoly(sw.dBasis)
+		up.IsNTT = true
+		for i, t := range sw.dBasis {
+			var src []uint64
+			if dj.Basis.Contains(t) {
+				src = dj.Tower(t)
+			} else {
+				src = conv.Tower(t)
+			}
+			copy(up.Coeffs[i], src)
+		}
+		out[j] = up
+	}
+	return out
+}
+
+// ApplyEvk runs P4+P5: point-wise multiply each ModUp digit with the
+// evk pair and accumulate, returning two polynomials over D_ℓ (NTT).
+func (sw *Switcher) ApplyEvk(ups []*ring.Poly, evk *Evk) (c0, c1 *ring.Poly) {
+	r := sw.R
+	c0 = r.NewPoly(sw.dBasis)
+	c1 = r.NewPoly(sw.dBasis)
+	c0.IsNTT, c1.IsNTT = true, true
+	for j, up := range ups {
+		r.MulAddCoeffwise(up, evk.B[j], c0)
+		r.MulAddCoeffwise(up, evk.A[j], c1)
+	}
+	return c0, c1
+}
+
+// ModDown reduces c (NTT domain over D_ℓ) back to B_ℓ:
+// out = (c − Conv_{P→Q}([c]_P)) · P⁻¹. The conversion uses the exact
+// (float-corrected) variant so the P-part rounds to the nearest
+// multiple rather than adding a P-sized overshoot.
+func (sw *Switcher) ModDown(c *ring.Poly) *ring.Poly {
+	r := sw.R
+	if !c.Basis.Equal(sw.dBasis) {
+		panic(fmt.Sprintf("hks: ModDown input basis %v, want %v", c.Basis, sw.dBasis))
+	}
+	// P1: INTT the K P-towers.
+	pPart := c.SubPoly(sw.pBasis).Copy()
+	r.INTT(pPart)
+
+	// P2: convert P -> Q_ℓ.
+	conv := r.NewPoly(sw.qBasis)
+	sw.downConv.ConvertExact(pPart, conv)
+
+	// P3: back to the evaluation domain.
+	r.NTT(conv)
+
+	// P4: out = (c_Q - conv) · P^{-1} per tower.
+	out := r.NewPoly(sw.qBasis)
+	out.IsNTT = true
+	for i, t := range sw.qBasis {
+		m := r.Mods[t]
+		cRow := c.Tower(t)
+		vRow := conv.Coeffs[i]
+		oRow := out.Coeffs[i]
+		pInv := sw.pInvModQ[i]
+		for k := range oRow {
+			oRow[k] = m.Mul(m.Sub(cRow[k], vRow[k]), pInv)
+		}
+	}
+	return out
+}
+
+// KeySwitch runs the complete HKS pipeline on d (NTT domain over B_ℓ),
+// returning (c0, c1) over B_ℓ such that c0 + c1·s ≈ d·s′.
+func (sw *Switcher) KeySwitch(d *ring.Poly, evk *Evk) (c0, c1 *ring.Poly) {
+	ups := sw.ModUp(d)
+	d0, d1 := sw.ApplyEvk(ups, evk)
+	return sw.ModDown(d0), sw.ModDown(d1)
+}

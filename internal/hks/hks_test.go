@@ -1,0 +1,271 @@
+package hks
+
+import (
+	"math/big"
+	"testing"
+
+	"ciflow/internal/ring"
+)
+
+// testSetup returns a ring plus secrets sampled over the full D basis.
+func testSetup(t *testing.T, n, numQ, qBits, numP, pBits int) (*ring.Ring, *ring.Sampler, *ring.Poly, *ring.Poly) {
+	t.Helper()
+	r, err := ring.NewRingGenerated(n, numQ, qBits, numP, pBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ring.NewSampler(r, 1)
+	full := r.DBasis(r.NumQ - 1)
+	sOld := s.Ternary(full)
+	sNew := s.Ternary(full)
+	return r, s, sOld, sNew
+}
+
+// keySwitchError returns ‖c0 + c1·sNew − d·sOld‖∞ over B_ℓ.
+func keySwitchError(r *ring.Ring, sw *Switcher, d, c0, c1, sOld, sNew *ring.Poly) *big.Int {
+	b := sw.QBasis()
+	sN := sOld.SubPoly(b).Copy()
+	sW := sNew.SubPoly(b).Copy()
+	r.NTT(sN)
+	r.NTT(sW)
+
+	want := r.NewPoly(b)
+	r.MulCoeffwise(d, sN, want) // d·sOld
+
+	got := r.NewPoly(b)
+	r.MulCoeffwise(c1, sW, got) // c1·sNew
+	r.Add(got, c0, got)
+
+	diff := r.NewPoly(b)
+	r.Sub(got, want, diff)
+	r.INTT(diff)
+	return r.InfNorm(diff)
+}
+
+func TestNewSwitcherValidation(t *testing.T) {
+	r, _, _, _ := testSetup(t, 32, 4, 30, 2, 31)
+	if _, err := NewSwitcher(r, -1, 1); err == nil {
+		t.Error("negative level accepted")
+	}
+	if _, err := NewSwitcher(r, 4, 1); err == nil {
+		t.Error("level beyond chain accepted")
+	}
+	if _, err := NewSwitcher(r, 3, 0); err == nil {
+		t.Error("dnum 0 accepted")
+	}
+	if _, err := NewSwitcher(r, 3, 5); err == nil {
+		t.Error("dnum > towers accepted")
+	}
+	// dnum=1 makes the single digit product Q ≈ 2^120 > P ≈ 2^62.
+	if _, err := NewSwitcher(r, 3, 1); err == nil {
+		t.Error("P < digit product accepted")
+	}
+	rNoP, err := ring.NewRingGenerated(32, 4, 30, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSwitcher(rNoP, 3, 2); err == nil {
+		t.Error("ring without P towers accepted")
+	}
+}
+
+func TestDigitPartition(t *testing.T) {
+	r, _, _, _ := testSetup(t, 32, 5, 30, 3, 31)
+	sw, err := NewSwitcher(r, 4, 2) // 5 towers, dnum=2 -> alpha=3: digits {0,1,2},{3,4}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Alpha != 3 {
+		t.Fatalf("alpha = %d, want 3", sw.Alpha)
+	}
+	dg := sw.Digits()
+	if len(dg) != 2 || len(dg[0]) != 3 || len(dg[1]) != 2 {
+		t.Fatalf("digit partition %v", dg)
+	}
+	// Digits must tile B_ℓ exactly.
+	seen := map[int]bool{}
+	for _, d := range dg {
+		for _, tw := range d {
+			if seen[tw] {
+				t.Fatalf("tower %d in two digits", tw)
+			}
+			seen[tw] = true
+		}
+	}
+	for _, tw := range sw.QBasis() {
+		if !seen[tw] {
+			t.Fatalf("tower %d not covered by digits", tw)
+		}
+	}
+}
+
+func TestModUpBypass(t *testing.T) {
+	r, s, _, _ := testSetup(t, 32, 4, 30, 2, 31)
+	sw, err := NewSwitcher(r, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Uniform(sw.QBasis())
+	d.IsNTT = true
+	ups := sw.ModUp(d)
+	if len(ups) != 2 {
+		t.Fatalf("got %d ModUp outputs, want 2", len(ups))
+	}
+	for j, up := range ups {
+		if !up.Basis.Equal(sw.DBasis()) {
+			t.Fatalf("digit %d output basis %v", j, up.Basis)
+		}
+		if !up.IsNTT {
+			t.Fatalf("digit %d output not in NTT domain", j)
+		}
+		// Bypass: towers inside the digit are copied verbatim.
+		for _, tw := range sw.Digits()[j] {
+			src := d.Tower(tw)
+			dst := up.Tower(tw)
+			for k := range src {
+				if src[k] != dst[k] {
+					t.Fatalf("digit %d tower %d not bypassed", j, tw)
+				}
+			}
+		}
+	}
+}
+
+func TestKeySwitchCorrectness(t *testing.T) {
+	for _, tc := range []struct {
+		name                        string
+		n, numQ, qBits, numP, pBits int
+		level, dnum                 int
+	}{
+		{"dnum2", 64, 4, 30, 2, 31, 3, 2},
+		{"dnum4_alpha1", 64, 4, 30, 1, 31, 3, 4},
+		{"dnum1_single_digit", 64, 2, 30, 3, 31, 1, 1}, // BTS1-style: no Reduce stage
+		{"lower_level", 64, 6, 30, 2, 31, 3, 2},
+		{"uneven_digits", 64, 5, 30, 3, 31, 4, 2}, // alpha=3: digits of 3 and 2 towers
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r, s, sOld, sNew := testSetup(t, tc.n, tc.numQ, tc.qBits, tc.numP, tc.pBits)
+			sw, err := NewSwitcher(r, tc.level, tc.dnum)
+			if err != nil {
+				t.Fatal(err)
+			}
+			evk := sw.GenEvk(s, sOld, sNew)
+			d := s.Uniform(sw.QBasis())
+			d.IsNTT = true
+			c0, c1 := sw.KeySwitch(d, evk)
+			errNorm := keySwitchError(r, sw, d, c0, c1, sOld, sNew)
+			if errNorm.Cmp(new(big.Int).Lsh(big.NewInt(1), 20)) > 0 {
+				t.Fatalf("key-switch error too large: %v", errNorm)
+			}
+			if errNorm.Sign() == 0 {
+				t.Fatal("key-switch error exactly zero: suspicious (noise missing)")
+			}
+		})
+	}
+}
+
+func TestKeySwitchSameKeyIsNearIdentity(t *testing.T) {
+	// Switching from s to s itself must approximately preserve d·s.
+	r, s, sOld, _ := testSetup(t, 64, 4, 30, 2, 31)
+	sw, err := NewSwitcher(r, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evk := sw.GenEvk(s, sOld, sOld)
+	d := s.Uniform(sw.QBasis())
+	d.IsNTT = true
+	c0, c1 := sw.KeySwitch(d, evk)
+	errNorm := keySwitchError(r, sw, d, c0, c1, sOld, sOld)
+	if errNorm.Cmp(new(big.Int).Lsh(big.NewInt(1), 20)) > 0 {
+		t.Fatalf("identity switch error too large: %v", errNorm)
+	}
+}
+
+func TestEvkSize(t *testing.T) {
+	r, s, sOld, sNew := testSetup(t, 64, 4, 30, 2, 31)
+	sw, err := NewSwitcher(r, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evk := sw.GenEvk(s, sOld, sNew)
+	// dnum × 2 × N × (ℓ+K) residues × 8 bytes.
+	want := 2 * 2 * 64 * (4 + 2) * 8
+	if got := evk.SizeBytes(); got != want {
+		t.Fatalf("evk size %d, want %d", got, want)
+	}
+}
+
+func TestApplyEvkLinearity(t *testing.T) {
+	// ApplyEvk over the sum of two ModUp digit sets equals the sum of
+	// the individual applications (P4/P5 is bilinear).
+	r, s, sOld, sNew := testSetup(t, 32, 4, 30, 2, 31)
+	sw, err := NewSwitcher(r, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evk := sw.GenEvk(s, sOld, sNew)
+	mkUps := func(seed int64) []*ring.Poly {
+		sp := ring.NewSampler(r, seed)
+		ups := make([]*ring.Poly, sw.Dnum)
+		for j := range ups {
+			ups[j] = sp.Uniform(sw.DBasis())
+			ups[j].IsNTT = true
+		}
+		return ups
+	}
+	u1 := mkUps(10)
+	u2 := mkUps(11)
+	sum := make([]*ring.Poly, sw.Dnum)
+	for j := range sum {
+		sum[j] = r.NewPoly(sw.DBasis())
+		r.Add(u1[j], u2[j], sum[j])
+	}
+	a0, a1 := sw.ApplyEvk(u1, evk)
+	b0, b1 := sw.ApplyEvk(u2, evk)
+	s0, s1 := sw.ApplyEvk(sum, evk)
+	w0 := r.NewPoly(sw.DBasis())
+	w1 := r.NewPoly(sw.DBasis())
+	r.Add(a0, b0, w0)
+	r.Add(a1, b1, w1)
+	if !s0.Equal(w0) || !s1.Equal(w1) {
+		t.Fatal("ApplyEvk is not linear")
+	}
+}
+
+func TestModDownDomainChecks(t *testing.T) {
+	r, s, _, _ := testSetup(t, 32, 4, 30, 2, 31)
+	sw, err := NewSwitcher(r, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := s.Uniform(sw.QBasis()) // wrong basis
+	bad.IsNTT = true
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ModDown accepted wrong basis")
+		}
+	}()
+	sw.ModDown(bad)
+}
+
+func TestKeySwitchErrorScalesWithDnum(t *testing.T) {
+	// More digits means smaller digit products and (for fixed P) less
+	// ModUp noise per digit but more accumulation terms; in all
+	// configurations the error stays far below q_0. This guards the
+	// noise model rather than an exact value.
+	r, s, sOld, sNew := testSetup(t, 64, 6, 30, 3, 31)
+	for _, dnum := range []int{2, 3, 6} {
+		sw, err := NewSwitcher(r, 5, dnum)
+		if err != nil {
+			t.Fatalf("dnum=%d: %v", dnum, err)
+		}
+		evk := sw.GenEvk(s, sOld, sNew)
+		d := s.Uniform(sw.QBasis())
+		d.IsNTT = true
+		c0, c1 := sw.KeySwitch(d, evk)
+		errNorm := keySwitchError(r, sw, d, c0, c1, sOld, sNew)
+		if errNorm.Cmp(new(big.Int).Lsh(big.NewInt(1), 22)) > 0 {
+			t.Fatalf("dnum=%d error %v exceeds bound", dnum, errNorm)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package hks
+
+import "ciflow/internal/ring"
+
+// KeySwitchMany switches the same input polynomial with several
+// evaluation keys while running the expensive ModUp phase only once —
+// the "hoisting" optimization used when one ciphertext feeds many
+// rotations (e.g. the diagonal method's rotation fan-out, or ARK's
+// inter-operation key reuse). ModUp is independent of the key, so its
+// INTT/BConv/NTT work (the bulk of paper Figure 1's left half)
+// amortizes across all |evks| switches; only ApplyKey, Reduce and
+// ModDown repeat.
+//
+// Returns one (c0, c1) pair per key, in input order.
+func (sw *Switcher) KeySwitchMany(d *ring.Poly, evks []*Evk) (c0s, c1s []*ring.Poly) {
+	ups := sw.ModUp(d)
+	c0s = make([]*ring.Poly, len(evks))
+	c1s = make([]*ring.Poly, len(evks))
+	for i, evk := range evks {
+		d0, d1 := sw.ApplyEvk(ups, evk)
+		c0s[i] = sw.ModDown(d0)
+		c1s[i] = sw.ModDown(d1)
+	}
+	return c0s, c1s
+}
+
+// HoistedOpsSaved reports the weighted modular operations a
+// KeySwitchMany over k keys saves versus k independent KeySwitch
+// calls: (k−1) executions of the ModUp P1–P3 pipeline.
+func (sw *Switcher) HoistedOpsSaved(k int) int64 {
+	if k <= 1 {
+		return 0
+	}
+	n := int64(sw.R.N)
+	logN := int64(0)
+	for m := sw.R.N; m > 1; m >>= 1 {
+		logN++
+	}
+	butterfly := int64(3) * (n / 2) * logN
+	var ops int64
+	ell := int64(sw.Level + 1)
+	ops += ell * (butterfly + 2*n) // P1 INTT + BConv premultiply
+	for j, dg := range sw.digits {
+		alpha := int64(len(dg))
+		beta := int64(len(sw.upConv[j].Dst()))
+		ops += beta * 2 * n * alpha // P2 BConv towers
+		ops += beta * butterfly     // P3 NTT
+	}
+	return int64(k-1) * ops
+}

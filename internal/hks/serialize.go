@@ -1,0 +1,68 @@
+package hks
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ciflow/internal/ring"
+)
+
+// Evaluation-key serialization: a digit count header followed by the
+// (B, A) polynomial pairs in digit order (see ring.WritePoly for the
+// polynomial wire format). At paper scale an evk is 99–360 MB
+// (Table III), so keys are produced once and shipped, exactly what
+// this format supports.
+
+// WriteEvk serializes evk.
+func (sw *Switcher) WriteEvk(w io.Writer, evk *Evk) error {
+	if len(evk.B) != len(evk.A) {
+		return fmt.Errorf("hks: malformed evk: %d B vs %d A digits", len(evk.B), len(evk.A))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(evk.B))); err != nil {
+		return err
+	}
+	for j := range evk.B {
+		if err := sw.R.WritePoly(w, evk.B[j]); err != nil {
+			return err
+		}
+		if err := sw.R.WritePoly(w, evk.A[j]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadEvk deserializes an evk written by WriteEvk, validating that the
+// digit count and bases match this switcher.
+func (sw *Switcher) ReadEvk(r io.Reader) (*Evk, error) {
+	var dnum uint32
+	if err := binary.Read(r, binary.LittleEndian, &dnum); err != nil {
+		return nil, fmt.Errorf("hks: short evk header: %w", err)
+	}
+	if int(dnum) != sw.Dnum {
+		return nil, fmt.Errorf("hks: evk has %d digits, switcher expects %d", dnum, sw.Dnum)
+	}
+	evk := &Evk{}
+	for j := 0; j < int(dnum); j++ {
+		b, err := sw.R.ReadPoly(r)
+		if err != nil {
+			return nil, err
+		}
+		a, err := sw.R.ReadPoly(r)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range []*ring.Poly{b, a} {
+			if !p.Basis.Equal(sw.dBasis) {
+				return nil, fmt.Errorf("hks: evk digit %d basis %v, want %v", j, p.Basis, sw.dBasis)
+			}
+			if !p.IsNTT {
+				return nil, fmt.Errorf("hks: evk digit %d not in NTT domain", j)
+			}
+		}
+		evk.B = append(evk.B, b)
+		evk.A = append(evk.A, a)
+	}
+	return evk, nil
+}

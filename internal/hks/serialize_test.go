@@ -1,0 +1,73 @@
+package hks
+
+import (
+	"bytes"
+	"math/big"
+	"strings"
+	"testing"
+)
+
+func TestEvkRoundTrip(t *testing.T) {
+	r, s, sOld, sNew := testSetup(t, 32, 4, 30, 2, 31)
+	sw, err := NewSwitcher(r, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evk := sw.GenEvk(s, sOld, sNew)
+	var buf bytes.Buffer
+	if err := sw.WriteEvk(&buf, evk); err != nil {
+		t.Fatal(err)
+	}
+	size := buf.Len()
+	got, err := sw.ReadEvk(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range evk.B {
+		if !got.B[j].Equal(evk.B[j]) || !got.A[j].Equal(evk.A[j]) {
+			t.Fatalf("digit %d differs after roundtrip", j)
+		}
+	}
+	// The deserialized key must still switch correctly.
+	d := s.Uniform(sw.QBasis())
+	d.IsNTT = true
+	c0, c1 := sw.KeySwitch(d, got)
+	if e := keySwitchError(r, sw, d, c0, c1, sOld, sNew); e.Cmp(new(big.Int).Lsh(big.NewInt(1), 20)) > 0 {
+		t.Fatalf("key-switch error %v after roundtrip", e)
+	}
+	// Wire size is close to the raw evk payload.
+	if size < evk.SizeBytes() {
+		t.Fatalf("serialized %d bytes below payload %d", size, evk.SizeBytes())
+	}
+}
+
+func TestReadEvkRejectsMismatch(t *testing.T) {
+	r, s, sOld, sNew := testSetup(t, 32, 4, 30, 2, 31)
+	sw2, err := NewSwitcher(r, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw4, err := NewSwitcher(r, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evk := sw2.GenEvk(s, sOld, sNew)
+	var buf bytes.Buffer
+	if err := sw2.WriteEvk(&buf, evk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw4.ReadEvk(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("digit-count mismatch accepted")
+	}
+	if _, err := sw2.ReadEvk(strings.NewReader("xx")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Lower-level switcher expects a different basis.
+	swLow, err := NewSwitcher(r, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := swLow.ReadEvk(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("basis mismatch accepted")
+	}
+}

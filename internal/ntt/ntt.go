@@ -1,0 +1,140 @@
+// Package ntt implements the negacyclic number-theoretic transform
+// used throughout CKKS: multiplication in Z_q[X]/(X^N+1) becomes
+// point-wise multiplication in the evaluation domain.
+//
+// The forward transform is a Cooley–Tukey decimation-in-time network
+// that merges the ψ^i pre-twist into the butterflies; the inverse is
+// the matching Gentleman–Sande network (Longa–Naehrig formulation).
+// Twiddle factors are stored with Shoup precomputation, so each
+// butterfly costs one word multiplication plus corrections — the same
+// operation the RPU's HPLE lanes execute natively (paper §V-A).
+package ntt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ciflow/internal/mod"
+	"ciflow/internal/primes"
+)
+
+// Table holds the per-modulus precomputed state for transforms of a
+// fixed power-of-two length N.
+type Table struct {
+	N int
+	M mod.Modulus
+
+	psi       []uint64 // ψ^brv(i), bit-reversed powers of the 2N-th root
+	psiShoup  []uint64
+	ipsi      []uint64 // ψ^-brv(i)
+	ipsiShoup []uint64
+	nInv      uint64 // N^-1 mod q
+	nInvShoup uint64
+}
+
+// NewTable builds NTT tables for ring degree n and prime modulus q
+// with q ≡ 1 (mod 2n).
+func NewTable(n int, q uint64) (*Table, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ntt: ring degree %d is not a power of two >= 2", n)
+	}
+	psi, err := primes.RootOfUnity(q, n)
+	if err != nil {
+		return nil, fmt.Errorf("ntt: %w", err)
+	}
+	m := mod.New(q)
+	t := &Table{
+		N: n, M: m,
+		psi:       make([]uint64, n),
+		psiShoup:  make([]uint64, n),
+		ipsi:      make([]uint64, n),
+		ipsiShoup: make([]uint64, n),
+	}
+	ipsi := m.Inv(psi)
+	logN := bits.Len(uint(n)) - 1
+	fw, inv := uint64(1), uint64(1)
+	powsF := make([]uint64, n)
+	powsI := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		powsF[i], powsI[i] = fw, inv
+		fw, inv = m.Mul(fw, psi), m.Mul(inv, ipsi)
+	}
+	for i := 0; i < n; i++ {
+		r := int(bitrev(uint64(i), logN))
+		t.psi[i] = powsF[r]
+		t.ipsi[i] = powsI[r]
+		t.psiShoup[i] = m.ShoupPrecomp(t.psi[i])
+		t.ipsiShoup[i] = m.ShoupPrecomp(t.ipsi[i])
+	}
+	t.nInv = m.Inv(uint64(n))
+	t.nInvShoup = m.ShoupPrecomp(t.nInv)
+	return t, nil
+}
+
+func bitrev(x uint64, bits int) uint64 {
+	var r uint64
+	for i := 0; i < bits; i++ {
+		r = (r << 1) | (x & 1)
+		x >>= 1
+	}
+	return r
+}
+
+// Forward transforms a (natural coefficient order, reduced mod q) into
+// the evaluation domain, in place. Output is in the transform's
+// internal (bit-reversed) order, which all point-wise consumers treat
+// opaquely.
+func (t *Table) Forward(a []uint64) {
+	if len(a) != t.N {
+		panic(fmt.Sprintf("ntt: Forward on slice of length %d, table N=%d", len(a), t.N))
+	}
+	m := t.M
+	n := t.N
+	for step, mm := n>>1, 1; step >= 1; step, mm = step>>1, mm<<1 {
+		for i := 0; i < mm; i++ {
+			w := t.psi[mm+i]
+			ws := t.psiShoup[mm+i]
+			j1 := 2 * i * step
+			for j := j1; j < j1+step; j++ {
+				u := a[j]
+				v := m.MulShoup(a[j+step], w, ws)
+				a[j] = m.Add(u, v)
+				a[j+step] = m.Sub(u, v)
+			}
+		}
+	}
+}
+
+// Inverse transforms a from the evaluation domain back to natural
+// coefficient order, in place, including the 1/N scaling.
+func (t *Table) Inverse(a []uint64) {
+	if len(a) != t.N {
+		panic(fmt.Sprintf("ntt: Inverse on slice of length %d, table N=%d", len(a), t.N))
+	}
+	m := t.M
+	n := t.N
+	for step, mm := 1, n>>1; mm >= 1; step, mm = step<<1, mm>>1 {
+		for i := 0; i < mm; i++ {
+			w := t.ipsi[mm+i]
+			ws := t.ipsiShoup[mm+i]
+			j1 := 2 * i * step
+			for j := j1; j < j1+step; j++ {
+				u := a[j]
+				v := a[j+step]
+				a[j] = m.Add(u, v)
+				a[j+step] = m.MulShoup(m.Sub(u, v), w, ws)
+			}
+		}
+	}
+	for j := range a {
+		a[j] = m.MulShoup(a[j], t.nInv, t.nInvShoup)
+	}
+}
+
+// ButterflyOps returns the number of butterfly evaluations in one
+// transform of length N: (N/2)·log2(N). The RPU cost model charges
+// each butterfly as one modular multiplication plus additions
+// (paper §III: O(N log N) per (I)NTT).
+func ButterflyOps(n int) int {
+	return (n / 2) * (bits.Len(uint(n)) - 1)
+}

@@ -1,0 +1,200 @@
+package ntt
+
+import (
+	"math/rand"
+	"testing"
+
+	"ciflow/internal/mod"
+	"ciflow/internal/primes"
+)
+
+func newTestTable(t *testing.T, n int) *Table {
+	t.Helper()
+	ps, err := primes.Generate(30, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := NewTable(n, ps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestNewTableErrors(t *testing.T) {
+	if _, err := NewTable(1000, 65537); err == nil {
+		t.Error("non-power-of-two N accepted")
+	}
+	// 97 is prime but 97-1 is not divisible by 2*64.
+	if _, err := NewTable(64, 97); err == nil {
+		t.Error("non-NTT-friendly modulus accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, n := range []int{4, 16, 256, 1024, 4096} {
+		tab := newTestTable(t, n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		a := make([]uint64, n)
+		for i := range a {
+			a[i] = rng.Uint64() % tab.M.Q
+		}
+		orig := append([]uint64(nil), a...)
+		tab.Forward(a)
+		tab.Inverse(a)
+		for i := range a {
+			if a[i] != orig[i] {
+				t.Fatalf("n=%d roundtrip mismatch at %d: got %d want %d", n, i, a[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestForwardChangesOrder(t *testing.T) {
+	// The transform of a non-constant polynomial must differ from the
+	// input (sanity against accidental identity implementations).
+	tab := newTestTable(t, 64)
+	a := make([]uint64, 64)
+	a[1] = 1
+	in := append([]uint64(nil), a...)
+	tab.Forward(a)
+	same := true
+	for i := range a {
+		if a[i] != in[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("Forward acted as identity")
+	}
+}
+
+// schoolbookNegacyclic computes c = a*b mod (X^n+1, q) directly.
+func schoolbookNegacyclic(a, b []uint64, m mod.Modulus) []uint64 {
+	n := len(a)
+	c := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		if a[i] == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			k := i + j
+			p := m.Mul(a[i], b[j])
+			if k < n {
+				c[k] = m.Add(c[k], p)
+			} else {
+				c[k-n] = m.Sub(c[k-n], p)
+			}
+		}
+	}
+	return c
+}
+
+func TestNegacyclicConvolution(t *testing.T) {
+	for _, n := range []int{8, 64, 256} {
+		tab := newTestTable(t, n)
+		rng := rand.New(rand.NewSource(17))
+		a := make([]uint64, n)
+		b := make([]uint64, n)
+		for i := range a {
+			a[i] = rng.Uint64() % tab.M.Q
+			b[i] = rng.Uint64() % tab.M.Q
+		}
+		want := schoolbookNegacyclic(a, b, tab.M)
+
+		tab.Forward(a)
+		tab.Forward(b)
+		c := make([]uint64, n)
+		for i := range c {
+			c[i] = tab.M.Mul(a[i], b[i])
+		}
+		tab.Inverse(c)
+		for i := range c {
+			if c[i] != want[i] {
+				t.Fatalf("n=%d convolution mismatch at %d: got %d want %d", n, i, c[i], want[i])
+			}
+		}
+	}
+}
+
+func TestXTimesXIsNegOne(t *testing.T) {
+	// In Z_q[X]/(X^n+1): X^(n/2) * X^(n/2) = X^n = -1.
+	n := 16
+	tab := newTestTable(t, n)
+	a := make([]uint64, n)
+	a[n/2] = 1
+	b := append([]uint64(nil), a...)
+	tab.Forward(a)
+	tab.Forward(b)
+	c := make([]uint64, n)
+	for i := range c {
+		c[i] = tab.M.Mul(a[i], b[i])
+	}
+	tab.Inverse(c)
+	if c[0] != tab.M.Q-1 {
+		t.Fatalf("X^n != -1: c[0]=%d", c[0])
+	}
+	for i := 1; i < n; i++ {
+		if c[i] != 0 {
+			t.Fatalf("X^n has spurious coefficient at %d: %d", i, c[i])
+		}
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	n := 128
+	tab := newTestTable(t, n)
+	rng := rand.New(rand.NewSource(5))
+	a := make([]uint64, n)
+	b := make([]uint64, n)
+	sum := make([]uint64, n)
+	for i := range a {
+		a[i] = rng.Uint64() % tab.M.Q
+		b[i] = rng.Uint64() % tab.M.Q
+		sum[i] = tab.M.Add(a[i], b[i])
+	}
+	tab.Forward(a)
+	tab.Forward(b)
+	tab.Forward(sum)
+	for i := range sum {
+		if sum[i] != tab.M.Add(a[i], b[i]) {
+			t.Fatalf("NTT not linear at %d", i)
+		}
+	}
+}
+
+func TestButterflyOps(t *testing.T) {
+	cases := map[int]int{2: 1, 4: 4, 8: 12, 1024: 5120, 1 << 17: (1 << 16) * 17}
+	for n, want := range cases {
+		if got := ButterflyOps(n); got != want {
+			t.Errorf("ButterflyOps(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func BenchmarkForwardN4096(b *testing.B) {
+	ps, _ := primes.Generate(55, 4096, 1)
+	tab, _ := NewTable(4096, ps[0])
+	a := make([]uint64, 4096)
+	for i := range a {
+		a[i] = uint64(i) * 2654435761 % tab.M.Q
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Forward(a)
+	}
+}
+
+func BenchmarkInverseN4096(b *testing.B) {
+	ps, _ := primes.Generate(55, 4096, 1)
+	tab, _ := NewTable(4096, ps[0])
+	a := make([]uint64, 4096)
+	for i := range a {
+		a[i] = uint64(i) * 2654435761 % tab.M.Q
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Inverse(a)
+	}
+}

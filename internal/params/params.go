@@ -1,0 +1,116 @@
+// Package params defines the five HKS benchmark parameter sets the
+// paper evaluates (Table III: BTS1–3 from BTS, ARK, and DPRIVE, all
+// providing 128-bit security) together with the derived quantities the
+// dataflow analysis needs: digit partitions, data sizes, and exact
+// per-stage operation counts.
+package params
+
+import "fmt"
+
+// WordBytes is the storage size of one RNS residue. The paper's sizes
+// (Table III) are exactly reproduced by 8-byte machine words.
+const WordBytes = 8
+
+// Benchmark is one HKS parameterization (paper Table III).
+type Benchmark struct {
+	Name string
+	LogN int // log2 of the polynomial ring degree
+	KL   int // number of Q towers at the evaluated level (ℓ)
+	KP   int // number of P towers (K)
+	Dnum int // digits in the hybrid decomposition
+}
+
+// Five benchmarks of Table III.
+var (
+	BTS1   = Benchmark{Name: "BTS1", LogN: 17, KL: 28, KP: 28, Dnum: 1}
+	BTS2   = Benchmark{Name: "BTS2", LogN: 17, KL: 40, KP: 20, Dnum: 2}
+	BTS3   = Benchmark{Name: "BTS3", LogN: 17, KL: 45, KP: 15, Dnum: 3}
+	ARK    = Benchmark{Name: "ARK", LogN: 16, KL: 24, KP: 6, Dnum: 4}
+	DPRIVE = Benchmark{Name: "DPRIVE", LogN: 16, KL: 26, KP: 7, Dnum: 3}
+)
+
+// All returns the benchmarks in the paper's table order.
+func All() []Benchmark { return []Benchmark{BTS1, BTS2, BTS3, ARK, DPRIVE} }
+
+// ByName returns the benchmark with the given name.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("params: unknown benchmark %q", name)
+}
+
+// N returns the ring degree.
+func (b Benchmark) N() int { return 1 << uint(b.LogN) }
+
+// Alpha returns the digit width ⌈KL/Dnum⌉ (paper Table I).
+func (b Benchmark) Alpha() int { return (b.KL + b.Dnum - 1) / b.Dnum }
+
+// DigitWidths returns the tower count of each digit: Alpha for all but
+// possibly the last, which takes the remainder (DPRIVE: 9,9,8).
+func (b Benchmark) DigitWidths() []int {
+	w := make([]int, b.Dnum)
+	rem := b.KL
+	for j := range w {
+		if rem < b.Alpha() {
+			w[j] = rem
+		} else {
+			w[j] = b.Alpha()
+		}
+		rem -= w[j]
+	}
+	return w
+}
+
+// Beta returns the extension width for digit j: KL+KP−α_j (paper §III-B).
+func (b Benchmark) Beta(j int) int { return b.KL + b.KP - b.DigitWidths()[j] }
+
+// TowerBytes returns the size of one tower (N residues).
+func (b Benchmark) TowerBytes() int64 { return int64(b.N()) * WordBytes }
+
+// EvkBytes returns the evaluation-key size Dnum×2×N×(KL+KP) words
+// (paper Table III: 99–360 MB).
+func (b Benchmark) EvkBytes() int64 {
+	return int64(b.Dnum) * 2 * int64(b.KL+b.KP) * b.TowerBytes()
+}
+
+// TempBytes returns the intermediate working set of a straightforward
+// (Max-Parallel) execution: the INTT outputs (N×KL), the ModUp outputs
+// (Dnum×N×(KL+KP)) and the ApplyKey partial products
+// (2×Dnum×N×(KL+KP)). This reproduces Table III's "Temp data" column
+// (196–585 MB; DPRIVE is ~1% off the published rounding).
+func (b Benchmark) TempBytes() int64 {
+	towers := int64(b.KL) + 3*int64(b.Dnum)*int64(b.KL+b.KP)
+	return towers * b.TowerBytes()
+}
+
+// InputBytes returns the size of the key-switching input polynomial
+// (KL towers).
+func (b Benchmark) InputBytes() int64 { return int64(b.KL) * b.TowerBytes() }
+
+// OutputBytes returns the size of the two output polynomials
+// (2×KL towers).
+func (b Benchmark) OutputBytes() int64 { return 2 * int64(b.KL) * b.TowerBytes() }
+
+// Validate checks internal consistency.
+func (b Benchmark) Validate() error {
+	if b.LogN < 1 || b.LogN > 20 {
+		return fmt.Errorf("params: logN %d out of range", b.LogN)
+	}
+	if b.KL < 1 || b.KP < 0 || b.Dnum < 1 || b.Dnum > b.KL {
+		return fmt.Errorf("params: inconsistent towers kl=%d kp=%d dnum=%d", b.KL, b.KP, b.Dnum)
+	}
+	sum := 0
+	for _, w := range b.DigitWidths() {
+		if w <= 0 {
+			return fmt.Errorf("params: empty digit in %s", b.Name)
+		}
+		sum += w
+	}
+	if sum != b.KL {
+		return fmt.Errorf("params: digits cover %d of %d towers", sum, b.KL)
+	}
+	return nil
+}

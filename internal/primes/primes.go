@@ -1,0 +1,117 @@
+// Package primes generates NTT-friendly prime moduli and primitive
+// roots of unity for negacyclic number-theoretic transforms.
+//
+// A prime q supports the negacyclic NTT of length N (a power of two)
+// iff q ≡ 1 (mod 2N), which guarantees a primitive 2N-th root of
+// unity ψ in Z_q. The RNS moduli chains of CKKS (paper Table I: q_i,
+// p_i) are built from such primes.
+package primes
+
+import (
+	"fmt"
+
+	"ciflow/internal/mod"
+)
+
+// Generate returns count distinct NTT-friendly primes of the given bit
+// size for ring degree N (power of two). Primes are found by scanning
+// candidates ≡ 1 (mod 2N) downward from 2^bits, the conventional
+// strategy of HE libraries, so the chain stays close to the target
+// word size.
+func Generate(bits, n, count int) ([]uint64, error) {
+	if bits < 4 || bits > mod.MaxModulusBits {
+		return nil, fmt.Errorf("primes: bit size %d out of range [4, %d]", bits, mod.MaxModulusBits)
+	}
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("primes: ring degree %d is not a power of two >= 2", n)
+	}
+	step := uint64(2 * n)
+	upper := uint64(1) << uint(bits)
+	// Largest candidate < 2^bits congruent to 1 mod 2N.
+	c := upper - (upper-1)%step
+	if c >= upper {
+		c -= step
+	}
+	out := make([]uint64, 0, count)
+	lower := uint64(1) << uint(bits-1)
+	for c > lower {
+		if mod.IsPrime(c) {
+			out = append(out, c)
+			if len(out) == count {
+				return out, nil
+			}
+		}
+		c -= step
+	}
+	return nil, fmt.Errorf("primes: only %d of %d primes of %d bits exist for N=%d", len(out), count, bits, n)
+}
+
+// PrimitiveRoot returns a generator of the multiplicative group Z_q^*.
+// q must be prime.
+func PrimitiveRoot(q uint64) (uint64, error) {
+	if !mod.IsPrime(q) {
+		return 0, fmt.Errorf("primes: %d is not prime", q)
+	}
+	m := mod.New(q)
+	factors := factorize(q - 1)
+	for g := uint64(2); g < q; g++ {
+		ok := true
+		for _, f := range factors {
+			if m.Pow(g, (q-1)/f) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g, nil
+		}
+	}
+	return 0, fmt.Errorf("primes: no primitive root found for %d", q)
+}
+
+// RootOfUnity returns a primitive 2N-th root of unity ψ modulo q,
+// i.e. ψ^(2N) = 1 and ψ^N = -1. q must satisfy q ≡ 1 (mod 2N).
+func RootOfUnity(q uint64, n int) (uint64, error) {
+	order := uint64(2 * n)
+	if (q-1)%order != 0 {
+		return 0, fmt.Errorf("primes: %d is not congruent to 1 mod %d", q, order)
+	}
+	g, err := PrimitiveRoot(q)
+	if err != nil {
+		return 0, err
+	}
+	m := mod.New(q)
+	psi := m.Pow(g, (q-1)/order)
+	// ψ generated from a primitive root always has exact order 2N;
+	// verify the defining property ψ^N = -1 as a cheap self-check.
+	if m.Pow(psi, uint64(n)) != q-1 {
+		return 0, fmt.Errorf("primes: root candidate %d has wrong order", psi)
+	}
+	return psi, nil
+}
+
+// factorize returns the distinct prime factors of n by trial division.
+// n-1 for our 62-bit moduli always factors quickly because it is
+// divisible by a large power of two.
+func factorize(n uint64) []uint64 {
+	var fs []uint64
+	appendOnce := func(f uint64) {
+		if len(fs) == 0 || fs[len(fs)-1] != f {
+			fs = append(fs, f)
+		}
+	}
+	for n%2 == 0 {
+		appendOnce(2)
+		n /= 2
+	}
+	for f := uint64(3); f*f <= n; f += 2 {
+		for n%f == 0 {
+			appendOnce(f)
+			n /= f
+		}
+	}
+	if n > 1 {
+		appendOnce(n)
+	}
+	return fs
+}

@@ -1,0 +1,128 @@
+package primes
+
+import (
+	"testing"
+
+	"ciflow/internal/mod"
+)
+
+func TestGenerate(t *testing.T) {
+	for _, tc := range []struct {
+		bits, n, count int
+	}{
+		{20, 1 << 10, 3},
+		{30, 1 << 12, 5},
+		{40, 1 << 13, 4},
+		{55, 1 << 14, 6},
+		{60, 1 << 12, 8},
+	} {
+		ps, err := Generate(tc.bits, tc.n, tc.count)
+		if err != nil {
+			t.Fatalf("Generate(%d,%d,%d): %v", tc.bits, tc.n, tc.count, err)
+		}
+		if len(ps) != tc.count {
+			t.Fatalf("got %d primes, want %d", len(ps), tc.count)
+		}
+		seen := map[uint64]bool{}
+		for _, p := range ps {
+			if seen[p] {
+				t.Fatalf("duplicate prime %d", p)
+			}
+			seen[p] = true
+			if !mod.IsPrime(p) {
+				t.Fatalf("%d is not prime", p)
+			}
+			if (p-1)%uint64(2*tc.n) != 0 {
+				t.Fatalf("%d is not NTT-friendly for N=%d", p, tc.n)
+			}
+			if p>>uint(tc.bits-1) != 1 {
+				t.Fatalf("%d is not %d bits", p, tc.bits)
+			}
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(3, 1024, 1); err == nil {
+		t.Error("bit size 3 should fail")
+	}
+	if _, err := Generate(63, 1024, 1); err == nil {
+		t.Error("bit size 63 should fail")
+	}
+	if _, err := Generate(30, 1000, 1); err == nil {
+		t.Error("non-power-of-two N should fail")
+	}
+	// 2N exceeds the number of candidates in [2^4, 2^5): must error,
+	// not loop.
+	if _, err := Generate(5, 1<<20, 1); err == nil {
+		t.Error("impossible request should fail")
+	}
+}
+
+func TestPrimitiveRoot(t *testing.T) {
+	for _, q := range []uint64{17, 97, 65537, 786433} {
+		g, err := PrimitiveRoot(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := mod.New(q)
+		// Order of g must be exactly q-1: g^(q-1)=1 and g^((q-1)/f) != 1
+		// for each prime factor f.
+		if m.Pow(g, q-1) != 1 {
+			t.Fatalf("q=%d: g=%d not in group", q, g)
+		}
+		for _, f := range factorize(q - 1) {
+			if m.Pow(g, (q-1)/f) == 1 {
+				t.Fatalf("q=%d: g=%d has order dividing (q-1)/%d", q, g, f)
+			}
+		}
+	}
+	if _, err := PrimitiveRoot(15); err == nil {
+		t.Error("PrimitiveRoot of composite should fail")
+	}
+}
+
+func TestRootOfUnity(t *testing.T) {
+	n := 1 << 10
+	ps, err := Generate(30, n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range ps {
+		psi, err := RootOfUnity(q, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := mod.New(q)
+		if m.Pow(psi, uint64(n)) != q-1 {
+			t.Fatalf("psi^N != -1 for q=%d", q)
+		}
+		if m.Pow(psi, uint64(2*n)) != 1 {
+			t.Fatalf("psi^2N != 1 for q=%d", q)
+		}
+	}
+	if _, err := RootOfUnity(97, 1<<10); err == nil {
+		t.Error("q=97 cannot host a 2048th root of unity")
+	}
+}
+
+func TestFactorize(t *testing.T) {
+	cases := map[uint64][]uint64{
+		2:      {2},
+		12:     {2, 3},
+		97:     {97},
+		360:    {2, 3, 5},
+		786432: {2, 3},
+	}
+	for n, want := range cases {
+		got := factorize(n)
+		if len(got) != len(want) {
+			t.Fatalf("factorize(%d) = %v, want %v", n, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("factorize(%d) = %v, want %v", n, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package ring
+
+import "fmt"
+
+// Automorphism applies the Galois automorphism σ_k: X → X^k to p
+// (coefficient domain), writing the result to out. k must be odd so
+// that σ_k is an automorphism of Z[X]/(X^N+1). Rotating a CKKS vector
+// message by r slots corresponds to k = 5^r mod 2N (paper §II:
+// ciphertext rotations are the primary way of computing linear
+// layers).
+func (r *Ring) Automorphism(p *Poly, k int, out *Poly) {
+	if p.IsNTT {
+		panic("ring: Automorphism requires coefficient domain")
+	}
+	if !p.Basis.Equal(out.Basis) {
+		panic("ring: Automorphism basis mismatch")
+	}
+	twoN := 2 * r.N
+	k = ((k % twoN) + twoN) % twoN
+	if k%2 == 0 {
+		panic(fmt.Sprintf("ring: automorphism exponent %d must be odd", k))
+	}
+	for i, t := range p.Basis {
+		m := r.Mods[t]
+		src, dst := p.Coeffs[i], out.Coeffs[i]
+		for j := 0; j < r.N; j++ {
+			// X^j → X^(jk mod 2N), with X^(N+e) = -X^e.
+			e := (j * k) % twoN
+			v := src[j]
+			if e >= r.N {
+				e -= r.N
+				v = m.Neg(v)
+			}
+			dst[e] = v
+		}
+	}
+	out.IsNTT = false
+}
+
+// GaloisElement returns the automorphism exponent 5^r mod 2N that
+// rotates the CKKS message vector left by r slots (negative r rotates
+// right).
+func (r *Ring) GaloisElement(rot int) int {
+	twoN := 2 * r.N
+	n2 := r.N / 2
+	rot = ((rot % n2) + n2) % n2
+	g := 1
+	for i := 0; i < rot; i++ {
+		g = (g * 5) % twoN
+	}
+	return g
+}

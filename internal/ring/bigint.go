@@ -1,0 +1,72 @@
+package ring
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// BasisProduct returns the product of the moduli in basis b.
+func (r *Ring) BasisProduct(b Basis) *big.Int {
+	prod := big.NewInt(1)
+	for _, t := range b {
+		prod.Mul(prod, new(big.Int).SetUint64(r.Moduli[t]))
+	}
+	return prod
+}
+
+// ToBigCentered reconstructs coefficient j of p (which must be in the
+// coefficient domain) as a centered integer in (-M/2, M/2], where M is
+// the product of p's basis moduli. Used only by tests and noise
+// measurement; it is the exact CRT ground truth the fast RNS basis
+// conversion approximates.
+func (r *Ring) ToBigCentered(p *Poly, j int) *big.Int {
+	if p.IsNTT {
+		panic("ring: ToBigCentered requires coefficient domain")
+	}
+	M := r.BasisProduct(p.Basis)
+	acc := new(big.Int)
+	tmp := new(big.Int)
+	for i, t := range p.Basis {
+		qi := new(big.Int).SetUint64(r.Moduli[t])
+		Mi := new(big.Int).Div(M, qi)
+		inv := new(big.Int).ModInverse(new(big.Int).Mod(Mi, qi), qi)
+		if inv == nil {
+			panic(fmt.Sprintf("ring: moduli not coprime at tower %d", t))
+		}
+		tmp.SetUint64(p.Coeffs[i][j])
+		tmp.Mul(tmp, inv).Mod(tmp, qi) // x_i * (M/q_i)^-1 mod q_i
+		tmp.Mul(tmp, Mi)
+		acc.Add(acc, tmp)
+	}
+	acc.Mod(acc, M)
+	half := new(big.Int).Rsh(M, 1)
+	if acc.Cmp(half) > 0 {
+		acc.Sub(acc, M)
+	}
+	return acc
+}
+
+// SetBig sets coefficient j of p from the (possibly negative) integer
+// v, reducing into every tower of p's basis.
+func (r *Ring) SetBig(p *Poly, j int, v *big.Int) {
+	for i, t := range p.Basis {
+		qi := new(big.Int).SetUint64(r.Moduli[t])
+		res := new(big.Int).Mod(v, qi) // Go's Mod is non-negative for positive modulus
+		p.Coeffs[i][j] = res.Uint64()
+	}
+}
+
+// InfNorm returns the largest centered-absolute coefficient of p,
+// interpreting p over its basis product. p must be in the coefficient
+// domain.
+func (r *Ring) InfNorm(p *Poly) *big.Int {
+	max := new(big.Int)
+	for j := 0; j < r.N; j++ {
+		c := r.ToBigCentered(p, j)
+		c.Abs(c)
+		if c.Cmp(max) > 0 {
+			max.Set(c)
+		}
+	}
+	return max
+}

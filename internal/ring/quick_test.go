@@ -1,0 +1,158 @@
+package ring
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests over the ring operations, run on a fixed small ring
+// with randomized polynomial contents.
+
+func quickRing(t *testing.T) *Ring {
+	t.Helper()
+	r, err := NewRingGenerated(32, 3, 30, 2, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// randPoly derives a deterministic polynomial from a seed.
+func randPoly(r *Ring, b Basis, seed int64) *Poly {
+	return NewSampler(r, seed).Uniform(b)
+}
+
+func TestQuickAddCommutes(t *testing.T) {
+	r := quickRing(t)
+	b := r.DBasis(2)
+	f := func(s1, s2 int64) bool {
+		x := randPoly(r, b, s1)
+		y := randPoly(r, b, s2)
+		xy := r.NewPoly(b)
+		yx := r.NewPoly(b)
+		r.Add(x, y, xy)
+		r.Add(y, x, yx)
+		return xy.Equal(yx)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMulAssociates(t *testing.T) {
+	r := quickRing(t)
+	b := r.QBasis(1)
+	f := func(s1, s2, s3 int64) bool {
+		x := randPoly(r, b, s1)
+		y := randPoly(r, b, s2)
+		z := randPoly(r, b, s3)
+		x.IsNTT, y.IsNTT, z.IsNTT = true, true, true
+		xy := r.NewPoly(b)
+		r.MulCoeffwise(x, y, xy)
+		xyz1 := r.NewPoly(b)
+		r.MulCoeffwise(xy, z, xyz1)
+		yz := r.NewPoly(b)
+		r.MulCoeffwise(y, z, yz)
+		xyz2 := r.NewPoly(b)
+		r.MulCoeffwise(x, yz, xyz2)
+		return xyz1.Equal(xyz2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNTTIsLinearBijection(t *testing.T) {
+	r := quickRing(t)
+	b := r.QBasis(2)
+	f := func(s1, s2 int64) bool {
+		x := randPoly(r, b, s1)
+		y := randPoly(r, b, s2)
+		// NTT(x+y) == NTT(x) + NTT(y)
+		sum := r.NewPoly(b)
+		r.Add(x, y, sum)
+		r.NTT(sum)
+		xc, yc := x.Copy(), y.Copy()
+		r.NTT(xc)
+		r.NTT(yc)
+		sum2 := r.NewPoly(b)
+		r.Add(xc, yc, sum2)
+		if !sum.Equal(sum2) {
+			return false
+		}
+		// Bijection: INTT(NTT(x)) == x
+		r.INTT(xc)
+		return xc.Equal(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAutomorphismInvertible(t *testing.T) {
+	r := quickRing(t)
+	b := r.QBasis(1)
+	twoN := 2 * r.N
+	f := func(seed int64, rotRaw int) bool {
+		rot := ((rotRaw % (r.N / 2)) + r.N/2) % (r.N / 2)
+		g := r.GaloisElement(rot)
+		gInv := r.GaloisElement(-rot)
+		if g*gInv%twoN != 1 {
+			return false
+		}
+		x := randPoly(r, b, seed)
+		fwd := r.NewPoly(b)
+		back := r.NewPoly(b)
+		r.Automorphism(x, g, fwd)
+		r.Automorphism(fwd, gInv, back)
+		return back.Equal(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTowerScalarsMatchScalar(t *testing.T) {
+	r := quickRing(t)
+	b := r.DBasis(2)
+	f := func(seed int64, sRaw uint64) bool {
+		s := sRaw % (1 << 29) // below every modulus
+		x := randPoly(r, b, seed)
+		viaScalar := r.NewPoly(b)
+		r.MulScalar(x, s, viaScalar)
+		scalars := make([]uint64, len(b))
+		for i := range scalars {
+			scalars[i] = s
+		}
+		viaTower := r.NewPoly(b)
+		r.MulTowerScalars(x, scalars, viaTower)
+		return viaScalar.Equal(viaTower)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCRTRoundTrip(t *testing.T) {
+	r := quickRing(t)
+	b := r.QBasis(2)
+	rng := rand.New(rand.NewSource(77))
+	p := r.NewPoly(b)
+	for trial := 0; trial < 50; trial++ {
+		j := rng.Intn(r.N)
+		// Random value within the basis product's centered range.
+		v := rng.Int63() - (1 << 62 / 2)
+		bi := bigFromInt64(v)
+		r.SetBig(p, j, bi)
+		got := r.ToBigCentered(p, j)
+		if got.Cmp(bi) != 0 {
+			t.Fatalf("roundtrip %d: got %v", v, got)
+		}
+	}
+}
+
+// bigFromInt64 builds a big.Int without importing math/big at every
+// call site in the quick tests.
+func bigFromInt64(v int64) *big.Int { return big.NewInt(v) }

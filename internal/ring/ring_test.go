@@ -1,0 +1,322 @@
+package ring
+
+import (
+	"math/big"
+	"testing"
+)
+
+func testRing(t *testing.T) *Ring {
+	t.Helper()
+	r, err := NewRingGenerated(64, 4, 30, 2, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(64, nil, nil); err == nil {
+		t.Error("empty Q chain accepted")
+	}
+	if _, err := NewRing(64, []uint64{769, 769}, nil); err == nil {
+		t.Error("duplicate moduli accepted")
+	}
+	if _, err := NewRing(64, []uint64{1025}, nil); err == nil {
+		t.Error("composite modulus accepted")
+	}
+	if _, err := NewRing(64, []uint64{97}, nil); err == nil {
+		t.Error("non-NTT-friendly modulus accepted")
+	}
+}
+
+func TestBases(t *testing.T) {
+	r := testRing(t)
+	if got := r.QBasis(2); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("QBasis(2) = %v", got)
+	}
+	if got := r.PBasis(); len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Fatalf("PBasis() = %v", got)
+	}
+	d := r.DBasis(3)
+	if len(d) != 6 {
+		t.Fatalf("DBasis(3) = %v", d)
+	}
+	if !d.Contains(5) || d.Contains(6) {
+		t.Fatal("DBasis membership wrong")
+	}
+	if !d.Sub(0, 4).Equal(r.QBasis(3)) {
+		t.Fatal("Sub-basis mismatch")
+	}
+}
+
+func TestPolyAddSubNeg(t *testing.T) {
+	r := testRing(t)
+	s := NewSampler(r, 1)
+	b := r.DBasis(3)
+	a := s.Uniform(b)
+	c := s.Uniform(b)
+	sum := r.NewPoly(b)
+	r.Add(a, c, sum)
+	diff := r.NewPoly(b)
+	r.Sub(sum, c, diff)
+	if !diff.Equal(a) {
+		t.Fatal("(a+c)-c != a")
+	}
+	neg := r.NewPoly(b)
+	r.Neg(a, neg)
+	zero := r.NewPoly(b)
+	r.Add(a, neg, zero)
+	for i := range zero.Coeffs {
+		for j := range zero.Coeffs[i] {
+			if zero.Coeffs[i][j] != 0 {
+				t.Fatal("a + (-a) != 0")
+			}
+		}
+	}
+}
+
+func TestMulCoeffwiseMatchesBigConvolution(t *testing.T) {
+	r := testRing(t)
+	s := NewSampler(r, 2)
+	b := r.QBasis(1)
+	a := s.Gaussian(b)
+	c := s.Gaussian(b)
+
+	// Ground truth: negacyclic product over the integers via big.Int.
+	n := r.N
+	av := make([]*big.Int, n)
+	cv := make([]*big.Int, n)
+	for j := 0; j < n; j++ {
+		av[j] = r.ToBigCentered(a, j)
+		cv[j] = r.ToBigCentered(c, j)
+	}
+	want := make([]*big.Int, n)
+	for j := range want {
+		want[j] = new(big.Int)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p := new(big.Int).Mul(av[i], cv[j])
+			if i+j < n {
+				want[i+j].Add(want[i+j], p)
+			} else {
+				want[i+j-n].Sub(want[i+j-n], p)
+			}
+		}
+	}
+
+	r.NTT(a)
+	r.NTT(c)
+	prod := r.NewPoly(b)
+	r.MulCoeffwise(a, c, prod)
+	r.INTT(prod)
+	for j := 0; j < n; j++ {
+		got := r.ToBigCentered(prod, j)
+		if got.Cmp(want[j]) != 0 {
+			t.Fatalf("coefficient %d: got %v want %v", j, got, want[j])
+		}
+	}
+}
+
+func TestMulAddCoeffwise(t *testing.T) {
+	r := testRing(t)
+	s := NewSampler(r, 3)
+	b := r.QBasis(2)
+	a := s.Uniform(b)
+	c := s.Uniform(b)
+	a.IsNTT, c.IsNTT = true, true
+	acc := r.NewPoly(b)
+	acc.IsNTT = true
+	r.MulAddCoeffwise(a, c, acc)
+	r.MulAddCoeffwise(a, c, acc)
+	want := r.NewPoly(b)
+	want.IsNTT = true
+	r.MulCoeffwise(a, c, want)
+	r.Add(want, want, want)
+	if !acc.Equal(want) {
+		t.Fatal("MulAdd twice != 2*Mul")
+	}
+}
+
+func TestNTTDomainTracking(t *testing.T) {
+	r := testRing(t)
+	p := r.NewPoly(r.QBasis(0))
+	r.NTT(p)
+	if !p.IsNTT {
+		t.Fatal("IsNTT not set")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double NTT did not panic")
+		}
+	}()
+	r.NTT(p)
+}
+
+func TestSubPolyView(t *testing.T) {
+	r := testRing(t)
+	s := NewSampler(r, 4)
+	p := s.Uniform(r.DBasis(3))
+	v := p.SubPoly(r.PBasis())
+	// Mutating the view mutates the parent: shared storage.
+	v.Coeffs[0][0] = 12345 % r.Mods[r.NumQ].Q
+	if p.Tower(r.NumQ)[0] != v.Coeffs[0][0] {
+		t.Fatal("SubPoly does not share storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SubPoly with missing tower did not panic")
+		}
+	}()
+	q := s.Uniform(r.QBasis(0))
+	q.SubPoly(r.PBasis())
+}
+
+func TestCRTRoundTrip(t *testing.T) {
+	r := testRing(t)
+	b := r.DBasis(3)
+	p := r.NewPoly(b)
+	vals := []int64{0, 1, -1, 1 << 40, -(1 << 40), 123456789}
+	for j, v := range vals {
+		r.SetBig(p, j, big.NewInt(v))
+	}
+	for j, v := range vals {
+		got := r.ToBigCentered(p, j)
+		if got.Cmp(big.NewInt(v)) != 0 {
+			t.Fatalf("coefficient %d: got %v want %d", j, got, v)
+		}
+	}
+}
+
+func TestSamplerDistributions(t *testing.T) {
+	r := testRing(t)
+	s := NewSampler(r, 5)
+	b := r.QBasis(3)
+
+	tern := s.Ternary(b)
+	for j := 0; j < r.N; j++ {
+		v := r.ToBigCentered(tern, j)
+		if v.Cmp(big.NewInt(1)) > 0 || v.Cmp(big.NewInt(-1)) < 0 {
+			t.Fatalf("ternary coefficient %d out of range: %v", j, v)
+		}
+	}
+
+	g := s.Gaussian(b)
+	norm := r.InfNorm(g)
+	// 6σ tail bound with generous slack.
+	if norm.Cmp(big.NewInt(int64(GaussianSigma*10))) > 0 {
+		t.Fatalf("gaussian coefficient suspiciously large: %v", norm)
+	}
+
+	u := s.Uniform(b)
+	for i, tw := range b {
+		q := r.Mods[tw].Q
+		for j := 0; j < r.N; j++ {
+			if u.Coeffs[i][j] >= q {
+				t.Fatal("uniform residue out of range")
+			}
+		}
+	}
+}
+
+func TestSamplerDeterminism(t *testing.T) {
+	r := testRing(t)
+	a := NewSampler(r, 42).Uniform(r.QBasis(2))
+	b := NewSampler(r, 42).Uniform(r.QBasis(2))
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different polynomials")
+	}
+}
+
+func TestAutomorphismComposition(t *testing.T) {
+	r := testRing(t)
+	s := NewSampler(r, 6)
+	b := r.QBasis(2)
+	p := s.Uniform(b)
+
+	// σ_k(σ_k'(p)) == σ_{kk'}(p)
+	k1, k2 := 5, 25
+	tmp := r.NewPoly(b)
+	out1 := r.NewPoly(b)
+	r.Automorphism(p, k1, tmp)
+	r.Automorphism(tmp, k2, out1)
+	out2 := r.NewPoly(b)
+	r.Automorphism(p, k1*k2, out2)
+	if !out1.Equal(out2) {
+		t.Fatal("automorphisms do not compose")
+	}
+
+	// σ_1 is the identity.
+	id := r.NewPoly(b)
+	r.Automorphism(p, 1, id)
+	if !id.Equal(p) {
+		t.Fatal("sigma_1 != identity")
+	}
+}
+
+func TestAutomorphismPreservesProducts(t *testing.T) {
+	// σ_k is a ring homomorphism: σ(a·b) = σ(a)·σ(b).
+	r := testRing(t)
+	s := NewSampler(r, 7)
+	b := r.QBasis(1)
+	a := s.Gaussian(b)
+	c := s.Gaussian(b)
+	k := r.GaloisElement(3)
+
+	prod := r.NewPoly(b)
+	an, cn := a.Copy(), c.Copy()
+	r.NTT(an)
+	r.NTT(cn)
+	r.MulCoeffwise(an, cn, prod)
+	r.INTT(prod)
+	sigmaProd := r.NewPoly(b)
+	r.Automorphism(prod, k, sigmaProd)
+
+	sa, sc := r.NewPoly(b), r.NewPoly(b)
+	r.Automorphism(a, k, sa)
+	r.Automorphism(c, k, sc)
+	r.NTT(sa)
+	r.NTT(sc)
+	prodSigma := r.NewPoly(b)
+	r.MulCoeffwise(sa, sc, prodSigma)
+	r.INTT(prodSigma)
+
+	if !sigmaProd.Equal(prodSigma) {
+		t.Fatal("automorphism is not a ring homomorphism")
+	}
+}
+
+func TestGaloisElement(t *testing.T) {
+	r := testRing(t)
+	if r.GaloisElement(0) != 1 {
+		t.Fatal("rotation by 0 should be identity")
+	}
+	// Rotating by n/2 slots wraps to identity.
+	if r.GaloisElement(r.N/2) != 1 {
+		t.Fatal("full wrap should be identity")
+	}
+	if r.GaloisElement(1) != 5 {
+		t.Fatalf("GaloisElement(1) = %d, want 5", r.GaloisElement(1))
+	}
+	// Negative rotation is the inverse element.
+	gPos := r.GaloisElement(1)
+	gNeg := r.GaloisElement(-1)
+	if gPos*gNeg%(2*r.N) != 1 {
+		t.Fatal("GaloisElement(-1) is not inverse of GaloisElement(1)")
+	}
+}
+
+func TestMulScalar(t *testing.T) {
+	r := testRing(t)
+	s := NewSampler(r, 8)
+	b := r.QBasis(2)
+	a := s.Uniform(b)
+	out := r.NewPoly(b)
+	r.MulScalar(a, 3, out)
+	want := r.NewPoly(b)
+	r.Add(a, a, want)
+	r.Add(want, a, want)
+	if !out.Equal(want) {
+		t.Fatal("3*a != a+a+a")
+	}
+}

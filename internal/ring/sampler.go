@@ -1,0 +1,80 @@
+package ring
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Sampler draws the random polynomials needed by RLWE key and
+// ciphertext generation. It is deterministic given its seed, which
+// keeps every test reproducible. It is NOT constant-time and must not
+// be used to protect real secrets; this library's goal is dataflow
+// analysis, not production cryptography.
+type Sampler struct {
+	r   *Ring
+	rng *rand.Rand
+}
+
+// NewSampler creates a sampler over r seeded with seed.
+func NewSampler(r *Ring, seed int64) *Sampler {
+	return &Sampler{r: r, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Uniform fills a fresh coefficient-domain polynomial over basis b
+// with independent uniform residues in each tower. (Used for the `a`
+// component of RLWE samples, which is uniform in the NTT domain too;
+// callers transform as needed.)
+func (s *Sampler) Uniform(b Basis) *Poly {
+	p := s.r.NewPoly(b)
+	for i, t := range b {
+		q := s.r.Mods[t].Q
+		row := p.Coeffs[i]
+		for j := range row {
+			row[j] = s.rng.Uint64() % q
+		}
+	}
+	return p
+}
+
+// Ternary samples a polynomial with coefficients in {-1, 0, 1}
+// represented consistently across all towers of basis b (the
+// small-norm secret key distribution).
+func (s *Sampler) Ternary(b Basis) *Poly {
+	p := s.r.NewPoly(b)
+	for j := 0; j < s.r.N; j++ {
+		v := s.rng.Intn(3) - 1 // -1, 0, or 1
+		for i, t := range b {
+			m := s.r.Mods[t]
+			switch v {
+			case 1:
+				p.Coeffs[i][j] = 1
+			case -1:
+				p.Coeffs[i][j] = m.Q - 1
+			}
+		}
+	}
+	return p
+}
+
+// GaussianSigma is the standard deviation of the RLWE error
+// distribution, the conventional value used across HE libraries.
+const GaussianSigma = 3.2
+
+// Gaussian samples a small-error polynomial with discrete-Gaussian
+// coefficients (σ = GaussianSigma), represented across all towers of
+// basis b.
+func (s *Sampler) Gaussian(b Basis) *Poly {
+	p := s.r.NewPoly(b)
+	for j := 0; j < s.r.N; j++ {
+		v := int64(math.Round(s.rng.NormFloat64() * GaussianSigma))
+		for i, t := range b {
+			m := s.r.Mods[t]
+			if v >= 0 {
+				p.Coeffs[i][j] = m.Reduce(uint64(v))
+			} else {
+				p.Coeffs[i][j] = m.Sub(0, m.Reduce(uint64(-v)))
+			}
+		}
+	}
+	return p
+}

@@ -1,0 +1,89 @@
+package ring
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary serialization for polynomials: a fixed little-endian header
+// (magic, domain flag, tower count, degree) followed by the basis
+// indices and the residue rows. Ciphertexts and evaluation keys are
+// (de)serialized by composing WritePoly/ReadPoly.
+
+const polyMagic = uint32(0x43464c57) // "CFLW"
+
+// WritePoly serializes p.
+func (r *Ring) WritePoly(w io.Writer, p *Poly) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint32{polyMagic, 0, uint32(len(p.Basis)), uint32(r.N)}
+	if p.IsNTT {
+		hdr[1] = 1
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, t := range p.Basis {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(t)); err != nil {
+			return err
+		}
+	}
+	for _, row := range p.Coeffs {
+		if err := binary.Write(bw, binary.LittleEndian, row); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPoly deserializes a polynomial written by WritePoly, validating
+// the header and every basis index and residue against this ring.
+// It reads exactly one polynomial's bytes, so several objects can
+// share one stream (no read-ahead buffering).
+func (r *Ring) ReadPoly(rd io.Reader) (*Poly, error) {
+	br := rd
+	var hdr [4]uint32
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("ring: short poly header: %w", err)
+		}
+	}
+	if hdr[0] != polyMagic {
+		return nil, fmt.Errorf("ring: bad magic %#x", hdr[0])
+	}
+	if hdr[3] != uint32(r.N) {
+		return nil, fmt.Errorf("ring: poly degree %d does not match ring N=%d", hdr[3], r.N)
+	}
+	nt := int(hdr[2])
+	if nt == 0 || nt > len(r.Moduli) {
+		return nil, fmt.Errorf("ring: tower count %d out of range", nt)
+	}
+	basis := make(Basis, nt)
+	for i := range basis {
+		var t uint32
+		if err := binary.Read(br, binary.LittleEndian, &t); err != nil {
+			return nil, err
+		}
+		if int(t) >= len(r.Moduli) {
+			return nil, fmt.Errorf("ring: tower index %d out of range", t)
+		}
+		basis[i] = int(t)
+	}
+	p := r.NewPoly(basis)
+	p.IsNTT = hdr[1] == 1
+	for i, t := range basis {
+		if err := binary.Read(br, binary.LittleEndian, p.Coeffs[i]); err != nil {
+			return nil, err
+		}
+		q := r.Mods[t].Q
+		for _, v := range p.Coeffs[i] {
+			if v >= q {
+				return nil, fmt.Errorf("ring: residue %d exceeds modulus %d", v, q)
+			}
+		}
+	}
+	return p, nil
+}

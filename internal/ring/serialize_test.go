@@ -1,0 +1,79 @@
+package ring
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPolyRoundTrip(t *testing.T) {
+	r := quickRing(t)
+	for _, basis := range []Basis{r.QBasis(2), r.PBasis(), r.DBasis(1)} {
+		for _, nttDomain := range []bool{false, true} {
+			p := NewSampler(r, 3).Uniform(basis)
+			p.IsNTT = nttDomain
+			var buf bytes.Buffer
+			if err := r.WritePoly(&buf, p); err != nil {
+				t.Fatal(err)
+			}
+			got, err := r.ReadPoly(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(p) {
+				t.Fatalf("basis %v ntt=%v: roundtrip mismatch", basis, nttDomain)
+			}
+		}
+	}
+}
+
+func TestReadPolyRejectsCorruption(t *testing.T) {
+	r := quickRing(t)
+	p := NewSampler(r, 4).Uniform(r.QBasis(1))
+	var buf bytes.Buffer
+	if err := r.WritePoly(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff
+	if _, err := r.ReadPoly(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupted magic accepted")
+	}
+
+	// Truncated payload.
+	if _, err := r.ReadPoly(bytes.NewReader(good[:len(good)-9])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+
+	// Out-of-range residue: flip a residue to all-ones.
+	bad = append([]byte(nil), good...)
+	for i := len(bad) - 8; i < len(bad); i++ {
+		bad[i] = 0xff
+	}
+	if _, err := r.ReadPoly(bytes.NewReader(bad)); err == nil {
+		t.Error("out-of-range residue accepted")
+	}
+
+	// Wrong ring degree.
+	other, err := NewRingGenerated(64, 3, 30, 2, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.ReadPoly(bytes.NewReader(good)); err == nil ||
+		!strings.Contains(err.Error(), "degree") {
+		t.Errorf("cross-ring read accepted: %v", err)
+	}
+}
+
+func TestReadPolyRejectsGarbage(t *testing.T) {
+	r := quickRing(t)
+	if _, err := r.ReadPoly(strings.NewReader("not a poly")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := r.ReadPoly(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+}

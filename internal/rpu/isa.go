@@ -1,0 +1,75 @@
+package rpu
+
+// B1K ISA catalogue. The paper (§V-A) states that B1K consists of 28
+// instructions "ranging from general purpose point-wise arithmetic
+// operations to HE-specific shuffle instructions for (i)NTT kernels",
+// executed through three decoupled queues (compute, shuffle, memory).
+// The exact opcode list is not published; this reconstruction follows
+// the RPU paper's description of the B512 ISA it extends, and is used
+// for documentation and for estimating front-end instruction counts.
+
+// InstrClass groups instructions by the issue queue they occupy.
+type InstrClass int
+
+const (
+	// ClassCompute issues to the HPLE arithmetic pipelines.
+	ClassCompute InstrClass = iota
+	// ClassShuffle issues to the shuffle crossbar pipeline.
+	ClassShuffle
+	// ClassMemory issues to the load/store unit.
+	ClassMemory
+	// ClassControl executes in the scalar front-end.
+	ClassControl
+)
+
+// Instruction is one B1K opcode.
+type Instruction struct {
+	Name  string
+	Class InstrClass
+	Desc  string
+}
+
+// ISA lists the 28 B1K instructions.
+var ISA = []Instruction{
+	// Point-wise modular vector arithmetic (HPLE pipelines).
+	{"vadd", ClassCompute, "element-wise modular addition"},
+	{"vsub", ClassCompute, "element-wise modular subtraction"},
+	{"vneg", ClassCompute, "element-wise modular negation"},
+	{"vmul", ClassCompute, "element-wise modular multiplication (Barrett)"},
+	{"vmac", ClassCompute, "element-wise modular multiply-accumulate"},
+	{"vmuls", ClassCompute, "vector-scalar modular multiplication"},
+	{"vmacs", ClassCompute, "vector-scalar modular multiply-accumulate"},
+	{"vbfly", ClassCompute, "radix-2 butterfly (CT) with twiddle operand"},
+	{"vibfly", ClassCompute, "radix-2 inverse butterfly (GS)"},
+	{"vmodsw", ClassCompute, "switch active RNS modulus register"},
+	{"vred", ClassCompute, "lazy-to-canonical reduction"},
+	{"vcopy", ClassCompute, "vector register move"},
+	// Shuffle crossbar (NTT data exchange, rotations).
+	{"vshfl", ClassShuffle, "generic crossbar shuffle by pattern register"},
+	{"vntt8", ClassShuffle, "NTT stage-local exchange (stride 2^k)"},
+	{"vrot", ClassShuffle, "cyclic slot rotation"},
+	{"vrev", ClassShuffle, "bit-reversal permutation"},
+	{"vpack", ClassShuffle, "pack/unpack tower interleave"},
+	// Memory (vector data memory and DRAM interface).
+	{"vld", ClassMemory, "vector load from data memory"},
+	{"vst", ClassMemory, "vector store to data memory"},
+	{"vldk", ClassMemory, "vector load from key memory"},
+	{"dma.ld", ClassMemory, "DRAM-to-SRAM block transfer"},
+	{"dma.st", ClassMemory, "SRAM-to-DRAM block transfer"},
+	// Scalar / control front-end.
+	{"sadd", ClassControl, "scalar add (address arithmetic)"},
+	{"smul", ClassControl, "scalar multiply"},
+	{"sld", ClassControl, "scalar load"},
+	{"sst", ClassControl, "scalar store"},
+	{"bnz", ClassControl, "branch on non-zero"},
+	{"fence", ClassControl, "queue synchronization barrier"},
+}
+
+// InstructionsPerTransform estimates the B1K instruction count of one
+// length-N (i)NTT: each of the log2(N) stages touches N elements with
+// vector length VectorLength, issuing one butterfly and one shuffle
+// instruction per vector.
+func InstructionsPerTransform(n, logN int) int {
+	vectorsPerStage := (n + VectorLength - 1) / VectorLength
+	return logN * vectorsPerStage * 2
+}

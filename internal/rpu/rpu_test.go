@@ -1,0 +1,86 @@
+package rpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 128 lanes x 1.7 GHz / 4 cycles = 54.4 G weighted modops/s.
+	if got := c.ModopsPerSec(); math.Abs(got-54.4e9) > 1 {
+		t.Fatalf("baseline MODOPS = %g, want 54.4e9", got)
+	}
+}
+
+func TestModopsScaling(t *testing.T) {
+	base := Default().ModopsPerSec()
+	for _, s := range []float64{2, 4, 8, 16} {
+		if got := Default().WithModops(s).ModopsPerSec(); math.Abs(got-base*s) > 1 {
+			t.Fatalf("scale %gx: got %g", s, got)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{HPLEs: 0, Clock: 1, ModopsScale: 1},
+		{HPLEs: 1, Clock: 0, ModopsScale: 1},
+		{HPLEs: 1, Clock: 1, ModopsScale: 0},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+}
+
+func TestAreaModelMatchesPaperPoints(t *testing.T) {
+	// The two published anchor points: 392 MB -> 401.85 mm^2 and
+	// 32 MB -> 41.85 mm^2 (paper §VI-B).
+	if got := AreaMM2(392 << 20); math.Abs(got-401.85) > 0.01 {
+		t.Errorf("392MB area = %.2f, want 401.85", got)
+	}
+	if got := AreaMM2(32 << 20); math.Abs(got-41.85) > 0.01 {
+		t.Errorf("32MB area = %.2f, want 41.85", got)
+	}
+}
+
+func TestISAHas28Instructions(t *testing.T) {
+	// Paper §V-A: "B1K consists of 28 instructions".
+	if len(ISA) != 28 {
+		t.Fatalf("ISA has %d instructions, want 28", len(ISA))
+	}
+	seen := map[string]bool{}
+	classes := map[InstrClass]int{}
+	for _, ins := range ISA {
+		if seen[ins.Name] {
+			t.Errorf("duplicate instruction %q", ins.Name)
+		}
+		seen[ins.Name] = true
+		if ins.Desc == "" {
+			t.Errorf("instruction %q lacks a description", ins.Name)
+		}
+		classes[ins.Class]++
+	}
+	for _, cls := range []InstrClass{ClassCompute, ClassShuffle, ClassMemory, ClassControl} {
+		if classes[cls] == 0 {
+			t.Errorf("instruction class %d empty", cls)
+		}
+	}
+}
+
+func TestInstructionsPerTransform(t *testing.T) {
+	// N=2^17, logN=17: 128 vectors of 1K per stage, 2 instructions
+	// each.
+	if got := InstructionsPerTransform(1<<17, 17); got != 17*128*2 {
+		t.Fatalf("got %d", got)
+	}
+	// Sub-vector-length transforms still need one vector per stage.
+	if got := InstructionsPerTransform(512, 9); got != 9*2 {
+		t.Fatalf("small transform: got %d", got)
+	}
+}

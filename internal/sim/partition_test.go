@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"ciflow/internal/dataflow"
+	"ciflow/internal/params"
+	"ciflow/internal/trace"
+)
+
+func TestRunPartitionedValidation(t *testing.T) {
+	p := trace.NewBuilder().Program()
+	bad := []PartitionedMachine{
+		{BandwidthBytesPerSec: 0, ModopsPerSec: 1, EvkFrac: 0.5},
+		{BandwidthBytesPerSec: 1, ModopsPerSec: 1, EvkFrac: 0},
+		{BandwidthBytesPerSec: 1, ModopsPerSec: 1, EvkFrac: 1},
+	}
+	for _, m := range bad {
+		if _, err := RunPartitioned(p, m); err == nil {
+			t.Errorf("machine %+v accepted", m)
+		}
+	}
+}
+
+func TestPartitionedChannelsOverlap(t *testing.T) {
+	// One evk stream and one data load of equal size: with a 50/50
+	// split they run concurrently, each at half bandwidth.
+	b := trace.NewBuilder()
+	b.Load("evk:0.0", 1000)
+	b.Load("ld:in.0", 1000)
+	res, err := RunPartitioned(b.Program(), PartitionedMachine{
+		BandwidthBytesPerSec: 1000, ModopsPerSec: 1, EvkFrac: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.RuntimeSec-2.0) > 1e-12 {
+		t.Fatalf("runtime %g, want 2.0 (parallel at half rate)", res.RuntimeSec)
+	}
+	// Shared channel: same bytes serialized at full rate — also 2.0s;
+	// but 3 equal data tasks vs 1 evk task shows the difference.
+	b2 := trace.NewBuilder()
+	b2.Load("evk:0.0", 1000)
+	for i := 0; i < 3; i++ {
+		b2.Load("ld:x", 1000)
+	}
+	shared, err := Run(b2.Program(), Machine{BandwidthBytesPerSec: 1000, ModopsPerSec: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := RunPartitioned(b2.Program(), PartitionedMachine{
+		BandwidthBytesPerSec: 1000, ModopsPerSec: 1, EvkFrac: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 s shared; split: evk 1000/250=4 s, data 3000/750=4 s in
+	// parallel -> same 4 s. Balanced reservation never loses.
+	if split.RuntimeSec > shared.RuntimeSec+1e-9 {
+		t.Fatalf("balanced partition slower: %g vs %g", split.RuntimeSec, shared.RuntimeSec)
+	}
+}
+
+func TestPartitionedBalancedFractionNearShared(t *testing.T) {
+	// On a real OC streamed schedule, reserving the evk's byte share
+	// of the bandwidth must land within a few percent of the shared
+	// channel (same aggregate bandwidth, ordering effects only).
+	s, err := dataflow.Generate(dataflow.OC, dataflow.Config{
+		Bench: params.ARK, DataMemBytes: 32 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(s.Traffic.EvkBytes) / float64(s.Traffic.TotalBytes())
+	bw := 16e9
+	shared, err := Run(s.Prog, Machine{BandwidthBytesPerSec: bw, ModopsPerSec: 54.4e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := RunPartitioned(s.Prog, PartitionedMachine{
+		BandwidthBytesPerSec: bw, ModopsPerSec: 54.4e9, EvkFrac: frac,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := split.RuntimeSec / shared.RuntimeSec
+	// Observation this test documents: OC interleaves key and data
+	// transfers per output tower, so even a byte-balanced static
+	// partition leaves each channel idle while the other works —
+	// measured ~1.5x vs the shared channel. A static reservation is
+	// simple (the paper's arrangement) but not free; it must stay
+	// within 2x of shared and never beat it by more than rounding.
+	if ratio > 2.0 || ratio < 0.99 {
+		t.Fatalf("balanced partition ratio %.2f outside [0.99, 2.0]", ratio)
+	}
+}
+
+func TestPartitionedExtremeFractionHurts(t *testing.T) {
+	// Starving the data channel (95% reserved for keys) must slow a
+	// data-heavy schedule down.
+	s, err := dataflow.Generate(dataflow.MP, dataflow.Config{
+		Bench: params.ARK, DataMemBytes: 32 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := 16e9
+	shared, err := Run(s.Prog, Machine{BandwidthBytesPerSec: bw, ModopsPerSec: 54.4e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	starved, err := RunPartitioned(s.Prog, PartitionedMachine{
+		BandwidthBytesPerSec: bw, ModopsPerSec: 54.4e9, EvkFrac: 0.95,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if starved.RuntimeSec < shared.RuntimeSec*2 {
+		t.Fatalf("starving data channel should hurt: %g vs %g", starved.RuntimeSec, shared.RuntimeSec)
+	}
+}

@@ -1,0 +1,127 @@
+// Package sim executes a dataflow schedule on the RPU performance
+// model: a discrete-event simulation of two in-order issue queues —
+// memory tasks against a bandwidth-limited DRAM channel and compute
+// tasks against a MODOPS-limited vector backend — with cross-queue
+// dependency stalls. This mirrors the paper's simulation framework
+// (§V-C): "the tasks at the front of each queue are fetched and
+// executed in parallel once all the task's dependencies are resolved",
+// so independent data movement is masked by computation.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"ciflow/internal/trace"
+)
+
+// Machine describes the hardware configuration of one run.
+type Machine struct {
+	// BandwidthBytesPerSec is the off-chip DRAM bandwidth.
+	BandwidthBytesPerSec float64
+	// ModopsPerSec is the compute throughput in weighted modular
+	// operations per second (see internal/rpu for the RPU's value).
+	ModopsPerSec float64
+}
+
+// Result summarizes one simulated HKS execution.
+type Result struct {
+	// RuntimeSec is the end-to-end makespan.
+	RuntimeSec float64
+	// MemBusySec and CmpBusySec are per-engine busy times.
+	MemBusySec float64
+	CmpBusySec float64
+	// CmpIdleFrac is the fraction of the makespan the vector backend
+	// spent waiting (the paper's "idle time" metric, §VI-A-1).
+	CmpIdleFrac float64
+	// MemIdleFrac is the DRAM channel's idle fraction.
+	MemIdleFrac float64
+	// BytesMoved is total DRAM traffic.
+	BytesMoved int64
+	// OpsExecuted is total weighted modular operations.
+	OpsExecuted int64
+}
+
+// Run simulates the program to completion.
+func Run(p *trace.Program, m Machine) (Result, error) {
+	if m.BandwidthBytesPerSec <= 0 || m.ModopsPerSec <= 0 {
+		return Result{}, fmt.Errorf("sim: non-positive machine rates %+v", m)
+	}
+	if err := p.Validate(); err != nil {
+		return Result{}, fmt.Errorf("sim: %w", err)
+	}
+
+	done := make([]float64, len(p.Tasks)) // completion time per task
+	for i := range done {
+		done[i] = math.Inf(1)
+	}
+
+	var res Result
+	// Each queue is in-order: a task issues at
+	// max(queue engine free time, all dependency completion times) and
+	// occupies its engine for its service time.
+	memFree, cmpFree := 0.0, 0.0
+	mi, ci := 0, 0
+
+	ready := func(t *trace.Task) (float64, bool) {
+		start := 0.0
+		for _, d := range t.Deps {
+			if math.IsInf(done[d], 1) {
+				return 0, false
+			}
+			if done[d] > start {
+				start = done[d]
+			}
+		}
+		return start, true
+	}
+
+	for mi < len(p.MemQueue) || ci < len(p.CmpQueue) {
+		progressed := false
+		// Advance the memory queue as far as dependencies allow.
+		for mi < len(p.MemQueue) {
+			t := &p.Tasks[p.MemQueue[mi]]
+			depTime, ok := ready(t)
+			if !ok {
+				break
+			}
+			start := math.Max(memFree, depTime)
+			dur := float64(t.Bytes) / m.BandwidthBytesPerSec
+			memFree = start + dur
+			done[t.ID] = memFree
+			res.MemBusySec += dur
+			res.BytesMoved += t.Bytes
+			mi++
+			progressed = true
+		}
+		// Advance the compute queue.
+		for ci < len(p.CmpQueue) {
+			t := &p.Tasks[p.CmpQueue[ci]]
+			depTime, ok := ready(t)
+			if !ok {
+				break
+			}
+			start := math.Max(cmpFree, depTime)
+			dur := float64(t.Ops) / m.ModopsPerSec
+			cmpFree = start + dur
+			done[t.ID] = cmpFree
+			res.CmpBusySec += dur
+			res.OpsExecuted += t.Ops
+			ci++
+			progressed = true
+		}
+		if !progressed {
+			// Both queue heads wait on tasks that can never finish:
+			// a cross-queue deadlock, which Validate's acyclicity
+			// check should have ruled out.
+			return Result{}, fmt.Errorf("sim: deadlock at mem=%d cmp=%d", mi, ci)
+		}
+	}
+
+	res.RuntimeSec = math.Max(memFree, cmpFree)
+	if res.RuntimeSec > 0 {
+		res.CmpIdleFrac = 1 - res.CmpBusySec/res.RuntimeSec
+		res.MemIdleFrac = 1 - res.MemBusySec/res.RuntimeSec
+	}
+	return res, nil
+}

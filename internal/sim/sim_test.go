@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"ciflow/internal/dataflow"
+	"ciflow/internal/params"
+	"ciflow/internal/trace"
+)
+
+func TestRunValidation(t *testing.T) {
+	p := trace.NewBuilder().Program()
+	if _, err := Run(p, Machine{BandwidthBytesPerSec: 0, ModopsPerSec: 1}); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	if _, err := Run(p, Machine{BandwidthBytesPerSec: 1, ModopsPerSec: -1}); err == nil {
+		t.Fatal("negative throughput accepted")
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	res, err := Run(trace.NewBuilder().Program(), Machine{BandwidthBytesPerSec: 1, ModopsPerSec: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RuntimeSec != 0 {
+		t.Fatalf("empty program runtime %g", res.RuntimeSec)
+	}
+}
+
+func TestSerialChain(t *testing.T) {
+	// load(100B) -> compute(50 ops) -> store(100B), at 100 B/s and
+	// 50 ops/s: no overlap possible, runtime = 1 + 1 + 1.
+	b := trace.NewBuilder()
+	l := b.Load("in", 100)
+	c := b.Compute("k", 50, l)
+	b.Store("out", 100, c)
+	res, err := Run(b.Program(), Machine{BandwidthBytesPerSec: 100, ModopsPerSec: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.RuntimeSec-3) > 1e-12 {
+		t.Fatalf("runtime %g, want 3", res.RuntimeSec)
+	}
+	if math.Abs(res.CmpIdleFrac-2.0/3) > 1e-12 {
+		t.Fatalf("compute idle %g, want 2/3", res.CmpIdleFrac)
+	}
+}
+
+func TestPerfectOverlap(t *testing.T) {
+	// Two independent chains: memory stream and compute stream with
+	// no cross dependencies overlap fully.
+	b := trace.NewBuilder()
+	for i := 0; i < 10; i++ {
+		b.Load("x", 100)
+		b.Compute("k", 100)
+	}
+	res, err := Run(b.Program(), Machine{BandwidthBytesPerSec: 1000, ModopsPerSec: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.RuntimeSec-1.0) > 1e-12 {
+		t.Fatalf("runtime %g, want 1.0 (full overlap)", res.RuntimeSec)
+	}
+}
+
+func TestDependencyStall(t *testing.T) {
+	// compute depends on a late load: the compute engine idles.
+	b := trace.NewBuilder()
+	l1 := b.Load("a", 1000) // 1s
+	b.Compute("k", 10, l1)  // cannot start before t=1
+	res, err := Run(b.Program(), Machine{BandwidthBytesPerSec: 1000, ModopsPerSec: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.RuntimeSec-1.01) > 1e-12 {
+		t.Fatalf("runtime %g, want 1.01", res.RuntimeSec)
+	}
+}
+
+func TestInOrderQueueBlocksYoungerTasks(t *testing.T) {
+	// Memory queue is in-order: a blocked head delays later,
+	// dependency-free memory tasks.
+	b := trace.NewBuilder()
+	c := b.Compute("slow", 1000) // 1s of compute
+	b.Load("blocked", 10, c)     // head of mem queue waits for compute
+	b.Load("free", 10)           // behind the blocked head
+	res, err := Run(b.Program(), Machine{BandwidthBytesPerSec: 1000, ModopsPerSec: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// free load finishes only after blocked: 1 + 0.01 + 0.01.
+	if math.Abs(res.RuntimeSec-1.02) > 1e-12 {
+		t.Fatalf("runtime %g, want 1.02", res.RuntimeSec)
+	}
+}
+
+func TestRuntimeLowerBounds(t *testing.T) {
+	// Makespan is at least max(total mem time, total compute time)
+	// on a real HKS schedule.
+	s, err := dataflow.Generate(dataflow.OC, dataflow.Config{
+		Bench: params.ARK, DataMemBytes: 32 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Machine{BandwidthBytesPerSec: 16e9, ModopsPerSec: 54.4e9}
+	res, err := Run(s.Prog, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memT := float64(s.Traffic.TotalBytes()) / m.BandwidthBytesPerSec
+	cmpT := float64(params.ARK.Ops().WeightedTotal()) / m.ModopsPerSec
+	if res.RuntimeSec < math.Max(memT, cmpT)-1e-12 {
+		t.Fatalf("runtime %g below lower bound %g", res.RuntimeSec, math.Max(memT, cmpT))
+	}
+	if res.CmpIdleFrac < 0 || res.CmpIdleFrac >= 1 {
+		t.Fatalf("idle fraction %g out of range", res.CmpIdleFrac)
+	}
+	if res.BytesMoved != s.Traffic.TotalBytes() {
+		t.Fatalf("bytes moved %d != schedule traffic %d", res.BytesMoved, s.Traffic.TotalBytes())
+	}
+}
+
+func TestMoreBandwidthNeverHurts(t *testing.T) {
+	s, err := dataflow.Generate(dataflow.MP, dataflow.Config{
+		Bench: params.DPRIVE, DataMemBytes: 32 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, bw := range []float64{8e9, 16e9, 32e9, 64e9, 128e9} {
+		res, err := Run(s.Prog, Machine{BandwidthBytesPerSec: bw, ModopsPerSec: 54.4e9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RuntimeSec > prev+1e-12 {
+			t.Fatalf("runtime increased with bandwidth at %g GB/s", bw/1e9)
+		}
+		prev = res.RuntimeSec
+	}
+}
+
+func TestComputeBoundSaturation(t *testing.T) {
+	// At extreme bandwidth every dataflow converges to the compute
+	// bound (paper §VI-C: "the design is no longer limited by
+	// bandwidth").
+	cmp := 54.4e9
+	want := float64(params.ARK.Ops().WeightedTotal()) / cmp
+	for _, df := range dataflow.AllDataflows() {
+		s, err := dataflow.Generate(df, dataflow.Config{Bench: params.ARK, DataMemBytes: 32 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(s.Prog, Machine{BandwidthBytesPerSec: 100e12, ModopsPerSec: cmp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RuntimeSec > want*1.02 {
+			t.Fatalf("%s: runtime %g ms not within 2%% of compute bound %g ms",
+				df, res.RuntimeSec*1e3, want*1e3)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"ciflow/internal/trace"
+)
+
+// Span is one task's occupancy of its engine in a simulated run.
+type Span struct {
+	Task  int
+	Name  string
+	Kind  trace.Kind
+	Start float64
+	End   float64
+}
+
+// RunWithTimeline simulates like Run but also returns the per-task
+// spans (in task-ID order), for schedule debugging and Gantt-style
+// visualization of the memory/compute overlap.
+func RunWithTimeline(p *trace.Program, m Machine) (Result, []Span, error) {
+	if m.BandwidthBytesPerSec <= 0 || m.ModopsPerSec <= 0 {
+		return Result{}, nil, fmt.Errorf("sim: non-positive machine rates %+v", m)
+	}
+	if err := p.Validate(); err != nil {
+		return Result{}, nil, fmt.Errorf("sim: %w", err)
+	}
+
+	done := make([]float64, len(p.Tasks))
+	spans := make([]Span, len(p.Tasks))
+	for i := range done {
+		done[i] = math.Inf(1)
+	}
+	var res Result
+	memFree, cmpFree := 0.0, 0.0
+	mi, ci := 0, 0
+
+	ready := func(t *trace.Task) (float64, bool) {
+		start := 0.0
+		for _, d := range t.Deps {
+			if math.IsInf(done[d], 1) {
+				return 0, false
+			}
+			if done[d] > start {
+				start = done[d]
+			}
+		}
+		return start, true
+	}
+	record := func(t *trace.Task, start, dur float64) {
+		spans[t.ID] = Span{Task: t.ID, Name: t.Name, Kind: t.Kind, Start: start, End: start + dur}
+	}
+
+	for mi < len(p.MemQueue) || ci < len(p.CmpQueue) {
+		progressed := false
+		for mi < len(p.MemQueue) {
+			t := &p.Tasks[p.MemQueue[mi]]
+			depTime, ok := ready(t)
+			if !ok {
+				break
+			}
+			start := math.Max(memFree, depTime)
+			dur := float64(t.Bytes) / m.BandwidthBytesPerSec
+			record(t, start, dur)
+			memFree = start + dur
+			done[t.ID] = memFree
+			res.MemBusySec += dur
+			res.BytesMoved += t.Bytes
+			mi++
+			progressed = true
+		}
+		for ci < len(p.CmpQueue) {
+			t := &p.Tasks[p.CmpQueue[ci]]
+			depTime, ok := ready(t)
+			if !ok {
+				break
+			}
+			start := math.Max(cmpFree, depTime)
+			dur := float64(t.Ops) / m.ModopsPerSec
+			record(t, start, dur)
+			cmpFree = start + dur
+			done[t.ID] = cmpFree
+			res.CmpBusySec += dur
+			res.OpsExecuted += t.Ops
+			ci++
+			progressed = true
+		}
+		if !progressed {
+			return Result{}, nil, fmt.Errorf("sim: deadlock at mem=%d cmp=%d", mi, ci)
+		}
+	}
+	res.RuntimeSec = math.Max(memFree, cmpFree)
+	if res.RuntimeSec > 0 {
+		res.CmpIdleFrac = 1 - res.CmpBusySec/res.RuntimeSec
+		res.MemIdleFrac = 1 - res.MemBusySec/res.RuntimeSec
+	}
+	return res, spans, nil
+}
+
+// WriteTimelineCSV dumps spans sorted by start time, one row per task,
+// for plotting.
+func WriteTimelineCSV(w io.Writer, spans []Span) error {
+	sorted := append([]Span(nil), spans...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	if _, err := fmt.Fprintln(w, "task,kind,name,start_us,end_us"); err != nil {
+		return err
+	}
+	for _, s := range sorted {
+		if _, err := fmt.Fprintf(w, "%d,%s,%s,%.3f,%.3f\n",
+			s.Task, s.Kind, s.Name, s.Start*1e6, s.End*1e6); err != nil {
+			return err
+		}
+	}
+	return nil
+}

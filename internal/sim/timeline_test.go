@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"ciflow/internal/dataflow"
+	"ciflow/internal/params"
+	"ciflow/internal/trace"
+)
+
+func TestTimelineMatchesRun(t *testing.T) {
+	s, err := dataflow.Generate(dataflow.OC, dataflow.Config{
+		Bench: params.DPRIVE, DataMemBytes: 32 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Machine{BandwidthBytesPerSec: 16e9, ModopsPerSec: 54.4e9}
+	plain, err := Run(s.Prog, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timed, spans, err := RunWithTimeline(s.Prog, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != timed {
+		t.Fatalf("timeline run diverged: %+v vs %+v", plain, timed)
+	}
+	if len(spans) != len(s.Prog.Tasks) {
+		t.Fatalf("%d spans for %d tasks", len(spans), len(s.Prog.Tasks))
+	}
+}
+
+func TestTimelineRespectsDependenciesAndEngines(t *testing.T) {
+	s, err := dataflow.Generate(dataflow.MP, dataflow.Config{
+		Bench: params.ARK, DataMemBytes: 32 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Machine{BandwidthBytesPerSec: 32e9, ModopsPerSec: 54.4e9}
+	res, spans, err := RunWithTimeline(s.Prog, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range s.Prog.Tasks {
+		sp := spans[task.ID]
+		if sp.End < sp.Start {
+			t.Fatalf("task %d: negative span", task.ID)
+		}
+		if sp.End > res.RuntimeSec+1e-12 {
+			t.Fatalf("task %d ends after the makespan", task.ID)
+		}
+		for _, d := range task.Deps {
+			if spans[d].End > sp.Start+1e-12 {
+				t.Fatalf("task %d starts at %g before dep %d ends at %g",
+					task.ID, sp.Start, d, spans[d].End)
+			}
+		}
+	}
+	// Engine exclusivity: spans within one queue must not overlap.
+	check := func(queue []int) {
+		prevEnd := 0.0
+		for _, id := range queue {
+			sp := spans[id]
+			if sp.Start < prevEnd-1e-12 {
+				t.Fatalf("task %d overlaps its engine predecessor", id)
+			}
+			prevEnd = sp.End
+		}
+	}
+	check(s.Prog.MemQueue)
+	check(s.Prog.CmpQueue)
+}
+
+func TestWriteTimelineCSV(t *testing.T) {
+	b := trace.NewBuilder()
+	l := b.Load("in", 64)
+	b.Compute("k", 128, l)
+	_, spans, err := RunWithTimeline(b.Program(), Machine{BandwidthBytesPerSec: 64, ModopsPerSec: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteTimelineCSV(&sb, spans); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "task,kind,name,start_us,end_us") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "load,ld:in") && !strings.Contains(out, "load,in") {
+		t.Errorf("missing load row:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 3 {
+		t.Errorf("want header + 2 rows:\n%s", out)
+	}
+}

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	b := NewBuilder()
+	l := b.Load("ld:in.0", 100)
+	c := b.Compute("p1.intt", 500, l)
+	b.Store("st:out.0", 100, c)
+	var sb strings.Builder
+	if err := b.Program().WriteDOT(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph", "t0 -> t1", "t1 -> t2", "shape=box", "shape=ellipse"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTTruncates(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 20; i++ {
+		b.Load("ld:x", 1)
+	}
+	var sb strings.Builder
+	if err := b.Program().WriteDOT(&sb, 5); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "t5 ") {
+		t.Error("truncation did not apply")
+	}
+}
+
+func TestStageTraffic(t *testing.T) {
+	b := NewBuilder()
+	b.Load("ld:in.0", 100)
+	b.Load("ld:in.1", 100)
+	b.Load("evk:0.3", 50)
+	b.Store("st:mu.1.7", 25)
+	b.Compute("k", 10)
+	got := b.Program().StageTraffic()
+	want := map[string]int64{"ld:in": 200, "evk:0": 50, "st:mu": 25}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("stage %q = %d, want %d (all: %v)", k, got[k], v, got)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package trace defines the task-graph intermediate representation
+// shared by the dataflow generators and the RPU performance simulator.
+//
+// It mirrors the paper's software framework (§V-C): a program is two
+// in-order queues — memory tasks (off-chip transfers) and compute
+// tasks (HKS kernel tiles) — with explicit cross-queue dependencies.
+// The task at the front of each queue issues once its dependencies
+// have completed, so independent data movement overlaps computation.
+package trace
+
+import "fmt"
+
+// Kind classifies a task.
+type Kind int
+
+const (
+	// Load moves bytes from DRAM to on-chip memory.
+	Load Kind = iota
+	// Store moves bytes from on-chip memory to DRAM.
+	Store
+	// Compute executes a kernel tile on the vector backend.
+	Compute
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Compute:
+		return "compute"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Task is one schedulable unit. Memory tasks carry Bytes; compute
+// tasks carry Ops (weighted modular operations, see params).
+type Task struct {
+	ID    int
+	Kind  Kind
+	Name  string
+	Bytes int64
+	Ops   int64
+	Deps  []int
+}
+
+// Program is a complete HKS schedule: the task set plus the two issue
+// queues, each holding task IDs in program order.
+type Program struct {
+	Tasks    []Task
+	MemQueue []int
+	CmpQueue []int
+}
+
+// Builder incrementally constructs a Program.
+type Builder struct {
+	p Program
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+func (b *Builder) add(k Kind, name string, bytes, ops int64, deps []int) int {
+	id := len(b.p.Tasks)
+	// Copy deps defensively; callers often reuse slices.
+	d := append([]int(nil), deps...)
+	b.p.Tasks = append(b.p.Tasks, Task{ID: id, Kind: k, Name: name, Bytes: bytes, Ops: ops, Deps: d})
+	if k == Compute {
+		b.p.CmpQueue = append(b.p.CmpQueue, id)
+	} else {
+		b.p.MemQueue = append(b.p.MemQueue, id)
+	}
+	return id
+}
+
+// Load appends a DRAM→chip transfer and returns its task ID.
+func (b *Builder) Load(name string, bytes int64, deps ...int) int {
+	return b.add(Load, name, bytes, 0, deps)
+}
+
+// Store appends a chip→DRAM transfer and returns its task ID.
+func (b *Builder) Store(name string, bytes int64, deps ...int) int {
+	return b.add(Store, name, bytes, 0, deps)
+}
+
+// Compute appends a kernel tile and returns its task ID.
+func (b *Builder) Compute(name string, ops int64, deps ...int) int {
+	return b.add(Compute, name, 0, ops, deps)
+}
+
+// Program finalizes and returns the built program.
+func (b *Builder) Program() *Program { return &b.p }
+
+// Stats aggregates a program's volume.
+type Stats struct {
+	Tasks      int
+	LoadBytes  int64
+	StoreBytes int64
+	ComputeOps int64
+}
+
+// Stats scans the program.
+func (p *Program) Stats() Stats {
+	var s Stats
+	s.Tasks = len(p.Tasks)
+	for _, t := range p.Tasks {
+		switch t.Kind {
+		case Load:
+			s.LoadBytes += t.Bytes
+		case Store:
+			s.StoreBytes += t.Bytes
+		case Compute:
+			s.ComputeOps += t.Ops
+		}
+	}
+	return s
+}
+
+// Validate checks structural well-formedness: IDs are dense and
+// self-consistent, dependencies reference earlier-created tasks (the
+// construction order is a topological order, so the graph is acyclic),
+// queue membership matches task kinds, and every task appears in
+// exactly one queue slot.
+func (p *Program) Validate() error {
+	for i, t := range p.Tasks {
+		if t.ID != i {
+			return fmt.Errorf("trace: task %d carries ID %d", i, t.ID)
+		}
+		for _, d := range t.Deps {
+			if d < 0 || d >= len(p.Tasks) {
+				return fmt.Errorf("trace: task %d depends on unknown task %d", i, d)
+			}
+			if d >= i {
+				return fmt.Errorf("trace: task %d depends on later task %d (cycle risk)", i, d)
+			}
+		}
+		if t.Kind == Compute && t.Bytes != 0 {
+			return fmt.Errorf("trace: compute task %d carries bytes", i)
+		}
+		if t.Kind != Compute && t.Ops != 0 {
+			return fmt.Errorf("trace: memory task %d carries ops", i)
+		}
+	}
+	seen := make([]bool, len(p.Tasks))
+	check := func(queue []int, wantCompute bool) error {
+		for _, id := range queue {
+			if id < 0 || id >= len(p.Tasks) {
+				return fmt.Errorf("trace: queue references unknown task %d", id)
+			}
+			if seen[id] {
+				return fmt.Errorf("trace: task %d queued twice", id)
+			}
+			seen[id] = true
+			if isCompute := p.Tasks[id].Kind == Compute; isCompute != wantCompute {
+				return fmt.Errorf("trace: task %d (%s) in wrong queue", id, p.Tasks[id].Kind)
+			}
+		}
+		return nil
+	}
+	if err := check(p.MemQueue, false); err != nil {
+		return err
+	}
+	if err := check(p.CmpQueue, true); err != nil {
+		return err
+	}
+	for id, ok := range seen {
+		if !ok {
+			return fmt.Errorf("trace: task %d not queued", id)
+		}
+	}
+	return nil
+}

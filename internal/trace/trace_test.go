@@ -1,0 +1,93 @@
+package trace
+
+import "testing"
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder()
+	l := b.Load("in", 100)
+	c := b.Compute("intt", 500, l)
+	s := b.Store("out", 100, c)
+	p := b.Program()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tasks) != 3 {
+		t.Fatalf("got %d tasks", len(p.Tasks))
+	}
+	if len(p.MemQueue) != 2 || len(p.CmpQueue) != 1 {
+		t.Fatalf("queues %v %v", p.MemQueue, p.CmpQueue)
+	}
+	st := p.Stats()
+	if st.LoadBytes != 100 || st.StoreBytes != 100 || st.ComputeOps != 500 {
+		t.Fatalf("stats %+v", st)
+	}
+	if p.Tasks[s].Deps[0] != c || p.Tasks[c].Deps[0] != l {
+		t.Fatal("dependencies not recorded")
+	}
+}
+
+func TestDepsAreCopied(t *testing.T) {
+	b := NewBuilder()
+	deps := []int{b.Load("a", 1)}
+	b.Compute("c", 1, deps...)
+	deps[0] = 99 // mutating the caller slice must not corrupt the task
+	if b.Program().Tasks[1].Deps[0] != 0 {
+		t.Fatal("builder aliased the caller's dependency slice")
+	}
+}
+
+func TestValidateRejectsForwardDep(t *testing.T) {
+	p := &Program{
+		Tasks: []Task{
+			{ID: 0, Kind: Compute, Deps: []int{1}},
+			{ID: 1, Kind: Compute},
+		},
+		CmpQueue: []int{0, 1},
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("forward dependency accepted")
+	}
+}
+
+func TestValidateRejectsWrongQueue(t *testing.T) {
+	p := &Program{
+		Tasks:    []Task{{ID: 0, Kind: Load, Bytes: 8}},
+		CmpQueue: []int{0},
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("load in compute queue accepted")
+	}
+}
+
+func TestValidateRejectsUnqueuedTask(t *testing.T) {
+	p := &Program{Tasks: []Task{{ID: 0, Kind: Load, Bytes: 8}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("unqueued task accepted")
+	}
+}
+
+func TestValidateRejectsDoubleQueue(t *testing.T) {
+	p := &Program{
+		Tasks:    []Task{{ID: 0, Kind: Load, Bytes: 8}},
+		MemQueue: []int{0, 0},
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("doubly queued task accepted")
+	}
+}
+
+func TestValidateRejectsMixedPayload(t *testing.T) {
+	p := &Program{
+		Tasks:    []Task{{ID: 0, Kind: Compute, Bytes: 8}},
+		CmpQueue: []int{0},
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("compute task with bytes accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Load.String() != "load" || Store.String() != "store" || Compute.String() != "compute" {
+		t.Fatal("kind names wrong")
+	}
+}
