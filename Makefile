@@ -1,0 +1,32 @@
+# Developer entry points; CI runs the same commands (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test race vet bench clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench measures engine-backed key-switching throughput per dataflow
+# and snapshots the report to BENCH_engine.json so the performance
+# trajectory is tracked from PR to PR. Tune with e.g.
+#   make bench BENCH_FLAGS="-logn 14 -requests 32 -workers 8"
+BENCH_FLAGS ?= -logn 13 -requests 8
+
+bench:
+	$(GO) run ./cmd/ciflow throughput $(BENCH_FLAGS) -json BENCH_engine.json
+	$(GO) test -run NONE -bench 'KeySwitchN4096|SwitchParallel' -benchtime 2x ./internal/hks/
+
+clean:
+	rm -f BENCH_engine.json

@@ -24,7 +24,11 @@
 //	roofline       memory/compute-bound classification at 8/64/256 GB/s
 //	memory         data traffic vs on-chip memory size (§IV working sets)
 //	area           SRAM/area saving summary (§VI-B)
-//	all            everything above in paper order
+//	throughput     measured HKS ops/sec, p50/p99 latency, and speedup
+//	               vs serial, executing each dataflow as a task graph
+//	               on the internal/engine worker pool (the measured
+//	               counterpart to Figure 4)
+//	all            everything above in paper order (except throughput)
 //
 // Flags:
 //
@@ -32,6 +36,13 @@
 //	-mem MiB       on-chip data memory (default 32)
 //	-csv           emit CSV instead of the ASCII table (table2, table4,
 //	               fig4, fig5, fig6, memory)
+//	-dataflow D    throughput dataflow: mp, dc, oc, ocf, or all (default)
+//	-workers N     throughput worker count (default GOMAXPROCS)
+//	-requests B    throughput request count (default 16)
+//	-logn L        throughput ring degree 2^L (default 14)
+//	-towers L      throughput Q-tower count (default 6)
+//	-dnum D        throughput digit count (default 3)
+//	-json FILE     also write the throughput report as JSON
 package main
 
 import (
@@ -59,6 +70,13 @@ func run(args []string) error {
 	benchName := fs.String("bench", "", "benchmark name (BTS1, BTS2, BTS3, ARK, DPRIVE)")
 	memMiB := fs.Int64("mem", 32, "on-chip data memory in MiB")
 	csvOut := fs.Bool("csv", false, "emit CSV instead of ASCII tables")
+	dfName := fs.String("dataflow", "all", "throughput dataflow: mp, dc, oc, ocf, or all")
+	workers := fs.Int("workers", 0, "throughput worker count (0 = GOMAXPROCS)")
+	requests := fs.Int("requests", 16, "throughput request count")
+	logN := fs.Int("logn", 14, "throughput ring degree exponent")
+	towers := fs.Int("towers", 6, "throughput Q-tower count")
+	dnum := fs.Int("dnum", 3, "throughput digit count")
+	jsonPath := fs.String("json", "", "write the throughput report to this JSON file")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -128,6 +146,8 @@ func run(args []string) error {
 	case "area":
 		fmt.Print(analysis.AreaSummary())
 		return nil
+	case "throughput":
+		return throughput(*dfName, *workers, *requests, *logN, *towers, *dnum, *jsonPath)
 	case "all":
 		fmt.Print(analysis.FormatTableIII())
 		fmt.Println()

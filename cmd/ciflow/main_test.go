@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
 
 func TestRunVerbs(t *testing.T) {
 	// Fast verbs run end to end; slower sweeps are covered by the
@@ -27,6 +30,52 @@ func TestRunErrors(t *testing.T) {
 		{"bogus"},
 		{"fig4", "-bench", "NOPE"},
 		{"table2", "-mem", "1"}, // far below any benchmark's minimum
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestThroughputRun(t *testing.T) {
+	// Tiny configuration keeps this a smoke test; the hks package
+	// owns the exhaustive bit-exactness matrix.
+	rep, err := throughputRun("all", 2, 2, 5, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.BitExact {
+		t.Fatal("engine output not bit-exact with serial")
+	}
+	if len(rep.Results) != 4 { // serial + MP + DC + OC
+		t.Fatalf("got %d result rows, want 4", len(rep.Results))
+	}
+	for _, row := range rep.Results {
+		if row.OpsPerSec <= 0 || row.P50Ms < 0 || row.P99Ms < row.P50Ms {
+			t.Fatalf("implausible row %+v", row)
+		}
+	}
+}
+
+func TestThroughputVerb(t *testing.T) {
+	jsonPath := t.TempDir() + "/bench.json"
+	args := []string{"throughput", "-dataflow", "oc", "-workers", "2",
+		"-requests", "2", "-logn", "5", "-towers", "4", "-dnum", "2",
+		"-json", jsonPath}
+	if err := run(args); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	if _, err := os.Stat(jsonPath); err != nil {
+		t.Fatalf("JSON report not written: %v", err)
+	}
+}
+
+func TestThroughputErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"throughput", "-dataflow", "nope", "-logn", "5"},
+		{"throughput", "-requests", "0", "-logn", "5"},
+		{"throughput", "-logn", "3"},
+		{"throughput", "-logn", "5", "-towers", "4", "-dnum", "9"},
 	} {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)

@@ -1,0 +1,202 @@
+package main
+
+// The throughput experiment is the repository's first real-hardware
+// counterpart to the paper's Figure 4: instead of simulating the
+// MP/DC/OC dataflows on the RPU model, it executes them as task
+// graphs on the internal/engine worker pool and reports measured
+// ops/sec, tail latency, and speedup over the serial pipeline.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"ciflow/internal/dataflow"
+	"ciflow/internal/engine"
+	"ciflow/internal/hks"
+	"ciflow/internal/ring"
+)
+
+// throughputRow is one measured configuration.
+type throughputRow struct {
+	Dataflow  string  `json:"dataflow"`
+	Requests  int     `json:"requests"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	Speedup   float64 `json:"speedup_vs_serial"`
+}
+
+// throughputReport is the JSON artifact the bench harness tracks
+// (BENCH_engine.json).
+type throughputReport struct {
+	N        int             `json:"n"`
+	Towers   int             `json:"towers"`
+	Dnum     int             `json:"dnum"`
+	Workers  int             `json:"workers"`
+	NumCPU   int             `json:"num_cpu"`
+	BitExact bool            `json:"bit_exact"`
+	Results  []throughputRow `json:"results"`
+}
+
+func parseThroughputDataflows(name string) ([]dataflow.Dataflow, error) {
+	switch strings.ToLower(name) {
+	case "", "all":
+		return []dataflow.Dataflow{dataflow.MP, dataflow.DC, dataflow.OC}, nil
+	case "mp":
+		return []dataflow.Dataflow{dataflow.MP}, nil
+	case "dc":
+		return []dataflow.Dataflow{dataflow.DC}, nil
+	case "oc":
+		return []dataflow.Dataflow{dataflow.OC}, nil
+	case "ocf":
+		return []dataflow.Dataflow{dataflow.OCF}, nil
+	}
+	return nil, fmt.Errorf("unknown dataflow %q (want mp, dc, oc, ocf, or all)", name)
+}
+
+func percentileMs(sorted []time.Duration, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+func measure(requests int, op func(i int)) (opsPerSec, p50, p99 float64) {
+	lats := make([]time.Duration, requests)
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		t0 := time.Now()
+		op(i)
+		lats[i] = time.Since(t0)
+	}
+	total := time.Since(start)
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	return float64(requests) / total.Seconds(), percentileMs(lats, 50), percentileMs(lats, 99)
+}
+
+// throughputRun executes the experiment and returns the report; split
+// from the printing so tests can exercise it directly.
+func throughputRun(dfName string, workers, requests, logN, towers, dnum int) (*throughputReport, error) {
+	dfs, err := parseThroughputDataflows(dfName)
+	if err != nil {
+		return nil, err
+	}
+	if requests < 1 {
+		return nil, fmt.Errorf("need at least 1 request, got %d", requests)
+	}
+	if logN < 4 || logN > 16 {
+		return nil, fmt.Errorf("logn %d out of range [4,16]", logN)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	n := 1 << logN
+	r, err := ring.NewRingGenerated(n, towers, 40, 3, 41)
+	if err != nil {
+		return nil, err
+	}
+	sw, err := hks.NewSwitcher(r, towers-1, dnum)
+	if err != nil {
+		return nil, err
+	}
+	s := ring.NewSampler(r, 1)
+	full := r.DBasis(r.NumQ - 1)
+	evk := sw.GenEvk(s, s.Ternary(full), s.Ternary(full))
+
+	// Pre-generate the request inputs so sampling stays off the clock.
+	ds := make([]*ring.Poly, requests)
+	for i := range ds {
+		ds[i] = s.Uniform(sw.QBasis())
+		ds[i].IsNTT = true
+	}
+
+	rep := &throughputReport{
+		N: n, Towers: towers, Dnum: dnum,
+		Workers: workers, NumCPU: runtime.NumCPU(),
+		BitExact: true,
+	}
+
+	// Reference output for the bit-exactness check; doubling as the
+	// serial warm-up so the baseline's converter scratch pools are as
+	// warm as the engine path's (the remaining serial/parallel gap at
+	// 1 worker is the serial API's per-op polynomial allocation).
+	ref0, ref1 := sw.KeySwitch(ds[0], evk)
+
+	// Serial baseline.
+	ops, p50, p99 := measure(requests, func(i int) { sw.KeySwitch(ds[i], evk) })
+	rep.Results = append(rep.Results, throughputRow{
+		Dataflow: "serial", Requests: requests,
+		OpsPerSec: ops, P50Ms: p50, P99Ms: p99, Speedup: 1,
+	})
+	serialOps := ops
+
+	e := engine.New(workers)
+	defer e.Close()
+	c0 := r.NewPoly(sw.QBasis())
+	c1 := r.NewPoly(sw.QBasis())
+	for _, df := range dfs {
+		// One warm-up switch populates the pooled state and verifies
+		// the engine path against the serial reference.
+		sw.SwitchParallelInto(e, df, ds[0], evk, c0, c1)
+		if !c0.Equal(ref0) || !c1.Equal(ref1) {
+			rep.BitExact = false
+			return rep, fmt.Errorf("%s parallel output differs from serial", df)
+		}
+		ops, p50, p99 := measure(requests, func(i int) {
+			sw.SwitchParallelInto(e, df, ds[i], evk, c0, c1)
+		})
+		rep.Results = append(rep.Results, throughputRow{
+			Dataflow: df.String(), Requests: requests,
+			OpsPerSec: ops, P50Ms: p50, P99Ms: p99, Speedup: ops / serialOps,
+		})
+	}
+	return rep, nil
+}
+
+func throughput(dfName string, workers, requests, logN, towers, dnum int, jsonPath string) error {
+	rep, err := throughputRun(dfName, workers, requests, logN, towers, dnum)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Engine throughput: N=2^%d, %d towers, dnum=%d, %d workers (%d CPUs), %d requests\n",
+		logN, rep.Towers, rep.Dnum, rep.Workers, rep.NumCPU, requests)
+	fmt.Println("(parallel outputs verified bit-exact against the serial pipeline;")
+	fmt.Println(" speedup includes the engine path's zero-alloc pooling, not only parallelism)")
+	fmt.Printf("%-8s %12s %10s %10s %9s\n", "dataflow", "ops/sec", "p50 ms", "p99 ms", "speedup")
+	for _, row := range rep.Results {
+		fmt.Printf("%-8s %12.2f %10.3f %10.3f %8.2fx\n",
+			row.Dataflow, row.OpsPerSec, row.P50Ms, row.P99Ms, row.Speedup)
+	}
+	if rep.NumCPU == 1 {
+		fmt.Println("note: only one CPU is available; intra-op parallelism cannot beat serial here")
+	}
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}

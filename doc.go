@@ -3,5 +3,13 @@
 // Encryption" (ISPASS 2024): a functional CKKS/HKS implementation, the
 // three HKS dataflows (Max-Parallel, Digit-Centric, Output-Centric),
 // and an RPU performance model that regenerates every table and figure
-// of the paper's evaluation. See README.md and DESIGN.md.
+// of the paper's evaluation.
+//
+// Beyond the paper's model, internal/engine executes the MP/DC/OC
+// stage graphs for real: a worker-pool runtime with per-tower and
+// per-digit task graphs, pooled limb buffers, and an engine-backed
+// ckks.Evaluator. The `ciflow throughput` experiment (flags
+// -dataflow, -workers, -requests) measures ops/sec, p50/p99 latency,
+// and speedup vs the serial pipeline per dataflow — the measured
+// counterpart to the paper's Figure 4. See README.md and DESIGN.md.
 package ciflow

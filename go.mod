@@ -1,0 +1,3 @@
+module ciflow
+
+go 1.24

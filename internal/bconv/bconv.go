@@ -14,18 +14,27 @@
 // The kernel costs N·|B|·|C| modular multiply-accumulates plus N·|B|
 // multiplications — exactly the count the paper charges BConv with
 // (§III-B: "roughly N×α×β modular multiplications").
+//
+// The conversion decomposes into per-tower tiles (YScaleRow for the ŷ
+// pre-multiplication, ConvertTowerFromY for one destination tower),
+// which are exposed so internal/hks can schedule them as independent
+// tasks on the internal/engine worker pool under any of the paper's
+// dataflows. Convert and ConvertExact run the same tiles serially over
+// pooled scratch, so repeated conversions allocate nothing.
 package bconv
 
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
 	"ciflow/internal/ring"
 )
 
 // Converter performs basis conversion from a fixed source basis to a
-// fixed destination basis over one ring. Immutable after construction;
-// safe for concurrent use.
+// fixed destination basis over one ring. Immutable after construction
+// (the scratch pool is internally synchronized); safe for concurrent
+// use.
 type Converter struct {
 	r   *ring.Ring
 	src ring.Basis
@@ -35,6 +44,17 @@ type Converter struct {
 	bHatInv []uint64
 	// bHatMod[i][j] = (B*/b_i) mod c_j
 	bHatMod [][]uint64
+	// srcProdMod[j] = B* mod c_j, the overshoot correction factor.
+	srcProdMod []uint64
+	// srcInv[i] = 1/b_i as a float, for the overshoot estimate.
+	srcInv []float64
+
+	scratch sync.Pool // *convScratch
+}
+
+type convScratch struct {
+	y [][]uint64 // |src| rows of N: the ŷ_i vectors
+	u []uint64   // overshoot per coefficient
 }
 
 // New builds a Converter from basis src to basis dst. The bases must
@@ -49,11 +69,13 @@ func New(r *ring.Ring, src, dst ring.Basis) (*Converter, error) {
 		}
 	}
 	c := &Converter{
-		r:       r,
-		src:     append(ring.Basis(nil), src...),
-		dst:     append(ring.Basis(nil), dst...),
-		bHatInv: make([]uint64, len(src)),
-		bHatMod: make([][]uint64, len(src)),
+		r:          r,
+		src:        append(ring.Basis(nil), src...),
+		dst:        append(ring.Basis(nil), dst...),
+		bHatInv:    make([]uint64, len(src)),
+		bHatMod:    make([][]uint64, len(src)),
+		srcProdMod: make([]uint64, len(dst)),
+		srcInv:     make([]float64, len(src)),
 	}
 	B := r.BasisProduct(src)
 	for i, ti := range src {
@@ -64,11 +86,25 @@ func New(r *ring.Ring, src, dst ring.Basis) (*Converter, error) {
 			return nil, fmt.Errorf("bconv: moduli not coprime at tower %d", ti)
 		}
 		c.bHatInv[i] = inv.Uint64()
+		c.srcInv[i] = 1 / float64(r.Moduli[ti])
 		c.bHatMod[i] = make([]uint64, len(dst))
 		for j, tj := range dst {
 			cj := new(big.Int).SetUint64(r.Moduli[tj])
 			c.bHatMod[i][j] = new(big.Int).Mod(bHat, cj).Uint64()
 		}
+	}
+	for j, tj := range dst {
+		c.srcProdMod[j] = bigModUint64(B, r.Moduli[tj])
+	}
+	c.scratch.New = func() any {
+		s := &convScratch{
+			y: make([][]uint64, len(c.src)),
+			u: make([]uint64, r.N),
+		}
+		for i := range s.y {
+			s.y[i] = make([]uint64, r.N)
+		}
+		return s
 	}
 	return c, nil
 }
@@ -79,9 +115,7 @@ func (c *Converter) Src() ring.Basis { return c.src }
 // Dst returns the converter's destination basis.
 func (c *Converter) Dst() ring.Basis { return c.dst }
 
-// Convert converts in (coefficient domain, basis = Src) into out
-// (basis = Dst), overwriting out. in is not modified.
-func (c *Converter) Convert(in, out *ring.Poly) {
+func (c *Converter) checkConvert(in, out *ring.Poly) {
 	if !in.Basis.Equal(c.src) {
 		panic(fmt.Sprintf("bconv: input basis %v, converter source %v", in.Basis, c.src))
 	}
@@ -91,31 +125,109 @@ func (c *Converter) Convert(in, out *ring.Poly) {
 	if in.IsNTT {
 		panic("bconv: conversion requires coefficient domain")
 	}
-	n := c.r.N
-	// y_i = x_i · (B*/b_i)^{-1} mod b_i, computed per source tower.
-	y := make([][]uint64, len(c.src))
-	for i, ti := range c.src {
-		m := c.r.Mods[ti]
-		y[i] = make([]uint64, n)
-		row := in.Coeffs[i]
-		for k := 0; k < n; k++ {
-			y[i][k] = m.Mul(row[k], c.bHatInv[i])
+}
+
+// serialFor runs fn(0..n-1) on the caller, the fallback for a nil
+// Runner.
+func serialFor(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func loop(e ring.Runner) func(int, func(int)) {
+	if e == nil {
+		return serialFor
+	}
+	return e.ParallelFor
+}
+
+// ---- Per-tower tiles ----
+//
+// These are the building blocks the dataflow schedules tile over
+// towers; each is safe to run concurrently with tiles touching other
+// rows.
+
+// YScaleRow computes ŷ_i = x_i · (B*/b_i)^{-1} mod b_i for source
+// tower index i. in is the tower's coefficient-domain row; out
+// receives the scaled row and may alias in.
+func (c *Converter) YScaleRow(i int, in, out []uint64) {
+	m := c.r.Mods[c.src[i]]
+	w := c.bHatInv[i]
+	for k := range in {
+		out[k] = m.Mul(in[k], w)
+	}
+}
+
+// ConvertTowerFromY accumulates destination tower dstIdx (an index
+// into Dst) from the pre-scaled ŷ rows, overwriting dst. Combined
+// with YScaleRow it is bit-exact with Convert's per-tower result.
+func (c *Converter) ConvertTowerFromY(y [][]uint64, dstIdx int, dst []uint64) {
+	m := c.r.Mods[c.dst[dstIdx]]
+	for k := range dst {
+		dst[k] = 0
+	}
+	for i := range c.src {
+		w := c.bHatMod[i][dstIdx]
+		yi := y[i]
+		for k := range dst {
+			dst[k] = m.Add(dst[k], m.Mul(yi[k], w))
 		}
 	}
-	for j, tj := range c.dst {
-		m := c.r.Mods[tj]
-		dst := out.Coeffs[j]
-		for k := 0; k < n; k++ {
-			dst[k] = 0
-		}
+}
+
+// Overshoot estimates u_k = round(Σ_i ŷ_i[k] / b_i) for coefficients
+// k in [from, to), writing into u[from:to]. The float sum runs in
+// ascending source order so chunked and serial evaluation agree
+// bit-exactly.
+func (c *Converter) Overshoot(y [][]uint64, u []uint64, from, to int) {
+	for k := from; k < to; k++ {
+		var v float64
 		for i := range c.src {
-			w := c.bHatMod[i][j]
-			yi := y[i]
-			for k := 0; k < n; k++ {
-				dst[k] = m.Add(dst[k], m.Mul(yi[k], w))
-			}
+			v += float64(y[i][k]) * c.srcInv[i]
 		}
+		u[k] = uint64(v + 0.5)
 	}
+}
+
+// ConvertExactTowerFromY is ConvertTowerFromY with the overshoot u
+// removed: dst_k = Σ_i ŷ_i[k]·(B*/b_i) − u_k·B* (mod c_j). Combined
+// with YScaleRow and Overshoot it is bit-exact with ConvertExact's
+// per-tower result.
+func (c *Converter) ConvertExactTowerFromY(y [][]uint64, u []uint64, dstIdx int, dst []uint64) {
+	m := c.r.Mods[c.dst[dstIdx]]
+	bMod := c.srcProdMod[dstIdx]
+	for k := range dst {
+		var acc uint64
+		for i := range c.src {
+			acc = m.Add(acc, m.Mul(y[i][k], c.bHatMod[i][dstIdx]))
+		}
+		dst[k] = m.Sub(acc, m.Mul(m.Reduce(u[k]), bMod))
+	}
+}
+
+// ---- Full conversions ----
+
+// Convert converts in (coefficient domain, basis = Src) into out
+// (basis = Dst), overwriting out. in is not modified. Scratch comes
+// from an internal pool, so steady-state conversion does not allocate.
+func (c *Converter) Convert(in, out *ring.Poly) { c.convert(nil, in, out) }
+
+// ConvertWith is Convert with the per-tower tiles fanned out on e
+// (nil e runs serially). Bit-exact with Convert.
+func (c *Converter) ConvertWith(e ring.Runner, in, out *ring.Poly) { c.convert(e, in, out) }
+
+func (c *Converter) convert(e ring.Runner, in, out *ring.Poly) {
+	c.checkConvert(in, out)
+	pf := loop(e)
+	s := c.scratch.Get().(*convScratch)
+	pf(len(c.src), func(i int) {
+		c.YScaleRow(i, in.Coeffs[i], s.y[i])
+	})
+	pf(len(c.dst), func(j int) {
+		c.ConvertTowerFromY(s.y, j, out.Coeffs[j])
+	})
+	c.scratch.Put(s)
 	out.IsNTT = false
 }
 
@@ -125,47 +237,40 @@ func (c *Converter) Convert(in, out *ring.Poly) {
 // *centered* representative x̃ ∈ [-B*/2, B*/2) reduced into each
 // destination tower. Used by ModDown, where the overshoot would
 // otherwise add P-scaled noise.
-func (c *Converter) ConvertExact(in, out *ring.Poly) {
-	if !in.Basis.Equal(c.src) {
-		panic(fmt.Sprintf("bconv: input basis %v, converter source %v", in.Basis, c.src))
-	}
-	if !out.Basis.Equal(c.dst) {
-		panic(fmt.Sprintf("bconv: output basis %v, converter destination %v", out.Basis, c.dst))
-	}
-	if in.IsNTT {
-		panic("bconv: conversion requires coefficient domain")
-	}
+func (c *Converter) ConvertExact(in, out *ring.Poly) { c.convertExact(nil, in, out) }
+
+// ConvertExactWith is ConvertExact with the per-tower tiles fanned
+// out on e (nil e runs serially). Bit-exact with ConvertExact.
+func (c *Converter) ConvertExactWith(e ring.Runner, in, out *ring.Poly) {
+	c.convertExact(e, in, out)
+}
+
+// OvershootChunk bounds the coefficients one Overshoot tile covers
+// when the estimate is parallelized; internal/hks tiles its ModDown
+// overshoot nodes with the same granularity.
+const OvershootChunk = 2048
+
+func (c *Converter) convertExact(e ring.Runner, in, out *ring.Poly) {
+	c.checkConvert(in, out)
+	pf := loop(e)
 	n := c.r.N
-	y := make([][]uint64, len(c.src))
-	for i, ti := range c.src {
-		m := c.r.Mods[ti]
-		y[i] = make([]uint64, n)
-		row := in.Coeffs[i]
-		for k := 0; k < n; k++ {
-			y[i][k] = m.Mul(row[k], c.bHatInv[i])
+	s := c.scratch.Get().(*convScratch)
+	pf(len(c.src), func(i int) {
+		c.YScaleRow(i, in.Coeffs[i], s.y[i])
+	})
+	chunks := (n + OvershootChunk - 1) / OvershootChunk
+	pf(chunks, func(ci int) {
+		from := ci * OvershootChunk
+		to := from + OvershootChunk
+		if to > n {
+			to = n
 		}
-	}
-	// Overshoot per coefficient: u_k = round(Σ_i y_i[k] / b_i).
-	u := make([]uint64, n)
-	for k := 0; k < n; k++ {
-		var v float64
-		for i, ti := range c.src {
-			v += float64(y[i][k]) / float64(c.r.Moduli[ti])
-		}
-		u[k] = uint64(v + 0.5)
-	}
-	for j, tj := range c.dst {
-		m := c.r.Mods[tj]
-		bMod := bigModUint64(c.r.BasisProduct(c.src), c.r.Moduli[tj])
-		dst := out.Coeffs[j]
-		for k := 0; k < n; k++ {
-			var acc uint64
-			for i := range c.src {
-				acc = m.Add(acc, m.Mul(y[i][k], c.bHatMod[i][j]))
-			}
-			dst[k] = m.Sub(acc, m.Mul(m.Reduce(u[k]), bMod))
-		}
-	}
+		c.Overshoot(s.y, s.u, from, to)
+	})
+	pf(len(c.dst), func(j int) {
+		c.ConvertExactTowerFromY(s.y, s.u, j, out.Coeffs[j])
+	})
+	c.scratch.Put(s)
 	out.IsNTT = false
 }
 

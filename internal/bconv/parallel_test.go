@@ -1,0 +1,126 @@
+package bconv
+
+import (
+	"testing"
+
+	"ciflow/internal/engine"
+	"ciflow/internal/ring"
+)
+
+func parallelSetup(t *testing.T) (*ring.Ring, *Converter, *ring.Poly) {
+	t.Helper()
+	r, err := ring.NewRingGenerated(64, 4, 30, 3, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(r, r.QBasis(3), r.PBasis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ring.NewSampler(r, 5)
+	in := s.Uniform(c.Src())
+	return r, c, in
+}
+
+func TestConvertWithMatchesSerial(t *testing.T) {
+	r, c, in := parallelSetup(t)
+	e := engine.New(4)
+	defer e.Close()
+
+	serial := r.NewPoly(c.Dst())
+	par := r.NewPoly(c.Dst())
+	c.Convert(in, serial)
+	c.ConvertWith(e, in, par)
+	if !serial.Equal(par) {
+		t.Fatal("ConvertWith differs from Convert")
+	}
+	c.ConvertWith(nil, in, par)
+	if !serial.Equal(par) {
+		t.Fatal("nil-runner ConvertWith differs from Convert")
+	}
+}
+
+func TestConvertExactWithMatchesSerial(t *testing.T) {
+	r, c, in := parallelSetup(t)
+	e := engine.New(4)
+	defer e.Close()
+
+	serial := r.NewPoly(c.Dst())
+	par := r.NewPoly(c.Dst())
+	c.ConvertExact(in, serial)
+	c.ConvertExactWith(e, in, par)
+	if !serial.Equal(par) {
+		t.Fatal("ConvertExactWith differs from ConvertExact")
+	}
+	c.ConvertExactWith(nil, in, par)
+	if !serial.Equal(par) {
+		t.Fatal("nil-runner ConvertExactWith differs from ConvertExact")
+	}
+}
+
+func TestTilesComposeToConvert(t *testing.T) {
+	// YScaleRow + ConvertTowerFromY, the tiles internal/hks schedules
+	// on the engine, must reproduce Convert column by column; adding
+	// Overshoot + ConvertExactTowerFromY must reproduce ConvertExact.
+	r, c, in := parallelSetup(t)
+	n := r.N
+
+	y := make([][]uint64, len(c.Src()))
+	for i := range y {
+		y[i] = make([]uint64, n)
+		c.YScaleRow(i, in.Coeffs[i], y[i])
+	}
+
+	want := r.NewPoly(c.Dst())
+	c.Convert(in, want)
+	got := make([]uint64, n)
+	for j := range c.Dst() {
+		c.ConvertTowerFromY(y, j, got)
+		for k := 0; k < n; k++ {
+			if got[k] != want.Coeffs[j][k] {
+				t.Fatalf("tile dst %d coeff %d: %d != %d", j, k, got[k], want.Coeffs[j][k])
+			}
+		}
+	}
+
+	u := make([]uint64, n)
+	// Chunked overshoot must agree with a single pass.
+	c.Overshoot(y, u, 0, n/2)
+	c.Overshoot(y, u, n/2, n)
+	uWhole := make([]uint64, n)
+	c.Overshoot(y, uWhole, 0, n)
+	for k := range u {
+		if u[k] != uWhole[k] {
+			t.Fatalf("chunked overshoot differs at %d", k)
+		}
+	}
+
+	wantEx := r.NewPoly(c.Dst())
+	c.ConvertExact(in, wantEx)
+	for j := range c.Dst() {
+		c.ConvertExactTowerFromY(y, u, j, got)
+		for k := 0; k < n; k++ {
+			if got[k] != wantEx.Coeffs[j][k] {
+				t.Fatalf("exact tile dst %d coeff %d: %d != %d", j, k, got[k], wantEx.Coeffs[j][k])
+			}
+		}
+	}
+}
+
+func TestConvertScratchReuseIsClean(t *testing.T) {
+	// Back-to-back conversions through the pooled scratch must not
+	// leak state between calls.
+	r, c, in := parallelSetup(t)
+	s := ring.NewSampler(r, 9)
+	in2 := s.Uniform(c.Src())
+
+	a := r.NewPoly(c.Dst())
+	b := r.NewPoly(c.Dst())
+	c.Convert(in, a)
+	c.Convert(in2, b)
+	fresh := r.NewPoly(c.Dst())
+	c.Convert(in2, fresh)
+	if !b.Equal(fresh) {
+		t.Fatal("scratch reuse changed conversion result")
+	}
+}

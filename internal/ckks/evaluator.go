@@ -3,6 +3,9 @@ package ckks
 import (
 	"fmt"
 
+	"ciflow/internal/dataflow"
+	"ciflow/internal/engine"
+	"ciflow/internal/hks"
 	"ciflow/internal/ring"
 )
 
@@ -23,11 +26,46 @@ func (ct *Ciphertext) Copy() *Ciphertext {
 type Evaluator struct {
 	ctx *Context
 	kc  *KeyChain
+
+	// When eng is set, key switching runs as a df-shaped task graph on
+	// the worker pool and the transforms around it go tower-parallel;
+	// results are bit-exact with the serial path.
+	eng *engine.Engine
+	df  dataflow.Dataflow
 }
 
 // NewEvaluator binds an evaluator to a context and key chain.
 func NewEvaluator(ctx *Context, kc *KeyChain) *Evaluator {
 	return &Evaluator{ctx: ctx, kc: kc}
+}
+
+// WithEngine returns an evaluator sharing ev's context and key chain
+// whose hybrid key switches execute on e under the given dataflow
+// (Rotate, MulRelin, Conjugate, and everything built on them benefit
+// transparently). Outputs are bit-exact with the serial evaluator.
+func (ev *Evaluator) WithEngine(e *engine.Engine, df dataflow.Dataflow) *Evaluator {
+	ev2 := *ev
+	ev2.eng = e
+	ev2.df = df
+	return &ev2
+}
+
+// runner adapts the engine for the ring's tower-parallel transforms;
+// nil means serial.
+func (ev *Evaluator) runner() ring.Runner {
+	if ev.eng == nil {
+		return nil
+	}
+	return ev.eng
+}
+
+// keySwitch dispatches one hybrid key switch to the engine when one is
+// attached, falling back to the serial pipeline otherwise.
+func (ev *Evaluator) keySwitch(sw *hks.Switcher, d *ring.Poly, evk *hks.Evk) (c0, c1 *ring.Poly) {
+	if ev.eng == nil {
+		return sw.KeySwitch(d, evk)
+	}
+	return sw.SwitchParallel(ev.eng, ev.df, d, evk)
 }
 
 // Encrypt encrypts a plaintext under the public key:
@@ -151,7 +189,7 @@ func (ev *Evaluator) MulRelin(ct1, ct2 *Ciphertext) (*Ciphertext, error) {
 	if err != nil {
 		return nil, err
 	}
-	k0, k1 := sw.KeySwitch(d2, rlk)
+	k0, k1 := ev.keySwitch(sw, d2, rlk)
 	r.Add(d0, k0, d0)
 	r.Add(d1, k1, d1)
 	return &Ciphertext{C0: d0, C1: d1, Level: ct1.Level, Scale: ct1.Scale * ct2.Scale}, nil
@@ -171,7 +209,7 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
 	out := &Ciphertext{Level: ct.Level - 1, Scale: ct.Scale / float64(qLast)}
 	for ci, src := range []*ring.Poly{ct.C0, ct.C1} {
 		p := src.Copy()
-		r.INTT(p)
+		r.INTTWith(ev.runner(), p)
 		last := p.Tower(qLastTower)
 		res := r.NewPoly(newB)
 		for i, t := range newB {
@@ -190,7 +228,7 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
 				dst[k] = m.Mul(m.Sub(row[k], centered), qInv)
 			}
 		}
-		r.NTT(res)
+		r.NTTWith(ev.runner(), res)
 		if ci == 0 {
 			out.C0 = res
 		} else {
@@ -210,14 +248,14 @@ func (ev *Evaluator) Rotate(ct *Ciphertext, rotBy int) (*Ciphertext, error) {
 
 	rc0 := ct.C0.Copy()
 	rc1 := ct.C1.Copy()
-	r.INTT(rc0)
-	r.INTT(rc1)
+	r.INTTWith(ev.runner(), rc0)
+	r.INTTWith(ev.runner(), rc1)
 	a0 := r.NewPoly(b)
 	a1 := r.NewPoly(b)
 	r.Automorphism(rc0, g, a0)
 	r.Automorphism(rc1, g, a1)
-	r.NTT(a0)
-	r.NTT(a1)
+	r.NTTWith(ev.runner(), a0)
+	r.NTTWith(ev.runner(), a1)
 
 	sw, err := ev.kc.Switcher(ct.Level)
 	if err != nil {
@@ -227,7 +265,7 @@ func (ev *Evaluator) Rotate(ct *Ciphertext, rotBy int) (*Ciphertext, error) {
 	if err != nil {
 		return nil, err
 	}
-	k0, k1 := sw.KeySwitch(a1, rk)
+	k0, k1 := ev.keySwitch(sw, a1, rk)
 	r.Add(a0, k0, a0)
 	return &Ciphertext{C0: a0, C1: k1, Level: ct.Level, Scale: ct.Scale}, nil
 }

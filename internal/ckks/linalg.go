@@ -15,14 +15,14 @@ func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
 
 	rc0 := ct.C0.Copy()
 	rc1 := ct.C1.Copy()
-	r.INTT(rc0)
-	r.INTT(rc1)
+	r.INTTWith(ev.runner(), rc0)
+	r.INTTWith(ev.runner(), rc1)
 	a0 := r.NewPoly(b)
 	a1 := r.NewPoly(b)
 	r.Automorphism(rc0, k, a0)
 	r.Automorphism(rc1, k, a1)
-	r.NTT(a0)
-	r.NTT(a1)
+	r.NTTWith(ev.runner(), a0)
+	r.NTTWith(ev.runner(), a1)
 
 	sw, err := ev.kc.Switcher(ct.Level)
 	if err != nil {
@@ -32,7 +32,7 @@ func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
 	if err != nil {
 		return nil, err
 	}
-	k0, k1 := sw.KeySwitch(a1, rk)
+	k0, k1 := ev.keySwitch(sw, a1, rk)
 	r.Add(a0, k0, a0)
 	return &Ciphertext{C0: a0, C1: k1, Level: ct.Level, Scale: ct.Scale}, nil
 }

@@ -1,0 +1,41 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkParallelForOverhead measures scheduling cost per iteration
+// with a trivial body — the floor below which tower-sized tasks must
+// stay profitable.
+func BenchmarkParallelForOverhead(b *testing.B) {
+	e := New(4)
+	defer e.Close()
+	var sink atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ParallelFor(64, func(j int) { sink.Add(1) })
+	}
+}
+
+// BenchmarkGraphOverhead measures per-node dispatch cost of a reused
+// three-stage graph shaped like an HKS pipeline (fan-out, barrier,
+// fan-out).
+func BenchmarkGraphOverhead(b *testing.B) {
+	e := New(4)
+	defer e.Close()
+	var sink atomic.Int64
+	g := NewGraph()
+	stage1 := make([]int, 16)
+	for i := range stage1 {
+		stage1[i] = g.Node(func() { sink.Add(1) })
+	}
+	mid := g.Node(func() { sink.Add(1) }, stage1...)
+	for i := 0; i < 16; i++ {
+		g.Node(func() { sink.Add(1) }, mid)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunGraph(g)
+	}
+}

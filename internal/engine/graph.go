@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Graph is a dependency DAG of tasks, the execution-time counterpart
+// of the stage graphs internal/dataflow generates for the RPU model:
+// each node is one tile of work (an NTT of one tower, a BConv of one
+// output tower, one digit's pipeline, ...) and edges are the data
+// dependencies of the chosen dataflow.
+//
+// Nodes are added in topological order (a node may only depend on
+// already-created nodes), which makes cycles impossible by
+// construction. A Graph is reusable — Run resets the dependency
+// counters — but must not be run concurrently with itself. Pool
+// graphs (e.g. with sync.Pool) to run the same pipeline shape on
+// overlapping requests.
+type Graph struct {
+	nodes []gnode
+
+	// Per-run state; a Graph runs one execution at a time.
+	rem       []int32
+	completed atomic.Int64
+	aborted   atomic.Bool
+	pmu       sync.Mutex
+	panicked  any
+	eng       *Engine
+	ctx       context.Context
+	done      chan struct{} // closed by the node that completes the run
+}
+
+type gnode struct {
+	run   func()
+	succ  []int32
+	ndeps int32
+	task  func() // prebuilt submit thunk, so runs allocate nothing
+}
+
+// NewGraph returns an empty task graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Node adds a task that runs after every listed dependency has
+// completed, returning its id for use as a dependency of later nodes.
+// Dependencies must be ids of previously added nodes.
+func (g *Graph) Node(run func(), deps ...int) int {
+	id := len(g.nodes)
+	for _, d := range deps {
+		if d < 0 || d >= id {
+			panic(fmt.Sprintf("engine: node %d depends on invalid node %d", id, d))
+		}
+		g.nodes[d].succ = append(g.nodes[d].succ, int32(id))
+	}
+	g.nodes = append(g.nodes, gnode{run: run, ndeps: int32(len(deps))})
+	g.nodes[id].task = func() { g.exec(int32(id)) }
+	return id
+}
+
+func (g *Graph) exec(id int32) {
+	nd := &g.nodes[id]
+	if !g.aborted.Load() && g.ctx.Err() != nil {
+		g.aborted.Store(true)
+	}
+	if !g.aborted.Load() {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					g.pmu.Lock()
+					if g.panicked == nil {
+						g.panicked = r
+					}
+					g.pmu.Unlock()
+					g.aborted.Store(true)
+				}
+			}()
+			nd.run()
+		}()
+	}
+	if g.completed.Add(1) == int64(len(g.nodes)) {
+		close(g.done)
+	}
+	for _, s := range nd.succ {
+		if atomic.AddInt32(&g.rem[s], -1) == 0 {
+			g.spawn(s)
+		}
+	}
+}
+
+func (g *Graph) spawn(id int32) {
+	nd := &g.nodes[id]
+	if !g.eng.trySubmit(nd.task) {
+		nd.task()
+	}
+}
+
+// RunGraph executes g on the pool and returns when every node has
+// completed. A panic in a node aborts the remaining nodes and is
+// re-raised on the calling goroutine.
+func (e *Engine) RunGraph(g *Graph) {
+	_ = e.RunGraphCtx(context.Background(), g)
+}
+
+// RunGraphCtx is RunGraph with cancellation: when ctx is cancelled,
+// nodes that have not started are skipped, in-flight nodes finish, and
+// the context error is returned. On cancellation the graph's outputs
+// are undefined; on a nil return every node ran exactly once.
+func (e *Engine) RunGraphCtx(ctx context.Context, g *Graph) error {
+	n := len(g.nodes)
+	if err := ctx.Err(); err != nil || n == 0 {
+		return err
+	}
+	if cap(g.rem) < n {
+		g.rem = make([]int32, n)
+	}
+	g.rem = g.rem[:n]
+	for i := range g.rem {
+		g.rem[i] = g.nodes[i].ndeps
+	}
+	g.completed.Store(0)
+	g.aborted.Store(false)
+	g.eng = e
+	g.ctx = ctx
+	g.done = make(chan struct{})
+
+	for i := range g.nodes {
+		if g.nodes[i].ndeps == 0 {
+			g.spawn(int32(i))
+		}
+	}
+	// The caller helps drain the pool while waiting — nested graphs
+	// need someone to run their dynamically spawned nodes when every
+	// worker is itself blocked in a RunGraph — but it blocks on the
+	// queue rather than spinning, so an idle waiter costs no CPU. The
+	// price of helping is that a stolen task may belong to another
+	// operation and extend this call by that task's length.
+	jobs := e.jobs
+	ctxDone := ctx.Done()
+	for waiting := true; waiting; {
+		select {
+		case <-g.done:
+			waiting = false
+		case <-ctxDone:
+			g.aborted.Store(true)
+			ctxDone = nil // nodes drain via the per-node ctx check
+		case f, ok := <-jobs:
+			if !ok {
+				jobs = nil // engine closed; spawn falls back to inline
+				continue
+			}
+			f()
+		}
+	}
+	g.eng = nil
+	g.ctx = nil
+	g.done = nil
+	if g.panicked != nil {
+		pv := g.panicked
+		g.panicked = nil
+		panic(pv)
+	}
+	return ctx.Err()
+}

@@ -3,6 +3,8 @@ package hks
 import (
 	"testing"
 
+	"ciflow/internal/dataflow"
+	"ciflow/internal/engine"
 	"ciflow/internal/ring"
 )
 
@@ -83,3 +85,23 @@ func BenchmarkKeySwitch8Individual(b *testing.B) {
 		}
 	}
 }
+
+// Engine-backed benchmarks: the same switch executed as MP/DC/OC task
+// graphs on a GOMAXPROCS-sized worker pool. Compare against
+// BenchmarkKeySwitchN4096 for the dataflow's wall-clock effect.
+
+func benchSwitchParallel(b *testing.B, df dataflow.Dataflow) {
+	r, sw, evk, d := benchSetup(b, 4096, 6, 3)
+	e := engine.New(0)
+	defer e.Close()
+	c0 := r.NewPoly(sw.QBasis())
+	c1 := r.NewPoly(sw.QBasis())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.SwitchParallelInto(e, df, d, evk, c0, c1)
+	}
+}
+
+func BenchmarkSwitchParallelMPN4096(b *testing.B) { benchSwitchParallel(b, dataflow.MP) }
+func BenchmarkSwitchParallelDCN4096(b *testing.B) { benchSwitchParallel(b, dataflow.DC) }
+func BenchmarkSwitchParallelOCN4096(b *testing.B) { benchSwitchParallel(b, dataflow.OC) }

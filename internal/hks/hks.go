@@ -23,6 +23,7 @@ package hks
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
 	"ciflow/internal/bconv"
 	"ciflow/internal/ring"
@@ -46,6 +47,10 @@ type Switcher struct {
 	downConv *bconv.Converter   // P -> Q_ℓ
 	gadget   [][]uint64         // gadget factor per digit per D_ℓ tower
 	pInvModQ []uint64           // P^-1 mod q_i, aligned with qBasis
+
+	// Pooled engine-execution states, one pool per dataflow shape
+	// (see parallel.go). Internally synchronized.
+	states [3]sync.Pool
 }
 
 // NewSwitcher prepares hybrid key switching over r at the given level

@@ -1,0 +1,210 @@
+package hks
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ciflow/internal/dataflow"
+	"ciflow/internal/engine"
+	"ciflow/internal/ring"
+)
+
+// engineDataflows are the dataflow shapes SwitchParallel executes.
+var engineDataflows = []dataflow.Dataflow{dataflow.MP, dataflow.DC, dataflow.OC, dataflow.OCF}
+
+// TestSwitchParallelBitExact asserts the engine-backed switch equals
+// the serial pipeline bit for bit, for every dataflow, across levels,
+// digit counts, and uneven digit partitions.
+func TestSwitchParallelBitExact(t *testing.T) {
+	e := engine.New(4)
+	defer e.Close()
+	for _, tc := range []struct {
+		name                        string
+		n, numQ, qBits, numP, pBits int
+		level, dnum                 int
+	}{
+		{"dnum2", 64, 4, 30, 2, 31, 3, 2},
+		{"dnum4_alpha1", 64, 4, 30, 1, 31, 3, 4},
+		{"dnum1_single_digit", 64, 2, 30, 3, 31, 1, 1},
+		{"lower_level", 64, 6, 30, 2, 31, 3, 2},
+		{"uneven_digits", 64, 5, 30, 3, 31, 4, 2},
+		{"top_level_many_digits", 32, 6, 30, 2, 31, 5, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r, s, sOld, sNew := testSetup(t, tc.n, tc.numQ, tc.qBits, tc.numP, tc.pBits)
+			sw, err := NewSwitcher(r, tc.level, tc.dnum)
+			if err != nil {
+				t.Fatal(err)
+			}
+			evk := sw.GenEvk(s, sOld, sNew)
+			d := s.Uniform(sw.QBasis())
+			d.IsNTT = true
+			want0, want1 := sw.KeySwitch(d, evk)
+			for _, df := range engineDataflows {
+				t.Run(df.String(), func(t *testing.T) {
+					got0, got1 := sw.SwitchParallel(e, df, d, evk)
+					if !got0.Equal(want0) || !got1.Equal(want1) {
+						t.Fatalf("%s parallel switch differs from serial", df)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestSwitchParallelStateReuse runs the same switcher repeatedly so
+// every call after the first draws a pooled state, and interleaves
+// dataflows to catch cross-pool contamination.
+func TestSwitchParallelStateReuse(t *testing.T) {
+	e := engine.New(4)
+	defer e.Close()
+	r, s, sOld, sNew := testSetup(t, 64, 4, 30, 2, 31)
+	sw, err := NewSwitcher(r, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evk := sw.GenEvk(s, sOld, sNew)
+	for rep := 0; rep < 3; rep++ {
+		d := s.Uniform(sw.QBasis())
+		d.IsNTT = true
+		want0, want1 := sw.KeySwitch(d, evk)
+		for _, df := range engineDataflows {
+			got0, got1 := sw.SwitchParallel(e, df, d, evk)
+			if !got0.Equal(want0) || !got1.Equal(want1) {
+				t.Fatalf("rep %d %s: pooled state produced a different result", rep, df)
+			}
+		}
+	}
+}
+
+// TestSwitchParallelIntoReuse asserts the zero-allocation entry point
+// works with reused output polynomials.
+func TestSwitchParallelIntoReuse(t *testing.T) {
+	e := engine.New(4)
+	defer e.Close()
+	r, s, sOld, sNew := testSetup(t, 64, 4, 30, 2, 31)
+	sw, err := NewSwitcher(r, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evk := sw.GenEvk(s, sOld, sNew)
+	c0 := r.NewPoly(sw.QBasis())
+	c1 := r.NewPoly(sw.QBasis())
+	for rep := 0; rep < 3; rep++ {
+		d := s.Uniform(sw.QBasis())
+		d.IsNTT = true
+		want0, want1 := sw.KeySwitch(d, evk)
+		sw.SwitchParallelInto(e, dataflow.OC, d, evk, c0, c1)
+		if !c0.Equal(want0) || !c1.Equal(want1) {
+			t.Fatalf("rep %d: SwitchParallelInto differs from serial", rep)
+		}
+	}
+}
+
+// TestSwitchParallelConcurrent hammers one immutable Switcher from
+// many goroutines mixing dataflows — the pattern a serving layer
+// produces — and checks every result against the serial reference.
+// Run with -race this also proves the state pools are data-race free.
+func TestSwitchParallelConcurrent(t *testing.T) {
+	e := engine.New(4)
+	defer e.Close()
+	r, s, sOld, sNew := testSetup(t, 32, 4, 30, 2, 31)
+	sw, err := NewSwitcher(r, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evk := sw.GenEvk(s, sOld, sNew)
+
+	const goroutines = 8
+	type job struct {
+		d            *ring.Poly
+		want0, want1 *ring.Poly
+	}
+	jobs := make([]job, goroutines)
+	for i := range jobs {
+		d := s.Uniform(sw.QBasis())
+		d.IsNTT = true
+		w0, w1 := sw.KeySwitch(d, evk)
+		jobs[i] = job{d, w0, w1}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			df := engineDataflows[i%len(engineDataflows)]
+			for rep := 0; rep < 4; rep++ {
+				g0, g1 := sw.SwitchParallel(e, df, jobs[i].d, evk)
+				if !g0.Equal(jobs[i].want0) || !g1.Equal(jobs[i].want1) {
+					errs <- fmt.Errorf("goroutine %d rep %d (%s): result differs", i, rep, df)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSwitchParallelNilEngine exercises the engine.Default() fallback.
+func TestSwitchParallelNilEngine(t *testing.T) {
+	r, s, sOld, sNew := testSetup(t, 32, 4, 30, 2, 31)
+	sw, err := NewSwitcher(r, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evk := sw.GenEvk(s, sOld, sNew)
+	d := s.Uniform(sw.QBasis())
+	d.IsNTT = true
+	want0, want1 := sw.KeySwitch(d, evk)
+	got0, got1 := sw.SwitchParallel(nil, dataflow.MP, d, evk)
+	if !got0.Equal(want0) || !got1.Equal(want1) {
+		t.Fatal("nil-engine SwitchParallel differs from serial")
+	}
+}
+
+// TestSwitchParallelValidation covers the input checks.
+func TestSwitchParallelValidation(t *testing.T) {
+	e := engine.New(2)
+	defer e.Close()
+	r, s, sOld, sNew := testSetup(t, 32, 4, 30, 2, 31)
+	sw, err := NewSwitcher(r, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evk := sw.GenEvk(s, sOld, sNew)
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+
+	coeff := s.Uniform(sw.QBasis()) // not NTT domain
+	mustPanic("coefficient-domain input", func() { sw.SwitchParallel(e, dataflow.MP, coeff, evk) })
+
+	wrong := s.Uniform(sw.DBasis())
+	wrong.IsNTT = true
+	mustPanic("wrong basis", func() { sw.SwitchParallel(e, dataflow.MP, wrong, evk) })
+
+	d := s.Uniform(sw.QBasis())
+	d.IsNTT = true
+	short := &Evk{B: evk.B[:1], A: evk.A[:1]}
+	mustPanic("short evk", func() { sw.SwitchParallel(e, dataflow.MP, d, short) })
+
+	mustPanic("unknown dataflow", func() { sw.SwitchParallel(e, dataflow.Dataflow(99), d, evk) })
+
+	out := r.NewPoly(sw.QBasis())
+	mustPanic("aliased outputs", func() { sw.SwitchParallelInto(e, dataflow.MP, d, evk, out, out) })
+	mustPanic("output aliasing input", func() { sw.SwitchParallelInto(e, dataflow.MP, d, evk, d, out) })
+}

@@ -1,0 +1,43 @@
+package ring
+
+// Runner is the minimal parallel-execution interface the ring accepts;
+// *engine.Engine implements it. It is declared here (rather than
+// importing internal/engine) so the arithmetic layers stay free of
+// runtime dependencies. A nil Runner means "run serially".
+type Runner interface {
+	ParallelFor(n int, fn func(i int))
+}
+
+// NTTWith transforms every tower of p to the evaluation domain,
+// limb-parallel on e: each tower's transform is an independent task
+// (the per-tower independence the paper's dataflows exploit). The
+// result is bit-exact with NTT.
+func (r *Ring) NTTWith(e Runner, p *Poly) {
+	if e == nil {
+		r.NTT(p)
+		return
+	}
+	if p.IsNTT {
+		panic("ring: NTT on poly already in evaluation domain")
+	}
+	e.ParallelFor(len(p.Basis), func(i int) {
+		r.Tables[p.Basis[i]].Forward(p.Coeffs[i])
+	})
+	p.IsNTT = true
+}
+
+// INTTWith transforms every tower of p back to the coefficient domain,
+// limb-parallel on e. Bit-exact with INTT.
+func (r *Ring) INTTWith(e Runner, p *Poly) {
+	if e == nil {
+		r.INTT(p)
+		return
+	}
+	if !p.IsNTT {
+		panic("ring: INTT on poly already in coefficient domain")
+	}
+	e.ParallelFor(len(p.Basis), func(i int) {
+		r.Tables[p.Basis[i]].Inverse(p.Coeffs[i])
+	})
+	p.IsNTT = false
+}

@@ -1,0 +1,80 @@
+package ring
+
+import (
+	"testing"
+
+	"ciflow/internal/engine"
+)
+
+func TestNTTWithMatchesSerial(t *testing.T) {
+	r, err := NewRingGenerated(64, 4, 30, 2, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(4)
+	defer e.Close()
+	s := NewSampler(r, 7)
+	full := r.DBasis(r.NumQ - 1)
+
+	p := s.Uniform(full)
+	serial := p.Copy()
+	par := p.Copy()
+
+	r.NTT(serial)
+	r.NTTWith(e, par)
+	if !serial.Equal(par) {
+		t.Fatal("NTTWith differs from NTT")
+	}
+
+	r.INTT(serial)
+	r.INTTWith(e, par)
+	if !serial.Equal(par) {
+		t.Fatal("INTTWith differs from INTT")
+	}
+}
+
+func TestNTTWithNilRunnerIsSerial(t *testing.T) {
+	r, err := NewRingGenerated(32, 3, 30, 1, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(r, 3)
+	p := s.Uniform(r.QBasis(2))
+	want := p.Copy()
+	r.NTT(want)
+	r.NTTWith(nil, p)
+	if !want.Equal(p) {
+		t.Fatal("nil-runner NTTWith differs")
+	}
+	r.INTTWith(nil, p)
+	r.INTT(want)
+	if !want.Equal(p) {
+		t.Fatal("nil-runner INTTWith differs")
+	}
+}
+
+func TestNTTWithDomainChecks(t *testing.T) {
+	r, err := NewRingGenerated(32, 2, 30, 1, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(2)
+	defer e.Close()
+	p := r.NewPoly(r.QBasis(1))
+	p.IsNTT = true
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("NTTWith accepted NTT-domain input")
+			}
+		}()
+		r.NTTWith(e, p)
+	}()
+	p.IsNTT = false
+	defer func() {
+		if recover() == nil {
+			t.Fatal("INTTWith accepted coefficient-domain input")
+		}
+	}()
+	r.INTTWith(e, p)
+}
