@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench clean
+.PHONY: all build test race vet fmt bench perfgate clean
 
 all: vet build test
 
@@ -18,15 +18,29 @@ race:
 vet:
 	$(GO) vet ./...
 
-# bench measures engine-backed key-switching throughput per dataflow
-# and snapshots the report to BENCH_engine.json so the performance
-# trajectory is tracked from PR to PR. Tune with e.g.
+fmt:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then echo "files need gofmt:"; echo "$$unformatted"; exit 1; fi
+
+# bench measures engine-backed key-switching throughput per dataflow —
+# including the hoisted rotation fan-out (shared ModUp across 8 keys)
+# reconciled against the HoistedOpsSaved model — and snapshots the
+# report to BENCH_engine.json so the performance trajectory is tracked
+# from PR to PR. Tune with e.g.
 #   make bench BENCH_FLAGS="-logn 14 -requests 32 -workers 8"
 BENCH_FLAGS ?= -logn 13 -requests 8
 
 bench:
-	$(GO) run ./cmd/ciflow throughput $(BENCH_FLAGS) -json BENCH_engine.json
-	$(GO) test -run NONE -bench 'KeySwitchN4096|SwitchParallel' -benchtime 2x ./internal/hks/
+	$(GO) run ./cmd/ciflow throughput $(BENCH_FLAGS) -hoisted -rotations 8 -json BENCH_engine.json
+	$(GO) test -run NONE -bench 'KeySwitchN4096|SwitchParallel|SwitchHoisted' -benchtime 2x ./internal/hks/
+
+# perfgate compares a fresh BENCH_engine.json against a stashed
+# baseline (the CI perf-regression gate): fail only on >2x ops/sec
+# regressions or a hoisted path losing to per-rotation switching.
+BASELINE ?= bench_baseline.json
+
+perfgate:
+	$(GO) run ./cmd/ciflow perfgate -baseline $(BASELINE) -fresh BENCH_engine.json -max-regression 2
 
 clean:
-	rm -f BENCH_engine.json
+	rm -f BENCH_engine.json bench_baseline.json

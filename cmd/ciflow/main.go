@@ -27,7 +27,12 @@
 //	throughput     measured HKS ops/sec, p50/p99 latency, and speedup
 //	               vs serial, executing each dataflow as a task graph
 //	               on the internal/engine worker pool (the measured
-//	               counterpart to Figure 4)
+//	               counterpart to Figure 4); -hoisted adds the shared-
+//	               ModUp rotation fan-out vs per-rotation switching,
+//	               reconciled against the HoistedOpsSaved model
+//	perfgate       CI performance-regression gate: compare a fresh
+//	               throughput JSON against the committed baseline and
+//	               fail on gross (> -max-regression x) ops/sec drops
 //	all            everything above in paper order (except throughput)
 //
 // Flags:
@@ -42,7 +47,12 @@
 //	-logn L        throughput ring degree 2^L (default 14)
 //	-towers L      throughput Q-tower count (default 6)
 //	-dnum D        throughput digit count (default 3)
+//	-hoisted       also measure hoisted key switching (shared ModUp)
+//	-rotations K   hoisted fan-out width (default 8)
 //	-json FILE     also write the throughput report as JSON
+//	-baseline F    perfgate baseline report (default BENCH_engine.json)
+//	-fresh F       perfgate fresh report (default bench_fresh.json)
+//	-max-regression X  perfgate allowed ops/sec drop factor (default 2)
 package main
 
 import (
@@ -76,7 +86,12 @@ func run(args []string) error {
 	logN := fs.Int("logn", 14, "throughput ring degree exponent")
 	towers := fs.Int("towers", 6, "throughput Q-tower count")
 	dnum := fs.Int("dnum", 3, "throughput digit count")
+	hoisted := fs.Bool("hoisted", false, "also measure hoisted key switching (shared ModUp)")
+	rotations := fs.Int("rotations", 8, "hoisted rotation fan-out width")
 	jsonPath := fs.String("json", "", "write the throughput report to this JSON file")
+	baseline := fs.String("baseline", "BENCH_engine.json", "perfgate baseline report")
+	freshPath := fs.String("fresh", "bench_fresh.json", "perfgate fresh report")
+	maxRegression := fs.Float64("max-regression", 2, "perfgate allowed ops/sec drop factor")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -147,7 +162,16 @@ func run(args []string) error {
 		fmt.Print(analysis.AreaSummary())
 		return nil
 	case "throughput":
-		return throughput(*dfName, *workers, *requests, *logN, *towers, *dnum, *jsonPath)
+		rot := 0
+		if *hoisted {
+			if *rotations < 2 {
+				return fmt.Errorf("-hoisted needs -rotations >= 2, got %d", *rotations)
+			}
+			rot = *rotations
+		}
+		return throughput(*dfName, *workers, *requests, *logN, *towers, *dnum, rot, *jsonPath)
+	case "perfgate":
+		return perfgate(*baseline, *freshPath, *maxRegression)
 	case "all":
 		fmt.Print(analysis.FormatTableIII())
 		fmt.Println()

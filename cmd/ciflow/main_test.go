@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"testing"
 )
@@ -40,7 +41,7 @@ func TestRunErrors(t *testing.T) {
 func TestThroughputRun(t *testing.T) {
 	// Tiny configuration keeps this a smoke test; the hks package
 	// owns the exhaustive bit-exactness matrix.
-	rep, err := throughputRun("all", 2, 2, 5, 4, 2)
+	rep, err := throughputRun("all", 2, 2, 5, 4, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,6 +55,40 @@ func TestThroughputRun(t *testing.T) {
 		if row.OpsPerSec <= 0 || row.P50Ms < 0 || row.P99Ms < row.P50Ms {
 			t.Fatalf("implausible row %+v", row)
 		}
+	}
+	if rep.Hoisted != nil {
+		t.Fatal("hoisted section present without -hoisted")
+	}
+}
+
+func TestThroughputRunHoisted(t *testing.T) {
+	rep, err := throughputRun("mp", 2, 2, 5, 4, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr := rep.Hoisted
+	if hr == nil {
+		t.Fatal("missing hoisted section")
+	}
+	if !hr.BitExact {
+		t.Fatal("hoisted outputs not bit-exact with per-rotation")
+	}
+	if hr.Rotations != 3 || len(hr.Results) != 2 { // serial + MP
+		t.Fatalf("unexpected hoisted shape: %+v", hr)
+	}
+	if hr.ModelOpsSaved != 2*hr.ModUpModOps {
+		t.Fatalf("model ops saved %d, want (k-1)*ModUp = %d", hr.ModelOpsSaved, 2*hr.ModUpModOps)
+	}
+	if hr.ModelSpeedup <= 1 || hr.ModelSavedFrac <= 0 || hr.ModelSavedFrac >= 1 {
+		t.Fatalf("implausible model: %+v", hr)
+	}
+	for _, row := range hr.Results {
+		if row.PerRotOpsPerSec <= 0 || row.HoistedOpsPerSec <= 0 || row.MeasuredSpeedup <= 0 {
+			t.Fatalf("implausible hoisted row %+v", row)
+		}
+		// The hoisted-never-loses invariant is gated by perfgate on
+		// bench-scale runs; at this noise-scale configuration (N=32,
+		// 2 requests) asserting it would be timing-flaky.
 	}
 }
 
@@ -76,9 +111,133 @@ func TestThroughputErrors(t *testing.T) {
 		{"throughput", "-requests", "0", "-logn", "5"},
 		{"throughput", "-logn", "3"},
 		{"throughput", "-logn", "5", "-towers", "4", "-dnum", "9"},
+		{"throughput", "-logn", "5", "-towers", "4", "-dnum", "2", "-hoisted", "-rotations", "1"},
 	} {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+func writeReport(t *testing.T, path string, rep *throughputReport) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewEncoder(f).Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerfgate(t *testing.T) {
+	dir := t.TempDir()
+	base := &throughputReport{
+		BitExact: true,
+		Results: []throughputRow{
+			{Dataflow: "serial", OpsPerSec: 100},
+			{Dataflow: "MP", OpsPerSec: 120},
+		},
+	}
+	basePath := dir + "/base.json"
+	writeReport(t, basePath, base)
+
+	// Within tolerance (half the baseline exactly is still allowed at 2.01x).
+	ok := &throughputReport{
+		BitExact: true,
+		Results: []throughputRow{
+			{Dataflow: "serial", OpsPerSec: 51},
+			{Dataflow: "MP", OpsPerSec: 300},
+			{Dataflow: "OC", OpsPerSec: 10}, // new dataflow: no baseline, no gate
+		},
+		Hoisted: &hoistedReport{BitExact: true, ModelSpeedup: 1.4,
+			Results: []hoistedRow{{Dataflow: "MP", MeasuredSpeedup: 1.2}}},
+	}
+	okPath := dir + "/ok.json"
+	writeReport(t, okPath, ok)
+	if err := perfgate(basePath, okPath, 2); err != nil {
+		t.Fatalf("perfgate failed on healthy report: %v", err)
+	}
+
+	// Gross regression on one dataflow.
+	bad := &throughputReport{
+		BitExact: true,
+		Results: []throughputRow{
+			{Dataflow: "serial", OpsPerSec: 99},
+			{Dataflow: "MP", OpsPerSec: 10},
+		},
+	}
+	badPath := dir + "/bad.json"
+	writeReport(t, badPath, bad)
+	if err := perfgate(basePath, badPath, 2); err == nil {
+		t.Fatal("perfgate passed a >2x regression")
+	}
+
+	// Hoisting losing to per-rotation must fail regardless of speed.
+	slowHoist := &throughputReport{
+		BitExact: true,
+		Results:  []throughputRow{{Dataflow: "serial", OpsPerSec: 200}},
+		Hoisted: &hoistedReport{BitExact: true, ModelSpeedup: 1.4,
+			Results: []hoistedRow{{Dataflow: "serial", MeasuredSpeedup: 0.9}}},
+	}
+	slowPath := dir + "/slow.json"
+	writeReport(t, slowPath, slowHoist)
+	if err := perfgate(basePath, slowPath, 2); err == nil {
+		t.Fatal("perfgate passed a hoisted slowdown")
+	}
+
+	// A baseline with a hoisted section pins it in the fresh report.
+	hoistedBase := &throughputReport{
+		BitExact: true,
+		Results:  []throughputRow{{Dataflow: "serial", OpsPerSec: 100}},
+		Hoisted: &hoistedReport{BitExact: true, ModelSpeedup: 1.4,
+			Results: []hoistedRow{{Dataflow: "serial", MeasuredSpeedup: 1.5}}},
+	}
+	hoistedBasePath := dir + "/hoisted_base.json"
+	writeReport(t, hoistedBasePath, hoistedBase)
+	noHoist := &throughputReport{
+		BitExact: true,
+		Results:  []throughputRow{{Dataflow: "serial", OpsPerSec: 100}},
+	}
+	noHoistPath := dir + "/no_hoist.json"
+	writeReport(t, noHoistPath, noHoist)
+	if err := perfgate(hoistedBasePath, noHoistPath, 2); err == nil {
+		t.Fatal("perfgate passed a fresh report that dropped the hoisted section")
+	}
+
+	// Non-bit-exact fresh reports are rejected outright.
+	inexact := &throughputReport{
+		Results: []throughputRow{{Dataflow: "serial", OpsPerSec: 500}},
+	}
+	inexactPath := dir + "/inexact.json"
+	writeReport(t, inexactPath, inexact)
+	if err := perfgate(basePath, inexactPath, 2); err == nil {
+		t.Fatal("perfgate passed a non-bit-exact report")
+	}
+}
+
+func TestPerfgateErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := dir + "/good.json"
+	writeReport(t, good, &throughputReport{BitExact: true,
+		Results: []throughputRow{{Dataflow: "serial", OpsPerSec: 1}}})
+	if err := perfgate(dir+"/missing.json", good, 2); err == nil {
+		t.Error("missing baseline accepted")
+	}
+	if err := perfgate(good, dir+"/missing.json", 2); err == nil {
+		t.Error("missing fresh report accepted")
+	}
+	if err := perfgate(good, good, 0.5); err == nil {
+		t.Error("tolerance below 1 accepted")
+	}
+	empty := dir + "/empty.json"
+	if err := os.WriteFile(empty, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := perfgate(empty, good, 2); err == nil {
+		t.Error("empty baseline accepted")
 	}
 }

@@ -1,0 +1,110 @@
+package main
+
+// perfgate is the CI performance-regression gate: it compares a fresh
+// throughput report (make bench) against the committed baseline
+// (BENCH_engine.json) and fails only on gross regressions. The
+// tolerance is deliberately generous — the baseline and the CI runner
+// are different machines, so the gate catches order-of-magnitude
+// breakage (an accidentally serialized hot path, a lost pool), not
+// noise.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func readReport(path string) (*throughputReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep throughputReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: no result rows", path)
+	}
+	return &rep, nil
+}
+
+// perfgate compares fresh against baseline; maxRegression is the
+// allowed ops/sec ratio (2.0 = fail only when fresh is less than half
+// the baseline).
+func perfgate(baselinePath, freshPath string, maxRegression float64) error {
+	if maxRegression < 1 {
+		return fmt.Errorf("max regression %g must be >= 1", maxRegression)
+	}
+	base, err := readReport(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	fresh, err := readReport(freshPath)
+	if err != nil {
+		return fmt.Errorf("fresh: %w", err)
+	}
+	if !fresh.BitExact {
+		return fmt.Errorf("fresh report is not bit-exact with the serial pipeline")
+	}
+
+	baseRows := map[string]throughputRow{}
+	for _, row := range base.Results {
+		baseRows[row.Dataflow] = row
+	}
+
+	var failures []string
+	fmt.Printf("Perf gate: fresh %s vs baseline %s (fail below 1/%.1fx)\n",
+		freshPath, baselinePath, maxRegression)
+	fmt.Printf("%-8s %14s %14s %8s %6s\n", "dataflow", "baseline op/s", "fresh op/s", "ratio", "gate")
+	for _, row := range fresh.Results {
+		b, ok := baseRows[row.Dataflow]
+		if !ok {
+			fmt.Printf("%-8s %14s %14.2f %8s %6s\n", row.Dataflow, "-", row.OpsPerSec, "-", "new")
+			continue
+		}
+		ratio := row.OpsPerSec / b.OpsPerSec
+		status := "ok"
+		if row.OpsPerSec*maxRegression < b.OpsPerSec {
+			status = "FAIL"
+			failures = append(failures,
+				fmt.Sprintf("%s: %.2f ops/sec vs baseline %.2f (>%.1fx regression)",
+					row.Dataflow, row.OpsPerSec, b.OpsPerSec, maxRegression))
+		}
+		fmt.Printf("%-8s %14.2f %14.2f %7.2fx %6s\n", row.Dataflow, b.OpsPerSec, row.OpsPerSec, ratio, status)
+	}
+
+	// Hoisting must never lose to the per-rotation path: it executes
+	// strictly less work, so a speedup below 1 means the shared-ModUp
+	// path broke, independent of machine speed. A baseline with a
+	// hoisted section pins that section in the fresh report too —
+	// otherwise dropping -hoisted from the bench flags would silently
+	// make this half of the gate vacuous.
+	if base.Hoisted != nil && fresh.Hoisted == nil {
+		failures = append(failures, "baseline has a hoisted section but the fresh report does not (bench run without -hoisted?)")
+	}
+	if fresh.Hoisted != nil {
+		if !fresh.Hoisted.BitExact {
+			failures = append(failures, "hoisted outputs not bit-exact with per-rotation")
+		}
+		for _, row := range fresh.Hoisted.Results {
+			status := "ok"
+			if row.MeasuredSpeedup < 1 {
+				status = "FAIL"
+				failures = append(failures,
+					fmt.Sprintf("hoisted %s: %.2fx slower than per-rotation", row.Dataflow, row.MeasuredSpeedup))
+			}
+			fmt.Printf("hoisted %-8s %.2fx vs per-rotation (model %.2fx) %s\n",
+				row.Dataflow, row.MeasuredSpeedup, fresh.Hoisted.ModelSpeedup, status)
+		}
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "perf regression:", f)
+		}
+		return fmt.Errorf("%d perf gate failure(s)", len(failures))
+	}
+	fmt.Println("perf gate passed")
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"ciflow/internal/analysis"
 	"ciflow/internal/dataflow"
 	"ciflow/internal/engine"
 	"ciflow/internal/hks"
@@ -31,6 +32,30 @@ type throughputRow struct {
 	Speedup   float64 `json:"speedup_vs_serial"`
 }
 
+// hoistedRow compares, for one dataflow, k independent switches
+// against one hoisted switch over the same k keys. Ops/sec counts
+// finished key switches (k per request on both sides).
+type hoistedRow struct {
+	Dataflow         string  `json:"dataflow"`
+	PerRotOpsPerSec  float64 `json:"per_rotation_ops_per_sec"`
+	HoistedOpsPerSec float64 `json:"hoisted_ops_per_sec"`
+	MeasuredSpeedup  float64 `json:"measured_speedup"`
+	ModelDeltaPct    float64 `json:"model_delta_pct"`
+}
+
+// hoistedReport reconciles the measured hoisting gain against the
+// HoistedOpsSaved model (satellite of the paper's reuse analysis).
+type hoistedReport struct {
+	Rotations      int          `json:"rotations"`
+	SwitchModOps   int64        `json:"switch_mod_ops"`
+	ModUpModOps    int64        `json:"modup_mod_ops"`
+	ModelOpsSaved  int64        `json:"model_ops_saved"`
+	ModelSavedFrac float64      `json:"model_saved_frac"`
+	ModelSpeedup   float64      `json:"model_speedup"`
+	BitExact       bool         `json:"bit_exact"`
+	Results        []hoistedRow `json:"results"`
+}
+
 // throughputReport is the JSON artifact the bench harness tracks
 // (BENCH_engine.json).
 type throughputReport struct {
@@ -41,6 +66,7 @@ type throughputReport struct {
 	NumCPU   int             `json:"num_cpu"`
 	BitExact bool            `json:"bit_exact"`
 	Results  []throughputRow `json:"results"`
+	Hoisted  *hoistedReport  `json:"hoisted,omitempty"`
 }
 
 func parseThroughputDataflows(name string) ([]dataflow.Dataflow, error) {
@@ -84,8 +110,10 @@ func measure(requests int, op func(i int)) (opsPerSec, p50, p99 float64) {
 }
 
 // throughputRun executes the experiment and returns the report; split
-// from the printing so tests can exercise it directly.
-func throughputRun(dfName string, workers, requests, logN, towers, dnum int) (*throughputReport, error) {
+// from the printing so tests can exercise it directly. rotations > 0
+// adds the hoisted experiment: k switches of one input, shared ModUp
+// versus per-rotation, reconciled against the HoistedOpsSaved model.
+func throughputRun(dfName string, workers, requests, logN, towers, dnum, rotations int) (*throughputReport, error) {
 	dfs, err := parseThroughputDataflows(dfName)
 	if err != nil {
 		return nil, err
@@ -95,6 +123,9 @@ func throughputRun(dfName string, workers, requests, logN, towers, dnum int) (*t
 	}
 	if logN < 4 || logN > 16 {
 		return nil, fmt.Errorf("logn %d out of range [4,16]", logN)
+	}
+	if rotations < 0 || rotations == 1 {
+		return nil, fmt.Errorf("rotations %d must be 0 (disabled) or >= 2", rotations)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -160,11 +191,104 @@ func throughputRun(dfName string, workers, requests, logN, towers, dnum int) (*t
 			OpsPerSec: ops, P50Ms: p50, P99Ms: p99, Speedup: ops / serialOps,
 		})
 	}
+
+	if rotations > 0 {
+		rep.Hoisted, err = hoistedRun(e, sw, s, dfs, ds, requests, rotations)
+		if err != nil {
+			return rep, err
+		}
+	}
 	return rep, nil
 }
 
-func throughput(dfName string, workers, requests, logN, towers, dnum int, jsonPath string) error {
-	rep, err := throughputRun(dfName, workers, requests, logN, towers, dnum)
+// hoistedRun measures k rotations of one ciphertext as k independent
+// switches versus one hoisted switch (shared ModUp), per dataflow plus
+// the serial pipeline, and reconciles the gain with the model.
+func hoistedRun(e *engine.Engine, sw *hks.Switcher, s *ring.Sampler, dfs []dataflow.Dataflow, ds []*ring.Poly, requests, k int) (*hoistedReport, error) {
+	r := sw.R
+	full := r.DBasis(r.NumQ - 1)
+	sk := s.Ternary(full)
+	evks := make([]*hks.Evk, k)
+	for i := range evks {
+		evks[i] = sw.GenEvk(s, s.Ternary(full), sk)
+	}
+
+	hr := &hoistedReport{
+		Rotations:      k,
+		SwitchModOps:   sw.SwitchOps(),
+		ModUpModOps:    sw.ModUpOps(),
+		ModelOpsSaved:  sw.HoistedOpsSaved(k),
+		ModelSpeedup:   sw.HoistedSpeedupModel(k),
+		ModelSavedFrac: float64(sw.HoistedOpsSaved(k)) / float64(int64(k)*sw.SwitchOps()),
+		BitExact:       true,
+	}
+
+	// Bit-exactness: the hoisted outputs must equal the per-rotation
+	// path key for key (serial reference doubles as warm-up).
+	want0 := make([]*ring.Poly, k)
+	want1 := make([]*ring.Poly, k)
+	for i, evk := range evks {
+		want0[i], want1[i] = sw.KeySwitch(ds[0], evk)
+	}
+	c0s := make([]*ring.Poly, k)
+	c1s := make([]*ring.Poly, k)
+	for i := range c0s {
+		c0s[i] = r.NewPoly(sw.QBasis())
+		c1s[i] = r.NewPoly(sw.QBasis())
+	}
+
+	row := func(name string, perRot, hoisted func(i int)) {
+		perOps, _, _ := measure(requests, perRot)
+		hoOps, _, _ := measure(requests, hoisted)
+		measuredSpeedup := hoOps / perOps
+		hr.Results = append(hr.Results, hoistedRow{
+			Dataflow:         name,
+			PerRotOpsPerSec:  perOps * float64(k),
+			HoistedOpsPerSec: hoOps * float64(k),
+			MeasuredSpeedup:  measuredSpeedup,
+			ModelDeltaPct:    analysis.HoistingDelta(measuredSpeedup, hr.ModelSpeedup),
+		})
+	}
+
+	// Serial pipeline.
+	sc0s, sc1s := sw.SwitchHoisted(ds[0], evks)
+	for i := range evks {
+		if !sc0s[i].Equal(want0[i]) || !sc1s[i].Equal(want1[i]) {
+			hr.BitExact = false
+			return hr, fmt.Errorf("serial hoisted output %d differs from per-rotation", i)
+		}
+	}
+	row("serial",
+		func(i int) {
+			for _, evk := range evks {
+				sw.KeySwitch(ds[i%len(ds)], evk)
+			}
+		},
+		func(i int) { sw.SwitchHoisted(ds[i%len(ds)], evks) })
+
+	for _, df := range dfs {
+		// Warm the pools and verify against the per-rotation path.
+		sw.SwitchHoistedParallelInto(e, df, ds[0], evks, c0s, c1s)
+		for i := range evks {
+			if !c0s[i].Equal(want0[i]) || !c1s[i].Equal(want1[i]) {
+				hr.BitExact = false
+				return hr, fmt.Errorf("%s hoisted output %d differs from per-rotation", df, i)
+			}
+		}
+		row(df.String(),
+			func(i int) {
+				d := ds[i%len(ds)]
+				for ki, evk := range evks {
+					sw.SwitchParallelInto(e, df, d, evk, c0s[ki], c1s[ki])
+				}
+			},
+			func(i int) { sw.SwitchHoistedParallelInto(e, df, ds[i%len(ds)], evks, c0s, c1s) })
+	}
+	return hr, nil
+}
+
+func throughput(dfName string, workers, requests, logN, towers, dnum, rotations int, jsonPath string) error {
+	rep, err := throughputRun(dfName, workers, requests, logN, towers, dnum, rotations)
 	if err != nil {
 		return err
 	}
@@ -180,6 +304,19 @@ func throughput(dfName string, workers, requests, logN, towers, dnum int, jsonPa
 	}
 	if rep.NumCPU == 1 {
 		fmt.Println("note: only one CPU is available; intra-op parallelism cannot beat serial here")
+	}
+
+	if hr := rep.Hoisted; hr != nil {
+		fmt.Printf("\nHoisted: %d rotations of one ciphertext, shared ModUp vs per-rotation\n", hr.Rotations)
+		fmt.Printf("(model: ModUp is %d of %d weighted mod ops per switch; hoisting saves %.0f%%"+
+			" of the batch -> %.2fx predicted)\n",
+			hr.ModUpModOps, hr.SwitchModOps, 100*hr.ModelSavedFrac, hr.ModelSpeedup)
+		fmt.Printf("%-8s %14s %14s %10s %12s\n", "dataflow", "per-rot op/s", "hoisted op/s", "speedup", "vs model")
+		for _, row := range hr.Results {
+			fmt.Printf("%-8s %14.2f %14.2f %9.2fx %+11.1f%%\n",
+				row.Dataflow, row.PerRotOpsPerSec, row.HoistedOpsPerSec,
+				row.MeasuredSpeedup, row.ModelDeltaPct)
+		}
 	}
 
 	if jsonPath != "" {

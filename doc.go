@@ -11,5 +11,9 @@
 // ckks.Evaluator. The `ciflow throughput` experiment (flags
 // -dataflow, -workers, -requests) measures ops/sec, p50/p99 latency,
 // and speedup vs the serial pipeline per dataflow — the measured
-// counterpart to the paper's Figure 4. See README.md and DESIGN.md.
+// counterpart to the paper's Figure 4. Hoisted key switching
+// (hks.Hoisted, ckks.Evaluator.RotateHoisted) shares one
+// Decompose+ModUp across a rotation fan-out; `ciflow throughput
+// -hoisted` measures the amortization and reconciles it against the
+// HoistedOpsSaved model. See README.md and DESIGN.md.
 package ciflow

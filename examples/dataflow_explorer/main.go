@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 
+	"ciflow/internal/analysis"
 	"ciflow/internal/dataflow"
 	"ciflow/internal/params"
 	"ciflow/internal/trace"
@@ -79,4 +80,11 @@ func main() {
 		fmt.Printf("  %-12s %6.2f Gops  (%4.1f%%)\n", name, float64(byStage[name])/1e9,
 			100*float64(byStage[name])/total)
 	}
+
+	// What hoisting buys when one ciphertext feeds k rotations (the
+	// diagonal method's fan-out): the key-independent ModUp runs once,
+	// so its share of the compute amortizes — the executed counterpart
+	// is hks.SwitchHoisted / ckks.RotateHoisted.
+	fmt.Println()
+	fmt.Print(analysis.FormatHoisting(b, []int{2, 4, 8, 16}))
 }

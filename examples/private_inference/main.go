@@ -4,8 +4,11 @@
 // every matrix column costs one ciphertext rotation — and every
 // rotation triggers hybrid key switching. The example measures the
 // fraction of wall time spent inside key switching (the paper cites
-// ~70% for ResNet-20) and then asks the performance model what the
-// same rotation workload costs on the RPU under each dataflow.
+// ~70% for ResNet-20), then evaluates the same layer with *hoisted*
+// rotations — one shared Decompose+ModUp feeding every rotation key
+// (Evaluator.RotateHoisted) — and compares both wall time and the
+// model's predicted saving. Finally it asks the performance model
+// what the rotation workload costs on the RPU under each dataflow.
 //
 // Run with: go run ./examples/private_inference
 package main
@@ -91,22 +94,50 @@ func main() {
 	totalTime = time.Since(start)
 
 	dec := enc.Decode(ev.Decrypt(acc, keys.Secret()))
-	var worst float64
-	for i := 0; i < d; i++ {
-		var want complex128
-		for j := 0; j < d; j++ {
-			want += complex(W[i][j], 0) * x[j]
-		}
-		if e := cmplx.Abs(dec[i] - want); e > worst {
-			worst = e
-		}
-	}
+	worst := worstError(dec, &W, x)
 
 	fmt.Printf("Encrypted %dx%d linear layer (diagonal method, %d rotations)\n", d, d, d-1)
 	fmt.Printf("  worst-case output error:   %.2e\n", worst)
 	fmt.Printf("  rotation/key-switch share: %.0f%% of %.0f ms wall time\n",
 		100*float64(ksTime)/float64(totalTime), float64(totalTime.Milliseconds()))
 	fmt.Printf("  (the paper reports ~70%% of ResNet-20 inference is key switching)\n\n")
+
+	// The same layer with hoisted rotations: ct.C1 is decomposed and
+	// mod-upped once, every rotation key replays only ApplyKey+ModDown.
+	rots := make([]int, 0, d-1)
+	for r := 1; r < d; r++ {
+		rots = append(rots, r)
+	}
+	if _, err := keys.HoistKey(1, ctx.MaxLevel); err != nil { // warm one key off the clock
+		log.Fatal(err)
+	}
+	hoistStart := time.Now()
+	rotated, err := ev.RotateHoisted(cx, rots)
+	if err != nil {
+		log.Fatal(err)
+	}
+	accH := ev.MulPlain(cx, diags[0])
+	for r := 1; r < d; r++ {
+		accH = ev.Add(accH, ev.MulPlain(rotated[r-1], diags[r]))
+	}
+	accH, err = ev.Rescale(accH)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hoistTime := time.Since(hoistStart)
+
+	decH := enc.Decode(ev.Decrypt(accH, keys.Secret()))
+	sw, err := keys.Switcher(ctx.MaxLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Hoisted evaluation (shared ModUp across %d rotations)\n", d-1)
+	fmt.Printf("  worst-case output error:   %.2e\n", worstError(decH, &W, x))
+	fmt.Printf("  wall time:                 %.1f ms vs %.1f ms per-rotation (%.2fx)\n",
+		float64(hoistTime.Microseconds())/1e3, float64(totalTime.Microseconds())/1e3,
+		float64(totalTime)/float64(hoistTime))
+	fmt.Printf("  model: saves %.1f M weighted mod ops, %.2fx predicted speedup on key switching\n\n",
+		float64(sw.HoistedOpsSaved(d-1))/1e6, sw.HoistedSpeedupModel(d-1))
 
 	// What would the rotation workload cost on the RPU? One HKS per
 	// rotation at ARK-scale parameters, per dataflow, at DDR4/DDR5
@@ -135,4 +166,19 @@ func replicate(v []complex128, slots int) []complex128 {
 		out[i] = v[i%len(v)]
 	}
 	return out
+}
+
+// worstError returns the worst-case |dec_i − (W·x)_i| over the layer.
+func worstError(dec []complex128, W *[8][8]float64, x []complex128) float64 {
+	var worst float64
+	for i := range W {
+		var want complex128
+		for j := range W[i] {
+			want += complex(W[i][j], 0) * x[j]
+		}
+		if e := cmplx.Abs(dec[i] - want); e > worst {
+			worst = e
+		}
+	}
+	return worst
 }

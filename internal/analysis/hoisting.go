@@ -1,0 +1,61 @@
+package analysis
+
+// Hoisting model: how much of a key switch's weighted modular work is
+// the key-independent ModUp pipeline, and what speedup sharing it
+// across k rotations of one ciphertext buys. This is the paper-model
+// counterpart of hks.HoistedOpsSaved — the throughput experiment
+// (ciflow throughput -hoisted) reconciles these predictions against
+// measured ops/sec and reports the delta.
+
+import (
+	"fmt"
+	"strings"
+
+	"ciflow/internal/params"
+)
+
+// HoistedModUpFraction returns the fraction of one key switch's
+// weighted modular operations spent in the ModUp P1–P3 pipeline — the
+// part hoisting runs once instead of k times.
+func HoistedModUpFraction(b params.Benchmark) float64 {
+	oc := b.Ops()
+	modUp := params.ButterflyWeight*(oc.ModUpINTTButterflies+oc.ModUpNTTButterflies) +
+		params.MulAccWeight*oc.ModUpBConvMulAcc
+	return float64(modUp) / float64(oc.WeightedTotal())
+}
+
+// HoistedSpeedup predicts the throughput gain of one hoisted switch
+// over k keys versus k independent switches, assuming runtime
+// proportional to weighted modular operations.
+func HoistedSpeedup(b params.Benchmark, k int) float64 {
+	if k <= 1 {
+		return 1
+	}
+	f := HoistedModUpFraction(b)
+	return float64(k) / (float64(k) - float64(k-1)*f)
+}
+
+// HoistingDelta returns the relative deviation, in percent, of a
+// measured hoisted speedup from the modeled one: positive when the
+// measurement beats the model.
+func HoistingDelta(measured, model float64) float64 {
+	if model == 0 {
+		return 0
+	}
+	return 100 * (measured - model) / model
+}
+
+// FormatHoisting renders the modeled hoisting savings of a benchmark
+// for a list of fan-out widths k.
+func FormatHoisting(b params.Benchmark, ks []int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Hoisting model (%s): ModUp is %.0f%% of one key switch's weighted mod ops\n",
+		b.Name, 100*HoistedModUpFraction(b))
+	fmt.Fprintf(&sb, "%6s %16s %14s\n", "k", "ops saved", "speedup")
+	total := b.Ops().WeightedTotal()
+	for _, k := range ks {
+		saved := float64(k-1) * HoistedModUpFraction(b) * float64(total)
+		fmt.Fprintf(&sb, "%6d %15.2fG %13.2fx\n", k, saved/1e9, HoistedSpeedup(b, k))
+	}
+	return sb.String()
+}

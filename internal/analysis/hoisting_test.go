@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"ciflow/internal/params"
+)
+
+func TestHoistedModUpFractionRange(t *testing.T) {
+	for _, b := range params.All() {
+		f := HoistedModUpFraction(b)
+		if f <= 0 || f >= 1 {
+			t.Errorf("%s: ModUp fraction %g out of (0,1)", b.Name, f)
+		}
+	}
+}
+
+func TestHoistedSpeedupMonotone(t *testing.T) {
+	b := params.ARK
+	prev := HoistedSpeedup(b, 1)
+	if prev != 1 {
+		t.Fatalf("k=1 speedup %g, want 1", prev)
+	}
+	for _, k := range []int{2, 4, 8, 16} {
+		s := HoistedSpeedup(b, k)
+		if s <= prev {
+			t.Fatalf("speedup not increasing at k=%d: %g <= %g", k, s, prev)
+		}
+		prev = s
+	}
+	// The speedup is bounded by 1/(1−f), the Amdahl limit of hoisting.
+	limit := 1 / (1 - HoistedModUpFraction(b))
+	if prev >= limit {
+		t.Fatalf("k=16 speedup %g exceeds Amdahl limit %g", prev, limit)
+	}
+}
+
+func TestHoistingDelta(t *testing.T) {
+	if d := HoistingDelta(1.5, 1.5); d != 0 {
+		t.Fatalf("equal measured/model should give 0%%, got %g", d)
+	}
+	if d := HoistingDelta(3, 2); d != 50 {
+		t.Fatalf("want +50%%, got %g", d)
+	}
+	if d := HoistingDelta(1, 2); d != -50 {
+		t.Fatalf("want -50%%, got %g", d)
+	}
+	if d := HoistingDelta(1, 0); d != 0 {
+		t.Fatalf("zero model must not divide, got %g", d)
+	}
+}
+
+func TestFormatHoisting(t *testing.T) {
+	out := FormatHoisting(params.BTS3, []int{2, 8})
+	for _, want := range []string{"BTS3", "speedup", "ops saved"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
+		t.Errorf("unexpected row count:\n%s", out)
+	}
+}

@@ -269,3 +269,84 @@ func (ev *Evaluator) Rotate(ct *Ciphertext, rotBy int) (*Ciphertext, error) {
 	r.Add(a0, k0, a0)
 	return &Ciphertext{C0: a0, C1: k1, Level: ct.Level, Scale: ct.Scale}, nil
 }
+
+// RotateHoisted rotates one ciphertext by every amount in rots with a
+// single shared Decompose+ModUp: ct.C1 is hoisted once (hks.Hoisted),
+// and each rotation replays only ApplyKey+ModDown against its
+// hoisting-form key (KeyChain.HoistKey) before the Galois
+// automorphism is applied to the switched pair. For k rotations this
+// saves (k−1) executions of the ModUp pipeline versus k Rotate calls
+// — the amortization CiFlow's reuse analysis models and the diagonal
+// method's rotation fan-out exploits.
+//
+// Results are returned in rots order and decrypt to the same messages
+// as the corresponding Rotate calls (the hoisting-form keys carry
+// independent encryption randomness, so outputs agree to within key-
+// switching noise, not bit-exactly). A rotation amount of 0 returns a
+// copy of ct. With an engine attached (WithEngine), both the hoist
+// and each replay run as task graphs under the evaluator's dataflow.
+func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rots []int) ([]*Ciphertext, error) {
+	r := ev.ctx.R
+	b := r.QBasis(ct.Level)
+	sw, err := ev.kc.Switcher(ct.Level)
+	if err != nil {
+		return nil, err
+	}
+	// Materialize every key first so no hoisted state is held across
+	// key generation failures.
+	evks := make([]*hks.Evk, len(rots))
+	anyKey := false
+	for i, rot := range rots {
+		if rot%ev.ctx.Slots() == 0 {
+			continue
+		}
+		if evks[i], err = ev.kc.HoistKey(rot, ct.Level); err != nil {
+			return nil, err
+		}
+		anyKey = true
+	}
+	if !anyKey { // only identity rotations: nothing to hoist
+		outs := make([]*Ciphertext, len(rots))
+		for i := range outs {
+			outs[i] = ct.Copy()
+		}
+		return outs, nil
+	}
+
+	var h *hks.Hoisted
+	if ev.eng == nil {
+		h = sw.Hoist(ct.C1)
+	} else {
+		h = sw.HoistParallel(ev.eng, ev.df, ct.C1)
+	}
+	defer h.Release()
+
+	// Per-rotation scratch, reused across the fan-out.
+	k0 := r.NewPoly(b)
+	k1 := r.NewPoly(b)
+	t0 := r.NewPoly(b)
+	outs := make([]*Ciphertext, len(rots))
+	for i, rot := range rots {
+		if evks[i] == nil { // rotation by 0: identity
+			outs[i] = ct.Copy()
+			continue
+		}
+		if ev.eng == nil {
+			h.SwitchInto(evks[i], k0, k1)
+		} else {
+			h.SwitchParallelInto(ev.eng, evks[i], k0, k1)
+		}
+		r.Add(ct.C0, k0, t0)
+		r.INTTWith(ev.runner(), t0)
+		r.INTTWith(ev.runner(), k1)
+		a0 := r.NewPoly(b)
+		a1 := r.NewPoly(b)
+		g := r.GaloisElement(rot)
+		r.Automorphism(t0, g, a0)
+		r.Automorphism(k1, g, a1)
+		r.NTTWith(ev.runner(), a0)
+		r.NTTWith(ev.runner(), a1)
+		outs[i] = &Ciphertext{C0: a0, C1: a1, Level: ct.Level, Scale: ct.Scale}
+	}
+	return outs, nil
+}

@@ -32,6 +32,7 @@ type KeyChain struct {
 	switchers map[int]*hks.Switcher
 	relin     map[int]*hks.Evk
 	rot       map[int]map[int]*hks.Evk // rot -> level -> evk
+	hoist     map[int]map[int]*hks.Evk // rot -> level -> hoisting-form evk
 }
 
 // GenKeys samples a fresh secret/public key pair and its key chain.
@@ -69,6 +70,7 @@ func GenKeys(ctx *Context, seed int64) (*KeyChain, *PublicKey) {
 		switchers: map[int]*hks.Switcher{},
 		relin:     map[int]*hks.Evk{},
 		rot:       map[int]map[int]*hks.Evk{},
+		hoist:     map[int]map[int]*hks.Evk{},
 	}
 	return kc, &PublicKey{B: b, A: a}
 }
@@ -152,5 +154,40 @@ func (kc *KeyChain) RotKey(rotBy, level int) (*hks.Evk, error) {
 		kc.rot[rotBy] = map[int]*hks.Evk{}
 	}
 	kc.rot[rotBy][level] = evk
+	return evk, nil
+}
+
+// HoistKey returns the hoisting-form rotation key for a rotation
+// amount at a level: an evaluation key s → σ_g⁻¹(s), where g = 5^rot.
+//
+// The ordinary RotKey form σ_g(s) → s requires the automorphism to run
+// *before* key switching, so the ModUp input differs per rotation and
+// nothing can be shared. The hoisting form switches the un-rotated
+// c1 first — k0 + k1·σ_g⁻¹(s) ≈ c1·s — and applies σ_g afterwards:
+// σ_g(k1)·s = σ_g(k1·σ_g⁻¹(s)), so (σ_g(c0+k0), σ_g(k1)) decrypts to
+// σ_g(m). With the key in this form every rotation of one ciphertext
+// replays the same hoisted ModUp (Evaluator.RotateHoisted).
+func (kc *KeyChain) HoistKey(rotBy, level int) (*hks.Evk, error) {
+	if m, ok := kc.hoist[rotBy]; ok {
+		if evk, ok := m[level]; ok {
+			return evk, nil
+		}
+	}
+	sw, err := kc.Switcher(level)
+	if err != nil {
+		return nil, err
+	}
+	r := kc.ctx.R
+	// σ_g⁻¹ = σ_{g'} with g' = 5^(−rot): 5 has order N/2 modulo 2N, so
+	// GaloisElement(−rot) is the modular inverse of GaloisElement(rot).
+	gInv := r.GaloisElement(-rotBy)
+	full := r.DBasis(r.NumQ - 1)
+	sInv := r.NewPoly(full)
+	r.Automorphism(kc.sk.S, gInv, sInv)
+	evk := sw.GenEvk(kc.sampler, kc.sk.S, sInv)
+	if kc.hoist[rotBy] == nil {
+		kc.hoist[rotBy] = map[int]*hks.Evk{}
+	}
+	kc.hoist[rotBy][level] = evk
 	return evk, nil
 }

@@ -2,6 +2,7 @@ package ckks
 
 import (
 	"fmt"
+	"sort"
 
 	"ciflow/internal/ring"
 )
@@ -40,7 +41,9 @@ func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
 // InnerSum adds the first n slots (n a power of two) into every one of
 // those slot positions using log2(n) rotations — the rotate-and-sum
 // reduction used by dot products and pooling layers. Each rotation is
-// one hybrid key switch.
+// one hybrid key switch; the rotations form a sequential chain (each
+// consumes the previous sum), so unlike Apply's independent fan-out
+// they cannot share a hoisted ModUp.
 func (ev *Evaluator) InnerSum(ct *Ciphertext, n int) (*Ciphertext, error) {
 	if n < 1 || n&(n-1) != 0 || n > ev.ctx.Slots() {
 		return nil, fmt.Errorf("ckks: InnerSum width %d must be a power of two <= %d", n, ev.ctx.Slots())
@@ -106,7 +109,7 @@ func (e *Encoder) NewLinearTransform(w [][]float64, level int) (*LinearTransform
 }
 
 // Rotations returns the rotation amounts the transform needs (its
-// non-zero diagonals, excluding 0).
+// non-zero diagonals, excluding 0), in ascending order.
 func (lt *LinearTransform) Rotations() []int {
 	var rs []int
 	for r := range lt.diags {
@@ -114,17 +117,36 @@ func (lt *LinearTransform) Rotations() []int {
 			rs = append(rs, r)
 		}
 	}
+	sort.Ints(rs)
 	return rs
 }
 
-// Apply evaluates y = W·x homomorphically. The input vector must be
-// replicated across the slots with period Dim (see
-// Encoder.NewLinearTransform). Hoisting note: every rotation repeats
-// the ModUp of ct.C1; see hks.KeySwitchMany for the shared-ModUp
-// primitive a production evaluator would use here.
+// Apply evaluates y = W·x homomorphically with the diagonal method.
+// The input vector must be replicated across the slots with period
+// Dim (see Encoder.NewLinearTransform).
+//
+// All rotations are produced by one RotateHoisted call, so ct.C1 goes
+// through Decompose+ModUp exactly once no matter how many non-zero
+// diagonals the transform has — the shared-ModUp execution of the
+// reuse CiFlow's hoisting model (hks.HoistedOpsSaved) counts.
 func (ev *Evaluator) Apply(lt *LinearTransform, ct *Ciphertext) (*Ciphertext, error) {
 	if lt == nil || len(lt.diags) == 0 {
 		return nil, fmt.Errorf("ckks: empty linear transform")
+	}
+	for r, pt := range lt.diags {
+		if pt.Level != ct.Level {
+			return nil, fmt.Errorf("ckks: transform diagonal %d encoded at level %d, ciphertext at %d", r, pt.Level, ct.Level)
+		}
+	}
+	rots := lt.Rotations()
+	rotated, err := ev.RotateHoisted(ct, rots)
+	if err != nil {
+		return nil, err
+	}
+	byRot := make(map[int]*Ciphertext, len(rots)+1)
+	byRot[0] = ct
+	for i, r := range rots {
+		byRot[r] = rotated[i]
 	}
 	var acc *Ciphertext
 	for r := 0; r < lt.Dim; r++ {
@@ -132,18 +154,7 @@ func (ev *Evaluator) Apply(lt *LinearTransform, ct *Ciphertext) (*Ciphertext, er
 		if !ok {
 			continue
 		}
-		if pt.Level != ct.Level {
-			return nil, fmt.Errorf("ckks: transform encoded at level %d, ciphertext at %d", pt.Level, ct.Level)
-		}
-		x := ct
-		if r != 0 {
-			var err error
-			x, err = ev.Rotate(ct, r)
-			if err != nil {
-				return nil, err
-			}
-		}
-		term := ev.MulPlain(x, pt)
+		term := ev.MulPlain(byRot[r], pt)
 		if acc == nil {
 			acc = term
 		} else {

@@ -105,3 +105,51 @@ func benchSwitchParallel(b *testing.B, df dataflow.Dataflow) {
 func BenchmarkSwitchParallelMPN4096(b *testing.B) { benchSwitchParallel(b, dataflow.MP) }
 func BenchmarkSwitchParallelDCN4096(b *testing.B) { benchSwitchParallel(b, dataflow.DC) }
 func BenchmarkSwitchParallelOCN4096(b *testing.B) { benchSwitchParallel(b, dataflow.OC) }
+
+// Hoisted benchmarks: 8 switches of one input with shared ModUp,
+// engine-backed. Compare BenchmarkSwitchHoistedParallel8 against
+// BenchmarkSwitchParallel8Individual for the measured amortization
+// (the model predicts HoistedSpeedupModel(8)).
+
+func benchHoistedSetup(b *testing.B) (*ring.Ring, *Switcher, []*Evk, *ring.Poly) {
+	b.Helper()
+	r, sw, _, d := benchSetup(b, 4096, 6, 3)
+	s := ring.NewSampler(r, 2)
+	full := r.DBasis(r.NumQ - 1)
+	sk := s.Ternary(full)
+	evks := make([]*Evk, 8)
+	for i := range evks {
+		evks[i] = sw.GenEvk(s, s.Ternary(full), sk)
+	}
+	return r, sw, evks, d
+}
+
+func BenchmarkSwitchHoistedParallel8(b *testing.B) {
+	r, sw, evks, d := benchHoistedSetup(b)
+	e := engine.New(0)
+	defer e.Close()
+	c0s := make([]*ring.Poly, len(evks))
+	c1s := make([]*ring.Poly, len(evks))
+	for i := range c0s {
+		c0s[i] = r.NewPoly(sw.QBasis())
+		c1s[i] = r.NewPoly(sw.QBasis())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.SwitchHoistedParallelInto(e, dataflow.MP, d, evks, c0s, c1s)
+	}
+}
+
+func BenchmarkSwitchParallel8Individual(b *testing.B) {
+	r, sw, evks, d := benchHoistedSetup(b)
+	e := engine.New(0)
+	defer e.Close()
+	c0 := r.NewPoly(sw.QBasis())
+	c1 := r.NewPoly(sw.QBasis())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, evk := range evks {
+			sw.SwitchParallelInto(e, dataflow.MP, d, evk, c0, c1)
+		}
+	}
+}

@@ -48,9 +48,16 @@ type Switcher struct {
 	gadget   [][]uint64         // gadget factor per digit per D_ℓ tower
 	pInvModQ []uint64           // P^-1 mod q_i, aligned with qBasis
 
+	// Index maps between each digit's converter destinations and the
+	// extended basis, shared by every execution state.
+	convDstIdx [][]int // [digit][converter dst idx] -> dBasis idx
+	dstIdxOf   [][]int // [digit][dBasis idx] -> converter dst idx or -1
+
 	// Pooled engine-execution states, one pool per dataflow shape
-	// (see parallel.go). Internally synchronized.
-	states [3]sync.Pool
+	// (see parallel.go), plus the pooled hoisted states of hoisted.go.
+	// Internally synchronized.
+	states       [3]sync.Pool
+	hoistedPools [3]sync.Pool
 }
 
 // NewSwitcher prepares hybrid key switching over r at the given level
@@ -149,6 +156,27 @@ func NewSwitcher(r *ring.Ring, level, dnum int) (*Switcher, error) {
 			return nil, fmt.Errorf("hks: P not invertible modulo q_%d", i)
 		}
 		sw.pInvModQ[i] = inv.Uint64()
+	}
+
+	// dBasis index of each converter destination, per digit.
+	towerToD := make(map[int]int, len(sw.dBasis))
+	for t, tw := range sw.dBasis {
+		towerToD[tw] = t
+	}
+	sw.convDstIdx = make([][]int, dnum)
+	sw.dstIdxOf = make([][]int, dnum)
+	for j := 0; j < dnum; j++ {
+		dst := sw.upConv[j].Dst()
+		sw.convDstIdx[j] = make([]int, len(dst))
+		sw.dstIdxOf[j] = make([]int, len(sw.dBasis))
+		for t := range sw.dstIdxOf[j] {
+			sw.dstIdxOf[j][t] = -1
+		}
+		for di, tw := range dst {
+			t := towerToD[tw]
+			sw.convDstIdx[j][di] = t
+			sw.dstIdxOf[j][t] = di
+		}
 	}
 	return sw, nil
 }

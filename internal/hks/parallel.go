@@ -57,31 +57,54 @@ func dfKey(df dataflow.Dataflow) int {
 	panic(fmt.Sprintf("hks: unknown dataflow %v", df))
 }
 
+// downState holds the ApplyKey accumulators, ModDown scratch, and the
+// bound output polynomials shared by every engine-execution state
+// (the per-rotation switchState and the hoisted replay of hoisted.go).
+type downState struct {
+	sw *Switcher
+
+	// Rebound per run.
+	out0, out1 *ring.Poly
+
+	// Scratch, allocated once per state.
+	acc0 *ring.Poly // ApplyKey accumulators over D
+	acc1 *ring.Poly
+	yP   [2][][]uint64 // per output poly: K scaled ModDown rows
+	u    [2][]uint64   // per output poly: overshoot estimates
+}
+
+// initDown allocates the accumulator and ModDown scratch.
+func (ds *downState) initDown(sw *Switcher) {
+	ds.sw = sw
+	n, kp := sw.R.N, len(sw.pBasis)
+	ds.acc0 = sw.R.NewPoly(sw.dBasis)
+	ds.acc1 = sw.R.NewPoly(sw.dBasis)
+	ds.acc0.IsNTT, ds.acc1.IsNTT = true, true
+	for p := 0; p < 2; p++ {
+		ds.yP[p] = make([][]uint64, kp)
+		for i := range ds.yP[p] {
+			ds.yP[p][i] = make([]uint64, n)
+		}
+		ds.u[p] = make([]uint64, n)
+	}
+}
+
 // switchState is one in-flight parallel key switch: the task graph
 // for one dataflow plus all scratch it touches. States are pooled on
 // the Switcher; the graph is built once and rebound to fresh inputs
 // each run.
 type switchState struct {
-	sw *Switcher
-	g  *engine.Graph
+	downState
+	g *engine.Graph
 
 	// Rebound per run.
-	d          *ring.Poly
-	evk        *Evk
-	out0, out1 *ring.Poly
+	d   *ring.Poly
+	evk *Evk
 
 	// Scratch, allocated once per state.
 	y        [][]uint64   // ℓ rows: INTT'd + ŷ-scaled digit towers
 	convRows [][][]uint64 // [dnum][|D|] converted-tower rows (nil at bypass; MP/DC)
 	ocTmp    [][]uint64   // [|D|] per-output-tower conversion scratch (OC)
-	acc0     *ring.Poly   // ApplyKey accumulators over D
-	acc1     *ring.Poly
-	yP       [2][][]uint64 // per output poly: K scaled ModDown rows
-	u        [2][]uint64   // per output poly: overshoot estimates
-
-	// Index maps.
-	convDstIdx [][]int // [digit][converter dst idx] -> dBasis idx
-	dstIdxOf   [][]int // [digit][dBasis idx] -> converter dst idx or -1
 }
 
 // overshootChunk tiles the ModDown overshoot estimate with the same
@@ -110,44 +133,14 @@ func (sw *Switcher) bypass(j, t int) bool {
 }
 
 func newSwitchState(sw *Switcher, df dataflow.Dataflow) *switchState {
-	ell, dB, kp := sw.ell(), len(sw.dBasis), len(sw.pBasis)
+	ell, dB := sw.ell(), len(sw.dBasis)
 	n := sw.R.N
-	st := &switchState{sw: sw, g: engine.NewGraph()}
+	st := &switchState{g: engine.NewGraph()}
+	st.initDown(sw)
 
 	st.y = make([][]uint64, ell)
 	for i := range st.y {
 		st.y[i] = make([]uint64, n)
-	}
-	st.acc0 = sw.R.NewPoly(sw.dBasis)
-	st.acc1 = sw.R.NewPoly(sw.dBasis)
-	st.acc0.IsNTT, st.acc1.IsNTT = true, true
-	for p := 0; p < 2; p++ {
-		st.yP[p] = make([][]uint64, kp)
-		for i := range st.yP[p] {
-			st.yP[p][i] = make([]uint64, n)
-		}
-		st.u[p] = make([]uint64, n)
-	}
-
-	// dBasis index of each converter destination, per digit.
-	towerToD := make(map[int]int, dB)
-	for t, tw := range sw.dBasis {
-		towerToD[tw] = t
-	}
-	st.convDstIdx = make([][]int, sw.Dnum)
-	st.dstIdxOf = make([][]int, sw.Dnum)
-	for j := 0; j < sw.Dnum; j++ {
-		dst := sw.upConv[j].Dst()
-		st.convDstIdx[j] = make([]int, len(dst))
-		st.dstIdxOf[j] = make([]int, dB)
-		for t := range st.dstIdxOf[j] {
-			st.dstIdxOf[j][t] = -1
-		}
-		for di, tw := range dst {
-			t := towerToD[tw]
-			st.convDstIdx[j][di] = t
-			st.dstIdxOf[j][t] = di
-		}
 	}
 
 	switch dfKey(df) {
@@ -155,7 +148,7 @@ func newSwitchState(sw *Switcher, df dataflow.Dataflow) *switchState {
 		st.convRows = make([][][]uint64, sw.Dnum)
 		for j := range st.convRows {
 			st.convRows[j] = make([][]uint64, dB)
-			for _, t := range st.convDstIdx[j] {
+			for _, t := range sw.convDstIdx[j] {
 				st.convRows[j][t] = make([]uint64, n)
 			}
 		}
@@ -209,7 +202,7 @@ func (st *switchState) prepTower(i int) {
 // convertTower is ModUp P2+P3 for one (digit, destination tower) tile.
 func (st *switchState) convertTower(j, di int) {
 	sw := st.sw
-	t := st.convDstIdx[j][di]
+	t := sw.convDstIdx[j][di]
 	row := st.convRows[j][t]
 	sw.upConv[j].ConvertTowerFromY(st.digitY(j), di, row)
 	sw.R.NTTTower(sw.dBasis[t], row)
@@ -241,7 +234,7 @@ func (st *switchState) digitPipeline(j int) {
 	for i := st.sw.digitLo(j); i < st.sw.digitHi(j); i++ {
 		st.prepTower(i)
 	}
-	for di := range st.convDstIdx[j] {
+	for di := range st.sw.convDstIdx[j] {
 		st.convertTower(j, di)
 	}
 }
@@ -261,7 +254,7 @@ func (st *switchState) ocTower(t int) {
 			row = st.d.Coeffs[t]
 		} else {
 			row = st.ocTmp[t]
-			sw.upConv[j].ConvertTowerFromY(st.digitY(j), st.dstIdxOf[j][t], row)
+			sw.upConv[j].ConvertTowerFromY(st.digitY(j), sw.dstIdxOf[j][t], row)
 			sw.R.NTTTower(sw.dBasis[t], row)
 		}
 		eb := st.evk.B[j].Coeffs[t]
@@ -273,65 +266,89 @@ func (st *switchState) ocTower(t int) {
 	}
 }
 
-func (st *switchState) accPoly(p int) *ring.Poly {
+func (ds *downState) accPoly(p int) *ring.Poly {
 	if p == 0 {
-		return st.acc0
+		return ds.acc0
 	}
-	return st.acc1
+	return ds.acc1
 }
 
-func (st *switchState) outPoly(p int) *ring.Poly {
+func (ds *downState) outPoly(p int) *ring.Poly {
 	if p == 0 {
-		return st.out0
+		return ds.out0
 	}
-	return st.out1
+	return ds.out1
 }
 
 // downPrepTower is ModDown P1 for P tower i of output poly p, plus the
 // ŷ scaling of the P→Q conversion.
-func (st *switchState) downPrepTower(p, i int) {
-	sw := st.sw
-	row := st.yP[p][i]
-	copy(row, st.accPoly(p).Coeffs[sw.ell()+i])
+func (ds *downState) downPrepTower(p, i int) {
+	sw := ds.sw
+	row := ds.yP[p][i]
+	copy(row, ds.accPoly(p).Coeffs[sw.ell()+i])
 	sw.R.INTTTower(sw.pBasis[i], row)
 	sw.downConv.YScaleRow(i, row, row)
 }
 
 // downOvershoot estimates the exact-conversion overshoot for one
 // coefficient chunk of output poly p.
-func (st *switchState) downOvershoot(p, from, to int) {
-	st.sw.downConv.Overshoot(st.yP[p], st.u[p], from, to)
+func (ds *downState) downOvershoot(p, from, to int) {
+	ds.sw.downConv.Overshoot(ds.yP[p], ds.u[p], from, to)
 }
 
 // downOutTower is ModDown P2–P4 for Q tower i of output poly p:
 // exact-convert the P part into tower i, NTT it, and fold the
 // subtract-and-scale by P⁻¹ in place.
-func (st *switchState) downOutTower(p, i int) {
-	sw := st.sw
-	dst := st.outPoly(p).Coeffs[i]
-	sw.downConv.ConvertExactTowerFromY(st.yP[p], st.u[p], i, dst)
+func (ds *downState) downOutTower(p, i int) {
+	sw := ds.sw
+	dst := ds.outPoly(p).Coeffs[i]
+	sw.downConv.ConvertExactTowerFromY(ds.yP[p], ds.u[p], i, dst)
 	sw.R.NTTTower(sw.qBasis[i], dst)
 	m := sw.R.Mods[sw.qBasis[i]]
-	cRow := st.accPoly(p).Coeffs[i]
+	cRow := ds.accPoly(p).Coeffs[i]
 	pInv := sw.pInvModQ[i]
 	for k := range dst {
 		dst[k] = m.Mul(m.Sub(cRow[k], dst[k]), pInv)
 	}
 }
 
+// runModDownSerial executes the same ModDown tiles as buildModDown on
+// the calling goroutine, in ascending tile order — bit-exact with the
+// graph execution (the chunked overshoot estimate runs in the same
+// ascending order either way).
+func (ds *downState) runModDownSerial() {
+	sw := ds.sw
+	ell, kp, n := sw.ell(), len(sw.pBasis), sw.R.N
+	for p := 0; p < 2; p++ {
+		for i := 0; i < kp; i++ {
+			ds.downPrepTower(p, i)
+		}
+		for from := 0; from < n; from += overshootChunk {
+			to := from + overshootChunk
+			if to > n {
+				to = n
+			}
+			ds.downOvershoot(p, from, to)
+		}
+		for i := 0; i < ell; i++ {
+			ds.downOutTower(p, i)
+		}
+	}
+}
+
 // ---- Graph builders ----
 
-// buildModDown appends the ModDown stages for both output polys.
+// buildModDown appends the ModDown stages for both output polys to g.
 // accNode[t] is the graph node that finished extended tower t of the
 // accumulators.
-func (st *switchState) buildModDown(accNode []int) {
-	sw := st.sw
+func (ds *downState) buildModDown(g *engine.Graph, accNode []int) {
+	sw := ds.sw
 	ell, kp, n := sw.ell(), len(sw.pBasis), sw.R.N
 	chunks := (n + overshootChunk - 1) / overshootChunk
 	for p := 0; p < 2; p++ {
 		prep := make([]int, kp)
 		for i := 0; i < kp; i++ {
-			prep[i] = st.g.Node(func() { st.downPrepTower(p, i) }, accNode[ell+i])
+			prep[i] = g.Node(func() { ds.downPrepTower(p, i) }, accNode[ell+i])
 		}
 		over := make([]int, chunks)
 		for ci := 0; ci < chunks; ci++ {
@@ -340,10 +357,10 @@ func (st *switchState) buildModDown(accNode []int) {
 			if to > n {
 				to = n
 			}
-			over[ci] = st.g.Node(func() { st.downOvershoot(p, from, to) }, prep...)
+			over[ci] = g.Node(func() { ds.downOvershoot(p, from, to) }, prep...)
 		}
 		for i := 0; i < ell; i++ {
-			st.g.Node(func() { st.downOutTower(p, i) }, append([]int{accNode[i]}, over...)...)
+			g.Node(func() { ds.downOutTower(p, i) }, append([]int{accNode[i]}, over...)...)
 		}
 	}
 }
@@ -365,7 +382,7 @@ func (st *switchState) buildMP() {
 			conv[j][t] = -1
 		}
 		deps := prep[sw.digitLo(j):sw.digitHi(j)]
-		for di, t := range st.convDstIdx[j] {
+		for di, t := range sw.convDstIdx[j] {
 			conv[j][t] = st.g.Node(func() { st.convertTower(j, di) }, deps...)
 		}
 	}
@@ -380,7 +397,7 @@ func (st *switchState) buildMP() {
 		}
 		acc[t] = st.g.Node(func() { st.applyTower(t) }, deps...)
 	}
-	st.buildModDown(acc)
+	st.buildModDown(st.g, acc)
 }
 
 // buildDC wires the Digit-Centric graph: one node per digit runs that
@@ -403,7 +420,7 @@ func (st *switchState) buildDC() {
 		}
 		acc[t] = st.g.Node(func() { st.applyTower(t) }, deps...)
 	}
-	st.buildModDown(acc)
+	st.buildModDown(st.g, acc)
 }
 
 // buildOC wires the Output-Centric graph: after the shared INTT pass,
@@ -428,7 +445,7 @@ func (st *switchState) buildOC() {
 		}
 		acc[t] = st.g.Node(func() { st.ocTower(t) }, deps...)
 	}
-	st.buildModDown(acc)
+	st.buildModDown(st.g, acc)
 }
 
 // ---- Public API ----
