@@ -26,21 +26,30 @@ fmt:
 # including the hoisted rotation fan-out (shared ModUp across 8 keys)
 # reconciled against the HoistedOpsSaved model — and snapshots the
 # report to BENCH_engine.json so the performance trajectory is tracked
-# from PR to PR. Tune with e.g.
+# from PR to PR. It then drives the internal/serve batching service
+# with the `ciflow serve` load generator (overlapping rotations from
+# concurrent clients) and snapshots its ops/sec, cache hit rate, and
+# coalescing factor to BENCH_serve.json. Tune with e.g.
 #   make bench BENCH_FLAGS="-logn 14 -requests 32 -workers 8"
 BENCH_FLAGS ?= -logn 13 -requests 8
+SERVE_FLAGS ?= -logn 13 -clients 4 -rotations 8 -requests 8
 
 bench:
 	$(GO) run ./cmd/ciflow throughput $(BENCH_FLAGS) -hoisted -rotations 8 -json BENCH_engine.json
+	$(GO) run ./cmd/ciflow serve $(SERVE_FLAGS) -check -json BENCH_serve.json
 	$(GO) test -run NONE -bench 'KeySwitchN4096|SwitchParallel|SwitchHoisted' -benchtime 2x ./internal/hks/
 
-# perfgate compares a fresh BENCH_engine.json against a stashed
-# baseline (the CI perf-regression gate): fail only on >2x ops/sec
-# regressions or a hoisted path losing to per-rotation switching.
+# perfgate compares fresh BENCH_engine.json / BENCH_serve.json against
+# stashed baselines (the CI perf-regression gate): fail only on >2x
+# ops/sec regressions, a hoisted path losing to per-rotation switching,
+# or the serve invariants breaking (bit-exactness, coalescing > 1,
+# cache hit rate > 50%).
 BASELINE ?= bench_baseline.json
+SERVE_BASELINE ?= serve_baseline.json
 
 perfgate:
-	$(GO) run ./cmd/ciflow perfgate -baseline $(BASELINE) -fresh BENCH_engine.json -max-regression 2
+	$(GO) run ./cmd/ciflow perfgate -baseline $(BASELINE) -fresh BENCH_engine.json \
+		-serve-baseline $(SERVE_BASELINE) -serve-fresh BENCH_serve.json -max-regression 2
 
 clean:
-	rm -f BENCH_engine.json bench_baseline.json
+	rm -f BENCH_engine.json BENCH_serve.json bench_baseline.json serve_baseline.json

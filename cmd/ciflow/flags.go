@@ -1,0 +1,112 @@
+package main
+
+// The flag set and the experiment catalog live here, in one place, so
+// that `ciflow help` (usage.go prints from these), the package doc
+// comment, and README.md can be checked against each other by
+// TestHelpMatchesREADME instead of drifting apart.
+
+import (
+	"flag"
+	"time"
+)
+
+// experiment is one ciflow verb as shown by `ciflow help`.
+type experiment struct {
+	name, desc string
+}
+
+// experiments lists every verb run() dispatches, in display order.
+var experiments = []experiment{
+	{"table2", "DRAM traffic and arithmetic intensity (Table II)"},
+	{"table3", "benchmark parameter sets (Table III)"},
+	{"table4", "OCbase bandwidths and speedups (Table IV)"},
+	{"table5", "configs matching ARK's saturation point (Table V)"},
+	{"fig4", "runtime vs bandwidth sweep (Figure 4; -bench)"},
+	{"fig5", "BTS3 evk streamed vs on-chip (Figure 5)"},
+	{"fig6", "ARK evk streamed vs on-chip (Figure 6)"},
+	{"fig7", "OC streaming slowdown per benchmark (Figure 7)"},
+	{"fig8", "ARK MODOPS sensitivity (Figure 8; -bench)"},
+	{"fig9", "equivalent configs with streamed evks (Figure 9)"},
+	{"ablate-keycomp", "key-compression ablation (§IV-D)"},
+	{"ablate-ocf", "fused-ModDown OC extension vs plain OC"},
+	{"roofline", "memory/compute-bound classification at 8/64/256 GB/s"},
+	{"memory", "data traffic vs on-chip memory size (§IV working sets)"},
+	{"area", "SRAM/area saving summary (§VI-B)"},
+	{"throughput", "measured HKS ops/sec and latency per dataflow on the engine pool"},
+	{"serve", "batching key-switch service load generator (cache + coalescing)"},
+	{"perfgate", "CI performance-regression gate vs committed baselines"},
+	{"all", "everything above in paper order (except throughput, serve, perfgate)"},
+	{"help", "this usage summary"},
+}
+
+// cliFlags carries every parsed flag; newFlags is the single source of
+// truth for names, defaults, and usage strings.
+type cliFlags struct {
+	fs *flag.FlagSet
+
+	benchName *string
+	memMiB    *int64
+	csvOut    *bool
+
+	// throughput + serve workload shape
+	dfName    *string
+	workers   *int
+	requests  *int
+	logN      *int
+	towers    *int
+	dnum      *int
+	hoisted   *bool
+	rotations *int
+	jsonPath  *string
+
+	// serve load generator
+	clients  *int
+	rps      *int
+	rotPool  *int
+	keyCache *int
+	maxBatch *int
+	window   *time.Duration
+	check    *bool
+
+	// perfgate
+	baseline      *string
+	freshPath     *string
+	serveBaseline *string
+	serveFresh    *string
+	maxRegression *float64
+}
+
+func newFlags() *cliFlags {
+	fs := flag.NewFlagSet("ciflow", flag.ContinueOnError)
+	fl := &cliFlags{fs: fs}
+
+	fl.benchName = fs.String("bench", "", "benchmark name (BTS1, BTS2, BTS3, ARK, DPRIVE)")
+	fl.memMiB = fs.Int64("mem", 32, "on-chip data memory in MiB")
+	fl.csvOut = fs.Bool("csv", false, "emit CSV instead of ASCII tables")
+
+	fl.dfName = fs.String("dataflow", "all", "dataflow: mp, dc, oc, ocf, or all")
+	fl.workers = fs.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
+	fl.requests = fs.Int("requests", 16, "throughput request count / serve operations per client")
+	fl.logN = fs.Int("logn", 14, "ring degree exponent (N = 2^logn)")
+	fl.towers = fs.Int("towers", 6, "Q-tower count")
+	fl.dnum = fs.Int("dnum", 3, "key-switching digit count")
+	fl.hoisted = fs.Bool("hoisted", false, "also measure hoisted key switching (shared ModUp)")
+	fl.rotations = fs.Int("rotations", 8, "rotation fan-out width per ciphertext")
+	fl.jsonPath = fs.String("json", "", "also write the report to this JSON file")
+
+	fl.clients = fs.Int("clients", 4, "serve concurrent client goroutines")
+	fl.rps = fs.Int("rps", 0, "serve per-client operations/sec pacing (0 = unpaced)")
+	fl.rotPool = fs.Int("rotpool", 0, "serve distinct rotation amounts shared by all clients (0 = -rotations)")
+	fl.keyCache = fs.Int("keycache", 32, "serve rotation-key LRU capacity")
+	fl.maxBatch = fs.Int("batch", 64, "serve micro-batch size cap")
+	fl.window = fs.Duration("window", 500*time.Microsecond, "serve micro-batch gather window")
+	fl.check = fs.Bool("check", false, "serve: fail unless coalescing > 1, hit rate > 50%, bit-exact")
+
+	fl.baseline = fs.String("baseline", "BENCH_engine.json", "perfgate throughput baseline report")
+	fl.freshPath = fs.String("fresh", "bench_fresh.json", "perfgate fresh throughput report")
+	fl.serveBaseline = fs.String("serve-baseline", "", "perfgate serve baseline report (empty = skip serve gate)")
+	fl.serveFresh = fs.String("serve-fresh", "", "perfgate fresh serve report (empty = skip serve gate)")
+	fl.maxRegression = fs.Float64("max-regression", 2, "perfgate allowed ops/sec drop factor")
+
+	return fl
+}

@@ -30,10 +30,18 @@
 //	               counterpart to Figure 4); -hoisted adds the shared-
 //	               ModUp rotation fan-out vs per-rotation switching,
 //	               reconciled against the HoistedOpsSaved model
-//	perfgate       CI performance-regression gate: compare a fresh
-//	               throughput JSON against the committed baseline and
+//	serve          load generator for the internal/serve batching
+//	               key-switch service: -clients goroutines each issue
+//	               -requests operations of -rotations overlapping
+//	               rotations, and the report shows ops/sec, p50/p99,
+//	               rotation-key cache hit rate, and coalescing factor
+//	perfgate       CI performance-regression gate: compare fresh
+//	               throughput (and, with -serve-baseline/-serve-fresh,
+//	               serve) JSON reports against committed baselines and
 //	               fail on gross (> -max-regression x) ops/sec drops
-//	all            everything above in paper order (except throughput)
+//	all            everything above in paper order (except throughput,
+//	               serve, perfgate)
+//	help           the same experiment and flag summary on the CLI
 //
 // Flags:
 //
@@ -41,22 +49,33 @@
 //	-mem MiB       on-chip data memory (default 32)
 //	-csv           emit CSV instead of the ASCII table (table2, table4,
 //	               fig4, fig5, fig6, memory)
-//	-dataflow D    throughput dataflow: mp, dc, oc, ocf, or all (default)
-//	-workers N     throughput worker count (default GOMAXPROCS)
-//	-requests B    throughput request count (default 16)
-//	-logn L        throughput ring degree 2^L (default 14)
-//	-towers L      throughput Q-tower count (default 6)
-//	-dnum D        throughput digit count (default 3)
+//	-dataflow D    dataflow: mp, dc, oc, ocf, or all (default)
+//	-workers N     engine worker count (default GOMAXPROCS)
+//	-requests B    throughput request count / serve operations per
+//	               client (default 16)
+//	-logn L        ring degree 2^L (default 14)
+//	-towers L      Q-tower count (default 6)
+//	-dnum D        digit count (default 3)
 //	-hoisted       also measure hoisted key switching (shared ModUp)
-//	-rotations K   hoisted fan-out width (default 8)
-//	-json FILE     also write the throughput report as JSON
+//	-rotations K   rotation fan-out width per ciphertext (default 8)
+//	-json FILE     also write the report as JSON
+//	-clients C     serve concurrent client goroutines (default 4)
+//	-rps R         serve per-client pacing in ops/sec (default 0 = unpaced)
+//	-rotpool P     serve distinct rotation amounts shared by all
+//	               clients (default 0 = -rotations)
+//	-keycache K    serve rotation-key LRU capacity (default 32)
+//	-batch B       serve micro-batch size cap (default 64)
+//	-window D      serve micro-batch gather window (default 500µs)
+//	-check         serve: exit non-zero unless coalescing factor > 1,
+//	               cache hit rate > 50%, and results bit-exact
 //	-baseline F    perfgate baseline report (default BENCH_engine.json)
 //	-fresh F       perfgate fresh report (default bench_fresh.json)
+//	-serve-baseline F  perfgate serve baseline report (default: skip)
+//	-serve-fresh F     perfgate fresh serve report (default: skip)
 //	-max-regression X  perfgate allowed ops/sec drop factor (default 2)
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 
@@ -73,40 +92,30 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing experiment (try: ciflow all)")
+		return fmt.Errorf("missing experiment (try: ciflow help)")
 	}
 	verb := args[0]
-	fs := flag.NewFlagSet("ciflow", flag.ContinueOnError)
-	benchName := fs.String("bench", "", "benchmark name (BTS1, BTS2, BTS3, ARK, DPRIVE)")
-	memMiB := fs.Int64("mem", 32, "on-chip data memory in MiB")
-	csvOut := fs.Bool("csv", false, "emit CSV instead of ASCII tables")
-	dfName := fs.String("dataflow", "all", "throughput dataflow: mp, dc, oc, ocf, or all")
-	workers := fs.Int("workers", 0, "throughput worker count (0 = GOMAXPROCS)")
-	requests := fs.Int("requests", 16, "throughput request count")
-	logN := fs.Int("logn", 14, "throughput ring degree exponent")
-	towers := fs.Int("towers", 6, "throughput Q-tower count")
-	dnum := fs.Int("dnum", 3, "throughput digit count")
-	hoisted := fs.Bool("hoisted", false, "also measure hoisted key switching (shared ModUp)")
-	rotations := fs.Int("rotations", 8, "hoisted rotation fan-out width")
-	jsonPath := fs.String("json", "", "write the throughput report to this JSON file")
-	baseline := fs.String("baseline", "BENCH_engine.json", "perfgate baseline report")
-	freshPath := fs.String("fresh", "bench_fresh.json", "perfgate fresh report")
-	maxRegression := fs.Float64("max-regression", 2, "perfgate allowed ops/sec drop factor")
-	if err := fs.Parse(args[1:]); err != nil {
+	fl := newFlags()
+	switch verb {
+	case "help", "-h", "-help", "--help":
+		usage(os.Stdout, fl)
+		return nil
+	}
+	if err := fl.fs.Parse(args[1:]); err != nil {
 		return err
 	}
 
 	r := analysis.NewRunner()
-	r.DataMemBytes = *memMiB << 20
+	r.DataMemBytes = *fl.memMiB << 20
 
 	pick := func(def params.Benchmark) (params.Benchmark, error) {
-		if *benchName == "" {
+		if *fl.benchName == "" {
 			return def, nil
 		}
-		return params.ByName(*benchName)
+		return params.ByName(*fl.benchName)
 	}
 
-	csvMode = *csvOut
+	csvMode = *fl.csvOut
 
 	switch verb {
 	case "table2":
@@ -163,15 +172,33 @@ func run(args []string) error {
 		return nil
 	case "throughput":
 		rot := 0
-		if *hoisted {
-			if *rotations < 2 {
-				return fmt.Errorf("-hoisted needs -rotations >= 2, got %d", *rotations)
+		if *fl.hoisted {
+			if *fl.rotations < 2 {
+				return fmt.Errorf("-hoisted needs -rotations >= 2, got %d", *fl.rotations)
 			}
-			rot = *rotations
+			rot = *fl.rotations
 		}
-		return throughput(*dfName, *workers, *requests, *logN, *towers, *dnum, rot, *jsonPath)
+		return throughput(*fl.dfName, *fl.workers, *fl.requests, *fl.logN, *fl.towers, *fl.dnum, rot, *fl.jsonPath)
+	case "serve":
+		cfg := serveConfig{
+			dfName:    *fl.dfName,
+			clients:   *fl.clients,
+			rps:       *fl.rps,
+			rotations: *fl.rotations,
+			ops:       *fl.requests,
+			logN:      *fl.logN,
+			towers:    *fl.towers,
+			dnum:      *fl.dnum,
+			workers:   *fl.workers,
+			rotPool:   *fl.rotPool,
+			keyCache:  *fl.keyCache,
+			maxBatch:  *fl.maxBatch,
+			window:    *fl.window,
+		}
+		return serveCmd(cfg, *fl.jsonPath, *fl.check)
 	case "perfgate":
-		return perfgate(*baseline, *freshPath, *maxRegression)
+		return perfgate(*fl.baseline, *fl.freshPath, *fl.maxRegression,
+			*fl.serveBaseline, *fl.serveFresh)
 	case "all":
 		fmt.Print(analysis.FormatTableIII())
 		fmt.Println()
@@ -202,7 +229,7 @@ func run(args []string) error {
 		fmt.Print(analysis.AreaSummary())
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q", verb)
+		return fmt.Errorf("unknown experiment %q (try: ciflow help)", verb)
 	}
 }
 

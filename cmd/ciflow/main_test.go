@@ -1,9 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"flag"
 	"os"
+	"regexp"
+	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunVerbs(t *testing.T) {
@@ -158,7 +163,7 @@ func TestPerfgate(t *testing.T) {
 	}
 	okPath := dir + "/ok.json"
 	writeReport(t, okPath, ok)
-	if err := perfgate(basePath, okPath, 2); err != nil {
+	if err := perfgate(basePath, okPath, 2, "", ""); err != nil {
 		t.Fatalf("perfgate failed on healthy report: %v", err)
 	}
 
@@ -172,7 +177,7 @@ func TestPerfgate(t *testing.T) {
 	}
 	badPath := dir + "/bad.json"
 	writeReport(t, badPath, bad)
-	if err := perfgate(basePath, badPath, 2); err == nil {
+	if err := perfgate(basePath, badPath, 2, "", ""); err == nil {
 		t.Fatal("perfgate passed a >2x regression")
 	}
 
@@ -185,7 +190,7 @@ func TestPerfgate(t *testing.T) {
 	}
 	slowPath := dir + "/slow.json"
 	writeReport(t, slowPath, slowHoist)
-	if err := perfgate(basePath, slowPath, 2); err == nil {
+	if err := perfgate(basePath, slowPath, 2, "", ""); err == nil {
 		t.Fatal("perfgate passed a hoisted slowdown")
 	}
 
@@ -204,7 +209,7 @@ func TestPerfgate(t *testing.T) {
 	}
 	noHoistPath := dir + "/no_hoist.json"
 	writeReport(t, noHoistPath, noHoist)
-	if err := perfgate(hoistedBasePath, noHoistPath, 2); err == nil {
+	if err := perfgate(hoistedBasePath, noHoistPath, 2, "", ""); err == nil {
 		t.Fatal("perfgate passed a fresh report that dropped the hoisted section")
 	}
 
@@ -214,7 +219,7 @@ func TestPerfgate(t *testing.T) {
 	}
 	inexactPath := dir + "/inexact.json"
 	writeReport(t, inexactPath, inexact)
-	if err := perfgate(basePath, inexactPath, 2); err == nil {
+	if err := perfgate(basePath, inexactPath, 2, "", ""); err == nil {
 		t.Fatal("perfgate passed a non-bit-exact report")
 	}
 }
@@ -224,20 +229,230 @@ func TestPerfgateErrors(t *testing.T) {
 	good := dir + "/good.json"
 	writeReport(t, good, &throughputReport{BitExact: true,
 		Results: []throughputRow{{Dataflow: "serial", OpsPerSec: 1}}})
-	if err := perfgate(dir+"/missing.json", good, 2); err == nil {
+	if err := perfgate(dir+"/missing.json", good, 2, "", ""); err == nil {
 		t.Error("missing baseline accepted")
 	}
-	if err := perfgate(good, dir+"/missing.json", 2); err == nil {
+	if err := perfgate(good, dir+"/missing.json", 2, "", ""); err == nil {
 		t.Error("missing fresh report accepted")
 	}
-	if err := perfgate(good, good, 0.5); err == nil {
+	if err := perfgate(good, good, 0.5, "", ""); err == nil {
 		t.Error("tolerance below 1 accepted")
 	}
 	empty := dir + "/empty.json"
 	if err := os.WriteFile(empty, []byte("{}"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := perfgate(empty, good, 2); err == nil {
+	if err := perfgate(empty, good, 2, "", ""); err == nil {
 		t.Error("empty baseline accepted")
+	}
+}
+
+func testServeConfig() serveConfig {
+	return serveConfig{
+		dfName: "all", clients: 2, rotations: 3, ops: 2,
+		logN: 5, towers: 4, dnum: 2, workers: 2,
+		keyCache: 8, maxBatch: 16, window: 200 * time.Microsecond,
+	}
+}
+
+func TestServeRun(t *testing.T) {
+	rep, err := serveRun(testServeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.BitExact {
+		t.Fatal("served results not bit-exact with direct SwitchHoisted")
+	}
+	// 2 clients x 2 ops x 3 rotations; the verification fan-out runs
+	// after the stats snapshot and does not count.
+	if want := uint64(2 * 2 * 3); rep.Requests != want {
+		t.Fatalf("served %d requests, want %d", rep.Requests, want)
+	}
+	if rep.CoalescingFactor <= 1 {
+		t.Fatalf("coalescing factor %.2f, want > 1", rep.CoalescingFactor)
+	}
+	if rep.KeyHitRate <= 0.5 {
+		t.Fatalf("key hit rate %.2f, want > 0.5", rep.KeyHitRate)
+	}
+	if rep.OpsPerSec <= 0 || rep.P50Ms < 0 || rep.P99Ms < rep.P50Ms {
+		t.Fatalf("implausible report %+v", rep)
+	}
+	if err := serveCheck(rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeRunPaced(t *testing.T) {
+	cfg := testServeConfig()
+	cfg.clients, cfg.ops, cfg.rps = 1, 2, 500
+	rep, err := serveRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two ops at 500 ops/sec cannot finish faster than one tick.
+	if rep.DurationSec < 0.002 {
+		t.Fatalf("paced run finished in %.4fs, pacing not applied", rep.DurationSec)
+	}
+}
+
+func TestServeRunErrors(t *testing.T) {
+	for name, mut := range map[string]func(*serveConfig){
+		"clients":  func(c *serveConfig) { c.clients = 0 },
+		"ops":      func(c *serveConfig) { c.ops = 0 },
+		"rot":      func(c *serveConfig) { c.rotations = 0 },
+		"rps":      func(c *serveConfig) { c.rps = -1 },
+		"logn":     func(c *serveConfig) { c.logN = 3 },
+		"rotpool":  func(c *serveConfig) { c.rotPool = 1 },
+		"dataflow": func(c *serveConfig) { c.dfName = "nope" },
+	} {
+		cfg := testServeConfig()
+		mut(&cfg)
+		if _, err := serveRun(cfg); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}
+
+func TestServeVerb(t *testing.T) {
+	jsonPath := t.TempDir() + "/serve.json"
+	args := []string{"serve", "-clients", "2", "-rotations", "3", "-requests", "2",
+		"-logn", "5", "-towers", "4", "-dnum", "2", "-workers", "2",
+		"-check", "-json", jsonPath}
+	if err := run(args); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("JSON report not written: %v", err)
+	}
+	var rep serveReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || !rep.BitExact {
+		t.Fatalf("implausible serve report: %+v", rep)
+	}
+}
+
+func writeServeReport(t *testing.T, path string, rep *serveReport) {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerfgateServe(t *testing.T) {
+	dir := t.TempDir()
+	basePath := dir + "/thr_base.json"
+	writeReport(t, basePath, &throughputReport{
+		BitExact: true,
+		Results:  []throughputRow{{Dataflow: "serial", OpsPerSec: 100}},
+	})
+	freshPath := dir + "/thr_fresh.json"
+	writeReport(t, freshPath, &throughputReport{
+		BitExact: true,
+		Results:  []throughputRow{{Dataflow: "serial", OpsPerSec: 100}},
+	})
+
+	healthy := &serveReport{
+		Requests: 64, OpsPerSec: 100, CoalescingFactor: 4,
+		KeyHitRate: 0.9, BitExact: true,
+	}
+	sBase := dir + "/serve_base.json"
+	writeServeReport(t, sBase, healthy)
+	sOK := dir + "/serve_ok.json"
+	writeServeReport(t, sOK, &serveReport{
+		Requests: 64, OpsPerSec: 51, CoalescingFactor: 2,
+		KeyHitRate: 0.6, BitExact: true,
+	})
+	if err := perfgate(basePath, freshPath, 2, sBase, sOK); err != nil {
+		t.Fatalf("perfgate failed on healthy serve report: %v", err)
+	}
+
+	for name, bad := range map[string]*serveReport{
+		"regression":    {Requests: 64, OpsPerSec: 10, CoalescingFactor: 4, KeyHitRate: 0.9, BitExact: true},
+		"no-coalescing": {Requests: 64, OpsPerSec: 100, CoalescingFactor: 1, KeyHitRate: 0.9, BitExact: true},
+		"cold-cache":    {Requests: 64, OpsPerSec: 100, CoalescingFactor: 4, KeyHitRate: 0.3, BitExact: true},
+		"inexact":       {Requests: 64, OpsPerSec: 100, CoalescingFactor: 4, KeyHitRate: 0.9, BitExact: false},
+	} {
+		p := dir + "/serve_" + name + ".json"
+		writeServeReport(t, p, bad)
+		if err := perfgate(basePath, freshPath, 2, sBase, p); err == nil {
+			t.Errorf("%s: perfgate passed a degraded serve report", name)
+		}
+	}
+
+	// Half-specified serve gate flags and unreadable reports error out.
+	if err := perfgate(basePath, freshPath, 2, sBase, ""); err == nil {
+		t.Error("half-specified serve gate accepted")
+	}
+	if err := perfgate(basePath, freshPath, 2, sBase, dir+"/missing.json"); err == nil {
+		t.Error("missing fresh serve report accepted")
+	}
+	if err := perfgate(basePath, freshPath, 2, dir+"/missing.json", sOK); err == nil {
+		t.Error("missing serve baseline accepted")
+	}
+	empty := dir + "/serve_empty.json"
+	writeServeReport(t, empty, &serveReport{})
+	if err := perfgate(basePath, freshPath, 2, empty, sOK); err == nil {
+		t.Error("empty serve baseline accepted")
+	}
+}
+
+// TestHelpMatchesREADME diffs the `ciflow help` output against
+// README.md and the package doc comment: every experiment and every
+// flag the binary defines must be documented in both, so the CLI and
+// the docs cannot drift apart.
+func TestHelpMatchesREADME(t *testing.T) {
+	var buf bytes.Buffer
+	usage(&buf, newFlags())
+	help := buf.String()
+
+	readmeBytes, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(readmeBytes)
+	mainBytes, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	docComment := string(mainBytes)
+
+	// Word-boundary match: a bare substring check would let "-fresh"
+	// ride on "-serve-fresh" and hide real docs drift.
+	mentions := func(text, flagName string) bool {
+		re := regexp.MustCompile(`(^|[^-\w])-` + regexp.QuoteMeta(flagName) + `\b`)
+		return re.MatchString(text)
+	}
+	fl := newFlags()
+	fl.fs.VisitAll(func(f *flag.Flag) {
+		if !mentions(help, f.Name) {
+			t.Errorf("flag -%s missing from ciflow help output", f.Name)
+		}
+		if !mentions(readme, f.Name) {
+			t.Errorf("flag -%s not documented in README.md", f.Name)
+		}
+		if !mentions(docComment, f.Name) {
+			t.Errorf("flag -%s not documented in the main.go doc comment", f.Name)
+		}
+	})
+	for _, e := range experiments {
+		if !strings.Contains(help, e.name) {
+			t.Errorf("experiment %q missing from ciflow help output", e.name)
+		}
+		if !strings.Contains(readme, e.name) {
+			t.Errorf("experiment %q not documented in README.md", e.name)
+		}
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Fatalf("ciflow help: %v", err)
+	}
+	if err := run([]string{"-h"}); err != nil {
+		t.Fatalf("ciflow -h: %v", err)
 	}
 }

@@ -29,12 +29,69 @@ func readReport(path string) (*throughputReport, error) {
 	return &rep, nil
 }
 
+func readServeReport(path string) (*serveReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep serveReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Requests == 0 {
+		return nil, fmt.Errorf("%s: no served requests", path)
+	}
+	return &rep, nil
+}
+
+// perfgateServe gates the serving layer: same generous ops/sec
+// tolerance as the throughput gate, plus the machine-independent
+// invariants — bit-exactness, coalescing actually sharing ModUps, and
+// the key cache actually hitting — which must hold at any speed.
+func perfgateServe(baselinePath, freshPath string, maxRegression float64, failures *[]string) error {
+	base, err := readServeReport(baselinePath)
+	if err != nil {
+		return fmt.Errorf("serve baseline: %w", err)
+	}
+	fresh, err := readServeReport(freshPath)
+	if err != nil {
+		return fmt.Errorf("serve fresh: %w", err)
+	}
+	ratio := fresh.OpsPerSec / base.OpsPerSec
+	status := "ok"
+	if fresh.OpsPerSec*maxRegression < base.OpsPerSec {
+		status = "FAIL"
+		*failures = append(*failures,
+			fmt.Sprintf("serve: %.2f ops/sec vs baseline %.2f (>%.1fx regression)",
+				fresh.OpsPerSec, base.OpsPerSec, maxRegression))
+	}
+	fmt.Printf("%-8s %14.2f %14.2f %7.2fx %6s\n", "serve", base.OpsPerSec, fresh.OpsPerSec, ratio, status)
+	if !fresh.BitExact {
+		*failures = append(*failures, "serve: results not bit-exact with direct SwitchHoisted")
+	}
+	if fresh.CoalescingFactor <= 1 {
+		*failures = append(*failures,
+			fmt.Sprintf("serve: coalescing factor %.2f, want > 1", fresh.CoalescingFactor))
+	}
+	if fresh.KeyHitRate <= 0.5 {
+		*failures = append(*failures,
+			fmt.Sprintf("serve: key cache hit rate %.2f, want > 0.5", fresh.KeyHitRate))
+	}
+	fmt.Printf("serve coalescing %.2fx, key hit rate %.0f%%\n",
+		fresh.CoalescingFactor, 100*fresh.KeyHitRate)
+	return nil
+}
+
 // perfgate compares fresh against baseline; maxRegression is the
 // allowed ops/sec ratio (2.0 = fail only when fresh is less than half
-// the baseline).
-func perfgate(baselinePath, freshPath string, maxRegression float64) error {
+// the baseline). Non-empty serveBaselinePath/serveFreshPath extend the
+// gate to the serving layer's reports.
+func perfgate(baselinePath, freshPath string, maxRegression float64, serveBaselinePath, serveFreshPath string) error {
 	if maxRegression < 1 {
 		return fmt.Errorf("max regression %g must be >= 1", maxRegression)
+	}
+	if (serveBaselinePath == "") != (serveFreshPath == "") {
+		return fmt.Errorf("-serve-baseline and -serve-fresh must be given together")
 	}
 	base, err := readReport(baselinePath)
 	if err != nil {
@@ -96,6 +153,12 @@ func perfgate(baselinePath, freshPath string, maxRegression float64) error {
 			}
 			fmt.Printf("hoisted %-8s %.2fx vs per-rotation (model %.2fx) %s\n",
 				row.Dataflow, row.MeasuredSpeedup, fresh.Hoisted.ModelSpeedup, status)
+		}
+	}
+
+	if serveBaselinePath != "" {
+		if err := perfgateServe(serveBaselinePath, serveFreshPath, maxRegression, &failures); err != nil {
+			return err
 		}
 	}
 

@@ -1,0 +1,333 @@
+package main
+
+// The serve experiment is the load generator for internal/serve: it
+// stands up the batching key-switch service on a ckks.KeyChain and
+// drives it with concurrent clients issuing overlapping rotation
+// fan-outs — the request stream of a diagonal-method linear-transform
+// workload, served instead of evaluated inline. The report is the
+// serving counterpart of the throughput experiment: ops/sec and tail
+// latency, plus the two serving-specific reuse metrics — rotation-key
+// cache hit rate and coalescing factor (requests per executed
+// Decompose+ModUp).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"ciflow/internal/ckks"
+	"ciflow/internal/engine"
+	"ciflow/internal/hks"
+	"ciflow/internal/ring"
+	"ciflow/internal/serve"
+)
+
+// serveConfig is the parsed flag set of the serve experiment.
+type serveConfig struct {
+	dfName    string
+	clients   int
+	rps       int // per-client operations/sec; 0 = unpaced
+	rotations int // fan-out width per operation
+	ops       int // operations per client
+	logN      int
+	towers    int
+	dnum      int
+	workers   int
+	rotPool   int // distinct rotation amounts shared by all clients
+	keyCache  int
+	maxBatch  int
+	window    time.Duration
+}
+
+// serveReport is the JSON artifact of the serve experiment
+// (BENCH_serve.json in the bench/perfgate flow).
+type serveReport struct {
+	N           int     `json:"n"`
+	Towers      int     `json:"towers"`
+	Dnum        int     `json:"dnum"`
+	Workers     int     `json:"workers"`
+	NumCPU      int     `json:"num_cpu"`
+	Dataflow    string  `json:"dataflow"`
+	Clients     int     `json:"clients"`
+	RPS         int     `json:"rps"`
+	Rotations   int     `json:"rotations"`
+	OpsPerCli   int     `json:"ops_per_client"`
+	RotPool     int     `json:"rot_pool"`
+	KeyCapacity int     `json:"key_capacity"`
+	DurationSec float64 `json:"duration_sec"`
+
+	Requests  uint64  `json:"requests"`    // key switches served
+	OpsPerSec float64 `json:"ops_per_sec"` // served key switches per second
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+
+	CoalescingFactor float64 `json:"coalescing_factor"`
+	ModUps           uint64  `json:"mod_ups"`
+	Coalesced        uint64  `json:"coalesced"`
+	Batches          uint64  `json:"batches"`
+	Groups           uint64  `json:"groups"`
+
+	KeyHits      uint64  `json:"key_hits"`
+	KeyMisses    uint64  `json:"key_misses"`
+	KeyEvictions uint64  `json:"key_evictions"`
+	KeyHitRate   float64 `json:"key_hit_rate"`
+
+	BitExact bool `json:"bit_exact"`
+}
+
+// serveRun executes the load generation and returns the report; split
+// from the printing so tests can exercise it directly. A single
+// -dataflow pins every request; "all" assigns MP/DC/OC to clients
+// round-robin, exercising the service's per-dataflow grouping.
+func serveRun(cfg serveConfig) (*serveReport, error) {
+	if cfg.clients < 1 {
+		return nil, fmt.Errorf("need at least 1 client, got %d", cfg.clients)
+	}
+	if cfg.ops < 1 {
+		return nil, fmt.Errorf("need at least 1 operation per client, got %d", cfg.ops)
+	}
+	if cfg.rotations < 1 {
+		return nil, fmt.Errorf("need at least 1 rotation, got %d", cfg.rotations)
+	}
+	if cfg.rps < 0 {
+		return nil, fmt.Errorf("rps %d must be >= 0", cfg.rps)
+	}
+	if cfg.logN < 4 || cfg.logN > 16 {
+		return nil, fmt.Errorf("logn %d out of range [4,16]", cfg.logN)
+	}
+	if cfg.rotPool == 0 {
+		cfg.rotPool = cfg.rotations
+	}
+	if cfg.rotPool < cfg.rotations {
+		return nil, fmt.Errorf("rotpool %d smaller than the fan-out %d", cfg.rotPool, cfg.rotations)
+	}
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	dfs, err := parseThroughputDataflows(cfg.dfName)
+	if err != nil {
+		return nil, err
+	}
+
+	n := 1 << cfg.logN
+	cctx, err := ckks.NewContext(n, cfg.towers, 40, 3, 41, cfg.dnum)
+	if err != nil {
+		return nil, err
+	}
+	kc, _ := ckks.GenKeys(cctx, 1)
+	level := cctx.MaxLevel
+	sw, err := kc.Switcher(level)
+	if err != nil {
+		return nil, err
+	}
+
+	e := engine.New(cfg.workers)
+	defer e.Close()
+	svc, err := serve.NewFromKeyChain(kc, level, serve.Config{
+		Engine:      e,
+		KeyCapacity: cfg.keyCache,
+		MaxBatch:    cfg.maxBatch,
+		Window:      cfg.window,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+
+	rep := &serveReport{
+		N: n, Towers: cfg.towers, Dnum: cfg.dnum,
+		Workers: cfg.workers, NumCPU: runtime.NumCPU(),
+		Dataflow: cfg.dfName, Clients: cfg.clients, RPS: cfg.rps,
+		Rotations: cfg.rotations, OpsPerCli: cfg.ops,
+		RotPool: cfg.rotPool, KeyCapacity: cfg.keyCache,
+	}
+
+	// Rotation amounts 1..rotPool, shared by every client so their key
+	// working sets overlap: that overlap is what the cache hit rate
+	// measures. Operation op issues amounts rot(op), rot(op+1), ...
+	// wrapping around the pool.
+	rot := func(i int) int { return 1 + i%cfg.rotPool }
+
+	// Pre-sample the client inputs off the clock (the sampler is not
+	// safe for concurrent use). Each client cycles a small working set
+	// of ciphertext c1 components.
+	s := ring.NewSampler(cctx.R, 2)
+	perClient := cfg.ops
+	if perClient > 4 {
+		perClient = 4
+	}
+	inputs := make([][]*ring.Poly, cfg.clients)
+	for c := range inputs {
+		inputs[c] = make([]*ring.Poly, perClient)
+		for i := range inputs[c] {
+			inputs[c][i] = s.Uniform(sw.QBasis())
+			inputs[c][i].IsNTT = true
+		}
+	}
+
+	// Timed run: each client issues ops operations; one operation is a
+	// fan-out of `rotations` concurrent requests on one input,
+	// optionally paced at -rps.
+	var clientErr error
+	var errMu sync.Mutex
+	fail := func(err error) {
+		errMu.Lock()
+		if clientErr == nil {
+			clientErr = err
+		}
+		errMu.Unlock()
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			df := dfs[c%len(dfs)]
+			var tick *time.Ticker
+			if cfg.rps > 0 {
+				tick = time.NewTicker(time.Second / time.Duration(cfg.rps))
+				defer tick.Stop()
+			}
+			chans := make([]<-chan serve.Result, cfg.rotations)
+			for op := 0; op < cfg.ops; op++ {
+				if tick != nil {
+					<-tick.C
+				}
+				in := inputs[c][op%perClient]
+				for i := 0; i < cfg.rotations; i++ {
+					ch, err := svc.Submit(context.Background(),
+						serve.Request{Input: in, Rot: rot(op + i), Dataflow: df})
+					if err != nil {
+						fail(err)
+						return
+					}
+					chans[i] = ch
+				}
+				for _, ch := range chans {
+					if res := <-ch; res.Err != nil {
+						fail(res.Err)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if clientErr != nil {
+		return nil, clientErr
+	}
+
+	st := svc.Stats()
+	rep.DurationSec = elapsed.Seconds()
+	rep.Requests = st.Served
+	rep.OpsPerSec = float64(st.Served) / elapsed.Seconds()
+	rep.P50Ms = float64(st.P50) / float64(time.Millisecond)
+	rep.P99Ms = float64(st.P99) / float64(time.Millisecond)
+	rep.CoalescingFactor = st.CoalescingFactor
+	rep.ModUps = st.ModUps
+	rep.Coalesced = st.Coalesced
+	rep.Batches = st.Batches
+	rep.Groups = st.Groups
+	rep.KeyHits = st.Keys.Hits
+	rep.KeyMisses = st.Keys.Misses
+	rep.KeyEvictions = st.Keys.Evictions
+	rep.KeyHitRate = st.Keys.HitRate
+
+	// Bit-exactness: replay one fan-out through the (already warm)
+	// service and compare against direct hks.SwitchHoisted with the
+	// same memoized keys. Off the clock by construction.
+	rep.BitExact = true
+	verifyIn := inputs[0][0]
+	evks := make([]*hks.Evk, cfg.rotations)
+	for i := range evks {
+		if evks[i], err = kc.HoistKey(rot(i), level); err != nil {
+			return nil, err
+		}
+	}
+	want0, want1 := sw.SwitchHoisted(verifyIn, evks)
+	vchans := make([]<-chan serve.Result, cfg.rotations)
+	for i := 0; i < cfg.rotations; i++ {
+		ch, err := svc.Submit(context.Background(),
+			serve.Request{Input: verifyIn, Rot: rot(i), Dataflow: dfs[0]})
+		if err != nil {
+			return nil, err
+		}
+		vchans[i] = ch
+	}
+	for i, ch := range vchans {
+		res := <-ch
+		if res.Err != nil {
+			return nil, res.Err
+		}
+		if !res.C0.Equal(want0[i]) || !res.C1.Equal(want1[i]) {
+			rep.BitExact = false
+			return rep, fmt.Errorf("served rotation %d differs from direct SwitchHoisted", i)
+		}
+	}
+	return rep, nil
+}
+
+// serveCheck enforces the acceptance bar behind -check: the service
+// must actually be reusing state, not just passing requests through.
+func serveCheck(rep *serveReport) error {
+	if !rep.BitExact {
+		return fmt.Errorf("serve check: results not bit-exact with direct SwitchHoisted")
+	}
+	if rep.CoalescingFactor <= 1 {
+		return fmt.Errorf("serve check: coalescing factor %.2f, want > 1 (no shared ModUps)", rep.CoalescingFactor)
+	}
+	if rep.KeyHitRate <= 0.5 {
+		return fmt.Errorf("serve check: key cache hit rate %.2f, want > 0.5", rep.KeyHitRate)
+	}
+	return nil
+}
+
+func serveCmd(cfg serveConfig, jsonPath string, check bool) error {
+	rep, err := serveRun(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Serve: N=2^%d, %d towers, dnum=%d, %d workers (%d CPUs)\n",
+		cfg.logN, rep.Towers, rep.Dnum, rep.Workers, rep.NumCPU)
+	fmt.Printf("%d clients x %d ops x %d rotations (%s, pool %d, key cache %d)\n",
+		rep.Clients, rep.OpsPerCli, rep.Rotations, rep.Dataflow, rep.RotPool, rep.KeyCapacity)
+	fmt.Printf("%-22s %12.2f\n", "served switches/sec", rep.OpsPerSec)
+	fmt.Printf("%-22s %9.3f ms\n", "p50 latency", rep.P50Ms)
+	fmt.Printf("%-22s %9.3f ms\n", "p99 latency", rep.P99Ms)
+	fmt.Printf("%-22s %11.2fx  (%d requests / %d ModUps)\n",
+		"coalescing factor", rep.CoalescingFactor, rep.Requests, rep.ModUps)
+	fmt.Printf("%-22s %11.1f%%  (%d hits, %d misses, %d evictions)\n",
+		"key cache hit rate", 100*rep.KeyHitRate, rep.KeyHits, rep.KeyMisses, rep.KeyEvictions)
+	fmt.Printf("%-22s %12v\n", "bit-exact", rep.BitExact)
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if check {
+		if err := serveCheck(rep); err != nil {
+			return err
+		}
+		fmt.Println("serve check passed")
+	}
+	return nil
+}

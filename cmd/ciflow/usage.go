@@ -1,0 +1,24 @@
+package main
+
+import (
+	"fmt"
+	"io"
+)
+
+// usage prints the experiment catalog and the flag defaults — the
+// `ciflow help` output. It is generated from the same experiments
+// slice and flag set that run() dispatches on, and
+// TestHelpMatchesREADME diffs it against README.md, so the three
+// cannot drift apart silently.
+func usage(w io.Writer, fl *cliFlags) {
+	fmt.Fprintln(w, "Usage: ciflow <experiment> [flags]")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Experiments:")
+	for _, e := range experiments {
+		fmt.Fprintf(w, "  %-14s %s\n", e.name, e.desc)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Flags:")
+	fl.fs.SetOutput(w)
+	fl.fs.PrintDefaults()
+}

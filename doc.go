@@ -1,19 +1,37 @@
 // Package ciflow is a from-scratch Go reproduction of "CiFlow:
 // Dataflow Analysis and Optimization of Key Switching for Homomorphic
-// Encryption" (ISPASS 2024): a functional CKKS/HKS implementation, the
-// three HKS dataflows (Max-Parallel, Digit-Centric, Output-Centric),
-// and an RPU performance model that regenerates every table and figure
-// of the paper's evaluation.
+// Encryption" (ISPASS 2024), grown into a small serving system around
+// the paper's central claim: key switching is dominated by data
+// movement, and reorganizing the dataflow turns redundant work into
+// shared state.
 //
-// Beyond the paper's model, internal/engine executes the MP/DC/OC
-// stage graphs for real: a worker-pool runtime with per-tower and
-// per-digit task graphs, pooled limb buffers, and an engine-backed
-// ckks.Evaluator. The `ciflow throughput` experiment (flags
-// -dataflow, -workers, -requests) measures ops/sec, p50/p99 latency,
-// and speedup vs the serial pipeline per dataflow — the measured
-// counterpart to the paper's Figure 4. Hoisted key switching
-// (hks.Hoisted, ckks.Evaluator.RotateHoisted) shares one
-// Decompose+ModUp across a rotation fan-out; `ciflow throughput
-// -hoisted` measures the amortization and reconciles it against the
-// HoistedOpsSaved model. See README.md and DESIGN.md.
+// The repository has three layers that apply that claim at increasing
+// scope:
+//
+//   - The reproduction: a functional CKKS/HKS implementation
+//     (internal/ckks, internal/hks), the three HKS dataflows
+//     (Max-Parallel, Digit-Centric, Output-Centric) and an RPU
+//     performance model (internal/dataflow, internal/rpu,
+//     internal/sim) that regenerates every table and figure of the
+//     paper's evaluation.
+//   - Execution: internal/engine runs the MP/DC/OC stage graphs for
+//     real — a worker-pool runtime with per-tower and per-digit task
+//     graphs and pooled limb buffers — and hoisted key switching
+//     (hks.Hoisted, ckks.Evaluator.RotateHoisted) shares one
+//     Decompose+ModUp across a rotation fan-out. Both are bit-exact
+//     with the serial pipeline.
+//   - Serving: internal/serve amortizes the same work across
+//     *requests* — an in-process batching key-switch service with an
+//     LRU rotation-key cache backed by ckks.KeyChain, a hoisted-state
+//     coalescer that merges concurrent requests on one ciphertext
+//     into a single shared ModUp, and adaptive micro-batching with
+//     per-dataflow routing and backpressure.
+//
+// The `ciflow` command regenerates the paper artifacts and measures
+// all of the above: `ciflow throughput` (per-dataflow ops/sec and
+// latency, -hoisted for the shared-ModUp fan-out), `ciflow serve`
+// (the load generator: -clients/-rps/-rotations, reporting cache hit
+// rate and coalescing factor), and `ciflow perfgate` (the CI
+// regression gate over both reports). See README.md for quickstarts
+// and DESIGN.md for the architecture and the bit-exactness argument.
 package ciflow

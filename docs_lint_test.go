@@ -1,0 +1,70 @@
+// Docs lint: the repository promises that `go doc` tells the current
+// story for every package (see DESIGN.md "Testing tiers" and the CI
+// docs-lint step). TestPackageComments enforces the mechanical half of
+// that promise — every internal package, the root package, and
+// cmd/ciflow must carry a package comment — so a new package cannot
+// ship undocumented.
+package ciflow_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// packageDirs returns every directory under the repository root that
+// should carry a documented package: the root itself, cmd/*, and all
+// of internal/*.
+func packageDirs(t *testing.T) []string {
+	t.Helper()
+	dirs := []string{"."}
+	for _, root := range []string{"cmd", "internal"} {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			gofiles, err := filepath.Glob(filepath.Join(path, "*.go"))
+			if err != nil {
+				return err
+			}
+			if len(gofiles) > 0 {
+				dirs = append(dirs, path)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dirs
+}
+
+func TestPackageComments(t *testing.T) {
+	for _, dir := range packageDirs(t) {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				t.Errorf("package %s (%s) has no package comment; document what it is for", name, dir)
+			}
+		}
+	}
+}

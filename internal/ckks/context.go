@@ -7,7 +7,19 @@
 // This is the workload layer of the CiFlow reproduction: rotations and
 // multiplications are exactly the operations that trigger key
 // switching (paper §II), and examples/private_inference uses this
-// package to measure the HKS share of a linear-layer workload.
+// package to measure the HKS share of a linear-layer workload. Beyond
+// the serial scheme, Evaluator.WithEngine runs every key switch as an
+// engine task graph under a chosen dataflow, and the rotation fan-out
+// of the diagonal method is hoisted: RotateHoisted (and Apply on top
+// of it) shares one Decompose+ModUp across all rotation amounts using
+// hoisting-form keys (KeyChain.HoistKey, s → σ_g⁻¹(s), automorphism
+// applied after the switch).
+//
+// KeyChain is the key authority for the layers above: it lazily
+// generates and memoizes switchers and evaluation keys per level, is
+// safe for concurrent use, and backs the bounded rotation-key LRU of
+// the internal/serve service — memoization is what keeps served
+// results bit-exact across cache evictions and reloads.
 //
 // The implementation favours clarity and exact testability over
 // performance and side-channel hygiene; it must not be used to protect

@@ -2,6 +2,7 @@ package ckks
 
 import (
 	"fmt"
+	"sync"
 
 	"ciflow/internal/hks"
 	"ciflow/internal/ring"
@@ -23,12 +24,19 @@ type PublicKey struct {
 // need, one per level. A production library would precompute and
 // serialize these; for analysis purposes lazy generation keeps tests
 // and examples self-contained.
+//
+// A KeyChain is safe for concurrent use: the serving layer
+// (internal/serve) loads keys from many request goroutines at once,
+// and generation is memoized under one lock, so every caller of
+// RotKey/HoistKey observes the identical key material — which is what
+// keeps served results bit-exact across cache evictions and reloads.
 type KeyChain struct {
 	ctx     *Context
 	sampler *ring.Sampler
 	sk      *SecretKey
 	sSquare *ring.Poly // s², full D basis, coefficient domain
 
+	mu        sync.Mutex // guards the maps and the sampler below
 	switchers map[int]*hks.Switcher
 	relin     map[int]*hks.Evk
 	rot       map[int]map[int]*hks.Evk // rot -> level -> evk
@@ -80,6 +88,12 @@ func (kc *KeyChain) Secret() *SecretKey { return kc.sk }
 
 // Switcher returns (building if needed) the HKS switcher for a level.
 func (kc *KeyChain) Switcher(level int) (*hks.Switcher, error) {
+	kc.mu.Lock()
+	defer kc.mu.Unlock()
+	return kc.switcherLocked(level)
+}
+
+func (kc *KeyChain) switcherLocked(level int) (*hks.Switcher, error) {
 	if sw, ok := kc.switchers[level]; ok {
 		return sw, nil
 	}
@@ -93,10 +107,12 @@ func (kc *KeyChain) Switcher(level int) (*hks.Switcher, error) {
 
 // RelinKey returns the s²→s evaluation key for a level.
 func (kc *KeyChain) RelinKey(level int) (*hks.Evk, error) {
+	kc.mu.Lock()
+	defer kc.mu.Unlock()
 	if evk, ok := kc.relin[level]; ok {
 		return evk, nil
 	}
-	sw, err := kc.Switcher(level)
+	sw, err := kc.switcherLocked(level)
 	if err != nil {
 		return nil, err
 	}
@@ -111,12 +127,14 @@ func (kc *KeyChain) ConjKey(level int) (*hks.Evk, error) {
 	// Reserved map key far outside the valid rotation range
 	// (rotations are reduced modulo N/2, so no collision).
 	const conjSlot = 1 << 30
+	kc.mu.Lock()
+	defer kc.mu.Unlock()
 	if m, ok := kc.rot[conjSlot]; ok {
 		if evk, ok := m[level]; ok {
 			return evk, nil
 		}
 	}
-	sw, err := kc.Switcher(level)
+	sw, err := kc.switcherLocked(level)
 	if err != nil {
 		return nil, err
 	}
@@ -135,12 +153,14 @@ func (kc *KeyChain) ConjKey(level int) (*hks.Evk, error) {
 // RotKey returns the σ_g(s)→s evaluation key for a rotation amount at
 // a level.
 func (kc *KeyChain) RotKey(rotBy, level int) (*hks.Evk, error) {
+	kc.mu.Lock()
+	defer kc.mu.Unlock()
 	if m, ok := kc.rot[rotBy]; ok {
 		if evk, ok := m[level]; ok {
 			return evk, nil
 		}
 	}
-	sw, err := kc.Switcher(level)
+	sw, err := kc.switcherLocked(level)
 	if err != nil {
 		return nil, err
 	}
@@ -168,12 +188,14 @@ func (kc *KeyChain) RotKey(rotBy, level int) (*hks.Evk, error) {
 // σ_g(m). With the key in this form every rotation of one ciphertext
 // replays the same hoisted ModUp (Evaluator.RotateHoisted).
 func (kc *KeyChain) HoistKey(rotBy, level int) (*hks.Evk, error) {
+	kc.mu.Lock()
+	defer kc.mu.Unlock()
 	if m, ok := kc.hoist[rotBy]; ok {
 		if evk, ok := m[level]; ok {
 			return evk, nil
 		}
 	}
-	sw, err := kc.Switcher(level)
+	sw, err := kc.switcherLocked(level)
 	if err != nil {
 		return nil, err
 	}

@@ -21,6 +21,14 @@
 // steady-state key switching performs no per-operation allocations on
 // the hot path.
 //
+// The engine is deliberately policy-free: it executes whatever graph
+// shape it is handed. internal/hks builds the per-switch and hoisted
+// graphs on it, and internal/serve layers request-level scheduling on
+// top — its batch executor fans coalesced request groups out with
+// ParallelFor while each group's hoist and replay run as nested
+// graphs, which the pool supports by construction (waiters help run
+// queued tasks instead of starving them).
+//
 // Engines are cheap but not free (one goroutine per worker): create
 // one per process or per benchmark configuration and Close it when
 // done. The package-level Default engine is lazily created and lives

@@ -1,6 +1,11 @@
 // Package hks implements the hybrid key-switching (HKS) algorithm of
 // Han–Ki in its full-RNS form — the computation whose dataflow CiFlow
-// analyzes (paper §III).
+// analyzes (paper §III) — in three execution styles that are bit-exact
+// with one another: the serial pipeline (KeySwitch), engine-backed
+// task graphs shaped by the MP/DC/OC dataflows (SwitchParallel), and
+// hoisted switching (Hoisted, SwitchHoisted), which runs the
+// key-independent Decompose+ModUp half once per input and replays only
+// ApplyKey+ModDown per evaluation key.
 //
 // Key switching converts a ciphertext component d that is decryptable
 // under a secret s′ into a pair (c0, c1) decryptable under s, using a
@@ -18,6 +23,17 @@
 //
 // Every stage is exposed separately so that the dataflow generators in
 // internal/dataflow can be validated against the real computation.
+//
+// A Switcher is immutable after construction and safe for concurrent
+// use; execution scratch lives in pooled per-call states, so
+// steady-state switching allocates nothing on the hot path. Hoisting
+// is how the layers above amortize fan-out: ckks.Evaluator's diagonal
+// method rotates one ciphertext many ways over a single hoisted state,
+// and internal/serve coalesces concurrent *requests* on one ciphertext
+// onto a shared Hoisted the same way. SwitchOps/ModUpOps count
+// weighted modular operations from the live structures, backing the
+// HoistedOpsSaved reuse model the throughput experiment reconciles
+// against measurement.
 package hks
 
 import (
@@ -192,6 +208,38 @@ func (sw *Switcher) DBasis() ring.Basis { return sw.dBasis }
 
 // Digits returns the tower partition of the active Q basis.
 func (sw *Switcher) Digits() []ring.Basis { return sw.digits }
+
+// CheckInput reports, as an error, whether d is a valid key-switch
+// input for this switcher: non-nil, NTT domain, over the active Q
+// basis B_ℓ. The switch entry points panic on invalid inputs (a bad
+// input is a programming error inside one process); request-accepting
+// layers such as internal/serve use CheckInput to reject a bad request
+// with an error instead of taking the whole service down.
+func (sw *Switcher) CheckInput(d *ring.Poly) error {
+	if d == nil {
+		return fmt.Errorf("hks: nil key-switch input")
+	}
+	if !d.Basis.Equal(sw.qBasis) {
+		return fmt.Errorf("hks: key-switch input basis %v, want %v", d.Basis, sw.qBasis)
+	}
+	if !d.IsNTT {
+		return fmt.Errorf("hks: key-switch input must be in the NTT domain")
+	}
+	return nil
+}
+
+// CheckEvk reports, as an error, whether evk has the digit structure
+// this switcher expects (see CheckInput for why this exists alongside
+// the panicking checks).
+func (sw *Switcher) CheckEvk(evk *Evk) error {
+	if evk == nil {
+		return fmt.Errorf("hks: nil evaluation key")
+	}
+	if len(evk.B) != sw.Dnum || len(evk.A) != sw.Dnum {
+		return fmt.Errorf("hks: evk has %d/%d digits, switcher expects %d", len(evk.B), len(evk.A), sw.Dnum)
+	}
+	return nil
+}
 
 // Evk is an evaluation key converting ciphertexts under sOld to sNew:
 // one RLWE pair (B_j, A_j) over D_ℓ per digit, in the NTT domain.

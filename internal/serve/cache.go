@@ -1,0 +1,137 @@
+package serve
+
+// The rotation-key cache is the first of the service's three reuse
+// layers (see the package comment): evaluation keys are the largest
+// operands of hybrid key switching (dnum × 2 × N × (ℓ+K) words,
+// 112–360 MB at paper scale — Table III), so a server cannot keep one
+// resident per (tenant, rotation) forever. The cache bounds residency
+// with LRU eviction, shares concurrent loads of the same key
+// (singleflight), and exposes the hit/miss/eviction counters the load
+// generator reports.
+//
+// Eviction is safe mid-flight by construction: Get hands out the
+// *hks.Evk pointer, and an in-flight replay keeps it alive after the
+// cache drops its reference — exactly like a DMA'd key staying pinned
+// until the last consumer finishes. The eviction-mid-flight test in
+// serve_test.go exercises this.
+
+import (
+	"container/list"
+	"sync"
+
+	"ciflow/internal/hks"
+)
+
+// KeyFunc loads (or generates) the evaluation key for one rotation
+// amount — the cache's backing store. NewFromKeyChain adapts a
+// ckks.KeyChain; tests inject counting loaders.
+type KeyFunc func(rot int) (*hks.Evk, error)
+
+// CacheStats is a point-in-time snapshot of the key cache counters.
+// A Get that joins another caller's in-flight load counts as a hit
+// (the load was shared); HitRate is hits over all Gets.
+type CacheStats struct {
+	Capacity  int     `json:"capacity"`
+	Size      int     `json:"size"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+type keyEntry struct {
+	rot int
+	evk *hks.Evk
+}
+
+// keyLoad is one in-flight backing-store load, joined by every
+// concurrent Get of the same rotation.
+type keyLoad struct {
+	done chan struct{}
+	evk  *hks.Evk
+	err  error
+}
+
+// keyCache is an LRU map rot → *hks.Evk with singleflight loading.
+// Safe for concurrent use. The loader runs outside the cache lock, so
+// slow key generation never blocks hits on other rotations.
+type keyCache struct {
+	load KeyFunc
+	cap  int
+
+	mu      sync.Mutex
+	entries map[int]*list.Element // rot -> element in order
+	order   *list.List            // front = most recently used *keyEntry
+	loading map[int]*keyLoad
+
+	hits, misses, evictions uint64
+}
+
+func newKeyCache(load KeyFunc, capacity int) *keyCache {
+	return &keyCache{
+		load:    load,
+		cap:     capacity,
+		entries: make(map[int]*list.Element),
+		order:   list.New(),
+		loading: make(map[int]*keyLoad),
+	}
+}
+
+// Get returns the evaluation key for a rotation amount, loading it
+// through the backing KeyFunc on a miss. Concurrent Gets of the same
+// absent key share one load. The returned key remains valid after
+// eviction; failed loads are not cached.
+func (c *keyCache) Get(rot int) (*hks.Evk, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[rot]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		evk := el.Value.(*keyEntry).evk
+		c.mu.Unlock()
+		return evk, nil
+	}
+	if l, ok := c.loading[rot]; ok {
+		c.hits++ // shared someone else's load
+		c.mu.Unlock()
+		<-l.done
+		return l.evk, l.err
+	}
+	c.misses++
+	l := &keyLoad{done: make(chan struct{})}
+	c.loading[rot] = l
+	c.mu.Unlock()
+
+	l.evk, l.err = c.load(rot)
+	close(l.done)
+
+	c.mu.Lock()
+	delete(c.loading, rot)
+	if l.err == nil {
+		c.entries[rot] = c.order.PushFront(&keyEntry{rot: rot, evk: l.evk})
+		for c.order.Len() > c.cap {
+			back := c.order.Back()
+			c.order.Remove(back)
+			delete(c.entries, back.Value.(*keyEntry).rot)
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+	return l.evk, l.err
+}
+
+// Stats snapshots the counters.
+func (c *keyCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CacheStats{
+		Capacity:  c.cap,
+		Size:      c.order.Len(),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		st.HitRate = float64(st.Hits) / float64(total)
+	}
+	return st
+}

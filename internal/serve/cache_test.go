@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ciflow/internal/hks"
+)
+
+// fakeEvk returns a distinct (empty) key per rotation — the cache
+// never looks inside an Evk, only at identity.
+func fakeLoader(calls *atomic.Uint64) KeyFunc {
+	keys := sync.Map{}
+	return func(rot int) (*hks.Evk, error) {
+		calls.Add(1)
+		if rot < 0 {
+			return nil, fmt.Errorf("no key for %d", rot)
+		}
+		evk, _ := keys.LoadOrStore(rot, &hks.Evk{})
+		return evk.(*hks.Evk), nil
+	}
+}
+
+func TestCacheHitsAndMisses(t *testing.T) {
+	var calls atomic.Uint64
+	c := newKeyCache(fakeLoader(&calls), 4)
+
+	a1, err := c.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := c.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("repeated Get returned different keys")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("loader called %d times, want 1", calls.Load())
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Evictions != 0 || st.Size != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.HitRate != 0.5 {
+		t.Fatalf("hit rate %.2f, want 0.50", st.HitRate)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	var calls atomic.Uint64
+	c := newKeyCache(fakeLoader(&calls), 2)
+
+	mustGet := func(rot int) *hks.Evk {
+		t.Helper()
+		evk, err := c.Get(rot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return evk
+	}
+	k1 := mustGet(1)
+	mustGet(2)
+	mustGet(1) // touch 1: now 2 is the LRU entry
+	mustGet(3) // evicts 2, not 1
+
+	st := c.Stats()
+	if st.Evictions != 1 || st.Size != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if got := mustGet(1); got != k1 { // still resident
+		t.Fatal("recently used key was evicted")
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("loader called %d times, want 3 (key 1 stayed hot)", calls.Load())
+	}
+	mustGet(2) // reload after eviction
+	if calls.Load() != 4 {
+		t.Fatalf("loader called %d times, want 4 (key 2 reloaded)", calls.Load())
+	}
+}
+
+// TestCacheSingleflight lets many goroutines miss the same absent key
+// at once: the loader must run once, everyone gets the same key, and
+// the joiners count as (shared-load) hits.
+func TestCacheSingleflight(t *testing.T) {
+	const waiters = 8
+	var calls atomic.Uint64
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	evk := &hks.Evk{}
+	c := newKeyCache(func(rot int) (*hks.Evk, error) {
+		calls.Add(1)
+		once.Do(func() { close(entered) })
+		<-gate
+		return evk, nil
+	}, 4)
+
+	results := make(chan *hks.Evk, waiters)
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			got, err := c.Get(7)
+			if err != nil {
+				errs <- err
+				return
+			}
+			results <- got
+		}()
+	}
+	<-entered // at least one goroutine is inside the loader
+	close(gate)
+	for i := 0; i < waiters; i++ {
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		case got := <-results:
+			if got != evk {
+				t.Fatal("waiter got a different key")
+			}
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("loader ran %d times for one key, want 1", calls.Load())
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != waiters-1 {
+		t.Fatalf("stats %+v, want 1 miss and %d shared-load hits", st, waiters-1)
+	}
+}
+
+// TestCacheLoadError: failed loads propagate and are not cached, so a
+// later Get retries the backing store.
+func TestCacheLoadError(t *testing.T) {
+	var calls atomic.Uint64
+	c := newKeyCache(fakeLoader(&calls), 2)
+	if _, err := c.Get(-1); err == nil {
+		t.Fatal("load error swallowed")
+	}
+	if _, err := c.Get(-1); err == nil {
+		t.Fatal("load error cached as success")
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("loader called %d times, want 2 (errors are not cached)", calls.Load())
+	}
+	if st := c.Stats(); st.Size != 0 {
+		t.Fatalf("failed load left a cache entry: %+v", st)
+	}
+}

@@ -1,0 +1,28 @@
+package serve
+
+import (
+	"fmt"
+
+	"ciflow/internal/ckks"
+	"ciflow/internal/hks"
+)
+
+// NewFromKeyChain starts a service at the given ciphertext level whose
+// rotation-key cache is backed by kc: a cache miss on rotation amount
+// r loads the hoisting-form key kc.HoistKey(r, level) — s → σ_g⁻¹(s),
+// the form under which every rotation of one ciphertext can replay the
+// same hoisted ModUp (see ckks.KeyChain.HoistKey). The request Input
+// is then the ciphertext's un-rotated c1, and the caller finishes the
+// rotation by applying the Galois automorphism to the switched pair
+// (as ckks.Evaluator.RotateHoisted does).
+//
+// KeyChain memoizes generated keys, so re-loading an evicted rotation
+// returns the identical key material: served results stay bit-exact
+// across evictions.
+func NewFromKeyChain(kc *ckks.KeyChain, level int, cfg Config) (*Service, error) {
+	sw, err := kc.Switcher(level)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	return New(sw, func(rot int) (*hks.Evk, error) { return kc.HoistKey(rot, level) }, cfg)
+}

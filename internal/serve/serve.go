@@ -1,0 +1,373 @@
+// Package serve is an in-process key-switching service: it accepts a
+// stream of rotation/key-switch requests and schedules them onto the
+// internal/engine worker pool with the same reuse logic CiFlow applies
+// inside one switch, lifted one level up — across requests.
+//
+// The paper's argument is that key switching is dominated by data
+// movement and that reorganizing the dataflow turns redundant loads
+// into shared state. A server handling many rotations for many clients
+// has the same redundancy between requests, and serve removes it with
+// three layers:
+//
+//  1. A rotation-key cache (cache.go): an LRU over evaluation keys —
+//     the largest operands in the pipeline — with singleflight
+//     loading, bounded residency, and hit/miss/eviction accounting.
+//  2. A hoisted-state coalescer: concurrent requests on the same input
+//     polynomial are grouped into one shared hks.Hoisted
+//     Decompose+ModUp, replaying only ApplyKey+ModDown per key — the
+//     rotation fan-out of the diagonal method, amortized even when the
+//     requests arrive independently.
+//  3. Adaptive micro-batching with per-dataflow routing and
+//     backpressure: requests gather for at most Window (the window
+//     closes early at MaxBatch, so a loaded service batches at full
+//     speed and an idle one adds at most Window of latency), each
+//     batch is grouped by (input, dataflow) and the groups execute
+//     concurrently on the engine, each under its requested MP/DC/OC
+//     graph shape. The bounded submit queue pushes back on producers
+//     instead of buffering unboundedly.
+//
+// Every served result is bit-exact with a direct hks.KeySwitch or
+// hks.SwitchHoisted of the same input and key — coalescing and
+// batching change scheduling, never values — which is what the
+// equivalence tests in this package assert under -race.
+//
+// The service operates at the hks layer: a request carries the
+// key-switch input polynomial (for a rotation, the ciphertext's c1 in
+// hoisting form) and a rotation amount that the key cache resolves to
+// an evaluation key. NewFromKeyChain wires the cache to
+// ckks.KeyChain.HoistKey; finishing a rotation (Galois automorphism of
+// the switched pair plus c0 addition) is cheap and stays with the
+// caller. The `ciflow serve` load generator drives this package and
+// reports ops/sec, tail latency, cache hit rate, and coalescing
+// factor.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ciflow/internal/dataflow"
+	"ciflow/internal/engine"
+	"ciflow/internal/hks"
+	"ciflow/internal/ring"
+)
+
+// ErrClosed is returned by Submit after Close has begun.
+var ErrClosed = errors.New("serve: service closed")
+
+// Request is one key-switch to perform: switch Input (NTT domain over
+// the switcher's B_ℓ) with the evaluation key for rotation amount Rot,
+// scheduling the work under Dataflow (the zero value is dataflow.MP).
+// Requests submitted concurrently with the same Input pointer and
+// Dataflow coalesce onto one shared hoisted ModUp.
+type Request struct {
+	Input    *ring.Poly
+	Rot      int
+	Dataflow dataflow.Dataflow
+}
+
+// Result is the switched pair (c0, c1) over B_ℓ, or the error that
+// prevented serving the request (key-load failure or a context
+// cancelled while the request was still queued).
+type Result struct {
+	C0, C1 *ring.Poly
+	Err    error
+}
+
+// Config tunes the service; zero values select the documented
+// defaults.
+type Config struct {
+	// Engine executes the hoist/replay graphs and the per-batch group
+	// fan-out. Nil selects engine.Default(). The service does not
+	// close it.
+	Engine *engine.Engine
+	// KeyCapacity bounds the rotation-key LRU (default 64 keys).
+	KeyCapacity int
+	// MaxBatch closes the gather window early once this many requests
+	// are pending (default 64).
+	MaxBatch int
+	// Window is how long the dispatcher waits for more requests after
+	// the first one of a batch arrives (default 200µs). Under load the
+	// queue is never empty and the window is irrelevant; idle, it is
+	// the latency cost of batching.
+	Window time.Duration
+	// QueueDepth bounds the submit queue (default 4×MaxBatch). A full
+	// queue blocks Submit — backpressure — until the dispatcher drains
+	// or the submitter's context is cancelled.
+	QueueDepth int
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Engine == nil {
+		cfg.Engine = engine.Default()
+	}
+	if cfg.KeyCapacity <= 0 {
+		cfg.KeyCapacity = 64
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 200 * time.Microsecond
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.MaxBatch
+	}
+	return cfg
+}
+
+// pending is one queued request with its completion channel.
+type pending struct {
+	req  Request
+	ctx  context.Context // nil = no cancellation
+	enq  time.Time
+	done chan Result
+}
+
+// Service is the batching key-switch service. Construct with New or
+// NewFromKeyChain, submit with Submit/Do, observe with Stats, and
+// Close to drain. Safe for concurrent use.
+type Service struct {
+	sw   *hks.Switcher
+	keys *keyCache
+	cfg  Config
+
+	queue chan *pending
+
+	subMu  sync.RWMutex // guards closed against the queue send in Submit
+	closed bool
+	done   chan struct{} // dispatcher exit
+
+	stats serviceCounters
+	lats  latencyRecorder
+}
+
+// New starts a service switching with sw, loading rotation keys
+// through keys. Callers own sw and the engine; Close only stops the
+// service's dispatcher.
+func New(sw *hks.Switcher, keys KeyFunc, cfg Config) (*Service, error) {
+	if sw == nil {
+		return nil, fmt.Errorf("serve: nil switcher")
+	}
+	if keys == nil {
+		return nil, fmt.Errorf("serve: nil key loader")
+	}
+	cfg = cfg.withDefaults()
+	s := &Service{
+		sw:    sw,
+		keys:  newKeyCache(keys, cfg.KeyCapacity),
+		cfg:   cfg,
+		queue: make(chan *pending, cfg.QueueDepth),
+		done:  make(chan struct{}),
+	}
+	go s.dispatch()
+	return s, nil
+}
+
+// Submit enqueues a request and returns its completion channel, which
+// receives exactly one Result. It blocks only when the queue is full
+// (backpressure); ctx cancels the wait for queue space and, if the
+// request is still queued when ctx is cancelled, the Result carries
+// the context error instead of outputs. A nil ctx never cancels.
+func (s *Service) Submit(ctx context.Context, req Request) (<-chan Result, error) {
+	if err := s.sw.CheckInput(req.Input); err != nil {
+		return nil, err
+	}
+	// Reject unknown dataflows here: past this point the request runs
+	// on the dispatcher goroutine, where a panic would take down the
+	// whole service rather than one request.
+	switch req.Dataflow {
+	case dataflow.MP, dataflow.DC, dataflow.OC, dataflow.OCF:
+	default:
+		return nil, fmt.Errorf("serve: unknown dataflow %v", req.Dataflow)
+	}
+	p := &pending{req: req, ctx: ctx, enq: time.Now(), done: make(chan Result, 1)}
+	var cancel <-chan struct{}
+	if ctx != nil {
+		cancel = ctx.Done()
+	}
+	// The read lock spans the send so Close cannot close the queue
+	// under an in-flight sender; the dispatcher keeps draining, so the
+	// send (and therefore Close's write lock) always makes progress.
+	s.subMu.RLock()
+	defer s.subMu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- p:
+		s.stats.submitted.Add(1)
+		return p.done, nil
+	case <-cancel:
+		return nil, ctx.Err()
+	}
+}
+
+// Do is Submit plus waiting for the result. Queue-level failures are
+// folded into Result.Err.
+func (s *Service) Do(ctx context.Context, req Request) Result {
+	ch, err := s.Submit(ctx, req)
+	if err != nil {
+		return Result{Err: err}
+	}
+	return <-ch
+}
+
+// Close stops accepting requests, waits for every queued request to
+// be served, and stops the dispatcher. Safe to call more than once.
+func (s *Service) Close() {
+	s.subMu.Lock()
+	already := s.closed
+	s.closed = true
+	s.subMu.Unlock()
+	if !already {
+		// No sender can be in flight: senders hold the read lock and
+		// check closed first.
+		close(s.queue)
+	}
+	<-s.done
+}
+
+// ---- Dispatcher: adaptive micro-batching ----
+
+func (s *Service) dispatch() {
+	defer close(s.done)
+	for {
+		p, ok := <-s.queue
+		if !ok {
+			return
+		}
+		s.runBatch(s.gather([]*pending{p}))
+	}
+}
+
+// gather fills the batch from the queue until MaxBatch requests are
+// pending or Window has elapsed since the batch opened. A backlogged
+// queue fills the batch without ever touching the timer.
+func (s *Service) gather(batch []*pending) []*pending {
+	if len(batch) >= s.cfg.MaxBatch {
+		return batch
+	}
+	timer := time.NewTimer(s.cfg.Window)
+	defer timer.Stop()
+	for {
+		select {
+		case p, ok := <-s.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, p)
+			if len(batch) >= s.cfg.MaxBatch {
+				return batch
+			}
+		case <-timer.C:
+			return batch
+		}
+	}
+}
+
+// groupKey routes a request: same input and same dataflow share one
+// hoisted ModUp. Distinct dataflows on one input stay separate — they
+// need differently shaped hoist graphs.
+type groupKey struct {
+	in *ring.Poly
+	df dataflow.Dataflow
+}
+
+// runBatch groups the batch by (input, dataflow) and executes the
+// groups concurrently on the engine. Group execution nests engine
+// parallel sections (the hoist and replay graphs), which the engine
+// supports by construction.
+func (s *Service) runBatch(batch []*pending) {
+	s.stats.batches.Add(1)
+	var order []groupKey
+	groups := make(map[groupKey][]*pending, len(batch))
+	for _, p := range batch {
+		k := groupKey{in: p.req.Input, df: p.req.Dataflow}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], p)
+	}
+	s.stats.groups.Add(uint64(len(order)))
+	s.cfg.Engine.ParallelFor(len(order), func(i int) {
+		s.runGroup(order[i].df, order[i].in, groups[order[i]])
+	})
+}
+
+// runGroup serves one coalesced group: requests whose context died in
+// the queue are failed, a singleton takes the direct per-rotation
+// path, and two or more requests share one hoisted Decompose+ModUp
+// with a per-key replay — the exact hks.SwitchHoisted structure, so
+// results are bit-exact with independent switches.
+func (s *Service) runGroup(df dataflow.Dataflow, in *ring.Poly, ps []*pending) {
+	live := ps[:0]
+	for _, p := range ps {
+		if p.ctx != nil && p.ctx.Err() != nil {
+			s.finish(p, Result{Err: p.ctx.Err()})
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	if len(live) == 1 {
+		p := live[0]
+		evk, err := s.getKey(p.req.Rot)
+		if err != nil {
+			s.finish(p, Result{Err: err})
+			return
+		}
+		s.stats.modUps.Add(1)
+		c0 := s.sw.R.NewPoly(s.sw.QBasis())
+		c1 := s.sw.R.NewPoly(s.sw.QBasis())
+		s.sw.SwitchParallelInto(s.cfg.Engine, df, in, evk, c0, c1)
+		s.finish(p, Result{C0: c0, C1: c1})
+		return
+	}
+
+	s.stats.coalesced.Add(uint64(len(live)))
+	s.stats.modUps.Add(1)
+	h := s.sw.HoistParallel(s.cfg.Engine, df, in)
+	defer h.Release()
+	for _, p := range live {
+		evk, err := s.getKey(p.req.Rot)
+		if err != nil {
+			s.finish(p, Result{Err: err})
+			continue
+		}
+		c0 := s.sw.R.NewPoly(s.sw.QBasis())
+		c1 := s.sw.R.NewPoly(s.sw.QBasis())
+		h.SwitchParallelInto(s.cfg.Engine, evk, c0, c1)
+		s.finish(p, Result{C0: c0, C1: c1})
+	}
+}
+
+// getKey loads a rotation key through the cache and validates its
+// digit structure, so a misbehaving KeyFunc fails the one request
+// instead of panicking an engine worker.
+func (s *Service) getKey(rot int) (*hks.Evk, error) {
+	evk, err := s.keys.Get(rot)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.sw.CheckEvk(evk); err != nil {
+		return nil, err
+	}
+	return evk, nil
+}
+
+func (s *Service) finish(p *pending, res Result) {
+	if res.Err != nil {
+		s.stats.failed.Add(1)
+	} else {
+		s.stats.served.Add(1)
+		s.lats.record(time.Since(p.enq))
+	}
+	p.done <- res // buffered; never blocks
+}

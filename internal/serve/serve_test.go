@@ -1,0 +1,522 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ciflow/internal/ckks"
+	"ciflow/internal/dataflow"
+	"ciflow/internal/engine"
+	"ciflow/internal/hks"
+	"ciflow/internal/ring"
+)
+
+// testBench is a tiny switcher plus pregenerated keys: big enough to
+// exercise every pipeline stage, small enough for -race.
+type testBench struct {
+	r    *ring.Ring
+	sw   *hks.Switcher
+	s    *ring.Sampler
+	evks map[int]*hks.Evk
+	// loads counts backing-store loads per rotation.
+	loads atomic.Uint64
+}
+
+func newTestBench(t *testing.T, rots int) *testBench {
+	t.Helper()
+	r, err := ring.NewRingGenerated(32, 4, 40, 3, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := hks.NewSwitcher(r, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &testBench{r: r, sw: sw, s: ring.NewSampler(r, 1), evks: map[int]*hks.Evk{}}
+	full := r.DBasis(r.NumQ - 1)
+	for i := 0; i < rots; i++ {
+		b.evks[i] = sw.GenEvk(b.s, b.s.Ternary(full), b.s.Ternary(full))
+	}
+	return b
+}
+
+// keyFunc is a memoized backing store, like ckks.KeyChain: every load
+// of one rotation returns identical key material.
+func (b *testBench) keyFunc(rot int) (*hks.Evk, error) {
+	b.loads.Add(1)
+	evk, ok := b.evks[rot]
+	if !ok {
+		return nil, fmt.Errorf("no key for rotation %d", rot)
+	}
+	return evk, nil
+}
+
+func (b *testBench) input() *ring.Poly {
+	d := b.s.Uniform(b.sw.QBasis())
+	d.IsNTT = true
+	return d
+}
+
+// wantSwitch is the reference result: the direct serial pipeline.
+func (b *testBench) wantSwitch(d *ring.Poly, rot int) (c0, c1 *ring.Poly) {
+	return b.sw.KeySwitch(d, b.evks[rot])
+}
+
+func checkResult(t *testing.T, res Result, want0, want1 *ring.Poly, what string) {
+	t.Helper()
+	if res.Err != nil {
+		t.Fatalf("%s: %v", what, res.Err)
+	}
+	if !res.C0.Equal(want0) || !res.C1.Equal(want1) {
+		t.Fatalf("%s: served result differs from direct key switch", what)
+	}
+}
+
+// TestCoalescedBitExact floods one batch with G inputs × K rotations
+// and asserts (a) every result is bit-exact with an independent
+// SwitchHoisted, (b) the coalescer ran exactly one ModUp per input,
+// (c) the key cache loaded each rotation exactly once.
+func TestCoalescedBitExact(t *testing.T) {
+	const G, K = 3, 4
+	b := newTestBench(t, K)
+	e := engine.New(2)
+	defer e.Close()
+
+	svc, err := New(b.sw, b.keyFunc, Config{
+		Engine:   e,
+		MaxBatch: G * K, // the batch closes exactly when every request is in
+		Window:   time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	inputs := make([]*ring.Poly, G)
+	want0 := make([][]*ring.Poly, G)
+	want1 := make([][]*ring.Poly, G)
+	for g := range inputs {
+		inputs[g] = b.input()
+		evks := make([]*hks.Evk, K)
+		for k := range evks {
+			evks[k] = b.evks[k]
+		}
+		want0[g], want1[g] = b.sw.SwitchHoisted(inputs[g], evks)
+	}
+
+	chs := make([][]<-chan Result, G)
+	for g := 0; g < G; g++ {
+		chs[g] = make([]<-chan Result, K)
+		for k := 0; k < K; k++ {
+			ch, err := svc.Submit(context.Background(), Request{Input: inputs[g], Rot: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			chs[g][k] = ch
+		}
+	}
+	for g := 0; g < G; g++ {
+		for k := 0; k < K; k++ {
+			checkResult(t, <-chs[g][k], want0[g][k], want1[g][k],
+				fmt.Sprintf("input %d rot %d", g, k))
+		}
+	}
+
+	st := svc.Stats()
+	if st.Served != G*K || st.Failed != 0 {
+		t.Fatalf("served %d / failed %d, want %d / 0", st.Served, st.Failed, G*K)
+	}
+	if st.ModUps != G {
+		t.Fatalf("ran %d ModUps for %d coalesced inputs", st.ModUps, G)
+	}
+	if st.CoalescingFactor != K {
+		t.Fatalf("coalescing factor %.2f, want %d", st.CoalescingFactor, K)
+	}
+	if st.Keys.Misses != K || b.loads.Load() != K {
+		t.Fatalf("cache loaded %d times with %d misses, want %d distinct keys",
+			b.loads.Load(), st.Keys.Misses, K)
+	}
+	if st.Keys.HitRate <= 0.5 {
+		t.Fatalf("hit rate %.2f, want > 0.5", st.Keys.HitRate)
+	}
+	if st.P99 < st.P50 || st.P50 <= 0 {
+		t.Fatalf("implausible latencies p50=%v p99=%v", st.P50, st.P99)
+	}
+}
+
+// TestPerDataflowRouting submits the same input under two dataflows:
+// the groups must not merge (differently shaped hoist graphs), and
+// both must produce bit-exact results.
+func TestPerDataflowRouting(t *testing.T) {
+	const K = 3
+	b := newTestBench(t, K)
+	e := engine.New(2)
+	defer e.Close()
+	svc, err := New(b.sw, b.keyFunc, Config{Engine: e, MaxBatch: 2 * K, Window: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	in := b.input()
+	var chans []<-chan Result
+	var wants [][2]*ring.Poly
+	for _, df := range []dataflow.Dataflow{dataflow.DC, dataflow.OC} {
+		for k := 0; k < K; k++ {
+			ch, err := svc.Submit(context.Background(), Request{Input: in, Rot: k, Dataflow: df})
+			if err != nil {
+				t.Fatal(err)
+			}
+			chans = append(chans, ch)
+			w0, w1 := b.wantSwitch(in, k)
+			wants = append(wants, [2]*ring.Poly{w0, w1})
+		}
+	}
+	for i, ch := range chans {
+		checkResult(t, <-ch, wants[i][0], wants[i][1], fmt.Sprintf("request %d", i))
+	}
+	if st := svc.Stats(); st.ModUps != 2 {
+		t.Fatalf("%d ModUps, want 2 (one per dataflow group)", st.ModUps)
+	}
+}
+
+// TestSingletonDirectPath serves one lone request through the
+// per-rotation path and checks it against the serial pipeline.
+func TestSingletonDirectPath(t *testing.T) {
+	b := newTestBench(t, 1)
+	e := engine.New(2)
+	defer e.Close()
+	svc, err := New(b.sw, b.keyFunc, Config{Engine: e, Window: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	in := b.input()
+	want0, want1 := b.wantSwitch(in, 0)
+	res := svc.Do(context.Background(), Request{Input: in, Rot: 0})
+	checkResult(t, res, want0, want1, "singleton")
+	st := svc.Stats()
+	if st.ModUps != 1 || st.Coalesced != 0 || st.CoalescingFactor != 1 {
+		t.Fatalf("singleton stats: %+v", st)
+	}
+}
+
+// TestEvictionMidFlight runs two concurrent coalesced groups through a
+// capacity-1 key cache: every Get evicts the other group's key while
+// that key is still feeding an in-flight replay. Results must stay
+// bit-exact and the cache must report reload churn.
+func TestEvictionMidFlight(t *testing.T) {
+	const G, K = 2, 3
+	b := newTestBench(t, K)
+	e := engine.New(2)
+	defer e.Close()
+	svc, err := New(b.sw, b.keyFunc, Config{
+		Engine:      e,
+		KeyCapacity: 1,
+		MaxBatch:    G * K,
+		Window:      time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	inputs := [G]*ring.Poly{b.input(), b.input()}
+	var chs [G][K]<-chan Result
+	for g := 0; g < G; g++ {
+		for k := 0; k < K; k++ {
+			ch, err := svc.Submit(context.Background(), Request{Input: inputs[g], Rot: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			chs[g][k] = ch
+		}
+	}
+	for g := 0; g < G; g++ {
+		for k := 0; k < K; k++ {
+			want0, want1 := b.wantSwitch(inputs[g], k)
+			checkResult(t, <-chs[g][k], want0, want1, fmt.Sprintf("input %d rot %d", g, k))
+		}
+	}
+	st := svc.Stats()
+	if st.Keys.Evictions == 0 {
+		t.Fatal("capacity-1 cache under 3 rotations evicted nothing")
+	}
+	if st.Keys.Size > 1 {
+		t.Fatalf("cache size %d exceeds capacity 1", st.Keys.Size)
+	}
+	if b.loads.Load() < K {
+		t.Fatalf("only %d loads for %d distinct keys", b.loads.Load(), K)
+	}
+}
+
+// TestConcurrentClients hammers the service from client goroutines
+// with interleaved inputs and rotations — the -race workhorse for the
+// dispatcher, coalescer, and cache together.
+func TestConcurrentClients(t *testing.T) {
+	const clients, ops, K = 4, 3, 3
+	b := newTestBench(t, K)
+	e := engine.New(2)
+	defer e.Close()
+	svc, err := New(b.sw, b.keyFunc, Config{Engine: e, MaxBatch: 8, Window: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Sample inputs and reference outputs up front: the sampler is not
+	// safe for concurrent use (the switcher is).
+	inputs := make([]*ring.Poly, clients)
+	for c := range inputs {
+		inputs[c] = b.input()
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(in *ring.Poly) {
+			defer wg.Done()
+			var want0, want1 [K]*ring.Poly
+			for k := 0; k < K; k++ {
+				want0[k], want1[k] = b.wantSwitch(in, k)
+			}
+			for op := 0; op < ops; op++ {
+				var chans [K]<-chan Result
+				for k := 0; k < K; k++ {
+					ch, err := svc.Submit(context.Background(), Request{Input: in, Rot: k})
+					if err != nil {
+						errc <- err
+						return
+					}
+					chans[k] = ch
+				}
+				for k := 0; k < K; k++ {
+					res := <-chans[k]
+					if res.Err != nil {
+						errc <- res.Err
+						return
+					}
+					if !res.C0.Equal(want0[k]) || !res.C1.Equal(want1[k]) {
+						errc <- fmt.Errorf("client result differs from direct switch")
+						return
+					}
+				}
+			}
+		}(inputs[c])
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.Served != clients*ops*K {
+		t.Fatalf("served %d, want %d", st.Served, clients*ops*K)
+	}
+	if st.Keys.Misses != K {
+		t.Fatalf("memoized backing store missed %d times, want %d", st.Keys.Misses, K)
+	}
+}
+
+// TestBackpressure stalls the dispatcher inside a key load, fills the
+// bounded queue, and asserts a further Submit blocks until its context
+// dies rather than buffering without limit.
+func TestBackpressure(t *testing.T) {
+	b := newTestBench(t, 2)
+	e := engine.New(1)
+	defer e.Close()
+
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	blockingLoad := func(rot int) (*hks.Evk, error) {
+		if rot == 0 {
+			once.Do(func() { close(entered) })
+			<-gate
+		}
+		return b.evks[rot], nil
+	}
+	svc, err := New(b.sw, blockingLoad, Config{
+		Engine:     e,
+		MaxBatch:   1,
+		Window:     time.Microsecond,
+		QueueDepth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { svc.Close() }()
+
+	in := b.input()
+	first, err := svc.Submit(context.Background(), Request{Input: in, Rot: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered // dispatcher is stuck loading key 0
+
+	second, err := svc.Submit(context.Background(), Request{Input: in, Rot: 1})
+	if err != nil {
+		t.Fatal(err) // fits in the queue
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := svc.Submit(ctx, Request{Input: in, Rot: 1}); err != context.DeadlineExceeded {
+		t.Fatalf("over-queue Submit returned %v, want context.DeadlineExceeded", err)
+	}
+
+	close(gate) // release the dispatcher; everything drains
+	if res := <-first; res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res := <-second; res.Err != nil {
+		t.Fatal(res.Err)
+	}
+}
+
+// TestCloseDrains closes the service with requests still queued: all
+// of them must complete, and later Submits must fail fast.
+func TestCloseDrains(t *testing.T) {
+	const K = 3
+	b := newTestBench(t, K)
+	e := engine.New(2)
+	defer e.Close()
+	svc, err := New(b.sw, b.keyFunc, Config{Engine: e, MaxBatch: 2, Window: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := b.input()
+	var chans [K]<-chan Result
+	for k := 0; k < K; k++ {
+		ch, err := svc.Submit(context.Background(), Request{Input: in, Rot: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[k] = ch
+	}
+	svc.Close()
+	for k := 0; k < K; k++ {
+		want0, want1 := b.wantSwitch(in, k)
+		checkResult(t, <-chans[k], want0, want1, fmt.Sprintf("drained rot %d", k))
+	}
+	if _, err := svc.Submit(context.Background(), Request{Input: in, Rot: 0}); err != ErrClosed {
+		t.Fatalf("Submit after Close returned %v, want ErrClosed", err)
+	}
+	svc.Close() // idempotent
+}
+
+// TestRequestErrors covers the request-level failure paths: invalid
+// inputs rejected at Submit, key-load failures delivered per request
+// (and not poisoning the cache or the rest of the group).
+func TestRequestErrors(t *testing.T) {
+	b := newTestBench(t, 2)
+	e := engine.New(1)
+	defer e.Close()
+	svc, err := New(b.sw, b.keyFunc, Config{Engine: e, MaxBatch: 2, Window: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	if _, err := svc.Submit(context.Background(), Request{Input: nil}); err == nil {
+		t.Fatal("nil input accepted")
+	}
+	coeff := b.s.Uniform(b.sw.QBasis()) // coefficient domain: invalid
+	if _, err := svc.Submit(context.Background(), Request{Input: coeff}); err == nil {
+		t.Fatal("non-NTT input accepted")
+	}
+	bogus := Request{Input: b.input(), Rot: 0, Dataflow: dataflow.Dataflow(99)}
+	if _, err := svc.Submit(context.Background(), bogus); err == nil {
+		t.Fatal("unknown dataflow accepted (would panic the dispatcher)")
+	}
+
+	// One good and one unknown rotation in the same coalesced group.
+	in := b.input()
+	good, err := svc.Submit(context.Background(), Request{Input: in, Rot: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := svc.Submit(context.Background(), Request{Input: in, Rot: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := <-bad; res.Err == nil {
+		t.Fatal("unknown rotation served without error")
+	}
+	want0, want1 := b.wantSwitch(in, 0)
+	checkResult(t, <-good, want0, want1, "good request in mixed group")
+	st := svc.Stats()
+	if st.Failed != 1 || st.Served != 1 {
+		t.Fatalf("failed %d / served %d, want 1 / 1", st.Failed, st.Served)
+	}
+}
+
+// TestNewConfigErrors checks constructor validation.
+func TestNewConfigErrors(t *testing.T) {
+	b := newTestBench(t, 1)
+	if _, err := New(nil, b.keyFunc, Config{}); err == nil {
+		t.Fatal("nil switcher accepted")
+	}
+	if _, err := New(b.sw, nil, Config{}); err == nil {
+		t.Fatal("nil key loader accepted")
+	}
+}
+
+// TestNewFromKeyChain serves hoisting-form rotations straight off a
+// ckks.KeyChain and checks them against the direct switch with the
+// same (memoized) keys.
+func TestNewFromKeyChain(t *testing.T) {
+	ctx, err := ckks.NewContext(32, 4, 30, 2, 31, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kc, _ := ckks.GenKeys(ctx, 7)
+	level := ctx.MaxLevel
+	e := engine.New(2)
+	defer e.Close()
+
+	svc, err := NewFromKeyChain(kc, level, Config{Engine: e, MaxBatch: 3, Window: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := NewFromKeyChain(kc, 99, Config{}); err == nil {
+		t.Fatal("invalid level accepted")
+	}
+
+	sw, err := kc.Switcher(level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ring.NewSampler(ctx.R, 3)
+	in := s.Uniform(sw.QBasis())
+	in.IsNTT = true
+
+	rots := []int{1, 2, 5}
+	chans := make([]<-chan Result, len(rots))
+	for i, rot := range rots {
+		ch, err := svc.Submit(context.Background(), Request{Input: in, Rot: rot})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[i] = ch
+	}
+	for i, rot := range rots {
+		evk, err := kc.HoistKey(rot, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want0, want1 := sw.KeySwitch(in, evk)
+		checkResult(t, <-chans[i], want0, want1, fmt.Sprintf("rotation %d", rot))
+	}
+	if st := svc.Stats(); st.ModUps != 1 {
+		t.Fatalf("%d ModUps for one coalesced ciphertext, want 1", st.ModUps)
+	}
+}

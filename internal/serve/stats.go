@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// serviceCounters are the service's hot-path counters (atomics: the
+// group executor updates them from engine workers).
+type serviceCounters struct {
+	submitted atomic.Uint64
+	served    atomic.Uint64
+	failed    atomic.Uint64
+	batches   atomic.Uint64
+	groups    atomic.Uint64
+	modUps    atomic.Uint64
+	coalesced atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of the service.
+type Stats struct {
+	Submitted uint64 `json:"submitted"` // requests accepted by Submit
+	Served    uint64 `json:"served"`    // requests completed with outputs
+	Failed    uint64 `json:"failed"`    // requests completed with an error
+	Batches   uint64 `json:"batches"`   // gather windows executed
+	Groups    uint64 `json:"groups"`    // (input, dataflow) groups formed
+	ModUps    uint64 `json:"mod_ups"`   // Decompose+ModUp executions
+	Coalesced uint64 `json:"coalesced"` // requests served from a shared hoisted state
+
+	// CoalescingFactor is served requests per ModUp execution: 1.0
+	// means no sharing, k means every request amortized its ModUp
+	// across k requests — the cross-request counterpart of the paper's
+	// hoisting model (hks.HoistedOpsSaved).
+	CoalescingFactor float64 `json:"coalescing_factor"`
+
+	Keys CacheStats `json:"keys"`
+
+	// P50/P99 are submit-to-completion latencies over (up to) the last
+	// 16384 served requests.
+	P50 time.Duration `json:"p50"`
+	P99 time.Duration `json:"p99"`
+}
+
+// Stats snapshots the service counters, cache counters, and latency
+// percentiles.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Submitted: s.stats.submitted.Load(),
+		Served:    s.stats.served.Load(),
+		Failed:    s.stats.failed.Load(),
+		Batches:   s.stats.batches.Load(),
+		Groups:    s.stats.groups.Load(),
+		ModUps:    s.stats.modUps.Load(),
+		Coalesced: s.stats.coalesced.Load(),
+		Keys:      s.keys.Stats(),
+	}
+	if st.ModUps > 0 {
+		st.CoalescingFactor = float64(st.Served) / float64(st.ModUps)
+	}
+	st.P50, st.P99 = s.lats.percentiles()
+	return st
+}
+
+// latCap bounds the latency reservoir; beyond it the recorder keeps a
+// sliding window of the most recent samples.
+const latCap = 1 << 14
+
+// latencyRecorder is a fixed-size ring of recent request latencies.
+type latencyRecorder struct {
+	mu  sync.Mutex
+	buf []time.Duration
+	n   int // total recorded
+}
+
+func (l *latencyRecorder) record(d time.Duration) {
+	l.mu.Lock()
+	if len(l.buf) < latCap {
+		l.buf = append(l.buf, d)
+	} else {
+		l.buf[l.n%latCap] = d
+	}
+	l.n++
+	l.mu.Unlock()
+}
+
+func (l *latencyRecorder) percentiles() (p50, p99 time.Duration) {
+	l.mu.Lock()
+	sorted := append([]time.Duration(nil), l.buf...)
+	l.mu.Unlock()
+	if len(sorted) == 0 {
+		return 0, 0
+	}
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	at := func(p int) time.Duration {
+		idx := len(sorted) * p / 100
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return sorted[idx]
+	}
+	return at(50), at(99)
+}
