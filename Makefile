@@ -26,13 +26,15 @@ fmt:
 # including the hoisted rotation fan-out (shared ModUp across 8 keys)
 # reconciled against the HoistedOpsSaved model — and snapshots the
 # report to BENCH_engine.json so the performance trajectory is tracked
-# from PR to PR. It then drives the internal/serve batching service
-# with the `ciflow serve` load generator (overlapping rotations from
-# concurrent clients) and snapshots its ops/sec, cache hit rate, and
-# coalescing factor to BENCH_serve.json. Tune with e.g.
+# from PR to PR. It then drives the internal/serve multi-tenant
+# service with the `ciflow serve` load generator (overlapping
+# rotations from concurrent clients over a 2-tenant x 2-level
+# keyspace matrix) and snapshots its ops/sec, per-tenant cache hit
+# rates, key-byte residency, and coalescing factor to BENCH_serve.json.
+# Tune with e.g.
 #   make bench BENCH_FLAGS="-logn 14 -requests 32 -workers 8"
 BENCH_FLAGS ?= -logn 13 -requests 8
-SERVE_FLAGS ?= -logn 13 -clients 4 -rotations 8 -requests 8
+SERVE_FLAGS ?= -logn 13 -clients 4 -rotations 8 -requests 8 -tenants 2 -levels 2
 
 bench:
 	$(GO) run ./cmd/ciflow throughput $(BENCH_FLAGS) -hoisted -rotations 8 -json BENCH_engine.json
@@ -43,7 +45,8 @@ bench:
 # stashed baselines (the CI perf-regression gate): fail only on >2x
 # ops/sec regressions, a hoisted path losing to per-rotation switching,
 # or the serve invariants breaking (bit-exactness, coalescing > 1,
-# cache hit rate > 50%).
+# global and per-tenant cache hit rates > 50%, resident key bytes
+# within budget, zero cross-tenant coalesces, no starved tenant).
 BASELINE ?= bench_baseline.json
 SERVE_BASELINE ?= serve_baseline.json
 

@@ -60,13 +60,15 @@ type cliFlags struct {
 	jsonPath  *string
 
 	// serve load generator
-	clients  *int
-	rps      *int
-	rotPool  *int
-	keyCache *int
-	maxBatch *int
-	window   *time.Duration
-	check    *bool
+	clients   *int
+	rps       *int
+	rotPool   *int
+	tenants   *int
+	levels    *int
+	keyBudget *int64
+	maxBatch  *int
+	window    *time.Duration
+	check     *bool
 
 	// perfgate
 	baseline      *string
@@ -96,11 +98,13 @@ func newFlags() *cliFlags {
 
 	fl.clients = fs.Int("clients", 4, "serve concurrent client goroutines")
 	fl.rps = fs.Int("rps", 0, "serve per-client operations/sec pacing (0 = unpaced)")
-	fl.rotPool = fs.Int("rotpool", 0, "serve distinct rotation amounts shared by all clients (0 = -rotations)")
-	fl.keyCache = fs.Int("keycache", 32, "serve rotation-key LRU capacity")
+	fl.rotPool = fs.Int("rotpool", 0, "serve distinct rotation amounts shared per keyspace (0 = -rotations)")
+	fl.tenants = fs.Int("tenants", 1, "serve tenant count (distinct keyspaces, round-robin over clients)")
+	fl.levels = fs.Int("levels", 1, "serve distinct ciphertext levels, topmost first")
+	fl.keyBudget = fs.Int64("keybudget", 0, "serve global key-cache byte budget (0 = serve default)")
 	fl.maxBatch = fs.Int("batch", 64, "serve micro-batch size cap")
 	fl.window = fs.Duration("window", 500*time.Microsecond, "serve micro-batch gather window")
-	fl.check = fs.Bool("check", false, "serve: fail unless coalescing > 1, hit rate > 50%, bit-exact")
+	fl.check = fs.Bool("check", false, "serve: fail unless coalescing > 1, hit rates > 50%, keyspaces isolated, bit-exact")
 
 	fl.baseline = fs.String("baseline", "BENCH_engine.json", "perfgate throughput baseline report")
 	fl.freshPath = fs.String("fresh", "bench_fresh.json", "perfgate fresh throughput report")

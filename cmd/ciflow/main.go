@@ -30,15 +30,20 @@
 //	               counterpart to Figure 4); -hoisted adds the shared-
 //	               ModUp rotation fan-out vs per-rotation switching,
 //	               reconciled against the HoistedOpsSaved model
-//	serve          load generator for the internal/serve batching
-//	               key-switch service: -clients goroutines each issue
-//	               -requests operations of -rotations overlapping
-//	               rotations, and the report shows ops/sec, p50/p99,
-//	               rotation-key cache hit rate, and coalescing factor
+//	serve          load generator for the internal/serve multi-tenant
+//	               key-switch service: -clients goroutines, spread over
+//	               -tenants keyspaces and -levels ciphertext levels,
+//	               each issue -requests operations of -rotations
+//	               overlapping rotations; the report shows ops/sec,
+//	               p50/p99, key cache hit rate, resident key bytes vs
+//	               the -keybudget, and coalescing factor, globally and
+//	               per tenant
 //	perfgate       CI performance-regression gate: compare fresh
 //	               throughput (and, with -serve-baseline/-serve-fresh,
-//	               serve) JSON reports against committed baselines and
-//	               fail on gross (> -max-regression x) ops/sec drops
+//	               serve) JSON reports against committed baselines,
+//	               fail on gross (> -max-regression x) ops/sec drops or
+//	               broken keyspace invariants (cross-tenant coalescing,
+//	               budget overruns, starved tenants)
 //	all            everything above in paper order (except throughput,
 //	               serve, perfgate)
 //	help           the same experiment and flag summary on the CLI
@@ -61,13 +66,20 @@
 //	-json FILE     also write the report as JSON
 //	-clients C     serve concurrent client goroutines (default 4)
 //	-rps R         serve per-client pacing in ops/sec (default 0 = unpaced)
-//	-rotpool P     serve distinct rotation amounts shared by all
-//	               clients (default 0 = -rotations)
-//	-keycache K    serve rotation-key LRU capacity (default 32)
+//	-rotpool P     serve distinct rotation amounts shared per keyspace
+//	               (default 0 = -rotations)
+//	-tenants T     serve tenant count — distinct keyspaces, clients
+//	               assigned round-robin (default 1)
+//	-levels L      serve distinct ciphertext levels, topmost first
+//	               (default 1)
+//	-keybudget B   serve global key-cache byte budget in bytes
+//	               (default 0 = the serve package default, 256 MiB)
 //	-batch B       serve micro-batch size cap (default 64)
 //	-window D      serve micro-batch gather window (default 500µs)
 //	-check         serve: exit non-zero unless coalescing factor > 1,
-//	               cache hit rate > 50%, and results bit-exact
+//	               global and per-tenant cache hit rates > 50%,
+//	               resident key bytes within budget, keyspaces
+//	               isolated, and results bit-exact
 //	-baseline F    perfgate baseline report (default BENCH_engine.json)
 //	-fresh F       perfgate fresh report (default bench_fresh.json)
 //	-serve-baseline F  perfgate serve baseline report (default: skip)
@@ -191,7 +203,9 @@ func run(args []string) error {
 			dnum:      *fl.dnum,
 			workers:   *fl.workers,
 			rotPool:   *fl.rotPool,
-			keyCache:  *fl.keyCache,
+			tenants:   *fl.tenants,
+			levels:    *fl.levels,
+			keyBudget: *fl.keyBudget,
 			maxBatch:  *fl.maxBatch,
 			window:    *fl.window,
 		}

@@ -251,7 +251,8 @@ func testServeConfig() serveConfig {
 	return serveConfig{
 		dfName: "all", clients: 2, rotations: 3, ops: 2,
 		logN: 5, towers: 4, dnum: 2, workers: 2,
-		keyCache: 8, maxBatch: 16, window: 200 * time.Microsecond,
+		tenants: 1, levels: 1,
+		maxBatch: 16, window: 200 * time.Microsecond,
 	}
 }
 
@@ -277,6 +278,51 @@ func TestServeRun(t *testing.T) {
 	if rep.OpsPerSec <= 0 || rep.P50Ms < 0 || rep.P99Ms < rep.P50Ms {
 		t.Fatalf("implausible report %+v", rep)
 	}
+	if rep.KeyBudget <= 0 || rep.KeyBytes <= 0 || rep.KeyBytes > rep.KeyBudget {
+		t.Fatalf("implausible key residency: %d of %d bytes", rep.KeyBytes, rep.KeyBudget)
+	}
+	if err := serveCheck(rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeRunMultiTenant drives the full (tenant, level) matrix and
+// checks the keyspace invariants the perf gate relies on: per-tenant
+// breakdowns present and healthy, ModUps never shared across tenants,
+// resident key bytes within the explicit budget.
+func TestServeRunMultiTenant(t *testing.T) {
+	cfg := testServeConfig()
+	cfg.clients, cfg.tenants, cfg.levels = 4, 2, 2
+	// Each (tenant, level) cell gets one client; 4 ops over a pool of
+	// 3 rotations leave every cell's steady-state hit rate above 50%.
+	cfg.ops = 4
+	cfg.keyBudget = 64 << 20
+	rep, err := serveRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.BitExact {
+		t.Fatal("multi-tenant serve not bit-exact with per-keyspace SwitchHoisted")
+	}
+	if len(rep.Tenants) != 2 {
+		t.Fatalf("%d tenant reports, want 2", len(rep.Tenants))
+	}
+	if rep.KeyBudget != cfg.keyBudget {
+		t.Fatalf("reported budget %d, want the explicit %d", rep.KeyBudget, cfg.keyBudget)
+	}
+	var modUps uint64
+	for _, ts := range rep.Tenants {
+		if ts.Served == 0 {
+			t.Fatalf("tenant %s served nothing", ts.Tenant)
+		}
+		if ts.KeyHitRate <= 0.5 {
+			t.Fatalf("tenant %s hit rate %.2f, want > 0.5", ts.Tenant, ts.KeyHitRate)
+		}
+		modUps += ts.ModUps
+	}
+	if modUps != rep.ModUps {
+		t.Fatalf("per-tenant ModUps sum %d != global %d: groups crossed tenants", modUps, rep.ModUps)
+	}
 	if err := serveCheck(rep); err != nil {
 		t.Fatal(err)
 	}
@@ -297,13 +343,18 @@ func TestServeRunPaced(t *testing.T) {
 
 func TestServeRunErrors(t *testing.T) {
 	for name, mut := range map[string]func(*serveConfig){
-		"clients":  func(c *serveConfig) { c.clients = 0 },
-		"ops":      func(c *serveConfig) { c.ops = 0 },
-		"rot":      func(c *serveConfig) { c.rotations = 0 },
-		"rps":      func(c *serveConfig) { c.rps = -1 },
-		"logn":     func(c *serveConfig) { c.logN = 3 },
-		"rotpool":  func(c *serveConfig) { c.rotPool = 1 },
-		"dataflow": func(c *serveConfig) { c.dfName = "nope" },
+		"clients":     func(c *serveConfig) { c.clients = 0 },
+		"ops":         func(c *serveConfig) { c.ops = 0 },
+		"rot":         func(c *serveConfig) { c.rotations = 0 },
+		"rps":         func(c *serveConfig) { c.rps = -1 },
+		"logn":        func(c *serveConfig) { c.logN = 3 },
+		"rotpool":     func(c *serveConfig) { c.rotPool = 1 },
+		"dataflow":    func(c *serveConfig) { c.dfName = "nope" },
+		"tenants":     func(c *serveConfig) { c.tenants = 0 },
+		"levels":      func(c *serveConfig) { c.levels = 0 },
+		"levels-high": func(c *serveConfig) { c.levels = c.towers },
+		"matrix":      func(c *serveConfig) { c.tenants = 4 }, // 2 clients < 4x1 matrix
+		"budget":      func(c *serveConfig) { c.keyBudget = -1 },
 	} {
 		cfg := testServeConfig()
 		mut(&cfg)
@@ -373,17 +424,58 @@ func TestPerfgateServe(t *testing.T) {
 		t.Fatalf("perfgate failed on healthy serve report: %v", err)
 	}
 
+	healthyTenants := []serveTenantReport{
+		{Tenant: "t0", Served: 32, ModUps: 4, KeyHitRate: 0.9},
+		{Tenant: "t1", Served: 32, ModUps: 4, KeyHitRate: 0.9},
+	}
 	for name, bad := range map[string]*serveReport{
 		"regression":    {Requests: 64, OpsPerSec: 10, CoalescingFactor: 4, KeyHitRate: 0.9, BitExact: true},
 		"no-coalescing": {Requests: 64, OpsPerSec: 100, CoalescingFactor: 1, KeyHitRate: 0.9, BitExact: true},
 		"cold-cache":    {Requests: 64, OpsPerSec: 100, CoalescingFactor: 4, KeyHitRate: 0.3, BitExact: true},
 		"inexact":       {Requests: 64, OpsPerSec: 100, CoalescingFactor: 4, KeyHitRate: 0.9, BitExact: false},
+		"over-budget": {Requests: 64, OpsPerSec: 100, CoalescingFactor: 4, KeyHitRate: 0.9, BitExact: true,
+			KeyBudget: 100, KeyBytes: 101},
+		"tenant-cold": {Requests: 64, OpsPerSec: 100, CoalescingFactor: 4, KeyHitRate: 0.9, BitExact: true,
+			Tenants: []serveTenantReport{{Tenant: "t0", Served: 64, ModUps: 8, KeyHitRate: 0.2}}},
+		"tenant-starved": {Requests: 64, OpsPerSec: 100, CoalescingFactor: 4, KeyHitRate: 0.9, BitExact: true,
+			Tenants: []serveTenantReport{{Tenant: "t0", Served: 64, ModUps: 8, KeyHitRate: 0.9}, {Tenant: "t1", KeyHitRate: 0.9}}},
+		"cross-tenant-coalesce": {Requests: 64, OpsPerSec: 100, CoalescingFactor: 4, ModUps: 8, KeyHitRate: 0.9, BitExact: true,
+			Tenants: healthyTenants[:1]},
 	} {
 		p := dir + "/serve_" + name + ".json"
 		writeServeReport(t, p, bad)
 		if err := perfgate(basePath, freshPath, 2, sBase, p); err == nil {
 			t.Errorf("%s: perfgate passed a degraded serve report", name)
 		}
+	}
+
+	// A baseline with per-tenant stats pins them in the fresh report.
+	tenantBase := dir + "/serve_tenant_base.json"
+	writeServeReport(t, tenantBase, &serveReport{
+		Requests: 64, OpsPerSec: 100, CoalescingFactor: 4, ModUps: 8,
+		KeyHitRate: 0.9, BitExact: true, Tenants: healthyTenants,
+	})
+	if err := perfgate(basePath, freshPath, 2, tenantBase, sOK); err == nil {
+		t.Error("perfgate passed a fresh report that dropped the tenant stats")
+	}
+	tenantOK := dir + "/serve_tenant_ok.json"
+	writeServeReport(t, tenantOK, &serveReport{
+		Requests: 64, OpsPerSec: 90, CoalescingFactor: 4, ModUps: 8,
+		KeyHitRate: 0.9, BitExact: true, KeyBudget: 100, KeyBytes: 80,
+		Tenants: healthyTenants,
+	})
+	if err := perfgate(basePath, freshPath, 2, tenantBase, tenantOK); err != nil {
+		t.Errorf("perfgate failed a healthy multi-tenant report: %v", err)
+	}
+	// Shrinking the tenant matrix (2 -> 1) must fail the pinning check
+	// even though the one remaining tenant looks healthy.
+	shrunk := dir + "/serve_tenant_shrunk.json"
+	writeServeReport(t, shrunk, &serveReport{
+		Requests: 64, OpsPerSec: 90, CoalescingFactor: 4, ModUps: 4,
+		KeyHitRate: 0.9, BitExact: true, Tenants: healthyTenants[:1],
+	})
+	if err := perfgate(basePath, freshPath, 2, tenantBase, shrunk); err == nil {
+		t.Error("perfgate passed a fresh report with a shrunken tenant matrix")
 	}
 
 	// Half-specified serve gate flags and unreadable reports error out.

@@ -46,8 +46,13 @@ func readServeReport(path string) (*serveReport, error) {
 
 // perfgateServe gates the serving layer: same generous ops/sec
 // tolerance as the throughput gate, plus the machine-independent
-// invariants — bit-exactness, coalescing actually sharing ModUps, and
-// the key cache actually hitting — which must hold at any speed.
+// invariants — bit-exactness, coalescing actually sharing ModUps, the
+// key cache actually hitting (globally and per tenant), resident key
+// bytes within the budget, and keyspace isolation (every ModUp belongs
+// to exactly one tenant; no tenant starved) — which must hold at any
+// speed. A baseline with tenant stats pins them in the fresh report
+// too, so dropping -tenants from the bench flags cannot silently
+// vacate the isolation half of the gate.
 func perfgateServe(baselinePath, freshPath string, maxRegression float64, failures *[]string) error {
 	base, err := readServeReport(baselinePath)
 	if err != nil {
@@ -77,8 +82,34 @@ func perfgateServe(baselinePath, freshPath string, maxRegression float64, failur
 		*failures = append(*failures,
 			fmt.Sprintf("serve: key cache hit rate %.2f, want > 0.5", fresh.KeyHitRate))
 	}
-	fmt.Printf("serve coalescing %.2fx, key hit rate %.0f%%\n",
-		fresh.CoalescingFactor, 100*fresh.KeyHitRate)
+	if fresh.KeyBudget > 0 && fresh.KeyBytes > fresh.KeyBudget {
+		*failures = append(*failures,
+			fmt.Sprintf("serve: resident key bytes %d exceed the %d budget", fresh.KeyBytes, fresh.KeyBudget))
+	}
+	if len(fresh.Tenants) < len(base.Tenants) {
+		*failures = append(*failures,
+			fmt.Sprintf("serve: fresh report covers %d tenants, baseline %d (bench run with a smaller -tenants matrix?)",
+				len(fresh.Tenants), len(base.Tenants)))
+	}
+	var tenantModUps uint64
+	for _, ts := range fresh.Tenants {
+		if ts.KeyHitRate <= 0.5 {
+			*failures = append(*failures,
+				fmt.Sprintf("serve: tenant %s key hit rate %.2f, want > 0.5", ts.Tenant, ts.KeyHitRate))
+		}
+		if ts.Served == 0 {
+			*failures = append(*failures,
+				fmt.Sprintf("serve: tenant %s served nothing (starved)", ts.Tenant))
+		}
+		tenantModUps += ts.ModUps
+	}
+	if len(fresh.Tenants) > 0 && tenantModUps != fresh.ModUps {
+		*failures = append(*failures,
+			fmt.Sprintf("serve: per-tenant ModUps sum %d != global %d (cross-tenant coalescing)",
+				tenantModUps, fresh.ModUps))
+	}
+	fmt.Printf("serve coalescing %.2fx, key hit rate %.0f%%, %d tenants, resident %d/%d key bytes\n",
+		fresh.CoalescingFactor, 100*fresh.KeyHitRate, len(fresh.Tenants), fresh.KeyBytes, fresh.KeyBudget)
 	return nil
 }
 

@@ -1,14 +1,18 @@
 package main
 
 // The serve experiment is the load generator for internal/serve: it
-// stands up the batching key-switch service on a ckks.KeyChain and
-// drives it with concurrent clients issuing overlapping rotation
-// fan-outs — the request stream of a diagonal-method linear-transform
-// workload, served instead of evaluated inline. The report is the
-// serving counterpart of the throughput experiment: ops/sec and tail
-// latency, plus the two serving-specific reuse metrics — rotation-key
-// cache hit rate and coalescing factor (requests per executed
-// Decompose+ModUp).
+// stands up the multi-tenant batching key-switch service — one
+// ckks.KeyChain (keyspace) per tenant over a shared context, routed
+// through one per-level switcher pool — and drives it with concurrent
+// clients issuing overlapping rotation fan-outs across a (tenant,
+// level) matrix: the request stream of diagonal-method linear-
+// transform workloads, served instead of evaluated inline. The report
+// is the serving counterpart of the throughput experiment: ops/sec and
+// tail latency, plus the serving-specific reuse metrics — key cache
+// hit rate, resident bytes vs the global budget, coalescing factor
+// (requests per executed Decompose+ModUp) — each broken down per
+// tenant, because the keyspace isolation invariants (no cross-tenant
+// coalescing, no tenant starved) are what the perf gate pins.
 
 import (
 	"context"
@@ -37,10 +41,24 @@ type serveConfig struct {
 	towers    int
 	dnum      int
 	workers   int
-	rotPool   int // distinct rotation amounts shared by all clients
-	keyCache  int
+	rotPool   int   // distinct rotation amounts shared per keyspace
+	tenants   int   // distinct keyspaces
+	levels    int   // distinct ciphertext levels, topmost first
+	keyBudget int64 // global key-cache byte budget; 0 = serve default
 	maxBatch  int
 	window    time.Duration
+}
+
+// serveTenantReport is one tenant's slice of the serve report.
+type serveTenantReport struct {
+	Tenant       string  `json:"tenant"`
+	Served       uint64  `json:"served"`
+	P99Ms        float64 `json:"p99_ms"`
+	ModUps       uint64  `json:"mod_ups"`
+	KeyHitRate   float64 `json:"key_hit_rate"`
+	KeyMisses    uint64  `json:"key_misses"`
+	KeyEvictions uint64  `json:"key_evictions"`
+	KeyBytes     int64   `json:"key_bytes"`
 }
 
 // serveReport is the JSON artifact of the serve experiment
@@ -57,7 +75,9 @@ type serveReport struct {
 	Rotations   int     `json:"rotations"`
 	OpsPerCli   int     `json:"ops_per_client"`
 	RotPool     int     `json:"rot_pool"`
-	KeyCapacity int     `json:"key_capacity"`
+	TenantCount int     `json:"tenants"`
+	Levels      int     `json:"levels"`
+	KeyBudget   int64   `json:"key_budget_bytes"`
 	DurationSec float64 `json:"duration_sec"`
 
 	Requests  uint64  `json:"requests"`    // key switches served
@@ -71,10 +91,15 @@ type serveReport struct {
 	Batches          uint64  `json:"batches"`
 	Groups           uint64  `json:"groups"`
 
-	KeyHits      uint64  `json:"key_hits"`
-	KeyMisses    uint64  `json:"key_misses"`
-	KeyEvictions uint64  `json:"key_evictions"`
-	KeyHitRate   float64 `json:"key_hit_rate"`
+	KeyHits      uint64 `json:"key_hits"`
+	KeyMisses    uint64 `json:"key_misses"`
+	KeyEvictions uint64 `json:"key_evictions"`
+	// KeyBytes is the resident evaluation-key footprint at the end of
+	// the run; the perf gate asserts it never exceeds KeyBudget.
+	KeyBytes   int64   `json:"key_resident_bytes"`
+	KeyHitRate float64 `json:"key_hit_rate"`
+
+	Tenants []serveTenantReport `json:"tenant_stats"`
 
 	BitExact bool `json:"bit_exact"`
 }
@@ -82,7 +107,9 @@ type serveReport struct {
 // serveRun executes the load generation and returns the report; split
 // from the printing so tests can exercise it directly. A single
 // -dataflow pins every request; "all" assigns MP/DC/OC to clients
-// round-robin, exercising the service's per-dataflow grouping.
+// round-robin, exercising the service's per-dataflow grouping. Clients
+// are spread round-robin over the (tenant, level) matrix: client c
+// serves tenant c mod T at the (c div T mod L)-th level from the top.
 func serveRun(cfg serveConfig) (*serveReport, error) {
 	if cfg.clients < 1 {
 		return nil, fmt.Errorf("need at least 1 client, got %d", cfg.clients)
@@ -98,6 +125,24 @@ func serveRun(cfg serveConfig) (*serveReport, error) {
 	}
 	if cfg.logN < 4 || cfg.logN > 16 {
 		return nil, fmt.Errorf("logn %d out of range [4,16]", cfg.logN)
+	}
+	if cfg.tenants < 1 {
+		return nil, fmt.Errorf("need at least 1 tenant, got %d", cfg.tenants)
+	}
+	// Levels stop above 0 so every request can carry its level
+	// explicitly (serve routes a zero Level to the default).
+	if cfg.levels < 1 || cfg.levels >= cfg.towers {
+		return nil, fmt.Errorf("levels %d out of range [1,%d] for %d towers", cfg.levels, cfg.towers-1, cfg.towers)
+	}
+	if cfg.keyBudget < 0 {
+		return nil, fmt.Errorf("keybudget %d must be >= 0", cfg.keyBudget)
+	}
+	// Every (tenant, level) cell needs at least one client; otherwise
+	// unexercised tenants would be absent from the report and the
+	// per-tenant -check invariants would pass vacuously.
+	if cfg.clients < cfg.tenants*cfg.levels {
+		return nil, fmt.Errorf("%d clients cannot cover the %dx%d tenant/level matrix",
+			cfg.clients, cfg.tenants, cfg.levels)
 	}
 	if cfg.rotPool == 0 {
 		cfg.rotPool = cfg.rotations
@@ -118,20 +163,26 @@ func serveRun(cfg serveConfig) (*serveReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	kc, _ := ckks.GenKeys(cctx, 1)
-	level := cctx.MaxLevel
-	sw, err := kc.Switcher(level)
-	if err != nil {
-		return nil, err
+
+	// One keyspace (secret + key chain) per tenant over the shared
+	// context; all of them route through the context's one per-level
+	// switcher pool (switchers hold no secret material).
+	tenantName := func(i int) string { return fmt.Sprintf("t%d", i) }
+	chains := serve.KeyChains{}
+	for i := 0; i < cfg.tenants; i++ {
+		kc, _ := ckks.GenKeys(cctx, int64(i+1))
+		chains[tenantName(i)] = kc
 	}
+	levelAt := func(i int) int { return cctx.MaxLevel - i%cfg.levels }
 
 	e := engine.New(cfg.workers)
 	defer e.Close()
-	svc, err := serve.NewFromKeyChain(kc, level, serve.Config{
-		Engine:      e,
-		KeyCapacity: cfg.keyCache,
-		MaxBatch:    cfg.maxBatch,
-		Window:      cfg.window,
+	svc, err := serve.New(cctx.Switchers(), chains, serve.Config{
+		Engine:       e,
+		KeyBudget:    cfg.keyBudget,
+		MaxBatch:     cfg.maxBatch,
+		Window:       cfg.window,
+		DefaultLevel: cctx.MaxLevel,
 	})
 	if err != nil {
 		return nil, err
@@ -143,28 +194,29 @@ func serveRun(cfg serveConfig) (*serveReport, error) {
 		Workers: cfg.workers, NumCPU: runtime.NumCPU(),
 		Dataflow: cfg.dfName, Clients: cfg.clients, RPS: cfg.rps,
 		Rotations: cfg.rotations, OpsPerCli: cfg.ops,
-		RotPool: cfg.rotPool, KeyCapacity: cfg.keyCache,
+		RotPool: cfg.rotPool, TenantCount: cfg.tenants, Levels: cfg.levels,
 	}
 
-	// Rotation amounts 1..rotPool, shared by every client so their key
-	// working sets overlap: that overlap is what the cache hit rate
-	// measures. Operation op issues amounts rot(op), rot(op+1), ...
-	// wrapping around the pool.
+	// Rotation amounts 1..rotPool, shared by every client of one
+	// keyspace so their key working sets overlap: that overlap is what
+	// the per-tenant cache hit rate measures. Operation op issues
+	// amounts rot(op), rot(op+1), ... wrapping around the pool.
 	rot := func(i int) int { return 1 + i%cfg.rotPool }
 
 	// Pre-sample the client inputs off the clock (the sampler is not
 	// safe for concurrent use). Each client cycles a small working set
-	// of ciphertext c1 components.
-	s := ring.NewSampler(cctx.R, 2)
+	// of ciphertext c1 components over its own level's basis.
+	s := ring.NewSampler(cctx.R, int64(cfg.tenants)+1)
 	perClient := cfg.ops
 	if perClient > 4 {
 		perClient = 4
 	}
+	basisAt := func(level int) ring.Basis { return cctx.R.QBasis(level) }
 	inputs := make([][]*ring.Poly, cfg.clients)
 	for c := range inputs {
 		inputs[c] = make([]*ring.Poly, perClient)
 		for i := range inputs[c] {
-			inputs[c][i] = s.Uniform(sw.QBasis())
+			inputs[c][i] = s.Uniform(basisAt(levelAt(c / cfg.tenants)))
 			inputs[c][i].IsNTT = true
 		}
 	}
@@ -188,6 +240,8 @@ func serveRun(cfg serveConfig) (*serveReport, error) {
 		go func(c int) {
 			defer wg.Done()
 			df := dfs[c%len(dfs)]
+			tenant := tenantName(c % cfg.tenants)
+			level := levelAt(c / cfg.tenants)
 			var tick *time.Ticker
 			if cfg.rps > 0 {
 				tick = time.NewTicker(time.Second / time.Duration(cfg.rps))
@@ -200,8 +254,10 @@ func serveRun(cfg serveConfig) (*serveReport, error) {
 				}
 				in := inputs[c][op%perClient]
 				for i := 0; i < cfg.rotations; i++ {
-					ch, err := svc.Submit(context.Background(),
-						serve.Request{Input: in, Rot: rot(op + i), Dataflow: df})
+					ch, err := svc.Submit(context.Background(), serve.Request{
+						Input: in, Rot: rot(op + i), Dataflow: df,
+						Tenant: tenant, Level: level,
+					})
 					if err != nil {
 						fail(err)
 						return
@@ -237,44 +293,73 @@ func serveRun(cfg serveConfig) (*serveReport, error) {
 	rep.KeyHits = st.Keys.Hits
 	rep.KeyMisses = st.Keys.Misses
 	rep.KeyEvictions = st.Keys.Evictions
+	rep.KeyBytes = st.Keys.Bytes
+	rep.KeyBudget = st.Keys.BudgetBytes // effective (default applied)
 	rep.KeyHitRate = st.Keys.HitRate
-
-	// Bit-exactness: replay one fan-out through the (already warm)
-	// service and compare against direct hks.SwitchHoisted with the
-	// same memoized keys. Off the clock by construction.
-	rep.BitExact = true
-	verifyIn := inputs[0][0]
-	evks := make([]*hks.Evk, cfg.rotations)
-	for i := range evks {
-		if evks[i], err = kc.HoistKey(rot(i), level); err != nil {
-			return nil, err
-		}
+	for _, ts := range st.Tenants {
+		rep.Tenants = append(rep.Tenants, serveTenantReport{
+			Tenant:       ts.Tenant,
+			Served:       ts.Served,
+			P99Ms:        float64(ts.P99) / float64(time.Millisecond),
+			ModUps:       ts.ModUps,
+			KeyHitRate:   ts.Keys.HitRate,
+			KeyMisses:    ts.Keys.Misses,
+			KeyEvictions: ts.Keys.Evictions,
+			KeyBytes:     ts.Keys.Bytes,
+		})
 	}
-	want0, want1 := sw.SwitchHoisted(verifyIn, evks)
-	vchans := make([]<-chan serve.Result, cfg.rotations)
-	for i := 0; i < cfg.rotations; i++ {
-		ch, err := svc.Submit(context.Background(),
-			serve.Request{Input: verifyIn, Rot: rot(i), Dataflow: dfs[0]})
+
+	// Bit-exactness: replay one fan-out per (tenant, level) pair in
+	// use through the (already warm) service and compare against
+	// direct hks.SwitchHoisted with the same memoized keys of that
+	// keyspace. Off the clock by construction.
+	rep.BitExact = true
+	pairs := cfg.tenants * cfg.levels // clients >= pairs, checked above
+	for c := 0; c < pairs; c++ {
+		tenant := tenantName(c % cfg.tenants)
+		level := levelAt(c / cfg.tenants)
+		kc := chains[tenant]
+		sw, err := kc.Switcher(level)
 		if err != nil {
 			return nil, err
 		}
-		vchans[i] = ch
-	}
-	for i, ch := range vchans {
-		res := <-ch
-		if res.Err != nil {
-			return nil, res.Err
+		verifyIn := inputs[c][0]
+		evks := make([]*hks.Evk, cfg.rotations)
+		for i := range evks {
+			if evks[i], err = kc.HoistKey(rot(i), level); err != nil {
+				return nil, err
+			}
 		}
-		if !res.C0.Equal(want0[i]) || !res.C1.Equal(want1[i]) {
-			rep.BitExact = false
-			return rep, fmt.Errorf("served rotation %d differs from direct SwitchHoisted", i)
+		want0, want1 := sw.SwitchHoisted(verifyIn, evks)
+		vchans := make([]<-chan serve.Result, cfg.rotations)
+		for i := 0; i < cfg.rotations; i++ {
+			ch, err := svc.Submit(context.Background(), serve.Request{
+				Input: verifyIn, Rot: rot(i), Dataflow: dfs[0],
+				Tenant: tenant, Level: level,
+			})
+			if err != nil {
+				return nil, err
+			}
+			vchans[i] = ch
+		}
+		for i, ch := range vchans {
+			res := <-ch
+			if res.Err != nil {
+				return nil, res.Err
+			}
+			if !res.C0.Equal(want0[i]) || !res.C1.Equal(want1[i]) {
+				rep.BitExact = false
+				return rep, fmt.Errorf("tenant %s level %d rotation %d differs from direct SwitchHoisted",
+					tenant, level, i)
+			}
 		}
 	}
 	return rep, nil
 }
 
 // serveCheck enforces the acceptance bar behind -check: the service
-// must actually be reusing state, not just passing requests through.
+// must actually be reusing state — per keyspace, without leaking
+// across keyspaces — not just passing requests through.
 func serveCheck(rep *serveReport) error {
 	if !rep.BitExact {
 		return fmt.Errorf("serve check: results not bit-exact with direct SwitchHoisted")
@@ -284,6 +369,23 @@ func serveCheck(rep *serveReport) error {
 	}
 	if rep.KeyHitRate <= 0.5 {
 		return fmt.Errorf("serve check: key cache hit rate %.2f, want > 0.5", rep.KeyHitRate)
+	}
+	if rep.KeyBytes > rep.KeyBudget {
+		return fmt.Errorf("serve check: resident key bytes %d exceed the %d budget", rep.KeyBytes, rep.KeyBudget)
+	}
+	var tenantModUps uint64
+	for _, ts := range rep.Tenants {
+		if ts.KeyHitRate <= 0.5 {
+			return fmt.Errorf("serve check: tenant %s hit rate %.2f, want > 0.5", ts.Tenant, ts.KeyHitRate)
+		}
+		if ts.Served == 0 {
+			return fmt.Errorf("serve check: tenant %s served nothing (starved)", ts.Tenant)
+		}
+		tenantModUps += ts.ModUps
+	}
+	if tenantModUps != rep.ModUps {
+		return fmt.Errorf("serve check: per-tenant ModUps sum %d != global %d (cross-tenant coalescing)",
+			tenantModUps, rep.ModUps)
 	}
 	return nil
 }
@@ -296,8 +398,9 @@ func serveCmd(cfg serveConfig, jsonPath string, check bool) error {
 
 	fmt.Printf("Serve: N=2^%d, %d towers, dnum=%d, %d workers (%d CPUs)\n",
 		cfg.logN, rep.Towers, rep.Dnum, rep.Workers, rep.NumCPU)
-	fmt.Printf("%d clients x %d ops x %d rotations (%s, pool %d, key cache %d)\n",
-		rep.Clients, rep.OpsPerCli, rep.Rotations, rep.Dataflow, rep.RotPool, rep.KeyCapacity)
+	fmt.Printf("%d clients x %d ops x %d rotations (%s, pool %d) over %d tenants x %d levels\n",
+		rep.Clients, rep.OpsPerCli, rep.Rotations, rep.Dataflow, rep.RotPool,
+		rep.TenantCount, rep.Levels)
 	fmt.Printf("%-22s %12.2f\n", "served switches/sec", rep.OpsPerSec)
 	fmt.Printf("%-22s %9.3f ms\n", "p50 latency", rep.P50Ms)
 	fmt.Printf("%-22s %9.3f ms\n", "p99 latency", rep.P99Ms)
@@ -305,7 +408,18 @@ func serveCmd(cfg serveConfig, jsonPath string, check bool) error {
 		"coalescing factor", rep.CoalescingFactor, rep.Requests, rep.ModUps)
 	fmt.Printf("%-22s %11.1f%%  (%d hits, %d misses, %d evictions)\n",
 		"key cache hit rate", 100*rep.KeyHitRate, rep.KeyHits, rep.KeyMisses, rep.KeyEvictions)
+	fmt.Printf("%-22s %8.1f MiB  of %.1f MiB budget\n",
+		"resident key bytes", float64(rep.KeyBytes)/(1<<20), float64(rep.KeyBudget)/(1<<20))
 	fmt.Printf("%-22s %12v\n", "bit-exact", rep.BitExact)
+	if len(rep.Tenants) > 1 {
+		fmt.Printf("%-8s %10s %10s %8s %10s %10s %12s\n",
+			"tenant", "served", "p99 ms", "mod_ups", "hit rate", "evictions", "key MiB")
+		for _, ts := range rep.Tenants {
+			fmt.Printf("%-8s %10d %10.3f %8d %9.1f%% %10d %12.1f\n",
+				ts.Tenant, ts.Served, ts.P99Ms, ts.ModUps,
+				100*ts.KeyHitRate, ts.KeyEvictions, float64(ts.KeyBytes)/(1<<20))
+		}
+	}
 
 	if jsonPath != "" {
 		f, err := os.Create(jsonPath)

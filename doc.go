@@ -21,17 +21,25 @@
 //     Decompose+ModUp across a rotation fan-out. Both are bit-exact
 //     with the serial pipeline.
 //   - Serving: internal/serve amortizes the same work across
-//     *requests* — an in-process batching key-switch service with an
-//     LRU rotation-key cache backed by ckks.KeyChain, a hoisted-state
-//     coalescer that merges concurrent requests on one ciphertext
-//     into a single shared ModUp, and adaptive micro-batching with
-//     per-dataflow routing and backpressure.
+//     *requests* — an in-process, multi-tenant key-switch service
+//     whose API is organized around keyspaces: requests carry a
+//     tenant and a ciphertext level, a KeySource resolves
+//     KeyID{Tenant, Rot, Level} to evaluation keys (serve.KeyChains
+//     maps tenants to ckks.KeyChains), and levels route through one
+//     lazily built hks.SwitcherPool. A tenant-sharded key cache under
+//     one global byte budget (eviction weighted by Evk.SizeBytes,
+//     per-tenant residency floor), a hoisted-state coalescer scoped
+//     per keyspace, and per-tenant dispatchers with bounded queues
+//     keep tenants isolated while they share the engine.
 //
 // The `ciflow` command regenerates the paper artifacts and measures
 // all of the above: `ciflow throughput` (per-dataflow ops/sec and
 // latency, -hoisted for the shared-ModUp fan-out), `ciflow serve`
-// (the load generator: -clients/-rps/-rotations, reporting cache hit
-// rate and coalescing factor), and `ciflow perfgate` (the CI
-// regression gate over both reports). See README.md for quickstarts
-// and DESIGN.md for the architecture and the bit-exactness argument.
+// (the load generator: -clients/-rps/-rotations over a
+// -tenants × -levels keyspace matrix under a -keybudget, reporting
+// cache hit rates, key residency, and coalescing per tenant), and
+// `ciflow perfgate` (the CI regression gate over both reports,
+// including the keyspace-isolation invariants). See README.md for
+// quickstarts and DESIGN.md for the architecture and the
+// bit-exactness argument.
 package ciflow

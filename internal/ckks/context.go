@@ -28,6 +28,7 @@ package ckks
 
 import (
 	"fmt"
+	"sync"
 
 	"ciflow/internal/hks"
 	"ciflow/internal/ring"
@@ -39,6 +40,12 @@ type Context struct {
 	Scale    float64 // Δ, the encoding scale
 	Dnum     int     // key-switching digit count
 	MaxLevel int     // top level L (towers q_0..q_L)
+
+	// poolOnce/pool back Switchers: one shared per-level switcher pool
+	// for every key chain over this context (switchers are public
+	// precomputation — see hks.SwitcherPool — so tenants share them).
+	poolOnce sync.Once
+	pool     *hks.SwitcherPool
 }
 
 // NewContext builds a CKKS context over a generated ring with numQ
@@ -64,13 +71,13 @@ func NewContext(n, numQ, qBits, numP, pBits, dnum int) (*Context, error) {
 // Slots returns the number of message slots, N/2.
 func (c *Context) Slots() int { return c.R.N / 2 }
 
-// switcherFor returns a hybrid key switcher at the given level. The
-// digit count shrinks automatically when fewer towers than dnum·1
-// remain active.
-func (c *Context) switcherFor(level int) (*hks.Switcher, error) {
-	dnum := c.Dnum
-	if dnum > level+1 {
-		dnum = level + 1
-	}
-	return hks.NewSwitcher(c.R, level, dnum)
+// Switchers returns the context's shared per-level switcher pool
+// (lazily created): one hks.Switcher per level, with the digit count
+// shrinking automatically when fewer towers than dnum remain active.
+// Every KeyChain over this context draws from the same pool, so a
+// multi-tenant deployment (one chain per tenant) builds each level's
+// switcher once.
+func (c *Context) Switchers() *hks.SwitcherPool {
+	c.poolOnce.Do(func() { c.pool = hks.NewSwitcherPool(c.R, c.Dnum) })
+	return c.pool
 }

@@ -36,11 +36,16 @@ type KeyChain struct {
 	sk      *SecretKey
 	sSquare *ring.Poly // s², full D basis, coefficient domain
 
-	mu        sync.Mutex // guards the maps and the sampler below
-	switchers map[int]*hks.Switcher
-	relin     map[int]*hks.Evk
-	rot       map[int]map[int]*hks.Evk // rot -> level -> evk
-	hoist     map[int]map[int]*hks.Evk // rot -> level -> hoisting-form evk
+	// pool memoizes one switcher per level (internally synchronized,
+	// dnum clamped at low levels). Switchers hold no secret material,
+	// so they may be shared across key chains / tenants; KeyChain also
+	// satisfies serve.SwitcherSource through Switcher.
+	pool *hks.SwitcherPool
+
+	mu    sync.Mutex // guards the maps and the sampler below
+	relin map[int]*hks.Evk
+	rot   map[int]map[int]*hks.Evk // rot -> level -> evk
+	hoist map[int]map[int]*hks.Evk // rot -> level -> hoisting-form evk
 }
 
 // GenKeys samples a fresh secret/public key pair and its key chain.
@@ -71,14 +76,14 @@ func GenKeys(ctx *Context, seed int64) (*KeyChain, *PublicKey) {
 	r.Sub(e, b, b)
 
 	kc := &KeyChain{
-		ctx:       ctx,
-		sampler:   sampler,
-		sk:        sk,
-		sSquare:   s2,
-		switchers: map[int]*hks.Switcher{},
-		relin:     map[int]*hks.Evk{},
-		rot:       map[int]map[int]*hks.Evk{},
-		hoist:     map[int]map[int]*hks.Evk{},
+		ctx:     ctx,
+		sampler: sampler,
+		sk:      sk,
+		sSquare: s2,
+		pool:    ctx.Switchers(),
+		relin:   map[int]*hks.Evk{},
+		rot:     map[int]map[int]*hks.Evk{},
+		hoist:   map[int]map[int]*hks.Evk{},
 	}
 	return kc, &PublicKey{B: b, A: a}
 }
@@ -87,21 +92,19 @@ func GenKeys(ctx *Context, seed int64) (*KeyChain, *PublicKey) {
 func (kc *KeyChain) Secret() *SecretKey { return kc.sk }
 
 // Switcher returns (building if needed) the HKS switcher for a level.
+// The signature matches serve.SwitcherSource, so a KeyChain can route
+// a level-aware request stream directly.
 func (kc *KeyChain) Switcher(level int) (*hks.Switcher, error) {
-	kc.mu.Lock()
-	defer kc.mu.Unlock()
-	return kc.switcherLocked(level)
+	return kc.switcherFor(level)
 }
 
-func (kc *KeyChain) switcherLocked(level int) (*hks.Switcher, error) {
-	if sw, ok := kc.switchers[level]; ok {
-		return sw, nil
-	}
-	sw, err := kc.ctx.switcherFor(level)
+// switcherFor resolves a level through the shared pool (which carries
+// its own lock — callers may hold kc.mu).
+func (kc *KeyChain) switcherFor(level int) (*hks.Switcher, error) {
+	sw, err := kc.pool.Switcher(level)
 	if err != nil {
 		return nil, fmt.Errorf("ckks: no switcher at level %d: %w", level, err)
 	}
-	kc.switchers[level] = sw
 	return sw, nil
 }
 
@@ -112,7 +115,7 @@ func (kc *KeyChain) RelinKey(level int) (*hks.Evk, error) {
 	if evk, ok := kc.relin[level]; ok {
 		return evk, nil
 	}
-	sw, err := kc.switcherLocked(level)
+	sw, err := kc.switcherFor(level)
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +137,7 @@ func (kc *KeyChain) ConjKey(level int) (*hks.Evk, error) {
 			return evk, nil
 		}
 	}
-	sw, err := kc.switcherLocked(level)
+	sw, err := kc.switcherFor(level)
 	if err != nil {
 		return nil, err
 	}
@@ -160,7 +163,7 @@ func (kc *KeyChain) RotKey(rotBy, level int) (*hks.Evk, error) {
 			return evk, nil
 		}
 	}
-	sw, err := kc.switcherLocked(level)
+	sw, err := kc.switcherFor(level)
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +198,7 @@ func (kc *KeyChain) HoistKey(rotBy, level int) (*hks.Evk, error) {
 			return evk, nil
 		}
 	}
-	sw, err := kc.switcherLocked(level)
+	sw, err := kc.switcherFor(level)
 	if err != nil {
 		return nil, err
 	}

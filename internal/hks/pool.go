@@ -1,0 +1,78 @@
+package hks
+
+// SwitcherPool is the level-parameterized construction helper behind
+// level-aware serving: one Switcher per active ciphertext level, built
+// lazily over a shared ring and memoized, so a layer routing a
+// multi-level request stream (internal/serve, ckks.KeyChain) pays the
+// NewSwitcher precomputation once per level instead of owning one
+// instance per (caller, level).
+//
+// A Switcher holds no secret material — digit partitions, converters,
+// and gadget factors derive from the public ring parameters alone — so
+// one pool (and each switcher in it) is safely shared by any number of
+// tenants/keyspaces; only evaluation keys are per-tenant.
+
+import (
+	"sync"
+
+	"ciflow/internal/ring"
+)
+
+// SwitcherPool lazily builds and memoizes one Switcher per level over
+// a shared ring. Safe for concurrent use; the zero value is not usable,
+// construct with NewSwitcherPool.
+type SwitcherPool struct {
+	r    *ring.Ring
+	dnum int
+
+	mu      sync.RWMutex
+	byLevel map[int]*poolEntry
+}
+
+// poolEntry is one level's slot: construction runs once, outside the
+// pool's map lock, so a cold level's (expensive) NewSwitcher never
+// stalls concurrent lookups of warm levels — the pool sits on the
+// submit path of every tenant of a serving layer.
+type poolEntry struct {
+	once sync.Once
+	sw   *Switcher
+	err  error
+}
+
+// NewSwitcherPool prepares a pool over r with the given digit count.
+// Parameter validation happens per level inside Switcher (a dnum too
+// large for a low level is clamped, an invalid level errors there).
+func NewSwitcherPool(r *ring.Ring, dnum int) *SwitcherPool {
+	return &SwitcherPool{r: r, dnum: dnum, byLevel: map[int]*poolEntry{}}
+}
+
+// Ring returns the shared ring every pooled switcher operates over.
+func (p *SwitcherPool) Ring() *ring.Ring { return p.r }
+
+// Switcher returns (building and memoizing on first use) the switcher
+// for a level. The digit count is clamped to level+1 — fewer active
+// towers than digits would leave empty digits — so rescale-heavy
+// workloads can descend to any level without re-tuning dnum.
+// Construction errors are memoized too: level and dnum are the only
+// inputs, so a level that failed once fails always.
+func (p *SwitcherPool) Switcher(level int) (*Switcher, error) {
+	p.mu.RLock()
+	e := p.byLevel[level]
+	p.mu.RUnlock()
+	if e == nil {
+		p.mu.Lock()
+		if e = p.byLevel[level]; e == nil {
+			e = &poolEntry{}
+			p.byLevel[level] = e
+		}
+		p.mu.Unlock()
+	}
+	e.once.Do(func() {
+		dnum := p.dnum
+		if dnum > level+1 {
+			dnum = level + 1
+		}
+		e.sw, e.err = NewSwitcher(p.r, level, dnum)
+	})
+	return e.sw, e.err
+}

@@ -1,0 +1,76 @@
+package hks
+
+import (
+	"sync"
+	"testing"
+
+	"ciflow/internal/ring"
+)
+
+func TestSwitcherPool(t *testing.T) {
+	r, err := ring.NewRingGenerated(32, 4, 40, 3, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewSwitcherPool(r, 2)
+	if p.Ring() != r {
+		t.Fatal("pool does not expose its ring")
+	}
+
+	sw3, err := p.Switcher(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw3.Level != 3 || sw3.Dnum != 2 {
+		t.Fatalf("level 3 switcher: level %d dnum %d, want 3/2", sw3.Level, sw3.Dnum)
+	}
+	if again, _ := p.Switcher(3); again != sw3 {
+		t.Fatal("switcher not memoized")
+	}
+
+	// dnum clamps to level+1 at low levels.
+	sw0, err := p.Switcher(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw0.Dnum != 1 {
+		t.Fatalf("level 0 dnum %d, want clamp to 1", sw0.Dnum)
+	}
+
+	for _, bad := range []int{-1, r.NumQ} {
+		if _, err := p.Switcher(bad); err == nil {
+			t.Errorf("level %d accepted", bad)
+		}
+	}
+}
+
+// TestSwitcherPoolConcurrent races many goroutines on one level: all
+// must observe the identical switcher (one construction).
+func TestSwitcherPoolConcurrent(t *testing.T) {
+	r, err := ring.NewRingGenerated(32, 4, 40, 3, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewSwitcherPool(r, 2)
+	const n = 8
+	got := make([]*Switcher, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sw, err := p.Switcher(2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = sw
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if got[i] != got[0] {
+			t.Fatal("concurrent Switcher calls built distinct instances")
+		}
+	}
+}

@@ -1,13 +1,22 @@
 package serve
 
-// The rotation-key cache is the first of the service's three reuse
-// layers (see the package comment): evaluation keys are the largest
-// operands of hybrid key switching (dnum × 2 × N × (ℓ+K) words,
-// 112–360 MB at paper scale — Table III), so a server cannot keep one
-// resident per (tenant, rotation) forever. The cache bounds residency
-// with LRU eviction, shares concurrent loads of the same key
-// (singleflight), and exposes the hit/miss/eviction counters the load
-// generator reports.
+// The evaluation-key cache is the first of the service's reuse layers
+// (see the package comment): evaluation keys are the largest operands
+// of hybrid key switching (dnum × 2 × N × (ℓ+K) words, 112–360 MB at
+// paper scale — Table III), so a server cannot keep one resident per
+// (tenant, rotation, level) forever. The cache bounds residency by
+// *bytes*, not key count — eviction is weighted by Evk.SizeBytes under
+// one global budget — because a level-5 key is an order of magnitude
+// heavier than a level-0 key and a count cap would let the budget
+// drift with the level mix.
+//
+// Residency is tenant-sharded: entries carry their KeyID's tenant,
+// recency is tracked globally, and eviction takes the globally
+// least-recently-used entry among tenants holding more than the
+// per-tenant floor — so one hot tenant thrashing the cache cannot
+// evict a light tenant's last keys (the budget stays hard: if every
+// tenant is at its floor, plain LRU applies). Per-tenant hit, miss,
+// eviction, and resident-byte counters feed the `ciflow serve` report.
 //
 // Eviction is safe mid-flight by construction: Get hands out the
 // *hks.Evk pointer, and an in-flight replay keeps it alive after the
@@ -17,118 +26,230 @@ package serve
 
 import (
 	"container/list"
+	"sort"
 	"sync"
 
 	"ciflow/internal/hks"
 )
 
-// KeyFunc loads (or generates) the evaluation key for one rotation
-// amount — the cache's backing store. NewFromKeyChain adapts a
-// ckks.KeyChain; tests inject counting loaders.
-type KeyFunc func(rot int) (*hks.Evk, error)
+// KeyID names one evaluation key in the keyspace: the tenant whose
+// secret the key belongs to, the rotation amount, and the ciphertext
+// level. Keys never cross tenants — KeyID is the cache key, the
+// singleflight key, and the unit the KeySource resolves.
+type KeyID struct {
+	Tenant string
+	Rot    int
+	Level  int
+}
 
-// CacheStats is a point-in-time snapshot of the key cache counters.
-// A Get that joins another caller's in-flight load counts as a hit
-// (the load was shared); HitRate is hits over all Gets.
-type CacheStats struct {
-	Capacity  int     `json:"capacity"`
+// KeySource resolves KeyIDs to evaluation keys — the cache's backing
+// store. Implementations must be safe for concurrent use and should
+// memoize (like ckks.KeyChain), so re-loading an evicted key returns
+// identical material and served results stay bit-exact across
+// evictions. KeyChains adapts tenant-keyed ckks key chains; tests
+// inject counting sources via KeySourceFunc.
+type KeySource interface {
+	Key(id KeyID) (*hks.Evk, error)
+}
+
+// KeySourceFunc adapts a function to the KeySource interface.
+type KeySourceFunc func(id KeyID) (*hks.Evk, error)
+
+// Key implements KeySource.
+func (f KeySourceFunc) Key(id KeyID) (*hks.Evk, error) { return f(id) }
+
+// TenantCacheStats is one tenant's slice of the key cache: resident
+// keys and bytes, and the hit/miss/eviction counters.
+type TenantCacheStats struct {
+	Tenant    string  `json:"tenant"`
 	Size      int     `json:"size"`
+	Bytes     int64   `json:"bytes"`
 	Hits      uint64  `json:"hits"`
 	Misses    uint64  `json:"misses"`
 	Evictions uint64  `json:"evictions"`
 	HitRate   float64 `json:"hit_rate"`
 }
 
-type keyEntry struct {
-	rot int
-	evk *hks.Evk
+// CacheStats is a point-in-time snapshot of the key cache: the global
+// byte budget and resident bytes, aggregate counters, and the
+// per-tenant breakdown (sorted by tenant). A Get that joins another
+// caller's in-flight load counts as a hit (the load was shared);
+// HitRate is hits over all Gets.
+type CacheStats struct {
+	BudgetBytes int64              `json:"budget_bytes"`
+	Bytes       int64              `json:"bytes"`
+	Size        int                `json:"size"`
+	Hits        uint64             `json:"hits"`
+	Misses      uint64             `json:"misses"`
+	Evictions   uint64             `json:"evictions"`
+	HitRate     float64            `json:"hit_rate"`
+	Tenants     []TenantCacheStats `json:"tenants"`
+}
+
+type cacheEntry struct {
+	id    KeyID
+	evk   *hks.Evk
+	bytes int64
+}
+
+// tenantShard carries one tenant's residency and counters. Recency
+// lives in the cache-global list, not here: eviction weighs tenants
+// against each other, so it needs one global order.
+type tenantShard struct {
+	size  int
+	bytes int64
+
+	hits, misses, evictions uint64
 }
 
 // keyLoad is one in-flight backing-store load, joined by every
-// concurrent Get of the same rotation.
+// concurrent Get of the same KeyID.
 type keyLoad struct {
 	done chan struct{}
 	evk  *hks.Evk
 	err  error
 }
 
-// keyCache is an LRU map rot → *hks.Evk with singleflight loading.
-// Safe for concurrent use. The loader runs outside the cache lock, so
-// slow key generation never blocks hits on other rotations.
+// keyCache is the tenant-sharded LRU map KeyID → *hks.Evk under one
+// global byte budget, with singleflight loading. Safe for concurrent
+// use. The source runs outside the cache lock, so slow key generation
+// never blocks hits on other keys.
 type keyCache struct {
-	load KeyFunc
-	cap  int
+	src    KeySource
+	budget int64
+	floor  int // per-tenant resident keys protected from budget eviction
 
 	mu      sync.Mutex
-	entries map[int]*list.Element // rot -> element in order
-	order   *list.List            // front = most recently used *keyEntry
-	loading map[int]*keyLoad
-
-	hits, misses, evictions uint64
+	entries map[KeyID]*list.Element // id -> element in order
+	order   *list.List              // front = most recently used *cacheEntry
+	shards  map[string]*tenantShard
+	loading map[KeyID]*keyLoad
+	bytes   int64
 }
 
-func newKeyCache(load KeyFunc, capacity int) *keyCache {
+func newKeyCache(src KeySource, budget int64, floor int) *keyCache {
 	return &keyCache{
-		load:    load,
-		cap:     capacity,
-		entries: make(map[int]*list.Element),
+		src:     src,
+		budget:  budget,
+		floor:   floor,
+		entries: make(map[KeyID]*list.Element),
 		order:   list.New(),
-		loading: make(map[int]*keyLoad),
+		shards:  make(map[string]*tenantShard),
+		loading: make(map[KeyID]*keyLoad),
 	}
 }
 
-// Get returns the evaluation key for a rotation amount, loading it
-// through the backing KeyFunc on a miss. Concurrent Gets of the same
-// absent key share one load. The returned key remains valid after
-// eviction; failed loads are not cached.
-func (c *keyCache) Get(rot int) (*hks.Evk, error) {
+func (c *keyCache) shard(tenant string) *tenantShard {
+	s, ok := c.shards[tenant]
+	if !ok {
+		s = &tenantShard{}
+		c.shards[tenant] = s
+	}
+	return s
+}
+
+// Get returns the evaluation key for id, loading it through the
+// backing KeySource on a miss. Concurrent Gets of the same absent key
+// share one load. The returned key remains valid after eviction;
+// failed loads are not cached.
+func (c *keyCache) Get(id KeyID) (*hks.Evk, error) {
 	c.mu.Lock()
-	if el, ok := c.entries[rot]; ok {
+	sh := c.shard(id.Tenant)
+	if el, ok := c.entries[id]; ok {
 		c.order.MoveToFront(el)
-		c.hits++
-		evk := el.Value.(*keyEntry).evk
+		sh.hits++
+		evk := el.Value.(*cacheEntry).evk
 		c.mu.Unlock()
 		return evk, nil
 	}
-	if l, ok := c.loading[rot]; ok {
-		c.hits++ // shared someone else's load
+	if l, ok := c.loading[id]; ok {
+		sh.hits++ // shared someone else's load
 		c.mu.Unlock()
 		<-l.done
 		return l.evk, l.err
 	}
-	c.misses++
+	sh.misses++
 	l := &keyLoad{done: make(chan struct{})}
-	c.loading[rot] = l
+	c.loading[id] = l
 	c.mu.Unlock()
 
-	l.evk, l.err = c.load(rot)
+	l.evk, l.err = c.src.Key(id)
 	close(l.done)
 
 	c.mu.Lock()
-	delete(c.loading, rot)
+	delete(c.loading, id)
 	if l.err == nil {
-		c.entries[rot] = c.order.PushFront(&keyEntry{rot: rot, evk: l.evk})
-		for c.order.Len() > c.cap {
-			back := c.order.Back()
-			c.order.Remove(back)
-			delete(c.entries, back.Value.(*keyEntry).rot)
-			c.evictions++
-		}
+		e := &cacheEntry{id: id, evk: l.evk, bytes: int64(l.evk.SizeBytes())}
+		c.entries[id] = c.order.PushFront(e)
+		sh := c.shard(id.Tenant)
+		sh.size++
+		sh.bytes += e.bytes
+		c.bytes += e.bytes
+		c.evictLocked()
 	}
 	c.mu.Unlock()
 	return l.evk, l.err
 }
 
-// Stats snapshots the counters.
+// evictLocked drops least-recently-used entries until resident bytes
+// fit the budget. Victims are preferentially taken from tenants above
+// the per-tenant floor; if every tenant is at its floor the budget
+// still wins and plain LRU applies. Terminates because each pass
+// removes one entry.
+func (c *keyCache) evictLocked() {
+	for c.bytes > c.budget && c.order.Len() > 0 {
+		var victim *list.Element
+		for el := c.order.Back(); el != nil; el = el.Prev() {
+			if c.shards[el.Value.(*cacheEntry).id.Tenant].size > c.floor {
+				victim = el
+				break
+			}
+		}
+		if victim == nil {
+			victim = c.order.Back()
+		}
+		e := victim.Value.(*cacheEntry)
+		c.order.Remove(victim)
+		delete(c.entries, e.id)
+		sh := c.shards[e.id.Tenant]
+		sh.size--
+		sh.bytes -= e.bytes
+		sh.evictions++
+		c.bytes -= e.bytes
+	}
+}
+
+// Stats snapshots the counters, globally and per tenant.
 func (c *keyCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := CacheStats{
-		Capacity:  c.cap,
-		Size:      c.order.Len(),
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		BudgetBytes: c.budget,
+		Bytes:       c.bytes,
+		Size:        c.order.Len(),
+	}
+	names := make([]string, 0, len(c.shards))
+	for name := range c.shards {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sh := c.shards[name]
+		ts := TenantCacheStats{
+			Tenant:    name,
+			Size:      sh.size,
+			Bytes:     sh.bytes,
+			Hits:      sh.hits,
+			Misses:    sh.misses,
+			Evictions: sh.evictions,
+		}
+		if total := ts.Hits + ts.Misses; total > 0 {
+			ts.HitRate = float64(ts.Hits) / float64(total)
+		}
+		st.Hits += sh.hits
+		st.Misses += sh.misses
+		st.Evictions += sh.evictions
+		st.Tenants = append(st.Tenants, ts)
 	}
 	if total := st.Hits + st.Misses; total > 0 {
 		st.HitRate = float64(st.Hits) / float64(total)

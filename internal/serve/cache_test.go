@@ -7,31 +7,45 @@ import (
 	"testing"
 
 	"ciflow/internal/hks"
+	"ciflow/internal/ring"
 )
 
-// fakeEvk returns a distinct (empty) key per rotation — the cache
-// never looks inside an Evk, only at identity.
-func fakeLoader(calls *atomic.Uint64) KeyFunc {
-	keys := sync.Map{}
-	return func(rot int) (*hks.Evk, error) {
-		calls.Add(1)
-		if rot < 0 {
-			return nil, fmt.Errorf("no key for %d", rot)
-		}
-		evk, _ := keys.LoadOrStore(rot, &hks.Evk{})
-		return evk.(*hks.Evk), nil
-	}
+// fakeEvk hand-crafts an evaluation key whose SizeBytes is exactly
+// 2×words×8 — the cache never looks inside an Evk, only at identity
+// and size.
+func fakeEvk(words int) *hks.Evk {
+	p := func() *ring.Poly { return &ring.Poly{Coeffs: [][]uint64{make([]uint64, words)}} }
+	return &hks.Evk{B: []*ring.Poly{p()}, A: []*ring.Poly{p()}}
 }
+
+// fakeSource returns a memoized backing store of fakeEvks (distinct
+// per KeyID, identical across reloads, sized keyBytes each).
+func fakeSource(calls *atomic.Uint64, words int) KeySource {
+	keys := sync.Map{}
+	return KeySourceFunc(func(id KeyID) (*hks.Evk, error) {
+		calls.Add(1)
+		if id.Rot < 0 {
+			return nil, fmt.Errorf("no key for %v", id)
+		}
+		evk, _ := keys.LoadOrStore(id, fakeEvk(words))
+		return evk.(*hks.Evk), nil
+	})
+}
+
+// keyBytes is the size of every fakeSource key: 2 polys × 64 words × 8.
+const keyBytes = 2 * 64 * 8
+
+func rotID(rot int) KeyID { return KeyID{Rot: rot, Level: 3} }
 
 func TestCacheHitsAndMisses(t *testing.T) {
 	var calls atomic.Uint64
-	c := newKeyCache(fakeLoader(&calls), 4)
+	c := newKeyCache(fakeSource(&calls, 64), 4*keyBytes, 1)
 
-	a1, err := c.Get(1)
+	a1, err := c.Get(rotID(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := c.Get(1)
+	a2, err := c.Get(rotID(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,15 +62,25 @@ func TestCacheHitsAndMisses(t *testing.T) {
 	if st.HitRate != 0.5 {
 		t.Fatalf("hit rate %.2f, want 0.50", st.HitRate)
 	}
+	if st.Bytes != keyBytes || st.BudgetBytes != 4*keyBytes {
+		t.Fatalf("bytes %d / budget %d, want %d / %d", st.Bytes, st.BudgetBytes, keyBytes, 4*keyBytes)
+	}
+	// Distinct levels are distinct keys, even for one rotation.
+	if _, err := c.Get(KeyID{Rot: 1, Level: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("level ignored in cache key: %d loads", calls.Load())
+	}
 }
 
 func TestCacheLRUEviction(t *testing.T) {
 	var calls atomic.Uint64
-	c := newKeyCache(fakeLoader(&calls), 2)
+	c := newKeyCache(fakeSource(&calls, 64), 2*keyBytes, 1)
 
 	mustGet := func(rot int) *hks.Evk {
 		t.Helper()
-		evk, err := c.Get(rot)
+		evk, err := c.Get(rotID(rot))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -65,11 +89,14 @@ func TestCacheLRUEviction(t *testing.T) {
 	k1 := mustGet(1)
 	mustGet(2)
 	mustGet(1) // touch 1: now 2 is the LRU entry
-	mustGet(3) // evicts 2, not 1
+	mustGet(3) // over budget: evicts 2, not 1
 
 	st := c.Stats()
 	if st.Evictions != 1 || st.Size != 2 {
 		t.Fatalf("stats %+v", st)
+	}
+	if st.Bytes != 2*keyBytes {
+		t.Fatalf("resident %d bytes, want %d", st.Bytes, 2*keyBytes)
 	}
 	if got := mustGet(1); got != k1 { // still resident
 		t.Fatal("recently used key was evicted")
@@ -83,6 +110,68 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 }
 
+// TestCacheTenantFloor drives one hot tenant through many keys against
+// a light tenant holding a single old key: weighted eviction must
+// churn the hot tenant's shard and leave the light tenant at its floor
+// — while the global byte budget holds at every step.
+func TestCacheTenantFloor(t *testing.T) {
+	var calls atomic.Uint64
+	c := newKeyCache(fakeSource(&calls, 64), 2*keyBytes+keyBytes/2, 1)
+
+	light, err := c.Get(KeyID{Tenant: "light", Rot: 0, Level: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rot := 0; rot < 6; rot++ {
+		if _, err := c.Get(KeyID{Tenant: "hot", Rot: rot, Level: 3}); err != nil {
+			t.Fatal(err)
+		}
+		if st := c.Stats(); st.Bytes > st.BudgetBytes {
+			t.Fatalf("resident %d bytes exceeds budget %d", st.Bytes, st.BudgetBytes)
+		}
+	}
+
+	st := c.Stats()
+	byTenant := map[string]TenantCacheStats{}
+	for _, ts := range st.Tenants {
+		byTenant[ts.Tenant] = ts
+	}
+	if got := byTenant["light"]; got.Evictions != 0 || got.Size != 1 || got.Bytes != keyBytes {
+		t.Fatalf("light tenant shard %+v, want its one key untouched", got)
+	}
+	if got := byTenant["hot"]; got.Evictions != 5 || got.Size != 1 {
+		t.Fatalf("hot tenant shard %+v, want 5 self-evictions", got)
+	}
+	// The light tenant's oldest key is still a hit.
+	again, err := c.Get(KeyID{Tenant: "light", Rot: 0, Level: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != light {
+		t.Fatal("light tenant's key was reloaded")
+	}
+}
+
+// TestCacheBudgetBeatsFloor: the budget is hard — when every tenant is
+// at its floor and the bytes still do not fit, plain LRU applies.
+func TestCacheBudgetBeatsFloor(t *testing.T) {
+	var calls atomic.Uint64
+	c := newKeyCache(fakeSource(&calls, 64), keyBytes, 1)
+	if _, err := c.Get(KeyID{Tenant: "a", Rot: 0, Level: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(KeyID{Tenant: "b", Rot: 0, Level: 3}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Bytes > st.BudgetBytes {
+		t.Fatalf("resident %d bytes exceeds budget %d", st.Bytes, st.BudgetBytes)
+	}
+	if st.Size != 1 || st.Evictions != 1 {
+		t.Fatalf("stats %+v, want one resident key and one eviction", st)
+	}
+}
+
 // TestCacheSingleflight lets many goroutines miss the same absent key
 // at once: the loader must run once, everyone gets the same key, and
 // the joiners count as (shared-load) hits.
@@ -92,19 +181,19 @@ func TestCacheSingleflight(t *testing.T) {
 	gate := make(chan struct{})
 	entered := make(chan struct{})
 	var once sync.Once
-	evk := &hks.Evk{}
-	c := newKeyCache(func(rot int) (*hks.Evk, error) {
+	evk := fakeEvk(8)
+	c := newKeyCache(KeySourceFunc(func(id KeyID) (*hks.Evk, error) {
 		calls.Add(1)
 		once.Do(func() { close(entered) })
 		<-gate
 		return evk, nil
-	}, 4)
+	}), 1<<20, 1)
 
 	results := make(chan *hks.Evk, waiters)
 	errs := make(chan error, waiters)
 	for i := 0; i < waiters; i++ {
 		go func() {
-			got, err := c.Get(7)
+			got, err := c.Get(rotID(7))
 			if err != nil {
 				errs <- err
 				return
@@ -137,17 +226,49 @@ func TestCacheSingleflight(t *testing.T) {
 // later Get retries the backing store.
 func TestCacheLoadError(t *testing.T) {
 	var calls atomic.Uint64
-	c := newKeyCache(fakeLoader(&calls), 2)
-	if _, err := c.Get(-1); err == nil {
+	c := newKeyCache(fakeSource(&calls, 64), 1<<20, 1)
+	if _, err := c.Get(rotID(-1)); err == nil {
 		t.Fatal("load error swallowed")
 	}
-	if _, err := c.Get(-1); err == nil {
+	if _, err := c.Get(rotID(-1)); err == nil {
 		t.Fatal("load error cached as success")
 	}
 	if calls.Load() != 2 {
 		t.Fatalf("loader called %d times, want 2 (errors are not cached)", calls.Load())
 	}
-	if st := c.Stats(); st.Size != 0 {
+	if st := c.Stats(); st.Size != 0 || st.Bytes != 0 {
 		t.Fatalf("failed load left a cache entry: %+v", st)
+	}
+}
+
+// TestEvkSizeBytesPinned pins Evk.SizeBytes — the weight the byte
+// budget evicts by — to the allocated size a real switcher produces:
+// dnum × 2 polys × (ℓ+K) towers × N coefficients × 8 bytes. If
+// SizeBytes ever drifts from the allocation, the budget silently stops
+// meaning bytes; this test and the cache's accounting fail instead.
+func TestEvkSizeBytesPinned(t *testing.T) {
+	r, err := ring.NewRingGenerated(32, 4, 40, 3, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := hks.NewSwitcher(r, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ring.NewSampler(r, 1)
+	full := r.DBasis(r.NumQ - 1)
+	evk := sw.GenEvk(s, s.Ternary(full), s.Ternary(full))
+
+	want := sw.Dnum * 2 * len(sw.DBasis()) * r.N * 8
+	if got := evk.SizeBytes(); got != want {
+		t.Fatalf("SizeBytes %d, want dnum×2×towers×N×8 = %d", got, want)
+	}
+	// And the cache accounts residency with exactly that weight.
+	c := newKeyCache(KeySourceFunc(func(KeyID) (*hks.Evk, error) { return evk, nil }), 1<<30, 1)
+	if _, err := c.Get(rotID(0)); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Bytes != int64(want) {
+		t.Fatalf("cache resident bytes %d, want %d", st.Bytes, want)
 	}
 }

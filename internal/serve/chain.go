@@ -7,22 +7,53 @@ import (
 	"ciflow/internal/hks"
 )
 
-// NewFromKeyChain starts a service at the given ciphertext level whose
-// rotation-key cache is backed by kc: a cache miss on rotation amount
-// r loads the hoisting-form key kc.HoistKey(r, level) — s → σ_g⁻¹(s),
-// the form under which every rotation of one ciphertext can replay the
-// same hoisted ModUp (see ckks.KeyChain.HoistKey). The request Input
-// is then the ciphertext's un-rotated c1, and the caller finishes the
-// rotation by applying the Galois automorphism to the switched pair
-// (as ckks.Evaluator.RotateHoisted does).
+// KeyChains is the multi-tenant ckks adapter: it maps tenant names to
+// their key chains and implements KeySource by resolving
+// KeyID{Tenant, Rot, Level} to the hoisting-form rotation key
+// kc.HoistKey(Rot, Level) — s → σ_g⁻¹(s), the form under which every
+// rotation of one ciphertext can replay the same hoisted ModUp (see
+// ckks.KeyChain.HoistKey). Each chain owns a distinct secret, so the
+// tenants are genuinely separate keyspaces; the chains must share one
+// ckks.Context (one ring), because the service routes every tenant
+// through one per-level switcher pool.
 //
-// KeyChain memoizes generated keys, so re-loading an evicted rotation
+// KeyChain memoizes generated keys, so re-loading an evicted KeyID
 // returns the identical key material: served results stay bit-exact
 // across evictions.
+type KeyChains map[string]*ckks.KeyChain
+
+// Key implements KeySource. Unknown tenants fail the one request.
+func (m KeyChains) Key(id KeyID) (*hks.Evk, error) {
+	kc, ok := m[id.Tenant]
+	if !ok {
+		return nil, fmt.Errorf("serve: no key chain for tenant %q", id.Tenant)
+	}
+	return kc.HoistKey(id.Rot, id.Level)
+}
+
+// HasTenant implements TenantChecker, so Submit rejects requests for
+// tenants with no key chain before allocating them a dispatcher.
+func (m KeyChains) HasTenant(tenant string) bool {
+	_, ok := m[tenant]
+	return ok
+}
+
+// NewFromKeyChain is the one-tenant convenience constructor: a thin
+// shim over New that serves the single keyspace of kc (tenant "") with
+// DefaultLevel set to level, so requests that leave Tenant and Level
+// at their zero values behave exactly like the pre-keyspace API. The
+// chain doubles as the SwitcherSource, so requests may still address
+// other levels explicitly. The request Input is the ciphertext's
+// un-rotated c1, and the caller finishes the rotation by applying the
+// Galois automorphism to the switched pair (as
+// ckks.Evaluator.RotateHoisted does).
 func NewFromKeyChain(kc *ckks.KeyChain, level int, cfg Config) (*Service, error) {
-	sw, err := kc.Switcher(level)
-	if err != nil {
+	if kc == nil {
+		return nil, fmt.Errorf("serve: nil key chain")
+	}
+	if _, err := kc.Switcher(level); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	return New(sw, func(rot int) (*hks.Evk, error) { return kc.HoistKey(rot, level) }, cfg)
+	cfg.DefaultLevel = level
+	return New(kc, KeyChains{"": kc}, cfg)
 }

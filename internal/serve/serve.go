@@ -1,30 +1,40 @@
-// Package serve is an in-process key-switching service: it accepts a
-// stream of rotation/key-switch requests and schedules them onto the
-// internal/engine worker pool with the same reuse logic CiFlow applies
-// inside one switch, lifted one level up — across requests.
+// Package serve is an in-process, multi-tenant key-switching service:
+// it accepts a stream of rotation/key-switch requests — each addressed
+// to an explicit keyspace (tenant) and ciphertext level — and
+// schedules them onto the internal/engine worker pool with the same
+// reuse logic CiFlow applies inside one switch, lifted one level up —
+// across requests.
 //
 // The paper's argument is that key switching is dominated by data
-// movement and that reorganizing the dataflow turns redundant loads
-// into shared state. A server handling many rotations for many clients
-// has the same redundancy between requests, and serve removes it with
-// three layers:
+// movement, above all by evaluation-key traffic, so a serving layer
+// lives or dies by how it manages key residency across the request
+// stream. A server handling many rotations for many tenants at many
+// levels has redundancy between requests, and serve removes it with
+// three layers while keeping keyspaces strictly apart:
 //
-//  1. A rotation-key cache (cache.go): an LRU over evaluation keys —
-//     the largest operands in the pipeline — with singleflight
-//     loading, bounded residency, and hit/miss/eviction accounting.
-//  2. A hoisted-state coalescer: concurrent requests on the same input
-//     polynomial are grouped into one shared hks.Hoisted
-//     Decompose+ModUp, replaying only ApplyKey+ModDown per key — the
-//     rotation fan-out of the diagonal method, amortized even when the
-//     requests arrive independently.
-//  3. Adaptive micro-batching with per-dataflow routing and
-//     backpressure: requests gather for at most Window (the window
-//     closes early at MaxBatch, so a loaded service batches at full
-//     speed and an idle one adds at most Window of latency), each
-//     batch is grouped by (input, dataflow) and the groups execute
-//     concurrently on the engine, each under its requested MP/DC/OC
-//     graph shape. The bounded submit queue pushes back on producers
-//     instead of buffering unboundedly.
+//  1. An evaluation-key cache (cache.go): a tenant-sharded LRU over
+//     KeyID{Tenant, Rot, Level}, bounded by one global *byte* budget
+//     with eviction weighted by Evk.SizeBytes, a per-tenant residency
+//     floor, singleflight loading, and per-tenant hit/miss/eviction/
+//     byte accounting.
+//  2. A hoisted-state coalescer: concurrent requests of one tenant on
+//     the same input polynomial at the same level are grouped into one
+//     shared hks.Hoisted Decompose+ModUp, replaying only
+//     ApplyKey+ModDown per key. Coalescing is scoped to the
+//     (tenant, level, input, dataflow) group, so keyspaces never share
+//     hoisted state.
+//  3. Per-tenant micro-batching with isolation: every tenant gets its
+//     own dispatcher goroutine and its own bounded submit queue
+//     (capacity Config.QueueDepth each), gathered for at most Window
+//     and closed early at MaxBatch. Backpressure is per tenant — a hot
+//     tenant saturating its queue blocks only its own producers, and a
+//     tenant's slow key loads stall only its own dispatcher — while
+//     all tenants share one engine and one switcher pool.
+//
+// Requests carry a Level, and the service lazily resolves one
+// hks.Switcher per level through its SwitcherSource (hks.SwitcherPool
+// or ckks.KeyChain), so a rescale-heavy multi-level stream is served
+// by one Service instance instead of one per (tenant, level).
 //
 // Every served result is bit-exact with a direct hks.KeySwitch or
 // hks.SwitchHoisted of the same input and key — coalescing and
@@ -33,19 +43,21 @@
 //
 // The service operates at the hks layer: a request carries the
 // key-switch input polynomial (for a rotation, the ciphertext's c1 in
-// hoisting form) and a rotation amount that the key cache resolves to
-// an evaluation key. NewFromKeyChain wires the cache to
+// hoisting form) and a rotation amount that the key cache resolves —
+// through the request's KeyID — to an evaluation key. KeyChains (and
+// the one-tenant NewFromKeyChain shim) wire the cache to
 // ckks.KeyChain.HoistKey; finishing a rotation (Galois automorphism of
 // the switched pair plus c0 addition) is cheap and stays with the
 // caller. The `ciflow serve` load generator drives this package and
-// reports ops/sec, tail latency, cache hit rate, and coalescing
-// factor.
+// reports ops/sec, tail latency, cache hit rate, coalescing factor,
+// and the per-tenant breakdown of all four.
 package serve
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -58,18 +70,53 @@ import (
 // ErrClosed is returned by Submit after Close has begun.
 var ErrClosed = errors.New("serve: service closed")
 
+// SwitcherSource resolves ciphertext levels to switchers — the
+// service's routing table for multi-level streams. Implementations
+// must be safe for concurrent use, memoize (Submit resolves the level
+// of every request through this), and return the same switcher for
+// repeated calls at one level (*hks.SwitcherPool and *ckks.KeyChain
+// both qualify). Switchers hold no secret material, so one source
+// serves every tenant.
+type SwitcherSource interface {
+	Switcher(level int) (*hks.Switcher, error)
+}
+
+// SwitcherSourceFunc adapts a function to the SwitcherSource interface.
+type SwitcherSourceFunc func(level int) (*hks.Switcher, error)
+
+// Switcher implements SwitcherSource.
+func (f SwitcherSourceFunc) Switcher(level int) (*hks.Switcher, error) { return f(level) }
+
+// TenantChecker is an optional KeySource extension: a source that can
+// tell cheaply whether a tenant exists lets Submit reject requests for
+// unknown tenants *before* allocating that tenant's dispatcher, queue,
+// and cache shard — which otherwise live until Close. Services fed
+// untrusted tenant names should use a KeySource that implements it
+// (KeyChains does); without it an unknown tenant still fails, but only
+// at key-load time, after its worker exists.
+type TenantChecker interface {
+	HasTenant(tenant string) bool
+}
+
 // Request is one key-switch to perform: switch Input (NTT domain over
-// the switcher's B_ℓ) with the evaluation key for rotation amount Rot,
-// scheduling the work under Dataflow (the zero value is dataflow.MP).
-// Requests submitted concurrently with the same Input pointer and
-// Dataflow coalesce onto one shared hoisted ModUp.
+// B_Level) with tenant Tenant's evaluation key for rotation amount
+// Rot, scheduling the work under Dataflow (the zero value is
+// dataflow.MP). Tenant names the keyspace — the zero value "" is the
+// single keyspace of a one-tenant service. Level selects the
+// ciphertext level; the zero value routes to Config.DefaultLevel, so
+// a stream at literal level 0 needs DefaultLevel left at 0. Requests
+// submitted concurrently by one tenant with the same Input pointer,
+// Level, and Dataflow coalesce onto one shared hoisted ModUp;
+// requests of different tenants never coalesce.
 type Request struct {
 	Input    *ring.Poly
 	Rot      int
 	Dataflow dataflow.Dataflow
+	Tenant   string
+	Level    int
 }
 
-// Result is the switched pair (c0, c1) over B_ℓ, or the error that
+// Result is the switched pair (c0, c1) over B_Level, or the error that
 // prevented serving the request (key-load failure or a context
 // cancelled while the request was still queued).
 type Result struct {
@@ -81,31 +128,46 @@ type Result struct {
 // defaults.
 type Config struct {
 	// Engine executes the hoist/replay graphs and the per-batch group
-	// fan-out. Nil selects engine.Default(). The service does not
-	// close it.
+	// fan-out, shared by every tenant and level. Nil selects
+	// engine.Default(). The service does not close it.
 	Engine *engine.Engine
-	// KeyCapacity bounds the rotation-key LRU (default 64 keys).
-	KeyCapacity int
-	// MaxBatch closes the gather window early once this many requests
-	// are pending (default 64).
+	// KeyBudget bounds the bytes of evaluation keys resident in the
+	// cache, across all tenants (default 256 MiB). Eviction is
+	// LRU weighted by Evk.SizeBytes; see cache.go.
+	KeyBudget int64
+	// TenantKeyFloor is the number of resident keys per tenant that
+	// budget eviction prefers to spare (default 1): victims are taken
+	// from tenants above their floor while any exist, so a hot tenant
+	// cannot strip a light tenant bare. The budget stays hard.
+	TenantKeyFloor int
+	// MaxBatch closes a tenant's gather window early once this many
+	// requests are pending (default 64).
 	MaxBatch int
-	// Window is how long the dispatcher waits for more requests after
-	// the first one of a batch arrives (default 200µs). Under load the
-	// queue is never empty and the window is irrelevant; idle, it is
-	// the latency cost of batching.
+	// Window is how long a tenant's dispatcher waits for more requests
+	// after the first one of a batch arrives (default 200µs). Under
+	// load the queue is never empty and the window is irrelevant;
+	// idle, it is the latency cost of batching.
 	Window time.Duration
-	// QueueDepth bounds the submit queue (default 4×MaxBatch). A full
-	// queue blocks Submit — backpressure — until the dispatcher drains
-	// or the submitter's context is cancelled.
+	// QueueDepth bounds each tenant's submit queue (default
+	// 4×MaxBatch). A full queue blocks that tenant's Submit —
+	// backpressure — until its dispatcher drains or the submitter's
+	// context is cancelled; other tenants' queues are unaffected.
 	QueueDepth int
+	// DefaultLevel is the ciphertext level served when a request
+	// leaves Level at its zero value (default 0). The one-tenant
+	// NewFromKeyChain constructor sets it to the chain level.
+	DefaultLevel int
 }
 
 func (cfg Config) withDefaults() Config {
 	if cfg.Engine == nil {
 		cfg.Engine = engine.Default()
 	}
-	if cfg.KeyCapacity <= 0 {
-		cfg.KeyCapacity = 64
+	if cfg.KeyBudget <= 0 {
+		cfg.KeyBudget = 256 << 20
+	}
+	if cfg.TenantKeyFloor <= 0 {
+		cfg.TenantKeyFloor = 1
 	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 64
@@ -119,91 +181,182 @@ func (cfg Config) withDefaults() Config {
 	return cfg
 }
 
-// pending is one queued request with its completion channel.
+// pending is one queued request with its completion channel. The
+// request's Level is already normalized (DefaultLevel applied) and its
+// switcher resolved, so the dispatcher never re-routes.
 type pending struct {
 	req  Request
+	sw   *hks.Switcher
 	ctx  context.Context // nil = no cancellation
 	enq  time.Time
 	done chan Result
 }
 
-// Service is the batching key-switch service. Construct with New or
-// NewFromKeyChain, submit with Submit/Do, observe with Stats, and
-// Close to drain. Safe for concurrent use.
-type Service struct {
-	sw   *hks.Switcher
-	keys *keyCache
-	cfg  Config
-
-	queue chan *pending
-
-	subMu  sync.RWMutex // guards closed against the queue send in Submit
-	closed bool
+// tenantWorker is one tenant's dispatcher: a bounded queue, the
+// goroutine micro-batching it, and the tenant's service counters.
+// Workers are created lazily at a tenant's first Submit and live until
+// Close.
+type tenantWorker struct {
+	tenant string
+	queue  chan *pending
 	done   chan struct{} // dispatcher exit
+
+	// mu guards closed against the queue send in Submit. The lock is
+	// *per worker* so that a Submit blocked on this tenant's full
+	// queue (it holds the read lock across the send) can only hold up
+	// this tenant's Close step and this tenant's other producers —
+	// never another tenant's Submit. Close's write lock still makes
+	// progress because the dispatcher keeps draining the queue.
+	mu     sync.RWMutex
+	closed bool
 
 	stats serviceCounters
 	lats  latencyRecorder
 }
 
-// New starts a service switching with sw, loading rotation keys
-// through keys. Callers own sw and the engine; Close only stops the
-// service's dispatcher.
-func New(sw *hks.Switcher, keys KeyFunc, cfg Config) (*Service, error) {
-	if sw == nil {
-		return nil, fmt.Errorf("serve: nil switcher")
+// send enqueues under the worker's read lock so Close cannot close the
+// queue beneath an in-flight sender.
+func (w *tenantWorker) send(p *pending, cancel <-chan struct{}) error {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	if w.closed {
+		return ErrClosed
+	}
+	select {
+	case w.queue <- p:
+		w.stats.submitted.Add(1)
+		return nil
+	case <-cancel:
+		return p.ctx.Err()
+	}
+}
+
+// Service is the multi-tenant batching key-switch service. Construct
+// with New (or the one-tenant NewFromKeyChain), submit with Submit/Do,
+// observe with Stats, and Close to drain. Safe for concurrent use.
+type Service struct {
+	src  SwitcherSource
+	keys *keyCache
+	cfg  Config
+
+	// mu guards closed and the workers map. Critical sections under it
+	// are short and never block on queue space (sends synchronize on
+	// the per-worker lock instead), so one tenant's backpressure can
+	// not stall another tenant's Submit here.
+	mu      sync.RWMutex
+	closed  bool
+	workers map[string]*tenantWorker
+
+	stats serviceCounters
+	lats  latencyRecorder
+}
+
+// New starts a service routing levels through switchers and loading
+// evaluation keys through keys. Callers own the engine; Close only
+// stops the service's dispatchers.
+func New(switchers SwitcherSource, keys KeySource, cfg Config) (*Service, error) {
+	if switchers == nil {
+		return nil, fmt.Errorf("serve: nil switcher source")
 	}
 	if keys == nil {
-		return nil, fmt.Errorf("serve: nil key loader")
+		return nil, fmt.Errorf("serve: nil key source")
 	}
 	cfg = cfg.withDefaults()
 	s := &Service{
-		sw:    sw,
-		keys:  newKeyCache(keys, cfg.KeyCapacity),
-		cfg:   cfg,
-		queue: make(chan *pending, cfg.QueueDepth),
-		done:  make(chan struct{}),
+		src:     switchers,
+		keys:    newKeyCache(keys, cfg.KeyBudget, cfg.TenantKeyFloor),
+		cfg:     cfg,
+		workers: make(map[string]*tenantWorker),
 	}
-	go s.dispatch()
 	return s, nil
 }
 
-// Submit enqueues a request and returns its completion channel, which
-// receives exactly one Result. It blocks only when the queue is full
-// (backpressure); ctx cancels the wait for queue space and, if the
-// request is still queued when ctx is cancelled, the Result carries
-// the context error instead of outputs. A nil ctx never cancels.
+// worker returns (creating and starting if needed) the dispatcher for
+// a tenant.
+func (s *Service) worker(tenant string) (*tenantWorker, error) {
+	s.mu.RLock()
+	w, ok := s.workers[tenant]
+	s.mu.RUnlock()
+	if ok {
+		return w, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if w, ok := s.workers[tenant]; ok {
+		return w, nil
+	}
+	w = &tenantWorker{
+		tenant: tenant,
+		queue:  make(chan *pending, s.cfg.QueueDepth),
+		done:   make(chan struct{}),
+	}
+	s.workers[tenant] = w
+	go s.dispatch(w)
+	return w, nil
+}
+
+// isClosed is the fail-fast check; the authoritative one happens under
+// the worker's lock at send time.
+func (s *Service) isClosed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
+// Submit enqueues a request on its tenant's queue and returns its
+// completion channel, which receives exactly one Result. It blocks
+// only when that tenant's queue is full (per-tenant backpressure); ctx
+// cancels the wait for queue space and, if the request is still queued
+// when ctx is cancelled, the Result carries the context error instead
+// of outputs. A nil ctx never cancels.
 func (s *Service) Submit(ctx context.Context, req Request) (<-chan Result, error) {
-	if err := s.sw.CheckInput(req.Input); err != nil {
+	if s.isClosed() {
+		return nil, ErrClosed
+	}
+	// Reject unknown tenants before the level resolution and worker
+	// creation below allocate anything on their behalf — when the key
+	// source can tell (see TenantChecker).
+	if tc, ok := s.keys.src.(TenantChecker); ok && !tc.HasTenant(req.Tenant) {
+		return nil, fmt.Errorf("serve: unknown tenant %q", req.Tenant)
+	}
+	if req.Level == 0 {
+		req.Level = s.cfg.DefaultLevel
+	}
+	sw, err := s.src.Switcher(req.Level)
+	if err != nil {
+		return nil, err
+	}
+	if sw == nil {
+		return nil, fmt.Errorf("serve: switcher source returned nil for level %d", req.Level)
+	}
+	if err := sw.CheckInput(req.Input); err != nil {
 		return nil, err
 	}
 	// Reject unknown dataflows here: past this point the request runs
-	// on the dispatcher goroutine, where a panic would take down the
-	// whole service rather than one request.
+	// on the tenant's dispatcher goroutine, where a panic would take
+	// down that tenant's stream rather than one request.
 	switch req.Dataflow {
 	case dataflow.MP, dataflow.DC, dataflow.OC, dataflow.OCF:
 	default:
 		return nil, fmt.Errorf("serve: unknown dataflow %v", req.Dataflow)
 	}
-	p := &pending{req: req, ctx: ctx, enq: time.Now(), done: make(chan Result, 1)}
+	w, err := s.worker(req.Tenant)
+	if err != nil {
+		return nil, err
+	}
+	p := &pending{req: req, sw: sw, ctx: ctx, enq: time.Now(), done: make(chan Result, 1)}
 	var cancel <-chan struct{}
 	if ctx != nil {
 		cancel = ctx.Done()
 	}
-	// The read lock spans the send so Close cannot close the queue
-	// under an in-flight sender; the dispatcher keeps draining, so the
-	// send (and therefore Close's write lock) always makes progress.
-	s.subMu.RLock()
-	defer s.subMu.RUnlock()
-	if s.closed {
-		return nil, ErrClosed
+	if err := w.send(p, cancel); err != nil {
+		return nil, err
 	}
-	select {
-	case s.queue <- p:
-		s.stats.submitted.Add(1)
-		return p.done, nil
-	case <-cancel:
-		return nil, ctx.Err()
-	}
+	s.stats.submitted.Add(1)
+	return p.done, nil
 }
 
 // Do is Submit plus waiting for the result. Queue-level failures are
@@ -216,38 +369,52 @@ func (s *Service) Do(ctx context.Context, req Request) Result {
 	return <-ch
 }
 
-// Close stops accepting requests, waits for every queued request to
-// be served, and stops the dispatcher. Safe to call more than once.
+// Close stops accepting requests, waits for every queued request of
+// every tenant to be served, and stops the dispatchers. Safe to call
+// more than once. Close drains by contract, so a tenant whose
+// dispatcher is wedged in a key load holds it up.
 func (s *Service) Close() {
-	s.subMu.Lock()
+	s.mu.Lock()
 	already := s.closed
 	s.closed = true
-	s.subMu.Unlock()
-	if !already {
-		// No sender can be in flight: senders hold the read lock and
-		// check closed first.
-		close(s.queue)
+	workers := make([]*tenantWorker, 0, len(s.workers))
+	for _, w := range s.workers {
+		workers = append(workers, w)
 	}
-	<-s.done
+	s.mu.Unlock()
+	if !already {
+		for _, w := range workers {
+			// The write lock waits out in-flight senders (their read
+			// lock spans the send), so nothing can send on the closed
+			// queue.
+			w.mu.Lock()
+			w.closed = true
+			w.mu.Unlock()
+			close(w.queue)
+		}
+	}
+	for _, w := range workers {
+		<-w.done
+	}
 }
 
-// ---- Dispatcher: adaptive micro-batching ----
+// ---- Per-tenant dispatchers: adaptive micro-batching ----
 
-func (s *Service) dispatch() {
-	defer close(s.done)
+func (s *Service) dispatch(w *tenantWorker) {
+	defer close(w.done)
 	for {
-		p, ok := <-s.queue
+		p, ok := <-w.queue
 		if !ok {
 			return
 		}
-		s.runBatch(s.gather([]*pending{p}))
+		s.runBatch(w, s.gather(w, []*pending{p}))
 	}
 }
 
-// gather fills the batch from the queue until MaxBatch requests are
-// pending or Window has elapsed since the batch opened. A backlogged
-// queue fills the batch without ever touching the timer.
-func (s *Service) gather(batch []*pending) []*pending {
+// gather fills the batch from the tenant's queue until MaxBatch
+// requests are pending or Window has elapsed since the batch opened. A
+// backlogged queue fills the batch without ever touching the timer.
+func (s *Service) gather(w *tenantWorker, batch []*pending) []*pending {
 	if len(batch) >= s.cfg.MaxBatch {
 		return batch
 	}
@@ -255,7 +422,7 @@ func (s *Service) gather(batch []*pending) []*pending {
 	defer timer.Stop()
 	for {
 		select {
-		case p, ok := <-s.queue:
+		case p, ok := <-w.queue:
 			if !ok {
 				return batch
 			}
@@ -269,32 +436,38 @@ func (s *Service) gather(batch []*pending) []*pending {
 	}
 }
 
-// groupKey routes a request: same input and same dataflow share one
-// hoisted ModUp. Distinct dataflows on one input stay separate — they
-// need differently shaped hoist graphs.
+// groupKey routes a request within one tenant's batch: the same input
+// at the same level under the same dataflow shares one hoisted ModUp.
+// Distinct dataflows on one input stay separate — they need
+// differently shaped hoist graphs — and distinct levels run on
+// different switchers. The tenant is fixed per batch (batches never
+// span tenants), so keyspaces cannot share a group by construction.
 type groupKey struct {
-	in *ring.Poly
-	df dataflow.Dataflow
+	in    *ring.Poly
+	df    dataflow.Dataflow
+	level int
 }
 
-// runBatch groups the batch by (input, dataflow) and executes the
-// groups concurrently on the engine. Group execution nests engine
-// parallel sections (the hoist and replay graphs), which the engine
-// supports by construction.
-func (s *Service) runBatch(batch []*pending) {
+// runBatch groups one tenant's batch by (level, input, dataflow) and
+// executes the groups concurrently on the shared engine. Group
+// execution nests engine parallel sections (the hoist and replay
+// graphs), which the engine supports by construction.
+func (s *Service) runBatch(w *tenantWorker, batch []*pending) {
+	w.stats.batches.Add(1)
 	s.stats.batches.Add(1)
 	var order []groupKey
 	groups := make(map[groupKey][]*pending, len(batch))
 	for _, p := range batch {
-		k := groupKey{in: p.req.Input, df: p.req.Dataflow}
+		k := groupKey{in: p.req.Input, df: p.req.Dataflow, level: p.req.Level}
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
 		}
 		groups[k] = append(groups[k], p)
 	}
+	w.stats.groups.Add(uint64(len(order)))
 	s.stats.groups.Add(uint64(len(order)))
 	s.cfg.Engine.ParallelFor(len(order), func(i int) {
-		s.runGroup(order[i].df, order[i].in, groups[order[i]])
+		s.runGroup(w, order[i], groups[order[i]])
 	})
 }
 
@@ -302,12 +475,13 @@ func (s *Service) runBatch(batch []*pending) {
 // the queue are failed, a singleton takes the direct per-rotation
 // path, and two or more requests share one hoisted Decompose+ModUp
 // with a per-key replay — the exact hks.SwitchHoisted structure, so
-// results are bit-exact with independent switches.
-func (s *Service) runGroup(df dataflow.Dataflow, in *ring.Poly, ps []*pending) {
+// results are bit-exact with independent switches. All requests of a
+// group share one pending's switcher (the group key pins the level).
+func (s *Service) runGroup(w *tenantWorker, g groupKey, ps []*pending) {
 	live := ps[:0]
 	for _, p := range ps {
 		if p.ctx != nil && p.ctx.Err() != nil {
-			s.finish(p, Result{Err: p.ctx.Err()})
+			s.finish(w, p, Result{Err: p.ctx.Err()})
 			continue
 		}
 		live = append(live, p)
@@ -315,59 +489,98 @@ func (s *Service) runGroup(df dataflow.Dataflow, in *ring.Poly, ps []*pending) {
 	if len(live) == 0 {
 		return
 	}
+	sw := live[0].sw
 
 	if len(live) == 1 {
 		p := live[0]
-		evk, err := s.getKey(p.req.Rot)
+		evk, err := s.getKey(sw, KeyID{Tenant: w.tenant, Rot: p.req.Rot, Level: g.level})
 		if err != nil {
-			s.finish(p, Result{Err: err})
+			s.finish(w, p, Result{Err: err})
 			return
 		}
+		w.stats.modUps.Add(1)
 		s.stats.modUps.Add(1)
-		c0 := s.sw.R.NewPoly(s.sw.QBasis())
-		c1 := s.sw.R.NewPoly(s.sw.QBasis())
-		s.sw.SwitchParallelInto(s.cfg.Engine, df, in, evk, c0, c1)
-		s.finish(p, Result{C0: c0, C1: c1})
+		c0 := sw.R.NewPoly(sw.QBasis())
+		c1 := sw.R.NewPoly(sw.QBasis())
+		sw.SwitchParallelInto(s.cfg.Engine, g.df, p.req.Input, evk, c0, c1)
+		s.finish(w, p, Result{C0: c0, C1: c1})
 		return
 	}
 
+	w.stats.coalesced.Add(uint64(len(live)))
 	s.stats.coalesced.Add(uint64(len(live)))
+	w.stats.modUps.Add(1)
 	s.stats.modUps.Add(1)
-	h := s.sw.HoistParallel(s.cfg.Engine, df, in)
+	h := sw.HoistParallel(s.cfg.Engine, g.df, g.in)
 	defer h.Release()
 	for _, p := range live {
-		evk, err := s.getKey(p.req.Rot)
+		evk, err := s.getKey(sw, KeyID{Tenant: w.tenant, Rot: p.req.Rot, Level: g.level})
 		if err != nil {
-			s.finish(p, Result{Err: err})
+			s.finish(w, p, Result{Err: err})
 			continue
 		}
-		c0 := s.sw.R.NewPoly(s.sw.QBasis())
-		c1 := s.sw.R.NewPoly(s.sw.QBasis())
+		c0 := sw.R.NewPoly(sw.QBasis())
+		c1 := sw.R.NewPoly(sw.QBasis())
 		h.SwitchParallelInto(s.cfg.Engine, evk, c0, c1)
-		s.finish(p, Result{C0: c0, C1: c1})
+		s.finish(w, p, Result{C0: c0, C1: c1})
 	}
 }
 
-// getKey loads a rotation key through the cache and validates its
-// digit structure, so a misbehaving KeyFunc fails the one request
+// getKey loads an evaluation key through the cache and validates its
+// digit structure, so a misbehaving KeySource fails the one request
 // instead of panicking an engine worker.
-func (s *Service) getKey(rot int) (*hks.Evk, error) {
-	evk, err := s.keys.Get(rot)
+func (s *Service) getKey(sw *hks.Switcher, id KeyID) (*hks.Evk, error) {
+	evk, err := s.keys.Get(id)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.sw.CheckEvk(evk); err != nil {
+	if err := sw.CheckEvk(evk); err != nil {
 		return nil, err
 	}
 	return evk, nil
 }
 
-func (s *Service) finish(p *pending, res Result) {
+func (s *Service) finish(w *tenantWorker, p *pending, res Result) {
 	if res.Err != nil {
+		w.stats.failed.Add(1)
 		s.stats.failed.Add(1)
 	} else {
+		w.stats.served.Add(1)
 		s.stats.served.Add(1)
-		s.lats.record(time.Since(p.enq))
+		lat := time.Since(p.enq)
+		w.lats.record(lat)
+		s.lats.record(lat)
 	}
 	p.done <- res // buffered; never blocks
+}
+
+// tenantStatsLocked assembles the per-tenant service stats; the caller
+// holds s.mu (read) and supplies the cache's per-tenant snapshot.
+func (s *Service) tenantStatsLocked(keys map[string]TenantCacheStats) []TenantStats {
+	names := make([]string, 0, len(s.workers))
+	for name := range s.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]TenantStats, 0, len(names))
+	for _, name := range names {
+		w := s.workers[name]
+		ts := TenantStats{
+			Tenant:    name,
+			Submitted: w.stats.submitted.Load(),
+			Served:    w.stats.served.Load(),
+			Failed:    w.stats.failed.Load(),
+			Batches:   w.stats.batches.Load(),
+			Groups:    w.stats.groups.Load(),
+			ModUps:    w.stats.modUps.Load(),
+			Coalesced: w.stats.coalesced.Load(),
+			Keys:      keys[name],
+		}
+		if ts.ModUps > 0 {
+			ts.CoalescingFactor = float64(ts.Served) / float64(ts.ModUps)
+		}
+		ts.P50, ts.P99 = w.lats.percentiles()
+		out = append(out, ts)
+	}
+	return out
 }

@@ -15,44 +15,79 @@ import (
 	"ciflow/internal/ring"
 )
 
-// testBench is a tiny switcher plus pregenerated keys: big enough to
-// exercise every pipeline stage, small enough for -race.
+// benchLevel is the level every testBench request targets (the pool
+// serves others, but keys are pregenerated here only).
+const benchLevel = 3
+
+// testBench is a tiny switcher pool plus pregenerated per-tenant keys:
+// big enough to exercise every pipeline stage, small enough for -race.
 type testBench struct {
 	r    *ring.Ring
-	sw   *hks.Switcher
+	pool *hks.SwitcherPool
+	sw   *hks.Switcher // the benchLevel switcher
 	s    *ring.Sampler
-	evks map[int]*hks.Evk
-	// loads counts backing-store loads per rotation.
+	evks map[string]map[int]*hks.Evk // tenant -> rot -> key
+	// loads counts backing-store loads across all KeyIDs.
 	loads atomic.Uint64
 }
 
-func newTestBench(t *testing.T, rots int) *testBench {
+// newTestBench pregenerates rots keys for each named tenant (none
+// means the anonymous tenant ""). Tenants get independently sampled
+// key material — genuinely distinct keyspaces.
+func newTestBench(t *testing.T, rots int, tenants ...string) *testBench {
 	t.Helper()
+	if len(tenants) == 0 {
+		tenants = []string{""}
+	}
 	r, err := ring.NewRingGenerated(32, 4, 40, 3, 41)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw, err := hks.NewSwitcher(r, 3, 2)
+	pool := hks.NewSwitcherPool(r, 2)
+	sw, err := pool.Switcher(benchLevel)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := &testBench{r: r, sw: sw, s: ring.NewSampler(r, 1), evks: map[int]*hks.Evk{}}
+	b := &testBench{r: r, pool: pool, sw: sw, s: ring.NewSampler(r, 1), evks: map[string]map[int]*hks.Evk{}}
 	full := r.DBasis(r.NumQ - 1)
-	for i := 0; i < rots; i++ {
-		b.evks[i] = sw.GenEvk(b.s, b.s.Ternary(full), b.s.Ternary(full))
+	for _, tenant := range tenants {
+		b.evks[tenant] = map[int]*hks.Evk{}
+		for i := 0; i < rots; i++ {
+			b.evks[tenant][i] = sw.GenEvk(b.s, b.s.Ternary(full), b.s.Ternary(full))
+		}
 	}
 	return b
 }
 
-// keyFunc is a memoized backing store, like ckks.KeyChain: every load
-// of one rotation returns identical key material.
-func (b *testBench) keyFunc(rot int) (*hks.Evk, error) {
-	b.loads.Add(1)
-	evk, ok := b.evks[rot]
-	if !ok {
-		return nil, fmt.Errorf("no key for rotation %d", rot)
+// keySource is a memoized backing store, like ckks.KeyChains: every
+// load of one KeyID returns identical key material.
+func (b *testBench) keySource() KeySource {
+	return KeySourceFunc(func(id KeyID) (*hks.Evk, error) {
+		b.loads.Add(1)
+		if id.Level != benchLevel {
+			return nil, fmt.Errorf("no keys at level %d", id.Level)
+		}
+		evk, ok := b.evks[id.Tenant][id.Rot]
+		if !ok {
+			return nil, fmt.Errorf("no key for tenant %q rotation %d", id.Tenant, id.Rot)
+		}
+		return evk, nil
+	})
+}
+
+// config routes zero-Level requests to benchLevel.
+func (b *testBench) config(cfg Config) Config {
+	cfg.DefaultLevel = benchLevel
+	return cfg
+}
+
+func (b *testBench) newService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	svc, err := New(b.pool, b.keySource(), b.config(cfg))
+	if err != nil {
+		t.Fatal(err)
 	}
-	return evk, nil
+	return svc
 }
 
 func (b *testBench) input() *ring.Poly {
@@ -61,9 +96,22 @@ func (b *testBench) input() *ring.Poly {
 	return d
 }
 
-// wantSwitch is the reference result: the direct serial pipeline.
-func (b *testBench) wantSwitch(d *ring.Poly, rot int) (c0, c1 *ring.Poly) {
-	return b.sw.KeySwitch(d, b.evks[rot])
+// wantSwitch is the reference result: the direct serial pipeline with
+// the tenant's own key.
+func (b *testBench) wantSwitch(tenant string, d *ring.Poly, rot int) (c0, c1 *ring.Poly) {
+	return b.sw.KeySwitch(d, b.evks[tenant][rot])
+}
+
+// tenantStats picks one tenant's breakdown out of a snapshot.
+func tenantStats(t *testing.T, st Stats, tenant string) TenantStats {
+	t.Helper()
+	for _, ts := range st.Tenants {
+		if ts.Tenant == tenant {
+			return ts
+		}
+	}
+	t.Fatalf("no stats for tenant %q in %+v", tenant, st.Tenants)
+	return TenantStats{}
 }
 
 func checkResult(t *testing.T, res Result, want0, want1 *ring.Poly, what string) {
@@ -86,14 +134,11 @@ func TestCoalescedBitExact(t *testing.T) {
 	e := engine.New(2)
 	defer e.Close()
 
-	svc, err := New(b.sw, b.keyFunc, Config{
+	svc := b.newService(t, Config{
 		Engine:   e,
 		MaxBatch: G * K, // the batch closes exactly when every request is in
 		Window:   time.Minute,
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
 	defer svc.Close()
 
 	inputs := make([]*ring.Poly, G)
@@ -103,7 +148,7 @@ func TestCoalescedBitExact(t *testing.T) {
 		inputs[g] = b.input()
 		evks := make([]*hks.Evk, K)
 		for k := range evks {
-			evks[k] = b.evks[k]
+			evks[k] = b.evks[""][k]
 		}
 		want0[g], want1[g] = b.sw.SwitchHoisted(inputs[g], evks)
 	}
@@ -146,6 +191,11 @@ func TestCoalescedBitExact(t *testing.T) {
 	if st.P99 < st.P50 || st.P50 <= 0 {
 		t.Fatalf("implausible latencies p50=%v p99=%v", st.P50, st.P99)
 	}
+	// The anonymous tenant's breakdown carries the whole load.
+	ts := tenantStats(t, st, "")
+	if ts.Served != G*K || ts.ModUps != G || ts.Keys.Misses != K {
+		t.Fatalf("tenant breakdown %+v disagrees with global stats", ts)
+	}
 }
 
 // TestPerDataflowRouting submits the same input under two dataflows:
@@ -156,10 +206,7 @@ func TestPerDataflowRouting(t *testing.T) {
 	b := newTestBench(t, K)
 	e := engine.New(2)
 	defer e.Close()
-	svc, err := New(b.sw, b.keyFunc, Config{Engine: e, MaxBatch: 2 * K, Window: time.Minute})
-	if err != nil {
-		t.Fatal(err)
-	}
+	svc := b.newService(t, Config{Engine: e, MaxBatch: 2 * K, Window: time.Minute})
 	defer svc.Close()
 
 	in := b.input()
@@ -172,7 +219,7 @@ func TestPerDataflowRouting(t *testing.T) {
 				t.Fatal(err)
 			}
 			chans = append(chans, ch)
-			w0, w1 := b.wantSwitch(in, k)
+			w0, w1 := b.wantSwitch("", in, k)
 			wants = append(wants, [2]*ring.Poly{w0, w1})
 		}
 	}
@@ -190,14 +237,11 @@ func TestSingletonDirectPath(t *testing.T) {
 	b := newTestBench(t, 1)
 	e := engine.New(2)
 	defer e.Close()
-	svc, err := New(b.sw, b.keyFunc, Config{Engine: e, Window: time.Microsecond})
-	if err != nil {
-		t.Fatal(err)
-	}
+	svc := b.newService(t, Config{Engine: e, Window: time.Microsecond})
 	defer svc.Close()
 
 	in := b.input()
-	want0, want1 := b.wantSwitch(in, 0)
+	want0, want1 := b.wantSwitch("", in, 0)
 	res := svc.Do(context.Background(), Request{Input: in, Rot: 0})
 	checkResult(t, res, want0, want1, "singleton")
 	st := svc.Stats()
@@ -207,7 +251,7 @@ func TestSingletonDirectPath(t *testing.T) {
 }
 
 // TestEvictionMidFlight runs two concurrent coalesced groups through a
-// capacity-1 key cache: every Get evicts the other group's key while
+// one-key byte budget: every load evicts the other group's key while
 // that key is still feeding an in-flight replay. Results must stay
 // bit-exact and the cache must report reload churn.
 func TestEvictionMidFlight(t *testing.T) {
@@ -215,15 +259,13 @@ func TestEvictionMidFlight(t *testing.T) {
 	b := newTestBench(t, K)
 	e := engine.New(2)
 	defer e.Close()
-	svc, err := New(b.sw, b.keyFunc, Config{
-		Engine:      e,
-		KeyCapacity: 1,
-		MaxBatch:    G * K,
-		Window:      time.Minute,
+	oneKey := int64(b.evks[""][0].SizeBytes())
+	svc := b.newService(t, Config{
+		Engine:    e,
+		KeyBudget: oneKey, // capacity-one cache, in bytes
+		MaxBatch:  G * K,
+		Window:    time.Minute,
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
 	defer svc.Close()
 
 	inputs := [G]*ring.Poly{b.input(), b.input()}
@@ -239,16 +281,16 @@ func TestEvictionMidFlight(t *testing.T) {
 	}
 	for g := 0; g < G; g++ {
 		for k := 0; k < K; k++ {
-			want0, want1 := b.wantSwitch(inputs[g], k)
+			want0, want1 := b.wantSwitch("", inputs[g], k)
 			checkResult(t, <-chs[g][k], want0, want1, fmt.Sprintf("input %d rot %d", g, k))
 		}
 	}
 	st := svc.Stats()
 	if st.Keys.Evictions == 0 {
-		t.Fatal("capacity-1 cache under 3 rotations evicted nothing")
+		t.Fatal("one-key budget under 3 rotations evicted nothing")
 	}
-	if st.Keys.Size > 1 {
-		t.Fatalf("cache size %d exceeds capacity 1", st.Keys.Size)
+	if st.Keys.Bytes > oneKey {
+		t.Fatalf("resident %d bytes exceeds budget %d", st.Keys.Bytes, oneKey)
 	}
 	if b.loads.Load() < K {
 		t.Fatalf("only %d loads for %d distinct keys", b.loads.Load(), K)
@@ -263,10 +305,7 @@ func TestConcurrentClients(t *testing.T) {
 	b := newTestBench(t, K)
 	e := engine.New(2)
 	defer e.Close()
-	svc, err := New(b.sw, b.keyFunc, Config{Engine: e, MaxBatch: 8, Window: 100 * time.Microsecond})
-	if err != nil {
-		t.Fatal(err)
-	}
+	svc := b.newService(t, Config{Engine: e, MaxBatch: 8, Window: 100 * time.Microsecond})
 	defer svc.Close()
 
 	// Sample inputs and reference outputs up front: the sampler is not
@@ -284,7 +323,7 @@ func TestConcurrentClients(t *testing.T) {
 			defer wg.Done()
 			var want0, want1 [K]*ring.Poly
 			for k := 0; k < K; k++ {
-				want0[k], want1[k] = b.wantSwitch(in, k)
+				want0[k], want1[k] = b.wantSwitch("", in, k)
 			}
 			for op := 0; op < ops; op++ {
 				var chans [K]<-chan Result
@@ -324,6 +363,268 @@ func TestConcurrentClients(t *testing.T) {
 	}
 }
 
+// TestCrossTenantNoCoalesce submits the same input polynomial
+// concurrently from two tenants: the requests must never share a
+// hoisted ModUp — each tenant's results come from its own keyspace —
+// and the per-tenant ModUps must sum to the service total (the
+// zero-cross-tenant-coalesces invariant the perf gate checks). Run
+// under -race this also exercises two dispatchers racing on the
+// shared engine and cache.
+func TestCrossTenantNoCoalesce(t *testing.T) {
+	const K = 3
+	b := newTestBench(t, K, "a", "b")
+	e := engine.New(2)
+	defer e.Close()
+	svc := b.newService(t, Config{Engine: e, MaxBatch: K, Window: time.Minute})
+	defer svc.Close()
+
+	in := b.input() // the *same* polynomial for both tenants
+	var chans [2][K]<-chan Result
+	var wg sync.WaitGroup
+	errc := make(chan error, 2)
+	for ti, tenant := range []string{"a", "b"} {
+		wg.Add(1)
+		go func(ti int, tenant string) {
+			defer wg.Done()
+			for k := 0; k < K; k++ {
+				ch, err := svc.Submit(context.Background(), Request{Input: in, Rot: k, Tenant: tenant})
+				if err != nil {
+					errc <- err
+					return
+				}
+				chans[ti][k] = ch
+			}
+		}(ti, tenant)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	results := make([][2]*ring.Poly, 0, 2*K)
+	for ti, tenant := range []string{"a", "b"} {
+		for k := 0; k < K; k++ {
+			want0, want1 := b.wantSwitch(tenant, in, k)
+			res := <-chans[ti][k]
+			checkResult(t, res, want0, want1, fmt.Sprintf("tenant %s rot %d", tenant, k))
+			results = append(results, [2]*ring.Poly{res.C0, res.C1})
+		}
+	}
+	// Distinct keyspaces must produce distinct outputs for the same
+	// (input, rotation) — shared hoisted state across tenants would
+	// have served one tenant's replay with the other's key.
+	for k := 0; k < K; k++ {
+		if results[k][0].Equal(results[K+k][0]) {
+			t.Fatalf("rot %d: tenants produced identical outputs from distinct keys", k)
+		}
+	}
+
+	st := svc.Stats()
+	if st.ModUps != 2 {
+		t.Fatalf("%d ModUps, want 2 (one per tenant, never shared)", st.ModUps)
+	}
+	var sum uint64
+	for _, ts := range st.Tenants {
+		if ts.ModUps != 1 {
+			t.Fatalf("tenant %q ran %d ModUps, want 1 (its own coalesced group)", ts.Tenant, ts.ModUps)
+		}
+		sum += ts.ModUps
+	}
+	if sum != st.ModUps {
+		t.Fatalf("per-tenant ModUps sum %d != global %d: a group crossed tenants", sum, st.ModUps)
+	}
+}
+
+// TestTenantIsolationBackpressure wedges one tenant's dispatcher
+// inside an indefinitely blocked key load with its queue saturated,
+// then serves another tenant: the light tenant must complete — its
+// queue, dispatcher, and latency are untouched by the hot tenant's
+// backpressure, which is the whole point of per-tenant queues. (With
+// the hot tenant blocked *indefinitely*, any light-tenant completion
+// proves its p99 does not depend on the hot tenant.)
+func TestTenantIsolationBackpressure(t *testing.T) {
+	b := newTestBench(t, 2, "hot", "light")
+	e := engine.New(2)
+	defer e.Close()
+
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	src := KeySourceFunc(func(id KeyID) (*hks.Evk, error) {
+		if id.Tenant == "hot" {
+			once.Do(func() { close(entered) })
+			<-gate
+		}
+		return b.evks[id.Tenant][id.Rot], nil
+	})
+	svc, err := New(b.pool, src, b.config(Config{
+		Engine:     e,
+		MaxBatch:   1,
+		Window:     time.Microsecond,
+		QueueDepth: 1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { svc.Close() }()
+
+	in := b.input()
+	hotFirst, err := svc.Submit(context.Background(), Request{Input: in, Rot: 0, Tenant: "hot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered // the hot dispatcher is stuck loading its key
+
+	hotSecond, err := svc.Submit(context.Background(), Request{Input: in, Rot: 1, Tenant: "hot"})
+	if err != nil {
+		t.Fatal(err) // fits in the hot queue
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := svc.Submit(ctx, Request{Input: in, Rot: 1, Tenant: "hot"}); err != context.DeadlineExceeded {
+		t.Fatalf("over-queue hot Submit returned %v, want context.DeadlineExceeded", err)
+	}
+
+	// The hot tenant is saturated and wedged; the light tenant must be
+	// completely unaffected.
+	for k := 0; k < 2; k++ {
+		want0, want1 := b.wantSwitch("light", in, k)
+		res := svc.Do(context.Background(), Request{Input: in, Rot: k, Tenant: "light"})
+		checkResult(t, res, want0, want1, fmt.Sprintf("light rot %d under hot backpressure", k))
+	}
+	select {
+	case res := <-hotFirst:
+		t.Fatalf("hot request completed while its load was gated: %+v", res.Err)
+	default:
+	}
+	st := svc.Stats()
+	light := tenantStats(t, st, "light")
+	if light.Served != 2 || light.Failed != 0 {
+		t.Fatalf("light tenant stats %+v, want 2 served", light)
+	}
+	if light.P99 <= 0 {
+		t.Fatal("light tenant recorded no latencies")
+	}
+	if hot := tenantStats(t, st, "hot"); hot.Served != 0 {
+		t.Fatalf("hot tenant served %d while gated", hot.Served)
+	}
+
+	close(gate) // release the hot dispatcher; everything drains
+	if res := <-hotFirst; res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res := <-hotSecond; res.Err != nil {
+		t.Fatal(res.Err)
+	}
+}
+
+// TestSubmitBlockedDoesNotStallNewTenant pins the locking granularity
+// of Submit: while one producer is *blocked inside Submit* on a wedged
+// tenant's full queue, a first-ever request from a brand-new tenant
+// (which must create its worker — a map write) has to get through. A
+// service-wide lock spanning the queue send would deadlock here via
+// writer priority.
+func TestSubmitBlockedDoesNotStallNewTenant(t *testing.T) {
+	b := newTestBench(t, 2, "hot", "fresh")
+	e := engine.New(2)
+	defer e.Close()
+
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	src := KeySourceFunc(func(id KeyID) (*hks.Evk, error) {
+		if id.Tenant == "hot" {
+			once.Do(func() { close(entered) })
+			<-gate
+		}
+		return b.evks[id.Tenant][id.Rot], nil
+	})
+	svc, err := New(b.pool, src, b.config(Config{
+		Engine:     e,
+		MaxBatch:   1,
+		Window:     time.Microsecond,
+		QueueDepth: 1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { svc.Close() }()
+
+	in := b.input()
+	hotFirst, err := svc.Submit(context.Background(), Request{Input: in, Rot: 0, Tenant: "hot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered // hot dispatcher wedged in its key load
+	hotSecond, err := svc.Submit(context.Background(), Request{Input: in, Rot: 1, Tenant: "hot"})
+	if err != nil {
+		t.Fatal(err) // fills the hot queue
+	}
+	// This producer blocks *inside Submit* (nil-cancel send on a full
+	// queue) until the gate opens.
+	hotBlocked := make(chan Result, 1)
+	go func() {
+		hotBlocked <- svc.Do(context.Background(), Request{Input: in, Rot: 1, Tenant: "hot"})
+	}()
+	// Give the blocked Submit time to park in the send.
+	time.Sleep(10 * time.Millisecond)
+
+	want0, want1 := b.wantSwitch("fresh", in, 0)
+	done := make(chan Result, 1)
+	go func() {
+		done <- svc.Do(context.Background(), Request{Input: in, Rot: 0, Tenant: "fresh"})
+	}()
+	select {
+	case res := <-done:
+		checkResult(t, res, want0, want1, "new tenant under a blocked Submit")
+	case <-time.After(10 * time.Second):
+		t.Fatal("new tenant's first Submit stalled behind another tenant's blocked send")
+	}
+
+	close(gate)
+	for _, ch := range []<-chan Result{hotFirst, hotSecond} {
+		if res := <-ch; res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	if res := <-hotBlocked; res.Err != nil {
+		t.Fatal(res.Err)
+	}
+}
+
+// TestUnknownTenantRejectedEarly: a KeySource implementing
+// TenantChecker (like KeyChains) makes Submit reject unknown tenants
+// before a dispatcher, queue, or cache shard is allocated for them.
+func TestUnknownTenantRejectedEarly(t *testing.T) {
+	ctx, err := ckks.NewContext(32, 4, 30, 2, 31, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kc, _ := ckks.GenKeys(ctx, 7)
+	e := engine.New(1)
+	defer e.Close()
+	svc, err := NewFromKeyChain(kc, ctx.MaxLevel, Config{Engine: e, Window: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	sw, err := kc.Switcher(ctx.MaxLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ring.NewSampler(ctx.R, 3)
+	in := s.Uniform(sw.QBasis())
+	in.IsNTT = true
+	if _, err := svc.Submit(context.Background(), Request{Input: in, Rot: 1, Tenant: "nobody"}); err == nil {
+		t.Fatal("unknown tenant accepted by a TenantChecker-backed service")
+	}
+	if st := svc.Stats(); len(st.Tenants) != 0 {
+		t.Fatalf("rejected tenant left a worker behind: %+v", st.Tenants)
+	}
+}
+
 // TestBackpressure stalls the dispatcher inside a key load, fills the
 // bounded queue, and asserts a further Submit blocks until its context
 // dies rather than buffering without limit.
@@ -335,19 +636,19 @@ func TestBackpressure(t *testing.T) {
 	gate := make(chan struct{})
 	entered := make(chan struct{})
 	var once sync.Once
-	blockingLoad := func(rot int) (*hks.Evk, error) {
-		if rot == 0 {
+	blockingSrc := KeySourceFunc(func(id KeyID) (*hks.Evk, error) {
+		if id.Rot == 0 {
 			once.Do(func() { close(entered) })
 			<-gate
 		}
-		return b.evks[rot], nil
-	}
-	svc, err := New(b.sw, blockingLoad, Config{
+		return b.evks[""][id.Rot], nil
+	})
+	svc, err := New(b.pool, blockingSrc, b.config(Config{
 		Engine:     e,
 		MaxBatch:   1,
 		Window:     time.Microsecond,
 		QueueDepth: 1,
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,49 +681,54 @@ func TestBackpressure(t *testing.T) {
 	}
 }
 
-// TestCloseDrains closes the service with requests still queued: all
-// of them must complete, and later Submits must fail fast.
+// TestCloseDrains closes the service with requests still queued for
+// two tenants: all of them must complete, and later Submits must fail
+// fast.
 func TestCloseDrains(t *testing.T) {
 	const K = 3
-	b := newTestBench(t, K)
+	b := newTestBench(t, K, "", "other")
 	e := engine.New(2)
 	defer e.Close()
-	svc, err := New(b.sw, b.keyFunc, Config{Engine: e, MaxBatch: 2, Window: time.Millisecond})
-	if err != nil {
-		t.Fatal(err)
-	}
+	svc := b.newService(t, Config{Engine: e, MaxBatch: 2, Window: time.Millisecond})
 
 	in := b.input()
-	var chans [K]<-chan Result
+	var chans [2 * K]<-chan Result
 	for k := 0; k < K; k++ {
-		ch, err := svc.Submit(context.Background(), Request{Input: in, Rot: k})
-		if err != nil {
-			t.Fatal(err)
+		for ti, tenant := range []string{"", "other"} {
+			ch, err := svc.Submit(context.Background(), Request{Input: in, Rot: k, Tenant: tenant})
+			if err != nil {
+				t.Fatal(err)
+			}
+			chans[2*k+ti] = ch
 		}
-		chans[k] = ch
 	}
 	svc.Close()
 	for k := 0; k < K; k++ {
-		want0, want1 := b.wantSwitch(in, k)
-		checkResult(t, <-chans[k], want0, want1, fmt.Sprintf("drained rot %d", k))
+		for ti, tenant := range []string{"", "other"} {
+			want0, want1 := b.wantSwitch(tenant, in, k)
+			checkResult(t, <-chans[2*k+ti], want0, want1,
+				fmt.Sprintf("drained tenant %q rot %d", tenant, k))
+		}
 	}
 	if _, err := svc.Submit(context.Background(), Request{Input: in, Rot: 0}); err != ErrClosed {
 		t.Fatalf("Submit after Close returned %v, want ErrClosed", err)
+	}
+	if _, err := svc.Submit(context.Background(), Request{Input: in, Rot: 0, Tenant: "new"}); err != ErrClosed {
+		t.Fatalf("Submit for a fresh tenant after Close returned %v, want ErrClosed", err)
 	}
 	svc.Close() // idempotent
 }
 
 // TestRequestErrors covers the request-level failure paths: invalid
-// inputs rejected at Submit, key-load failures delivered per request
-// (and not poisoning the cache or the rest of the group).
+// inputs and levels rejected at Submit, key-load failures delivered
+// per request (and not poisoning the cache or the rest of the group).
 func TestRequestErrors(t *testing.T) {
 	b := newTestBench(t, 2)
 	e := engine.New(1)
 	defer e.Close()
-	svc, err := New(b.sw, b.keyFunc, Config{Engine: e, MaxBatch: 2, Window: time.Minute})
-	if err != nil {
-		t.Fatal(err)
-	}
+	// The window is short because the stray-tenant request below rides
+	// alone on its own dispatcher and must not wait out a long gather.
+	svc := b.newService(t, Config{Engine: e, MaxBatch: 2, Window: 5 * time.Millisecond})
 	defer svc.Close()
 
 	if _, err := svc.Submit(context.Background(), Request{Input: nil}); err == nil {
@@ -435,6 +741,14 @@ func TestRequestErrors(t *testing.T) {
 	bogus := Request{Input: b.input(), Rot: 0, Dataflow: dataflow.Dataflow(99)}
 	if _, err := svc.Submit(context.Background(), bogus); err == nil {
 		t.Fatal("unknown dataflow accepted (would panic the dispatcher)")
+	}
+	if _, err := svc.Submit(context.Background(), Request{Input: b.input(), Level: 99}); err == nil {
+		t.Fatal("out-of-range level accepted")
+	}
+	// A valid level whose basis does not match the input fails the
+	// input check, not the whole service.
+	if _, err := svc.Submit(context.Background(), Request{Input: b.input(), Level: 1}); err == nil {
+		t.Fatal("level/basis mismatch accepted")
 	}
 
 	// One good and one unknown rotation in the same coalesced group.
@@ -450,28 +764,38 @@ func TestRequestErrors(t *testing.T) {
 	if res := <-bad; res.Err == nil {
 		t.Fatal("unknown rotation served without error")
 	}
-	want0, want1 := b.wantSwitch(in, 0)
+	want0, want1 := b.wantSwitch("", in, 0)
 	checkResult(t, <-good, want0, want1, "good request in mixed group")
+
+	// An unknown tenant fails its own request only.
+	stray, err := svc.Submit(context.Background(), Request{Input: in, Rot: 0, Tenant: "nobody"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := <-stray; res.Err == nil {
+		t.Fatal("unknown tenant served without error")
+	}
+
 	st := svc.Stats()
-	if st.Failed != 1 || st.Served != 1 {
-		t.Fatalf("failed %d / served %d, want 1 / 1", st.Failed, st.Served)
+	if st.Failed != 2 || st.Served != 1 {
+		t.Fatalf("failed %d / served %d, want 2 / 1", st.Failed, st.Served)
 	}
 }
 
 // TestNewConfigErrors checks constructor validation.
 func TestNewConfigErrors(t *testing.T) {
 	b := newTestBench(t, 1)
-	if _, err := New(nil, b.keyFunc, Config{}); err == nil {
-		t.Fatal("nil switcher accepted")
+	if _, err := New(nil, b.keySource(), Config{}); err == nil {
+		t.Fatal("nil switcher source accepted")
 	}
-	if _, err := New(b.sw, nil, Config{}); err == nil {
-		t.Fatal("nil key loader accepted")
+	if _, err := New(b.pool, nil, Config{}); err == nil {
+		t.Fatal("nil key source accepted")
 	}
 }
 
 // TestNewFromKeyChain serves hoisting-form rotations straight off a
-// ckks.KeyChain and checks them against the direct switch with the
-// same (memoized) keys.
+// ckks.KeyChain through the one-tenant shim and checks them against
+// the direct switch with the same (memoized) keys.
 func TestNewFromKeyChain(t *testing.T) {
 	ctx, err := ckks.NewContext(32, 4, 30, 2, 31, 2)
 	if err != nil {
@@ -489,6 +813,9 @@ func TestNewFromKeyChain(t *testing.T) {
 	defer svc.Close()
 	if _, err := NewFromKeyChain(kc, 99, Config{}); err == nil {
 		t.Fatal("invalid level accepted")
+	}
+	if _, err := NewFromKeyChain(nil, level, Config{}); err == nil {
+		t.Fatal("nil key chain accepted")
 	}
 
 	sw, err := kc.Switcher(level)
@@ -518,5 +845,68 @@ func TestNewFromKeyChain(t *testing.T) {
 	}
 	if st := svc.Stats(); st.ModUps != 1 {
 		t.Fatalf("%d ModUps for one coalesced ciphertext, want 1", st.ModUps)
+	}
+}
+
+// TestLevelRouting drives one service at two ciphertext levels: each
+// request must run on its level's switcher with its level's key and
+// come back bit-exact with the direct switch at that level.
+func TestLevelRouting(t *testing.T) {
+	ctx, err := ckks.NewContext(32, 4, 30, 2, 31, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kc, _ := ckks.GenKeys(ctx, 11)
+	e := engine.New(2)
+	defer e.Close()
+
+	top := ctx.MaxLevel
+	levels := []int{top, top - 1}
+	svc, err := New(kc, KeyChains{"": kc}, Config{
+		Engine: e, MaxBatch: 4, Window: time.Minute, DefaultLevel: top,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	s := ring.NewSampler(ctx.R, 4)
+	const rot = 2
+	type want struct {
+		ch     <-chan Result
+		c0, c1 *ring.Poly
+		level  int
+	}
+	var wants []want
+	for _, level := range levels {
+		sw, err := kc.Switcher(level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := s.Uniform(sw.QBasis())
+		in.IsNTT = true
+		for k := 0; k < 2; k++ {
+			ch, err := svc.Submit(context.Background(), Request{Input: in, Rot: rot + k, Level: level})
+			if err != nil {
+				t.Fatal(err)
+			}
+			evk, err := kc.HoistKey(rot+k, level)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w0, w1 := sw.KeySwitch(in, evk)
+			wants = append(wants, want{ch: ch, c0: w0, c1: w1, level: level})
+		}
+	}
+	for i, w := range wants {
+		res := <-w.ch
+		checkResult(t, res, w.c0, w.c1, fmt.Sprintf("request %d at level %d", i, w.level))
+		if got := len(res.C0.Basis); got != w.level+1 {
+			t.Fatalf("level %d result spans %d towers", w.level, got)
+		}
+	}
+	st := svc.Stats()
+	if st.Served != 4 || st.ModUps != 2 {
+		t.Fatalf("stats %+v: want 4 served over 2 level-scoped ModUps", st)
 	}
 }

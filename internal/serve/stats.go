@@ -7,8 +7,9 @@ import (
 	"time"
 )
 
-// serviceCounters are the service's hot-path counters (atomics: the
-// group executor updates them from engine workers).
+// serviceCounters are the hot-path counters (atomics: the group
+// executor updates them from engine workers). One instance counts the
+// whole service, one more counts each tenant's worker.
 type serviceCounters struct {
 	submitted atomic.Uint64
 	served    atomic.Uint64
@@ -19,13 +20,40 @@ type serviceCounters struct {
 	coalesced atomic.Uint64
 }
 
+// TenantStats is one tenant's slice of the service: its request
+// counters, latency percentiles, and key-cache shard. Because batches
+// and coalesced groups never span tenants, the per-tenant ModUps sum
+// to the service total — an invariant the perf gate checks as "zero
+// cross-tenant coalesces".
+type TenantStats struct {
+	Tenant    string `json:"tenant"`
+	Submitted uint64 `json:"submitted"`
+	Served    uint64 `json:"served"`
+	Failed    uint64 `json:"failed"`
+	Batches   uint64 `json:"batches"`
+	Groups    uint64 `json:"groups"`
+	ModUps    uint64 `json:"mod_ups"`
+	Coalesced uint64 `json:"coalesced"`
+
+	// CoalescingFactor is this tenant's served requests per ModUp.
+	CoalescingFactor float64 `json:"coalescing_factor"`
+
+	// P50/P99 are submit-to-completion latencies over (up to) the last
+	// 16384 requests this tenant had served — the numbers the tenant-
+	// isolation test pins: a hot neighbour must not move them.
+	P50 time.Duration `json:"p50"`
+	P99 time.Duration `json:"p99"`
+
+	Keys TenantCacheStats `json:"keys"`
+}
+
 // Stats is a point-in-time snapshot of the service.
 type Stats struct {
 	Submitted uint64 `json:"submitted"` // requests accepted by Submit
 	Served    uint64 `json:"served"`    // requests completed with outputs
 	Failed    uint64 `json:"failed"`    // requests completed with an error
-	Batches   uint64 `json:"batches"`   // gather windows executed
-	Groups    uint64 `json:"groups"`    // (input, dataflow) groups formed
+	Batches   uint64 `json:"batches"`   // gather windows executed (all tenants)
+	Groups    uint64 `json:"groups"`    // (tenant, level, input, dataflow) groups formed
 	ModUps    uint64 `json:"mod_ups"`   // Decompose+ModUp executions
 	Coalesced uint64 `json:"coalesced"` // requests served from a shared hoisted state
 
@@ -38,13 +66,16 @@ type Stats struct {
 	Keys CacheStats `json:"keys"`
 
 	// P50/P99 are submit-to-completion latencies over (up to) the last
-	// 16384 served requests.
+	// 16384 served requests, across all tenants.
 	P50 time.Duration `json:"p50"`
 	P99 time.Duration `json:"p99"`
+
+	// Tenants is the per-tenant breakdown, sorted by tenant name.
+	Tenants []TenantStats `json:"tenants"`
 }
 
-// Stats snapshots the service counters, cache counters, and latency
-// percentiles.
+// Stats snapshots the service counters, cache counters, latency
+// percentiles, and the per-tenant breakdown.
 func (s *Service) Stats() Stats {
 	st := Stats{
 		Submitted: s.stats.submitted.Load(),
@@ -60,6 +91,14 @@ func (s *Service) Stats() Stats {
 		st.CoalescingFactor = float64(st.Served) / float64(st.ModUps)
 	}
 	st.P50, st.P99 = s.lats.percentiles()
+
+	keyShards := make(map[string]TenantCacheStats, len(st.Keys.Tenants))
+	for _, ts := range st.Keys.Tenants {
+		keyShards[ts.Tenant] = ts
+	}
+	s.mu.RLock()
+	st.Tenants = s.tenantStatsLocked(keyShards)
+	s.mu.RUnlock()
 	return st
 }
 
