@@ -31,28 +31,42 @@ fmt:
 # rotations from concurrent clients over a 2-tenant x 2-level
 # keyspace matrix) and snapshots its ops/sec, per-tenant cache hit
 # rates, key-byte residency, and coalescing factor to BENCH_serve.json.
+# Finally it replays a BTS2-shaped bootstrapping schedule DAG
+# (CoeffToSlot/SlotToCoeff chains with hoistable fan-outs) through the
+# service with the dependency-aware workload client and snapshots the
+# exact-count cross-validation to BENCH_workload.json.
 # Tune with e.g.
 #   make bench BENCH_FLAGS="-logn 14 -requests 32 -workers 8"
 BENCH_FLAGS ?= -logn 13 -requests 8
 SERVE_FLAGS ?= -logn 13 -clients 4 -rotations 8 -requests 8 -tenants 2 -levels 2
+WORKLOAD_FLAGS ?= -logn 13 -towers 6 -bts 2
 
 bench:
 	$(GO) run ./cmd/ciflow throughput $(BENCH_FLAGS) -hoisted -rotations 8 -json BENCH_engine.json
 	$(GO) run ./cmd/ciflow serve $(SERVE_FLAGS) -check -json BENCH_serve.json
+	$(GO) run ./cmd/ciflow serve -workload bootstrap $(WORKLOAD_FLAGS) -check -json BENCH_workload.json
 	$(GO) test -run NONE -bench 'KeySwitchN4096|SwitchParallel|SwitchHoisted' -benchtime 2x ./internal/hks/
 
-# perfgate compares fresh BENCH_engine.json / BENCH_serve.json against
-# stashed baselines (the CI perf-regression gate): fail only on >2x
-# ops/sec regressions, a hoisted path losing to per-rotation switching,
-# or the serve invariants breaking (bit-exactness, coalescing > 1,
-# global and per-tenant cache hit rates > 50%, resident key bytes
-# within budget, zero cross-tenant coalesces, no starved tenant).
+# perfgate compares fresh BENCH_engine.json / BENCH_serve.json /
+# BENCH_workload.json against stashed baselines (the CI perf-
+# regression gate): fail only on >2x ops/sec regressions, a hoisted
+# path losing to per-rotation switching, the serve invariants breaking
+# (bit-exactness, coalescing > 1, global and per-tenant cache hit
+# rates > 50%, resident key bytes within budget, zero cross-tenant
+# coalesces, no starved tenant), or the workload invariants breaking
+# (replay bit-exact with serial schedule execution, measured counters
+# equal to the DAG's predictions — dependency order respected, hoist
+# groups coalescing > 1, zero coalesces across chain steps).
 BASELINE ?= bench_baseline.json
 SERVE_BASELINE ?= serve_baseline.json
+WORKLOAD_BASELINE ?= workload_baseline.json
 
 perfgate:
 	$(GO) run ./cmd/ciflow perfgate -baseline $(BASELINE) -fresh BENCH_engine.json \
-		-serve-baseline $(SERVE_BASELINE) -serve-fresh BENCH_serve.json -max-regression 2
+		-serve-baseline $(SERVE_BASELINE) -serve-fresh BENCH_serve.json \
+		-workload-baseline $(WORKLOAD_BASELINE) -workload-fresh BENCH_workload.json \
+		-max-regression 2
 
 clean:
-	rm -f BENCH_engine.json BENCH_serve.json bench_baseline.json serve_baseline.json
+	rm -f BENCH_engine.json BENCH_serve.json BENCH_workload.json \
+		bench_baseline.json serve_baseline.json workload_baseline.json

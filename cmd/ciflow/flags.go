@@ -33,9 +33,10 @@ var experiments = []experiment{
 	{"memory", "data traffic vs on-chip memory size (§IV working sets)"},
 	{"area", "SRAM/area saving summary (§VI-B)"},
 	{"throughput", "measured HKS ops/sec and latency per dataflow on the engine pool"},
-	{"serve", "batching key-switch service load generator (cache + coalescing)"},
+	{"serve", "batching key-switch service load generator (cache + coalescing; -workload replays schedule DAGs)"},
+	{"schedule", "print a workload schedule DAG's shape, predicted op counts, and modeled cost"},
 	{"perfgate", "CI performance-regression gate vs committed baselines"},
-	{"all", "everything above in paper order (except throughput, serve, perfgate)"},
+	{"all", "everything above in paper order (except throughput, serve, schedule, perfgate)"},
 	{"help", "this usage summary"},
 }
 
@@ -70,12 +71,19 @@ type cliFlags struct {
 	window    *time.Duration
 	check     *bool
 
+	// workload schedules (serve -workload, schedule)
+	workloadName *string
+	bts          *int
+	radix        *int
+
 	// perfgate
-	baseline      *string
-	freshPath     *string
-	serveBaseline *string
-	serveFresh    *string
-	maxRegression *float64
+	baseline         *string
+	freshPath        *string
+	serveBaseline    *string
+	serveFresh       *string
+	workloadBaseline *string
+	workloadFresh    *string
+	maxRegression    *float64
 }
 
 func newFlags() *cliFlags {
@@ -106,11 +114,33 @@ func newFlags() *cliFlags {
 	fl.window = fs.Duration("window", 500*time.Microsecond, "serve micro-batch gather window")
 	fl.check = fs.Bool("check", false, "serve: fail unless coalescing > 1, hit rates > 50%, keyspaces isolated, bit-exact")
 
+	fl.workloadName = fs.String("workload", "fanout", "serve/schedule shape: fanout, bootstrap, or matvec")
+	fl.bts = fs.Int("bts", 2, "BTS parameter set (1, 2, or 3) shaping bootstrap schedules")
+	fl.radix = fs.Int("radix", 0, "bootstrap DFT radix, a power of two (0 = auto-fit the level budget)")
+
 	fl.baseline = fs.String("baseline", "BENCH_engine.json", "perfgate throughput baseline report")
 	fl.freshPath = fs.String("fresh", "bench_fresh.json", "perfgate fresh throughput report")
 	fl.serveBaseline = fs.String("serve-baseline", "", "perfgate serve baseline report (empty = skip serve gate)")
 	fl.serveFresh = fs.String("serve-fresh", "", "perfgate fresh serve report (empty = skip serve gate)")
+	fl.workloadBaseline = fs.String("workload-baseline", "", "perfgate workload-replay baseline report (empty = skip workload gate)")
+	fl.workloadFresh = fs.String("workload-fresh", "", "perfgate fresh workload-replay report (empty = skip workload gate)")
 	fl.maxRegression = fs.Float64("max-regression", 2, "perfgate allowed ops/sec drop factor")
 
 	return fl
+}
+
+// flagDnum returns the parsed -dnum, or 0 when the flag was left at
+// its default — the workload replay then inherits the digit structure
+// of the chosen BTS parameter set instead of the generic default.
+func flagDnum(fl *cliFlags) int {
+	set := false
+	fl.fs.Visit(func(f *flag.Flag) {
+		if f.Name == "dnum" {
+			set = true
+		}
+	})
+	if set {
+		return *fl.dnum
+	}
+	return 0
 }

@@ -34,18 +34,35 @@
 //	               key-switch service: -clients goroutines, spread over
 //	               -tenants keyspaces and -levels ciphertext levels,
 //	               each issue -requests operations of -rotations
-//	               overlapping rotations; the report shows ops/sec,
-//	               p50/p99, key cache hit rate, resident key bytes vs
-//	               the -keybudget, and coalescing factor, globally and
-//	               per tenant
+//	               overlapping rotations (each client's operations form
+//	               a dependent chain: an operation's input derives from
+//	               the previous operation's output); the report shows
+//	               ops/sec, p50/p99, key cache hit rate, resident key
+//	               bytes vs the -keybudget, and coalescing factor,
+//	               globally and per tenant. With -workload bootstrap or
+//	               -workload matvec it instead replays a schedule DAG
+//	               (internal/workload) with the dependency-aware
+//	               client: bootstrapping CoeffToSlot/SlotToCoeff
+//	               stages shaped by -bts/-radix, or a baby-step/
+//	               giant-step matvec (-rotations babies, -requests
+//	               giants), cross-validating measured serve counters
+//	               against the schedule's predicted counts exactly
+//	schedule       print a workload schedule DAG at the paper's
+//	               canonical BTS geometry (-workload, -bts, -radix):
+//	               shape, per-level switch counts, predicted ModUps
+//	               with/without hoisting, and the analysis model's
+//	               cost estimate including shared-ModUp savings
 //	perfgate       CI performance-regression gate: compare fresh
 //	               throughput (and, with -serve-baseline/-serve-fresh,
-//	               serve) JSON reports against committed baselines,
-//	               fail on gross (> -max-regression x) ops/sec drops or
-//	               broken keyspace invariants (cross-tenant coalescing,
-//	               budget overruns, starved tenants)
+//	               serve; with -workload-baseline/-workload-fresh,
+//	               workload replay) JSON reports against committed
+//	               baselines, fail on gross (> -max-regression x)
+//	               ops/sec drops or broken invariants (cross-tenant
+//	               coalescing, budget overruns, starved tenants,
+//	               schedule counters drifting from predictions,
+//	               dependency-order violations)
 //	all            everything above in paper order (except throughput,
-//	               serve, perfgate)
+//	               serve, schedule, perfgate)
 //	help           the same experiment and flag summary on the CLI
 //
 // Flags:
@@ -79,15 +96,29 @@
 //	-check         serve: exit non-zero unless coalescing factor > 1,
 //	               global and per-tenant cache hit rates > 50%,
 //	               resident key bytes within budget, keyspaces
-//	               isolated, and results bit-exact
+//	               isolated, and results bit-exact; with -workload
+//	               bootstrap/matvec: unless the replay is bit-exact
+//	               with serial execution, measured counters equal the
+//	               schedule's predictions exactly, dependency order
+//	               holds, and hoist groups coalesce (factor > 1)
+//	-workload W    serve/schedule shape: fanout (default; independent
+//	               bursts), bootstrap (CoeffToSlot/SlotToCoeff DAG),
+//	               or matvec (baby-step/giant-step DAG)
+//	-bts N         BTS parameter set (1, 2, or 3) shaping bootstrap
+//	               schedules (default 2)
+//	-radix R       bootstrap DFT radix, a power of two (default 0 =
+//	               auto-fit the level budget)
 //	-baseline F    perfgate baseline report (default BENCH_engine.json)
 //	-fresh F       perfgate fresh report (default bench_fresh.json)
 //	-serve-baseline F  perfgate serve baseline report (default: skip)
 //	-serve-fresh F     perfgate fresh serve report (default: skip)
+//	-workload-baseline F  perfgate workload-replay baseline (default: skip)
+//	-workload-fresh F     perfgate fresh workload-replay report (default: skip)
 //	-max-regression X  perfgate allowed ops/sec drop factor (default 2)
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 
@@ -192,6 +223,33 @@ func run(args []string) error {
 		}
 		return throughput(*fl.dfName, *fl.workers, *fl.requests, *fl.logN, *fl.towers, *fl.dnum, rot, *fl.jsonPath)
 	case "serve":
+		if *fl.workloadName != "fanout" {
+			// Schedule-DAG replay: the dependency-aware client drives
+			// the service with a generated bootstrap/matvec schedule
+			// instead of independent fan-out bursts.
+			// Only bootstrap inherits the BTS set's digit count when
+			// -dnum is left unset; other shapes keep the flag default.
+			dnum := *fl.dnum
+			if *fl.workloadName == "bootstrap" {
+				dnum = flagDnum(fl)
+			}
+			cfg := workloadConfig{
+				workload:  *fl.workloadName,
+				bts:       *fl.bts,
+				radix:     *fl.radix,
+				dfName:    *fl.dfName,
+				logN:      *fl.logN,
+				towers:    *fl.towers,
+				dnum:      dnum,
+				workers:   *fl.workers,
+				rotations: *fl.rotations,
+				giants:    *fl.requests,
+				keyBudget: *fl.keyBudget,
+				maxBatch:  *fl.maxBatch,
+				window:    *fl.window,
+			}
+			return workloadCmd(cfg, *fl.jsonPath, *fl.check)
+		}
 		cfg := serveConfig{
 			dfName:    *fl.dfName,
 			clients:   *fl.clients,
@@ -210,9 +268,13 @@ func run(args []string) error {
 			window:    *fl.window,
 		}
 		return serveCmd(cfg, *fl.jsonPath, *fl.check)
+	case "schedule":
+		return scheduleCmd(r, *fl.workloadName, *fl.bts, *fl.radix,
+			*fl.rotations, *fl.requests, *fl.jsonPath)
 	case "perfgate":
 		return perfgate(*fl.baseline, *fl.freshPath, *fl.maxRegression,
-			*fl.serveBaseline, *fl.serveFresh)
+			*fl.serveBaseline, *fl.serveFresh,
+			*fl.workloadBaseline, *fl.workloadFresh)
 	case "all":
 		fmt.Print(analysis.FormatTableIII())
 		fmt.Println()
@@ -250,6 +312,27 @@ func run(args []string) error {
 // csvMode switches the output format of the experiments that support
 // CSV emission.
 var csvMode bool
+
+// writeJSONReport writes one experiment's report (indented JSON) to
+// path and confirms it on stdout — the shared tail of every verb with
+// a -json flag.
+func writeJSONReport(path string, rep any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
 
 func table2(r *analysis.Runner) error {
 	rows, err := r.TableII()

@@ -163,7 +163,7 @@ func TestPerfgate(t *testing.T) {
 	}
 	okPath := dir + "/ok.json"
 	writeReport(t, okPath, ok)
-	if err := perfgate(basePath, okPath, 2, "", ""); err != nil {
+	if err := perfgate(basePath, okPath, 2, "", "", "", ""); err != nil {
 		t.Fatalf("perfgate failed on healthy report: %v", err)
 	}
 
@@ -177,7 +177,7 @@ func TestPerfgate(t *testing.T) {
 	}
 	badPath := dir + "/bad.json"
 	writeReport(t, badPath, bad)
-	if err := perfgate(basePath, badPath, 2, "", ""); err == nil {
+	if err := perfgate(basePath, badPath, 2, "", "", "", ""); err == nil {
 		t.Fatal("perfgate passed a >2x regression")
 	}
 
@@ -190,7 +190,7 @@ func TestPerfgate(t *testing.T) {
 	}
 	slowPath := dir + "/slow.json"
 	writeReport(t, slowPath, slowHoist)
-	if err := perfgate(basePath, slowPath, 2, "", ""); err == nil {
+	if err := perfgate(basePath, slowPath, 2, "", "", "", ""); err == nil {
 		t.Fatal("perfgate passed a hoisted slowdown")
 	}
 
@@ -209,7 +209,7 @@ func TestPerfgate(t *testing.T) {
 	}
 	noHoistPath := dir + "/no_hoist.json"
 	writeReport(t, noHoistPath, noHoist)
-	if err := perfgate(hoistedBasePath, noHoistPath, 2, "", ""); err == nil {
+	if err := perfgate(hoistedBasePath, noHoistPath, 2, "", "", "", ""); err == nil {
 		t.Fatal("perfgate passed a fresh report that dropped the hoisted section")
 	}
 
@@ -219,7 +219,7 @@ func TestPerfgate(t *testing.T) {
 	}
 	inexactPath := dir + "/inexact.json"
 	writeReport(t, inexactPath, inexact)
-	if err := perfgate(basePath, inexactPath, 2, "", ""); err == nil {
+	if err := perfgate(basePath, inexactPath, 2, "", "", "", ""); err == nil {
 		t.Fatal("perfgate passed a non-bit-exact report")
 	}
 }
@@ -229,20 +229,20 @@ func TestPerfgateErrors(t *testing.T) {
 	good := dir + "/good.json"
 	writeReport(t, good, &throughputReport{BitExact: true,
 		Results: []throughputRow{{Dataflow: "serial", OpsPerSec: 1}}})
-	if err := perfgate(dir+"/missing.json", good, 2, "", ""); err == nil {
+	if err := perfgate(dir+"/missing.json", good, 2, "", "", "", ""); err == nil {
 		t.Error("missing baseline accepted")
 	}
-	if err := perfgate(good, dir+"/missing.json", 2, "", ""); err == nil {
+	if err := perfgate(good, dir+"/missing.json", 2, "", "", "", ""); err == nil {
 		t.Error("missing fresh report accepted")
 	}
-	if err := perfgate(good, good, 0.5, "", ""); err == nil {
+	if err := perfgate(good, good, 0.5, "", "", "", ""); err == nil {
 		t.Error("tolerance below 1 accepted")
 	}
 	empty := dir + "/empty.json"
 	if err := os.WriteFile(empty, []byte("{}"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := perfgate(empty, good, 2, "", ""); err == nil {
+	if err := perfgate(empty, good, 2, "", "", "", ""); err == nil {
 		t.Error("empty baseline accepted")
 	}
 }
@@ -420,7 +420,7 @@ func TestPerfgateServe(t *testing.T) {
 		Requests: 64, OpsPerSec: 51, CoalescingFactor: 2,
 		KeyHitRate: 0.6, BitExact: true,
 	})
-	if err := perfgate(basePath, freshPath, 2, sBase, sOK); err != nil {
+	if err := perfgate(basePath, freshPath, 2, sBase, sOK, "", ""); err != nil {
 		t.Fatalf("perfgate failed on healthy serve report: %v", err)
 	}
 
@@ -444,7 +444,7 @@ func TestPerfgateServe(t *testing.T) {
 	} {
 		p := dir + "/serve_" + name + ".json"
 		writeServeReport(t, p, bad)
-		if err := perfgate(basePath, freshPath, 2, sBase, p); err == nil {
+		if err := perfgate(basePath, freshPath, 2, sBase, p, "", ""); err == nil {
 			t.Errorf("%s: perfgate passed a degraded serve report", name)
 		}
 	}
@@ -455,7 +455,7 @@ func TestPerfgateServe(t *testing.T) {
 		Requests: 64, OpsPerSec: 100, CoalescingFactor: 4, ModUps: 8,
 		KeyHitRate: 0.9, BitExact: true, Tenants: healthyTenants,
 	})
-	if err := perfgate(basePath, freshPath, 2, tenantBase, sOK); err == nil {
+	if err := perfgate(basePath, freshPath, 2, tenantBase, sOK, "", ""); err == nil {
 		t.Error("perfgate passed a fresh report that dropped the tenant stats")
 	}
 	tenantOK := dir + "/serve_tenant_ok.json"
@@ -464,7 +464,7 @@ func TestPerfgateServe(t *testing.T) {
 		KeyHitRate: 0.9, BitExact: true, KeyBudget: 100, KeyBytes: 80,
 		Tenants: healthyTenants,
 	})
-	if err := perfgate(basePath, freshPath, 2, tenantBase, tenantOK); err != nil {
+	if err := perfgate(basePath, freshPath, 2, tenantBase, tenantOK, "", ""); err != nil {
 		t.Errorf("perfgate failed a healthy multi-tenant report: %v", err)
 	}
 	// Shrinking the tenant matrix (2 -> 1) must fail the pinning check
@@ -474,24 +474,295 @@ func TestPerfgateServe(t *testing.T) {
 		Requests: 64, OpsPerSec: 90, CoalescingFactor: 4, ModUps: 4,
 		KeyHitRate: 0.9, BitExact: true, Tenants: healthyTenants[:1],
 	})
-	if err := perfgate(basePath, freshPath, 2, tenantBase, shrunk); err == nil {
+	if err := perfgate(basePath, freshPath, 2, tenantBase, shrunk, "", ""); err == nil {
 		t.Error("perfgate passed a fresh report with a shrunken tenant matrix")
 	}
 
 	// Half-specified serve gate flags and unreadable reports error out.
-	if err := perfgate(basePath, freshPath, 2, sBase, ""); err == nil {
+	if err := perfgate(basePath, freshPath, 2, sBase, "", "", ""); err == nil {
 		t.Error("half-specified serve gate accepted")
 	}
-	if err := perfgate(basePath, freshPath, 2, sBase, dir+"/missing.json"); err == nil {
+	if err := perfgate(basePath, freshPath, 2, sBase, dir+"/missing.json", "", ""); err == nil {
 		t.Error("missing fresh serve report accepted")
 	}
-	if err := perfgate(basePath, freshPath, 2, dir+"/missing.json", sOK); err == nil {
+	if err := perfgate(basePath, freshPath, 2, dir+"/missing.json", sOK, "", ""); err == nil {
 		t.Error("missing serve baseline accepted")
 	}
 	empty := dir + "/serve_empty.json"
 	writeServeReport(t, empty, &serveReport{})
-	if err := perfgate(basePath, freshPath, 2, empty, sOK); err == nil {
+	if err := perfgate(basePath, freshPath, 2, empty, sOK, "", ""); err == nil {
 		t.Error("empty serve baseline accepted")
+	}
+}
+
+func testWorkloadConfig() workloadConfig {
+	return workloadConfig{
+		workload: "bootstrap", bts: 2, dfName: "all",
+		logN: 5, towers: 4, workers: 2,
+	}
+}
+
+// TestWorkloadRunBootstrap replays a tiny BTS-shaped bootstrap
+// schedule and checks the tentpole invariant: the measured serve
+// counters equal the schedule DAG's predictions exactly, the replay
+// is bit-exact with serial execution, and the hoist groups coalesced.
+func TestWorkloadRunBootstrap(t *testing.T) {
+	rep, err := workloadRun(testWorkloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dnum != 2 {
+		t.Fatalf("dnum %d: -workload bootstrap -bts 2 must inherit BTS2's digit count", rep.Dnum)
+	}
+	if rep.Dataflow != "MP" {
+		t.Fatalf("dataflow %q: -dataflow all must select MP for replay", rep.Dataflow)
+	}
+	p := rep.Predicted
+	if rep.Served != uint64(p.Switches) || rep.ModUps != uint64(p.ModUps) ||
+		rep.Coalesced != uint64(p.Coalesced) {
+		t.Fatalf("measured (%d, %d, %d) != predicted (%d, %d, %d)",
+			rep.Served, rep.ModUps, rep.Coalesced, p.Switches, p.ModUps, p.Coalesced)
+	}
+	if p.Relins != 1 || p.Depth < 3 {
+		t.Fatalf("bootstrap schedule shape implausible: %+v", p)
+	}
+	if err := workloadCheck(rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadRunMatvec(t *testing.T) {
+	cfg := testWorkloadConfig()
+	cfg.workload, cfg.rotations, cfg.giants = "matvec", 4, 3
+	cfg.dfName, cfg.dnum = "oc", 2
+	rep, err := workloadRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 babies + 2 giants; 1 baby ModUp + 2 giant ModUps.
+	if rep.Served != 5 || rep.ModUps != 3 || rep.Coalesced != 3 {
+		t.Fatalf("matvec counters: %+v", rep)
+	}
+	if err := workloadCheck(rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadCheckRejects(t *testing.T) {
+	good, err := workloadRun(testWorkloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mut := range map[string]func(*workloadReport){
+		"inexact":    func(r *workloadReport) { r.BitExact = false },
+		"drift":      func(r *workloadReport) { r.CountsExact = false },
+		"dep-order":  func(r *workloadReport) { r.DepViolations = 1 },
+		"no-hoist":   func(r *workloadReport) { r.Predicted.HoistGroups = 0 },
+		"no-coalesc": func(r *workloadReport) { r.HoistCoalescingFactor = 1 },
+	} {
+		rep := *good
+		mut(&rep)
+		if workloadCheck(&rep) == nil {
+			t.Errorf("%s: degraded workload report accepted", name)
+		}
+	}
+}
+
+func TestWorkloadRunErrors(t *testing.T) {
+	for name, mut := range map[string]func(*workloadConfig){
+		"workload": func(c *workloadConfig) { c.workload = "nope" },
+		"bts":      func(c *workloadConfig) { c.bts = 9 },
+		"logn":     func(c *workloadConfig) { c.logN = 3 },
+		"radix":    func(c *workloadConfig) { c.radix = 3 },
+		"dnum":     func(c *workloadConfig) { c.dnum = 9 },
+		"dataflow": func(c *workloadConfig) { c.dfName = "nope" },
+		"matvec-n1": func(c *workloadConfig) {
+			c.workload, c.rotations, c.giants = "matvec", 1, 2
+		},
+	} {
+		cfg := testWorkloadConfig()
+		mut(&cfg)
+		if _, err := workloadRun(cfg); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}
+
+func TestServeWorkloadVerb(t *testing.T) {
+	jsonPath := t.TempDir() + "/workload.json"
+	args := []string{"serve", "-workload", "bootstrap", "-bts", "1",
+		"-logn", "5", "-towers", "4", "-workers", "2",
+		"-check", "-json", jsonPath}
+	if err := run(args); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("JSON report not written: %v", err)
+	}
+	var rep workloadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Served == 0 || !rep.BitExact || !rep.CountsExact || rep.BTS != 1 {
+		t.Fatalf("implausible workload report: %+v", rep)
+	}
+	// BTS1 has dnum 1; with 4 towers over 3 P moduli the inherited
+	// digit count is raised to 2 so ModUp's digits stay coverable.
+	if rep.Dnum != 2 {
+		t.Fatalf("dnum %d, want BTS1's 1 clamped to 2", rep.Dnum)
+	}
+	// An explicit -dnum wins over the BTS set (matvec stays at the
+	// top level, where 3 digits over 5 towers are valid).
+	args = []string{"serve", "-workload", "matvec", "-bts", "1", "-dnum", "3",
+		"-rotations", "4", "-requests", "3",
+		"-logn", "5", "-towers", "5", "-workers", "2", "-json", jsonPath}
+	if err := run(args); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	data, err = os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dnum != 3 {
+		t.Fatalf("dnum %d, want the explicit 3", rep.Dnum)
+	}
+}
+
+func TestScheduleVerb(t *testing.T) {
+	jsonPath := t.TempDir() + "/schedule.json"
+	for _, args := range [][]string{
+		{"schedule", "-workload", "bootstrap", "-bts", "2", "-json", jsonPath},
+		{"schedule", "-workload", "matvec", "-rotations", "8", "-requests", "4"},
+		{"schedule", "-workload", "fanout"},
+		{"schedule", "-workload", "bootstrap", "-bts", "3", "-radix", "16"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("JSON report not written: %v", err)
+	}
+	var rep scheduleReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bench != "BTS2" || rep.Counts.Switches == 0 || len(rep.Estimates) != 3 {
+		t.Fatalf("implausible schedule report: %+v", rep)
+	}
+	// The estimate prices the DAG's hoist groups: the hoisted total
+	// must undercut the plain one.
+	for _, e := range rep.Estimates {
+		if e.HoistSavedModUps == 0 || !(e.HoistedTotalSec < e.TotalSec) {
+			t.Fatalf("estimate did not price shared ModUps: %+v", e)
+		}
+	}
+}
+
+func TestScheduleVerbErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"schedule", "-workload", "nope"},
+		{"schedule", "-bts", "7"},
+		{"schedule", "-workload", "bootstrap", "-radix", "5"},
+		{"schedule", "-workload", "matvec", "-rotations", "1"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func writeWorkloadReport(t *testing.T, path string, rep *workloadReport) {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerfgateWorkload(t *testing.T) {
+	dir := t.TempDir()
+	basePath := dir + "/thr_base.json"
+	writeReport(t, basePath, &throughputReport{
+		BitExact: true,
+		Results:  []throughputRow{{Dataflow: "serial", OpsPerSec: 100}},
+	})
+
+	healthy := func() *workloadReport {
+		rep := &workloadReport{
+			Schedule: "bootstrap", OpsPerSec: 100,
+			Served: 73, ModUps: 33, Coalesced: 44,
+			CountsExact: true, BitExact: true,
+			HoistCoalescingFactor: 11,
+		}
+		rep.Predicted.Switches = 73
+		rep.Predicted.ModUps = 33
+		rep.Predicted.HoistGroups = 4
+		rep.Predicted.Depth = 9
+		return rep
+	}
+	wBase := dir + "/workload_base.json"
+	writeWorkloadReport(t, wBase, healthy())
+	wOK := dir + "/workload_ok.json"
+	ok := healthy()
+	ok.OpsPerSec = 51
+	writeWorkloadReport(t, wOK, ok)
+	if err := perfgate(basePath, basePath, 2, "", "", wBase, wOK); err != nil {
+		t.Fatalf("perfgate failed on a healthy workload report: %v", err)
+	}
+
+	for name, mut := range map[string]func(*workloadReport){
+		"regression": func(r *workloadReport) { r.OpsPerSec = 10 },
+		"inexact":    func(r *workloadReport) { r.BitExact = false },
+		"drift": func(r *workloadReport) {
+			r.CountsExact = false
+			r.Mismatches = []string{"mod_ups: measured 34, schedule predicts 33"}
+		},
+		"dep-order": func(r *workloadReport) { r.DepViolations = 2 },
+		"no-hoist":  func(r *workloadReport) { r.Predicted.HoistGroups = 0 },
+		"no-coalescing": func(r *workloadReport) {
+			r.HoistCoalescingFactor = 1
+		},
+		// The baseline pins the schedule shape: a smaller, flatter,
+		// or shallower fresh schedule must fail even when its own
+		// internal invariants hold.
+		"shrunk-schedule": func(r *workloadReport) { r.Predicted.Switches = 10 },
+		"flat-schedule":   func(r *workloadReport) { r.Predicted.HoistGroups = 2 },
+		"shallow-schedule": func(r *workloadReport) {
+			r.Predicted.Depth = 1
+		},
+	} {
+		bad := healthy()
+		mut(bad)
+		p := dir + "/workload_" + name + ".json"
+		writeWorkloadReport(t, p, bad)
+		if err := perfgate(basePath, basePath, 2, "", "", wBase, p); err == nil {
+			t.Errorf("%s: perfgate passed a degraded workload report", name)
+		}
+	}
+
+	// Half-specified flags, unreadable and empty reports error out.
+	if err := perfgate(basePath, basePath, 2, "", "", wBase, ""); err == nil {
+		t.Error("half-specified workload gate accepted")
+	}
+	if err := perfgate(basePath, basePath, 2, "", "", wBase, dir+"/missing.json"); err == nil {
+		t.Error("missing fresh workload report accepted")
+	}
+	if err := perfgate(basePath, basePath, 2, "", "", dir+"/missing.json", wOK); err == nil {
+		t.Error("missing workload baseline accepted")
+	}
+	empty := dir + "/workload_empty.json"
+	writeWorkloadReport(t, empty, &workloadReport{})
+	if err := perfgate(basePath, basePath, 2, "", "", empty, wOK); err == nil {
+		t.Error("empty workload baseline accepted")
 	}
 }
 

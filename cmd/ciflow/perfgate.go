@@ -44,6 +44,89 @@ func readServeReport(path string) (*serveReport, error) {
 	return &rep, nil
 }
 
+func readWorkloadReport(path string) (*workloadReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep workloadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Served == 0 {
+		return nil, fmt.Errorf("%s: no served switches", path)
+	}
+	return &rep, nil
+}
+
+// perfgateWorkload gates the schedule-DAG replay: the generous
+// ops/sec tolerance, plus the machine-independent schedule invariants
+// — the replay bit-exact with serial execution, measured counters
+// equal to the schedule's predictions (one ModUp per group means zero
+// coalesces across dependent chain steps and none missing inside
+// hoist groups), dependency order respected, and a hoist-group
+// coalescing factor above 1 — which must hold at any speed.
+func perfgateWorkload(baselinePath, freshPath string, maxRegression float64, failures *[]string) error {
+	base, err := readWorkloadReport(baselinePath)
+	if err != nil {
+		return fmt.Errorf("workload baseline: %w", err)
+	}
+	fresh, err := readWorkloadReport(freshPath)
+	if err != nil {
+		return fmt.Errorf("workload fresh: %w", err)
+	}
+	ratio := fresh.OpsPerSec / base.OpsPerSec
+	status := "ok"
+	if fresh.OpsPerSec*maxRegression < base.OpsPerSec {
+		status = "FAIL"
+		*failures = append(*failures,
+			fmt.Sprintf("workload: %.2f ops/sec vs baseline %.2f (>%.1fx regression)",
+				fresh.OpsPerSec, base.OpsPerSec, maxRegression))
+	}
+	fmt.Printf("%-8s %14.2f %14.2f %7.2fx %6s\n", "workload", base.OpsPerSec, fresh.OpsPerSec, ratio, status)
+	if !fresh.BitExact {
+		*failures = append(*failures, "workload: replay not bit-exact with serial schedule execution")
+	}
+	if !fresh.CountsExact {
+		*failures = append(*failures,
+			fmt.Sprintf("workload: measured counters drifted from the schedule's prediction: %v",
+				fresh.Mismatches))
+	}
+	if fresh.DepViolations != 0 {
+		*failures = append(*failures,
+			fmt.Sprintf("workload: %d dependency-order violations", fresh.DepViolations))
+	}
+	if fresh.Predicted.HoistGroups == 0 {
+		*failures = append(*failures, "workload: fresh schedule has no hoistable fan-out (bench shape changed?)")
+	} else if fresh.HoistCoalescingFactor <= 1 {
+		*failures = append(*failures,
+			fmt.Sprintf("workload: hoist-group coalescing factor %.2f, want > 1", fresh.HoistCoalescingFactor))
+	}
+	// The baseline pins the schedule shape, like the serve gate pins
+	// the tenant matrix: a bench run against a smaller or
+	// dependency-free schedule must not pass just because its own
+	// internal invariants hold.
+	if fresh.Predicted.Switches < base.Predicted.Switches {
+		*failures = append(*failures,
+			fmt.Sprintf("workload: fresh schedule has %d switches, baseline %d (bench run with a smaller schedule?)",
+				fresh.Predicted.Switches, base.Predicted.Switches))
+	}
+	if fresh.Predicted.HoistGroups < base.Predicted.HoistGroups {
+		*failures = append(*failures,
+			fmt.Sprintf("workload: fresh schedule has %d hoist groups, baseline %d (bench run with a flatter schedule?)",
+				fresh.Predicted.HoistGroups, base.Predicted.HoistGroups))
+	}
+	if fresh.Predicted.Depth < base.Predicted.Depth {
+		*failures = append(*failures,
+			fmt.Sprintf("workload: fresh schedule has depth %d, baseline %d (bench run with a shallower schedule?)",
+				fresh.Predicted.Depth, base.Predicted.Depth))
+	}
+	fmt.Printf("workload %s: %d switches, %d/%d ModUps (predicted/measured), hoist coalescing %.2fx, depth %d\n",
+		fresh.Schedule, fresh.Served, fresh.Predicted.ModUps, fresh.ModUps,
+		fresh.HoistCoalescingFactor, fresh.Predicted.Depth)
+	return nil
+}
+
 // perfgateServe gates the serving layer: same generous ops/sec
 // tolerance as the throughput gate, plus the machine-independent
 // invariants — bit-exactness, coalescing actually sharing ModUps, the
@@ -116,13 +199,17 @@ func perfgateServe(baselinePath, freshPath string, maxRegression float64, failur
 // perfgate compares fresh against baseline; maxRegression is the
 // allowed ops/sec ratio (2.0 = fail only when fresh is less than half
 // the baseline). Non-empty serveBaselinePath/serveFreshPath extend the
-// gate to the serving layer's reports.
-func perfgate(baselinePath, freshPath string, maxRegression float64, serveBaselinePath, serveFreshPath string) error {
+// gate to the serving layer's reports, and non-empty
+// workloadBaselinePath/workloadFreshPath to the schedule-DAG replay's.
+func perfgate(baselinePath, freshPath string, maxRegression float64, serveBaselinePath, serveFreshPath, workloadBaselinePath, workloadFreshPath string) error {
 	if maxRegression < 1 {
 		return fmt.Errorf("max regression %g must be >= 1", maxRegression)
 	}
 	if (serveBaselinePath == "") != (serveFreshPath == "") {
 		return fmt.Errorf("-serve-baseline and -serve-fresh must be given together")
+	}
+	if (workloadBaselinePath == "") != (workloadFreshPath == "") {
+		return fmt.Errorf("-workload-baseline and -workload-fresh must be given together")
 	}
 	base, err := readReport(baselinePath)
 	if err != nil {
@@ -189,6 +276,11 @@ func perfgate(baselinePath, freshPath string, maxRegression float64, serveBaseli
 
 	if serveBaselinePath != "" {
 		if err := perfgateServe(serveBaselinePath, serveFreshPath, maxRegression, &failures); err != nil {
+			return err
+		}
+	}
+	if workloadBaselinePath != "" {
+		if err := perfgateWorkload(workloadBaselinePath, workloadFreshPath, maxRegression, &failures); err != nil {
 			return err
 		}
 	}

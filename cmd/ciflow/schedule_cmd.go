@@ -1,0 +1,103 @@
+package main
+
+// The schedule experiment prints a workload schedule DAG at the
+// paper's canonical geometry — without executing anything. For
+// `-workload bootstrap` that is the CoeffToSlot/SlotToCoeff pipeline
+// of a BTS parameter set over its own 2^16 slots and KL levels; for
+// matvec/fanout, the BSGS and burst shapes at the set's top level. It
+// reports the exact counts the DAG predicts for any correct executor
+// (switches per level, ModUps with and without hoisting, coalescing
+// factors) next to the analysis model's cost estimate, which prices
+// the same schedule's shared-ModUp savings through
+// analysis.EstimateWorkload — the exact-counts / modeled-cost pair
+// the dataflow analysis is about.
+
+import (
+	"fmt"
+
+	"ciflow/internal/analysis"
+	"ciflow/internal/params"
+	"ciflow/internal/workload"
+)
+
+// scheduleReport is the JSON artifact of `ciflow schedule -json`.
+type scheduleReport struct {
+	Workload  string                      `json:"workload"`
+	Bench     string                      `json:"bench"`
+	Radix     int                         `json:"radix"`
+	Schedule  string                      `json:"schedule"`
+	Counts    workload.Counts             `json:"counts"`
+	Estimates []analysis.WorkloadEstimate `json:"estimates"`
+}
+
+// scheduleFor builds the canonical schedule of one workload shape at
+// a BTS parameter set's geometry, returning the set it priced against.
+func scheduleFor(name string, bts int, radix, rotations, requests int) (*workload.Schedule, params.Benchmark, error) {
+	b, err := workload.BTSBenchmark(bts)
+	if err != nil {
+		return nil, params.Benchmark{}, err
+	}
+	switch name {
+	case "bootstrap":
+		s, err := workload.BootstrapBTS(b, radix)
+		return s, b, err
+	case "matvec":
+		s, err := workload.Matvec(rotations, requests, b.KL-1)
+		return s, b, err
+	case "fanout":
+		s, err := workload.Fanout(requests, rotations, b.KL-1)
+		return s, b, err
+	default:
+		return nil, params.Benchmark{}, fmt.Errorf("unknown workload %q (want fanout, bootstrap, or matvec)", name)
+	}
+}
+
+func scheduleCmd(r *analysis.Runner, name string, bts, radix, rotations, requests int, jsonPath string) error {
+	sched, b, err := scheduleFor(name, bts, radix, rotations, requests)
+	if err != nil {
+		return err
+	}
+	c := sched.Counts()
+
+	fmt.Printf("Schedule %s (%s geometry)\n", sched.Name, b.Name)
+	fmt.Printf("%-28s %8d  (%d rotations, %d relins)\n", "key switches", c.Switches, c.Rotations, c.Relins)
+	fmt.Printf("%-28s %8d  (hoisted; %d unhoisted)\n", "ModUp executions", c.ModUps, c.ModUpsUnhoisted)
+	fmt.Printf("%-28s %8d  of width up to %d (%d requests coalesced)\n",
+		"hoistable fan-out groups", c.HoistGroups, c.MaxWidth, c.Coalesced)
+	fmt.Printf("%-28s %8.2fx  overall, %.2fx inside hoist groups\n",
+		"predicted coalescing", c.CoalescingFactor(), c.HoistCoalescingFactor())
+	fmt.Printf("%-28s %8d  switches\n", "dependency depth", c.Depth)
+	fmt.Printf("%-28s %8d\n", "distinct evaluation keys", c.DistinctKeys)
+	fmt.Println("switches per level (top first):")
+	fmt.Printf("  %-8s %s\n", "level", "switches")
+	for _, lc := range c.PerLevel {
+		fmt.Printf("  %-8d %d\n", lc.Level, lc.Switches)
+	}
+	fmt.Println()
+
+	// The model half: price the same schedule's key-switch volume —
+	// hoist-group structure included — on the RPU cost model at the
+	// Table IV baseline bandwidth.
+	w := analysis.Workload{
+		Name:        sched.Name,
+		Rotations:   c.Rotations,
+		Mults:       c.Relins,
+		HoistGroups: sched.HoistGroupSizes(),
+	}
+	rows, err := r.EstimateWorkload(w, b, true, analysis.BaselineBandwidthGBs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(analysis.FormatWorkload(analysis.BaselineBandwidthGBs, rows))
+
+	if jsonPath != "" {
+		rep := &scheduleReport{
+			Workload: name, Bench: b.Name, Radix: sched.Radix,
+			Schedule: sched.Name, Counts: c, Estimates: rows,
+		}
+		if err := writeJSONReport(jsonPath, rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -16,9 +16,7 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -203,22 +201,20 @@ func serveRun(cfg serveConfig) (*serveReport, error) {
 	// amounts rot(op), rot(op+1), ... wrapping around the pool.
 	rot := func(i int) int { return 1 + i%cfg.rotPool }
 
-	// Pre-sample the client inputs off the clock (the sampler is not
-	// safe for concurrent use). Each client cycles a small working set
-	// of ciphertext c1 components over its own level's basis.
+	// Pre-sample one seed input per client off the clock (the sampler
+	// is not safe for concurrent use). A client's operations form a
+	// dependent chain: every subsequent operation derives its input
+	// from the previous operation's first switched output, so a chain
+	// never re-submits a bit-identical input — re-cycling a fixed
+	// input would let the coalescer merge logically sequential
+	// requests and inflate the coalescing stats with sharing no real
+	// dependent workload could exhibit.
 	s := ring.NewSampler(cctx.R, int64(cfg.tenants)+1)
-	perClient := cfg.ops
-	if perClient > 4 {
-		perClient = 4
-	}
 	basisAt := func(level int) ring.Basis { return cctx.R.QBasis(level) }
-	inputs := make([][]*ring.Poly, cfg.clients)
-	for c := range inputs {
-		inputs[c] = make([]*ring.Poly, perClient)
-		for i := range inputs[c] {
-			inputs[c][i] = s.Uniform(basisAt(levelAt(c / cfg.tenants)))
-			inputs[c][i].IsNTT = true
-		}
+	seeds := make([]*ring.Poly, cfg.clients)
+	for c := range seeds {
+		seeds[c] = s.Uniform(basisAt(levelAt(c / cfg.tenants)))
+		seeds[c].IsNTT = true
 	}
 
 	// Timed run: each client issues ops operations; one operation is a
@@ -248,11 +244,11 @@ func serveRun(cfg serveConfig) (*serveReport, error) {
 				defer tick.Stop()
 			}
 			chans := make([]<-chan serve.Result, cfg.rotations)
+			in := seeds[c]
 			for op := 0; op < cfg.ops; op++ {
 				if tick != nil {
 					<-tick.C
 				}
-				in := inputs[c][op%perClient]
 				for i := 0; i < cfg.rotations; i++ {
 					ch, err := svc.Submit(context.Background(), serve.Request{
 						Input: in, Rot: rot(op + i), Dataflow: df,
@@ -264,12 +260,22 @@ func serveRun(cfg serveConfig) (*serveReport, error) {
 					}
 					chans[i] = ch
 				}
-				for _, ch := range chans {
-					if res := <-ch; res.Err != nil {
+				var next *ring.Poly
+				for i, ch := range chans {
+					res := <-ch
+					if res.Err != nil {
 						fail(res.Err)
 						return
 					}
+					if i == 0 {
+						next = res.C1
+					}
 				}
+				// The chain mutates its ciphertext between steps: the
+				// next operation consumes this one's first output
+				// (fresh storage, fresh values), so sequential steps
+				// can never coalesce.
+				in = next
 			}
 		}(c)
 	}
@@ -323,7 +329,7 @@ func serveRun(cfg serveConfig) (*serveReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		verifyIn := inputs[c][0]
+		verifyIn := seeds[c]
 		evks := make([]*hks.Evk, cfg.rotations)
 		for i := range evks {
 			if evks[i], err = kc.HoistKey(rot(i), level); err != nil {
@@ -422,20 +428,9 @@ func serveCmd(cfg serveConfig, jsonPath string, check bool) error {
 	}
 
 	if jsonPath != "" {
-		f, err := os.Create(jsonPath)
-		if err != nil {
+		if err := writeJSONReport(jsonPath, rep); err != nil {
 			return err
 		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", jsonPath)
 	}
 	if check {
 		if err := serveCheck(rep); err != nil {

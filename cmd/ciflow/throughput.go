@@ -7,9 +7,7 @@ package main
 // ops/sec, tail latency, and speedup over the serial pipeline.
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -320,20 +318,9 @@ func throughput(dfName string, workers, requests, logN, towers, dnum, rotations 
 	}
 
 	if jsonPath != "" {
-		f, err := os.Create(jsonPath)
-		if err != nil {
+		if err := writeJSONReport(jsonPath, rep); err != nil {
 			return err
 		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", jsonPath)
 	}
 	return nil
 }

@@ -31,15 +31,29 @@
 //     per-tenant residency floor), a hoisted-state coalescer scoped
 //     per keyspace, and per-tenant dispatchers with bounded queues
 //     keep tenants isolated while they share the engine.
+//   - Workloads: internal/workload represents key-switch traffic as
+//     typed schedule DAGs — bootstrapping CoeffToSlot/SlotToCoeff
+//     chains derived from the BTS parameter sets, baby-step/
+//     giant-step matvecs, and independent fan-out as the degenerate
+//     case — each predicting its exact op counts (ModUps with and
+//     without hoisting, switches per level). A dependency-aware
+//     replay client drives the service respecting the DAG, with
+//     inputs derived from predecessor outputs, and requires the
+//     measured serve counters to equal the schedule's predictions
+//     exactly: coalescing must fire inside hoist groups and never
+//     across dependent chain steps.
 //
 // The `ciflow` command regenerates the paper artifacts and measures
 // all of the above: `ciflow throughput` (per-dataflow ops/sec and
 // latency, -hoisted for the shared-ModUp fan-out), `ciflow serve`
 // (the load generator: -clients/-rps/-rotations over a
 // -tenants × -levels keyspace matrix under a -keybudget, reporting
-// cache hit rates, key residency, and coalescing per tenant), and
-// `ciflow perfgate` (the CI regression gate over both reports,
-// including the keyspace-isolation invariants). See README.md for
-// quickstarts and DESIGN.md for the architecture and the
-// bit-exactness argument.
+// cache hit rates, key residency, and coalescing per tenant; with
+// -workload bootstrap/matvec, the schedule-DAG replay with exact
+// count cross-validation), `ciflow schedule` (a schedule's shape,
+// predicted counts, and modeled cost including shared-ModUp savings),
+// and `ciflow perfgate` (the CI regression gate over all three
+// reports, including the keyspace-isolation and schedule-exactness
+// invariants). See README.md for quickstarts and DESIGN.md for the
+// architecture and the bit-exactness argument.
 package ciflow

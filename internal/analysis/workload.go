@@ -12,14 +12,40 @@ import (
 // The paper motivates the dataflow work with exactly such workloads: a
 // single ResNet-20 inference performs 3,306 rotations (§I), each one a
 // hybrid key switch, plus one key switch per ciphertext multiplication.
+//
+// Rotations that arrive as hoistable fan-outs — the diagonal method's
+// baby steps, a bootstrapping stage's radix group — share one
+// Decompose+ModUp, so a workload additionally carries its hoist-group
+// structure: HoistGroups lists the sizes of those fan-outs (each ≥ 2;
+// the member rotations are *included* in Rotations). A group of size
+// k runs ModUp once instead of k times, which EstimateWorkload prices
+// with the same op-share model as the hoisting analysis
+// (HoistedModUpFraction).
 type Workload struct {
 	Name      string
 	Rotations int // each costs one HKS
 	Mults     int // each relinearization costs one HKS
+	// HoistGroups are the sizes of the hoisted rotation fan-out
+	// groups (each entry ≥ 2, counted inside Rotations). The schedule
+	// DAGs of internal/workload export exactly this shape through
+	// Schedule.HoistGroupSizes.
+	HoistGroups []int
 }
 
 // KeySwitches returns the total HKS invocations.
 func (w Workload) KeySwitches() int { return w.Rotations + w.Mults }
+
+// SharedModUpsSaved returns the ModUp executions hoisting removes: a
+// group of size k shares one ModUp across k switches, saving k−1.
+func (w Workload) SharedModUpsSaved() int {
+	saved := 0
+	for _, k := range w.HoistGroups {
+		if k >= 2 {
+			saved += k - 1
+		}
+	}
+	return saved
+}
 
 // ResNet20 is the paper's motivating workload (§I, Lee et al.).
 var ResNet20 = Workload{Name: "ResNet-20", Rotations: 3306, Mults: 1226}
@@ -32,14 +58,27 @@ type WorkloadEstimate struct {
 	PerKSms  float64
 	TotalSec float64
 	DRAMGB   float64 // total DRAM traffic including streamed keys
+	// HoistSavedModUps is the number of ModUp executions the
+	// workload's hoist groups remove; HoistedTotalSec prices the
+	// schedule with that sharing, using the benchmark's ModUp op
+	// share (HoistedModUpFraction). Equal to TotalSec when the
+	// workload declares no hoist groups.
+	HoistSavedModUps int
+	HoistedTotalSec  float64
 }
 
 // EstimateWorkload projects the HKS cost of w at the given benchmark
 // parameters, bandwidth and evk placement, for every dataflow.
 // Per-operation state (inputs/outputs) is assumed to flow through DRAM
 // between operations, which the per-schedule traffic already counts.
+// When w carries hoist groups, HoistedTotalSec additionally prices the
+// shared-ModUp savings: each saved ModUp removes the ModUp share of
+// one key switch's cost (the op-share model the measured hoisting
+// experiment reconciles against).
 func (r *Runner) EstimateWorkload(w Workload, b params.Benchmark, evkOnChip bool, bwGBs float64) ([]WorkloadEstimate, error) {
 	var out []WorkloadEstimate
+	saved := w.SharedModUpsSaved()
+	f := HoistedModUpFraction(b)
 	for _, df := range dataflow.AllDataflows() {
 		ms, err := r.RuntimeMS(df, b, evkOnChip, bwGBs, 1)
 		if err != nil {
@@ -50,27 +89,45 @@ func (r *Runner) EstimateWorkload(w Workload, b params.Benchmark, evkOnChip bool
 			return nil, err
 		}
 		ks := float64(w.KeySwitches())
+		total := ms * ks / 1e3
 		out = append(out, WorkloadEstimate{
-			Workload: w.Name,
-			Dataflow: df.String(),
-			PerKSms:  ms,
-			TotalSec: ms * ks / 1e3,
-			DRAMGB:   float64(s.Traffic.TotalBytes()) * ks / 1e9,
+			Workload:         w.Name,
+			Dataflow:         df.String(),
+			PerKSms:          ms,
+			TotalSec:         total,
+			DRAMGB:           float64(s.Traffic.TotalBytes()) * ks / 1e9,
+			HoistSavedModUps: saved,
+			HoistedTotalSec:  total - ms*f*float64(saved)/1e3,
 		})
 	}
 	return out, nil
 }
 
-// FormatWorkload renders the estimates.
+// FormatWorkload renders the estimates; workloads with hoist groups
+// get the hoisted-total column.
 func FormatWorkload(bwGBs float64, rows []WorkloadEstimate) string {
 	var sb strings.Builder
 	if len(rows) == 0 {
 		return "(no estimates)\n"
 	}
+	hoisted := rows[0].HoistSavedModUps > 0
 	fmt.Fprintf(&sb, "Workload %s at %.1f GB/s (key-switch time only)\n", rows[0].Workload, bwGBs)
-	fmt.Fprintf(&sb, "%-4s %12s %12s %14s\n", "DF", "per-KS ms", "total s", "DRAM GB")
+	if hoisted {
+		fmt.Fprintf(&sb, "%-4s %12s %12s %12s %14s\n", "DF", "per-KS ms", "total s", "hoisted s", "DRAM GB")
+	} else {
+		fmt.Fprintf(&sb, "%-4s %12s %12s %14s\n", "DF", "per-KS ms", "total s", "DRAM GB")
+	}
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-4s %12.2f %12.1f %14.0f\n", r.Dataflow, r.PerKSms, r.TotalSec, r.DRAMGB)
+		if hoisted {
+			fmt.Fprintf(&sb, "%-4s %12.2f %12.1f %12.1f %14.0f\n",
+				r.Dataflow, r.PerKSms, r.TotalSec, r.HoistedTotalSec, r.DRAMGB)
+		} else {
+			fmt.Fprintf(&sb, "%-4s %12.2f %12.1f %14.0f\n", r.Dataflow, r.PerKSms, r.TotalSec, r.DRAMGB)
+		}
+	}
+	if hoisted {
+		fmt.Fprintf(&sb, "hoisting shares ModUps across the declared fan-out groups: %d ModUp executions saved\n",
+			rows[0].HoistSavedModUps)
 	}
 	return sb.String()
 }

@@ -43,6 +43,49 @@ func TestWorkloadKeySwitches(t *testing.T) {
 	}
 }
 
+func TestWorkloadSharedModUps(t *testing.T) {
+	w := Workload{Rotations: 20, HoistGroups: []int{8, 4, 1}}
+	// Size-1 "groups" save nothing; 8 and 4 save 7 and 3.
+	if got := w.SharedModUpsSaved(); got != 10 {
+		t.Fatalf("saved ModUps = %d, want 10", got)
+	}
+	if ResNet20.SharedModUpsSaved() != 0 {
+		t.Fatal("ResNet20 declares no hoist groups")
+	}
+}
+
+func TestEstimateWorkloadHoisted(t *testing.T) {
+	r := NewRunner()
+	w := Workload{Name: "bsgs", Rotations: 16, Mults: 1, HoistGroups: []int{8, 4}}
+	rows, err := r.EstimateWorkload(w, params.BTS3, true, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := HoistedModUpFraction(params.BTS3)
+	for _, row := range rows {
+		if row.HoistSavedModUps != 10 {
+			t.Fatalf("%s: saved %d ModUps, want 10", row.Dataflow, row.HoistSavedModUps)
+		}
+		// Hoisting removes exactly saved x ModUp-share switches.
+		want := row.TotalSec - row.PerKSms*f*10/1e3
+		if diff := row.HoistedTotalSec - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("%s: hoisted total %.6f, want %.6f", row.Dataflow, row.HoistedTotalSec, want)
+		}
+		if !(row.HoistedTotalSec < row.TotalSec) {
+			t.Fatalf("%s: hoisting did not reduce the estimate", row.Dataflow)
+		}
+	}
+	out := FormatWorkload(64, rows)
+	if !strings.Contains(out, "hoisted s") || !strings.Contains(out, "10 ModUp executions saved") {
+		t.Fatalf("hoisted rendering missing: %q", out)
+	}
+	// Workloads without groups keep the original table shape.
+	plain := FormatWorkload(64, []WorkloadEstimate{{Workload: "w", Dataflow: "MP"}})
+	if strings.Contains(plain, "hoisted s") {
+		t.Fatal("plain workload rendered a hoisted column")
+	}
+}
+
 func TestFormatWorkloadEmpty(t *testing.T) {
 	if out := FormatWorkload(8, nil); !strings.Contains(out, "no estimates") {
 		t.Fatalf("unexpected %q", out)

@@ -1,0 +1,352 @@
+package workload
+
+// The dependency-aware replay client: drive internal/serve with a
+// schedule, respecting the DAG. A hoist group is submitted only after
+// every predecessor's result has landed — and then all of its members
+// together, in one tight loop, so the service's coalescer sees the
+// whole fan-out in one micro-batch. A node's input polynomial is
+// *derived from its predecessors' outputs* (the sum of their c1
+// results, restricted to the node's level basis), so the replay
+// cannot cheat the dependencies: submitting a node early would use an
+// input that does not exist yet, and the serial reference check would
+// catch any service that reordered the work.
+//
+// Because derived inputs are fresh polynomials with fresh values,
+// logically sequential chain steps can never alias a coalescing
+// group: the measured serve counters must match the schedule's
+// Counts() exactly — one ModUp per group, zero coalesces outside
+// hoist groups — which Replay asserts and reports.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"ciflow/internal/dataflow"
+	"ciflow/internal/ring"
+	"ciflow/internal/serve"
+)
+
+// ReplayConfig tunes one schedule replay.
+type ReplayConfig struct {
+	// Tenant is the keyspace every request is addressed to.
+	Tenant string
+	// Dataflow schedules the hoist graphs (zero value: MP).
+	Dataflow dataflow.Dataflow
+	// Seed feeds the sampler for root-group inputs; the serial
+	// reference check re-derives the identical inputs from it.
+	Seed int64
+	// Check re-executes the schedule serially (direct hks.KeySwitch
+	// per node, same derived inputs, same keys) and compares every
+	// output bit for bit.
+	Check bool
+}
+
+// ReplayResult reports one replay: the schedule's predictions, the
+// measured serve.Stats deltas, and the exactness verdicts.
+type ReplayResult struct {
+	Predicted Counts        `json:"predicted"`
+	Wall      time.Duration `json:"wall_ns"`
+
+	// Measured deltas of the service counters across the replay.
+	Served    uint64 `json:"served"`
+	ModUps    uint64 `json:"mod_ups"`
+	Groups    uint64 `json:"groups"`
+	Coalesced uint64 `json:"coalesced"`
+	Batches   uint64 `json:"batches"`
+
+	// CountsExact is true when every measured counter equals its
+	// prediction; Mismatches lists the offenders otherwise.
+	CountsExact bool     `json:"counts_exact"`
+	Mismatches  []string `json:"mismatches,omitempty"`
+
+	// HoistCoalescingFactor is the coalescing factor inside hoist
+	// groups (coalesced requests per hoist-group ModUp); with exact
+	// counts it equals the predicted Counts.HoistCoalescingFactor.
+	HoistCoalescingFactor float64 `json:"hoist_coalescing_factor"`
+
+	// DepViolations counts results that landed before one of their
+	// predecessors' results — always 0 for a dependency-respecting
+	// replay (the client gates submission on predecessors, so a
+	// violation would mean the bookkeeping itself is broken).
+	DepViolations int `json:"dep_violations"`
+
+	// Checked/BitExact report the serial reference comparison
+	// (BitExact is vacuously true when Check was off).
+	Checked  bool `json:"checked"`
+	BitExact bool `json:"bit_exact"`
+}
+
+// ReplayServiceConfig returns a serve.Config tuned for exact-count
+// replay of s: MaxBatch large enough that no submission wave is ever
+// split across micro-batches (a split hoist group would execute two
+// ModUps where the schedule predicts one), a gather window generous
+// enough that a tight submission loop always lands in one batch, and
+// DefaultLevel 0 so schedule levels are taken literally (serve routes
+// a zero Request.Level to the default). Callers set Engine (and may
+// raise KeyBudget for key-hungry bootstrap schedules).
+//
+// The window choice is a flake-vs-latency trade: the dispatcher's
+// gather window opens at a wave's first request, so a group only
+// splits if the submitting goroutine stalls longer than the window
+// *between two sends of one tight loop* — but since the replay waits
+// for each wave's results, every wave also pays the full window in
+// latency. 20ms keeps a loaded CI runner's scheduling hiccups from
+// failing the exact-count gate while costing well under a second per
+// replay on realistic schedule depths.
+func ReplayServiceConfig(s *Schedule) serve.Config {
+	maxBatch := len(s.Nodes)
+	if maxBatch < 64 {
+		maxBatch = 64
+	}
+	return serve.Config{
+		MaxBatch:     maxBatch,
+		Window:       20 * time.Millisecond,
+		DefaultLevel: 0,
+	}
+}
+
+// replayer carries one replay's bookkeeping.
+type replayer struct {
+	s       *Schedule
+	svc     *serve.Service
+	cfg     ReplayConfig
+	r       *ring.Ring
+	sampler *ring.Sampler
+	basis   map[int]ring.Basis // level -> B_level
+
+	groups  [][]int
+	results []serve.Result
+
+	depViolations int
+}
+
+// Replay executes s against svc, which must be otherwise idle (the
+// measured counters are deltas of svc.Stats() around the replay) and
+// configured per ReplayServiceConfig. switchers resolves the levels'
+// bases (and, with cfg.Check, runs the serial reference); keys is
+// only used by the reference and must be the same source the service
+// loads from (ckks key-chain memoization makes the comparison
+// meaningful). r is the service's ring; cfg.Seed makes the run
+// reproducible.
+func Replay(ctx context.Context, svc *serve.Service, switchers serve.SwitcherSource, keys serve.KeySource, r *ring.Ring, s *Schedule, cfg ReplayConfig) (*ReplayResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rp := &replayer{
+		s: s, svc: svc, cfg: cfg, r: r,
+		sampler: ring.NewSampler(r, cfg.Seed),
+		basis:   map[int]ring.Basis{},
+		groups:  s.Groups(),
+		results: make([]serve.Result, len(s.Nodes)),
+	}
+	for _, n := range s.Nodes {
+		if _, ok := rp.basis[n.Level]; ok {
+			continue
+		}
+		sw, err := switchers.Switcher(n.Level)
+		if err != nil {
+			return nil, fmt.Errorf("workload: no switcher at level %d: %w", n.Level, err)
+		}
+		rp.basis[n.Level] = sw.QBasis()
+	}
+
+	before := svc.Stats()
+	start := time.Now()
+	if err := rp.run(ctx); err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	after := svc.Stats()
+
+	res := &ReplayResult{
+		Predicted:   s.Counts(),
+		Wall:        wall,
+		Served:      after.Served - before.Served,
+		ModUps:      after.ModUps - before.ModUps,
+		Groups:      after.Groups - before.Groups,
+		Coalesced:   after.Coalesced - before.Coalesced,
+		Batches:     after.Batches - before.Batches,
+		CountsExact: true,
+		BitExact:    true,
+	}
+	res.DepViolations = rp.depViolations
+	exact := func(name string, measured uint64, predicted int) {
+		if measured != uint64(predicted) {
+			res.CountsExact = false
+			res.Mismatches = append(res.Mismatches,
+				fmt.Sprintf("%s: measured %d, schedule predicts %d", name, measured, predicted))
+		}
+	}
+	exact("served switches", res.Served, res.Predicted.Switches)
+	exact("mod_ups", res.ModUps, res.Predicted.ModUps)
+	exact("groups", res.Groups, res.Predicted.ModUps)
+	exact("coalesced", res.Coalesced, res.Predicted.Coalesced)
+	if res.Predicted.HoistGroups > 0 {
+		res.HoistCoalescingFactor = float64(res.Coalesced) / float64(res.Predicted.HoistGroups)
+	}
+
+	if cfg.Check {
+		res.Checked = true
+		if err := rp.checkSerial(switchers, keys); err != nil {
+			res.BitExact = false
+			res.Mismatches = append(res.Mismatches, err.Error())
+		}
+	}
+	return res, nil
+}
+
+// deriveInput computes one group's shared input polynomial: root
+// groups draw from sample, derived groups sum the predecessors' c1
+// outputs (via the c1 accessor, restricted to this node's possibly
+// lower level) and scale by a per-group constant. The scaling
+// matters: sibling groups sharing one predecessor set (a BSGS stage's
+// giants, whose inner sums differ only by plaintext diagonals the
+// replay does not model) must carry *distinct values*, not merely
+// distinct storage, so the zero-coalescing-outside-hoist-groups
+// invariant holds against any bit-exact executor, not just one that
+// groups by pointer identity. The live replay and the serial
+// reference both go through this one function, so the two sides
+// cannot drift.
+func (rp *replayer) deriveInput(gi int, c1 func(id int) *ring.Poly, sample func(ring.Basis) *ring.Poly) *ring.Poly {
+	n0 := rp.s.Nodes[rp.groups[gi][0]]
+	qb := rp.basis[n0.Level]
+	if len(n0.Deps) == 0 {
+		p := sample(qb)
+		p.IsNTT = true
+		return p
+	}
+	acc := rp.r.NewPoly(qb)
+	acc.IsNTT = true
+	for _, d := range n0.Deps {
+		rp.r.Add(acc, c1(d).SubPoly(qb), acc)
+	}
+	rp.r.MulScalar(acc, groupSalt(gi), acc)
+	return acc
+}
+
+// groupInput is deriveInput over the live replay's served results.
+func (rp *replayer) groupInput(gi int) *ring.Poly {
+	return rp.deriveInput(gi,
+		func(id int) *ring.Poly { return rp.results[id].C1 },
+		rp.sampler.Uniform)
+}
+
+// groupSalt is the per-group input scaling constant; ≥ 2 so even the
+// first derived group differs from the raw predecessor sum.
+func groupSalt(gi int) uint64 { return uint64(gi) + 2 }
+
+type nodeDone struct {
+	id  int
+	res serve.Result
+}
+
+func (rp *replayer) submitGroup(ctx context.Context, gi int, ch chan<- nodeDone) error {
+	in := rp.groupInput(gi)
+	for _, id := range rp.groups[gi] {
+		n := rp.s.Nodes[id]
+		rc, err := rp.svc.Submit(ctx, serve.Request{
+			Input: in, Rot: n.Rot, Dataflow: rp.cfg.Dataflow,
+			Tenant: rp.cfg.Tenant, Level: n.Level,
+		})
+		if err != nil {
+			return fmt.Errorf("workload: submit node %d (%s): %w", id, n.Stage, err)
+		}
+		go func(id int, rc <-chan serve.Result) {
+			ch <- nodeDone{id: id, res: <-rc}
+		}(id, rc)
+	}
+	return nil
+}
+
+// run drives the event loop: root groups first, then each group the
+// moment its last predecessor completes.
+func (rp *replayer) run(ctx context.Context) error {
+	remaining := make([]int, len(rp.groups))
+	waiters := map[int][]int{} // node ID -> dependent group indices
+	for gi, g := range rp.groups {
+		deps := rp.s.Nodes[g[0]].Deps
+		remaining[gi] = len(deps)
+		for _, d := range deps {
+			waiters[d] = append(waiters[d], gi)
+		}
+	}
+	// Buffered for every node so in-flight completion forwarders can
+	// never leak, even on an early error return.
+	ch := make(chan nodeDone, len(rp.s.Nodes))
+	for gi := range rp.groups {
+		if remaining[gi] == 0 {
+			if err := rp.submitGroup(ctx, gi, ch); err != nil {
+				return err
+			}
+		}
+	}
+	completed := make([]bool, len(rp.s.Nodes))
+	for n := len(rp.s.Nodes); n > 0; n-- {
+		var d nodeDone
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case d = <-ch:
+		}
+		if d.res.Err != nil {
+			return fmt.Errorf("workload: node %d (%s): %w", d.id, rp.s.Nodes[d.id].Stage, d.res.Err)
+		}
+		for _, dep := range rp.s.Nodes[d.id].Deps {
+			if !completed[dep] {
+				rp.depViolations++
+			}
+		}
+		completed[d.id] = true
+		rp.results[d.id] = d.res
+		for _, gi := range waiters[d.id] {
+			remaining[gi]--
+			if remaining[gi] == 0 {
+				if err := rp.submitGroup(ctx, gi, ch); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkSerial re-executes the schedule with direct per-node
+// hks.KeySwitch calls — same seed, same input derivation, same keys —
+// and compares every served output bit for bit. Passing proves both
+// value correctness and dependency order: a service that served a
+// node before its predecessors existed could not have produced the
+// derived input's switch result.
+func (rp *replayer) checkSerial(switchers serve.SwitcherSource, keys serve.KeySource) error {
+	ref := ring.NewSampler(rp.r, rp.cfg.Seed)
+	c1s := make([]*ring.Poly, len(rp.s.Nodes))
+	var bad []string
+	for gi, g := range rp.groups {
+		n0 := rp.s.Nodes[g[0]]
+		in := rp.deriveInput(gi,
+			func(id int) *ring.Poly { return c1s[id] },
+			ref.Uniform)
+		sw, err := switchers.Switcher(n0.Level)
+		if err != nil {
+			return err
+		}
+		for _, id := range g {
+			n := rp.s.Nodes[id]
+			evk, err := keys.Key(serve.KeyID{Tenant: rp.cfg.Tenant, Rot: n.Rot, Level: n.Level})
+			if err != nil {
+				return fmt.Errorf("workload: reference key for node %d: %w", id, err)
+			}
+			c0, c1 := sw.KeySwitch(in, evk)
+			c1s[id] = c1
+			if !c0.Equal(rp.results[id].C0) || !c1.Equal(rp.results[id].C1) {
+				bad = append(bad, fmt.Sprint(id))
+			}
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("workload: served outputs differ from serial replay at node(s) %s",
+			strings.Join(bad, ", "))
+	}
+	return nil
+}

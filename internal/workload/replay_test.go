@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"context"
+	"testing"
+
+	"ciflow/internal/ckks"
+	"ciflow/internal/dataflow"
+	"ciflow/internal/engine"
+	"ciflow/internal/serve"
+)
+
+// testService stands up a one-tenant service over a tiny ring, tuned
+// for exact-count replay of s.
+func testService(t *testing.T, s *Schedule, towers, dnum int) (*serve.Service, *ckks.Context, serve.KeyChains, func()) {
+	t.Helper()
+	cctx, err := ckks.NewContext(32, towers, 40, 3, 41, dnum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kc, _ := ckks.GenKeys(cctx, 1)
+	chains := serve.KeyChains{"t0": kc}
+	e := engine.New(2)
+	cfg := ReplayServiceConfig(s)
+	cfg.Engine = e
+	svc, err := serve.New(cctx.Switchers(), chains, cfg)
+	if err != nil {
+		e.Close()
+		t.Fatal(err)
+	}
+	return svc, cctx, chains, func() {
+		svc.Close()
+		e.Close()
+	}
+}
+
+func replayOnce(t *testing.T, s *Schedule, df dataflow.Dataflow) *ReplayResult {
+	t.Helper()
+	svc, cctx, chains, stop := testService(t, s, 4, 2)
+	defer stop()
+	res, err := Replay(context.Background(), svc, cctx.Switchers(), chains, cctx.R,
+		s, ReplayConfig{Tenant: "t0", Dataflow: df, Seed: 7, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func assertExact(t *testing.T, res *ReplayResult) {
+	t.Helper()
+	if !res.CountsExact {
+		t.Fatalf("measured counters drifted from the schedule: %v", res.Mismatches)
+	}
+	if !res.Checked || !res.BitExact {
+		t.Fatalf("serial reference check failed: checked=%v bitExact=%v %v",
+			res.Checked, res.BitExact, res.Mismatches)
+	}
+	if res.DepViolations != 0 {
+		t.Fatalf("%d dependency-order violations", res.DepViolations)
+	}
+}
+
+func TestReplayBootstrap(t *testing.T) {
+	// Ring N=32 (16 slots), 4 towers: one DFT stage per half at
+	// levels 3 and 1, relin at 2 — 3 babies + 3 giants per stage.
+	s, err := Bootstrap(BootstrapParams{LogSlots: 4, Radix: 16, Top: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := replayOnce(t, s, dataflow.MP)
+	assertExact(t, res)
+	p := s.Counts()
+	if res.Served != uint64(p.Switches) || res.ModUps != uint64(p.ModUps) {
+		t.Fatalf("measured served=%d modUps=%d, predicted %+v", res.Served, res.ModUps, p)
+	}
+	// The baby fan-outs must actually coalesce: factor inside hoist
+	// groups above 1, and with exact counts there were zero coalesces
+	// outside them.
+	if res.HoistCoalescingFactor <= 1 {
+		t.Fatalf("hoist coalescing factor %.2f", res.HoistCoalescingFactor)
+	}
+}
+
+func TestReplayMatvec(t *testing.T) {
+	s, err := Matvec(4, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := replayOnce(t, s, dataflow.OC)
+	assertExact(t, res)
+	if res.Coalesced != 3 || res.ModUps != 3 {
+		t.Fatalf("matvec measured coalesced=%d modUps=%d", res.Coalesced, res.ModUps)
+	}
+}
+
+func TestReplayFanout(t *testing.T) {
+	s, err := Fanout(3, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := replayOnce(t, s, dataflow.DC)
+	assertExact(t, res)
+	if res.Coalesced != 12 {
+		t.Fatalf("fanout coalesced %d, want 12", res.Coalesced)
+	}
+}
+
+// A multi-level chain: levels descend along the dependency edges, so
+// derived inputs are restricted to sub-bases and each level routes to
+// its own switcher.
+func TestReplayLevelDescent(t *testing.T) {
+	b := &builder{name: "descent"}
+	top := b.group("top", 3, nil, []int{1, 2})
+	mid := b.node("mid", Rotate, 3, 2, top)
+	b.group("bottom", 1, []int{mid}, []int{1, 2, 4})
+	s, err := b.schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := replayOnce(t, s, dataflow.MP)
+	assertExact(t, res)
+	if res.ModUps != 3 {
+		t.Fatalf("level-descent ModUps %d, want 3", res.ModUps)
+	}
+}
+
+// Replays on one schedule are deterministic: same seed, same keys,
+// bit-exact across dataflows (the dataflow shapes scheduling, never
+// values).
+func TestReplayDataflowsAgree(t *testing.T) {
+	s, err := Bootstrap(BootstrapParams{LogSlots: 4, Radix: 16, Top: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, df := range []dataflow.Dataflow{dataflow.MP, dataflow.DC, dataflow.OC} {
+		assertExact(t, replayOnce(t, s, df))
+	}
+}
+
+func TestReplayRejectsInvalidSchedule(t *testing.T) {
+	s, err := Fanout(1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Nodes[1].Group = 9
+	svc, cctx, chains, stop := testService(t, s, 4, 2)
+	defer stop()
+	if _, err := Replay(context.Background(), svc, cctx.Switchers(), chains, cctx.R,
+		s, ReplayConfig{Tenant: "t0"}); err == nil {
+		t.Fatal("invalid schedule replayed")
+	}
+}
+
+func TestReplayCancelled(t *testing.T) {
+	s, err := Fanout(2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, cctx, chains, stop := testService(t, s, 4, 2)
+	defer stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Replay(ctx, svc, cctx.Switchers(), chains, cctx.R,
+		s, ReplayConfig{Tenant: "t0"}); err == nil {
+		t.Fatal("cancelled replay succeeded")
+	}
+}
