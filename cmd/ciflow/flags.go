@@ -35,8 +35,11 @@ var experiments = []experiment{
 	{"throughput", "measured HKS ops/sec and latency per dataflow on the engine pool"},
 	{"serve", "batching key-switch service load generator (cache + coalescing; -workload replays schedule DAGs)"},
 	{"schedule", "print a workload schedule DAG's shape, predicted op counts, and modeled cost"},
+	{"shard", "one cluster shard backend: a serve service behind the wire protocol (-addr)"},
+	{"router", "probe running shards (-shardaddrs) and print the cluster status table"},
+	{"cluster", "sharded serving experiment: spawn -shards shard processes, replay -tenants schedules through the router, verify exact shard-sum and bit-exactness (-replicas, -kill)"},
 	{"perfgate", "CI performance-regression gate vs committed baselines"},
-	{"all", "everything above in paper order (except throughput, serve, schedule, perfgate)"},
+	{"all", "everything above in paper order (except throughput, serve, schedule, shard, router, cluster, perfgate)"},
 	{"help", "this usage summary"},
 }
 
@@ -76,6 +79,13 @@ type cliFlags struct {
 	bts          *int
 	radix        *int
 
+	// cluster (shard, router, cluster)
+	shards     *int
+	replicas   *int
+	kill       *bool
+	addr       *string
+	shardAddrs *string
+
 	// perfgate
 	baseline         *string
 	freshPath        *string
@@ -83,6 +93,8 @@ type cliFlags struct {
 	serveFresh       *string
 	workloadBaseline *string
 	workloadFresh    *string
+	clusterBaseline  *string
+	clusterFresh     *string
 	maxRegression    *float64
 }
 
@@ -118,12 +130,20 @@ func newFlags() *cliFlags {
 	fl.bts = fs.Int("bts", 2, "BTS parameter set (1, 2, or 3) shaping bootstrap schedules")
 	fl.radix = fs.Int("radix", 0, "bootstrap DFT radix, a power of two (0 = auto-fit the level budget)")
 
+	fl.shards = fs.Int("shards", 2, "cluster shard process count")
+	fl.replicas = fs.Int("replicas", 1, "cluster shards eligible to serve one tenant (hot-key replication)")
+	fl.kill = fs.Bool("kill", false, "cluster: drain and retire one shard mid-replay")
+	fl.addr = fs.String("addr", "127.0.0.1:0", "shard listen address")
+	fl.shardAddrs = fs.String("shardaddrs", "", "router: comma-separated shard addresses")
+
 	fl.baseline = fs.String("baseline", "BENCH_engine.json", "perfgate throughput baseline report")
 	fl.freshPath = fs.String("fresh", "bench_fresh.json", "perfgate fresh throughput report")
 	fl.serveBaseline = fs.String("serve-baseline", "", "perfgate serve baseline report (empty = skip serve gate)")
 	fl.serveFresh = fs.String("serve-fresh", "", "perfgate fresh serve report (empty = skip serve gate)")
 	fl.workloadBaseline = fs.String("workload-baseline", "", "perfgate workload-replay baseline report (empty = skip workload gate)")
 	fl.workloadFresh = fs.String("workload-fresh", "", "perfgate fresh workload-replay report (empty = skip workload gate)")
+	fl.clusterBaseline = fs.String("cluster-baseline", "", "perfgate cluster baseline report (empty = skip cluster gate)")
+	fl.clusterFresh = fs.String("cluster-fresh", "", "perfgate fresh cluster report (empty = skip cluster gate)")
 	fl.maxRegression = fs.Float64("max-regression", 2, "perfgate allowed ops/sec drop factor")
 
 	return fl

@@ -52,17 +52,36 @@
 //	               shape, per-level switch counts, predicted ModUps
 //	               with/without hoisting, and the analysis model's
 //	               cost estimate including shared-ModUp savings
+//	shard          one cluster shard backend: a serve.Service behind
+//	               the internal/cluster wire protocol on -addr; prints
+//	               "listening <addr>" once bound, exits on stdin EOF
+//	               or a Shutdown frame (normally spawned by cluster,
+//	               not run by hand)
+//	router         probe running shards: dial the -shardaddrs list,
+//	               ping every shard, print the status table
+//	cluster        sharded serving experiment: spawn -shards shard
+//	               subprocesses, consistent-hash -tenants keyspaces
+//	               onto them (-replicas replicas per tenant), replay
+//	               every tenant's schedule DAG concurrently through
+//	               the router with the serial bit-exactness reference,
+//	               and verify the per-shard stats sum to tenants x the
+//	               schedule's predicted counts exactly — per level
+//	               included; with -kill, drain one shard mid-replay
+//	               and require the same sums across the handoff
 //	perfgate       CI performance-regression gate: compare fresh
 //	               throughput (and, with -serve-baseline/-serve-fresh,
 //	               serve; with -workload-baseline/-workload-fresh,
-//	               workload replay) JSON reports against committed
-//	               baselines, fail on gross (> -max-regression x)
-//	               ops/sec drops or broken invariants (cross-tenant
-//	               coalescing, budget overruns, starved tenants,
-//	               schedule counters drifting from predictions,
-//	               dependency-order violations)
+//	               workload replay; with -cluster-baseline/
+//	               -cluster-fresh, sharded cluster) JSON reports
+//	               against committed baselines, fail on gross
+//	               (> -max-regression x) ops/sec drops or broken
+//	               invariants (cross-tenant coalescing, budget
+//	               overruns, starved tenants, schedule counters
+//	               drifting from predictions, dependency-order
+//	               violations, shard books not summing to the global
+//	               prediction, lost or double-counted router retries)
 //	all            everything above in paper order (except throughput,
-//	               serve, schedule, perfgate)
+//	               serve, schedule, shard, router, cluster, perfgate)
 //	help           the same experiment and flag summary on the CLI
 //
 // Flags:
@@ -108,12 +127,22 @@
 //	               schedules (default 2)
 //	-radix R       bootstrap DFT radix, a power of two (default 0 =
 //	               auto-fit the level budget)
+//	-shards N      cluster shard process count (default 2)
+//	-replicas R    cluster shards eligible to serve one tenant — hot-key
+//	               replication via per-tenant round-robin (default 1)
+//	-kill          cluster: drain and retire one shard mid-replay; the
+//	               drained shard's final books plus the survivors'
+//	               must still sum to the prediction exactly
+//	-addr A        shard listen address (default 127.0.0.1:0)
+//	-shardaddrs L  router: comma-separated shard addresses
 //	-baseline F    perfgate baseline report (default BENCH_engine.json)
 //	-fresh F       perfgate fresh report (default bench_fresh.json)
 //	-serve-baseline F  perfgate serve baseline report (default: skip)
 //	-serve-fresh F     perfgate fresh serve report (default: skip)
 //	-workload-baseline F  perfgate workload-replay baseline (default: skip)
 //	-workload-fresh F     perfgate fresh workload-replay report (default: skip)
+//	-cluster-baseline F   perfgate cluster baseline (default: skip)
+//	-cluster-fresh F      perfgate fresh cluster report (default: skip)
 //	-max-regression X  perfgate allowed ops/sec drop factor (default 2)
 package main
 
@@ -271,10 +300,61 @@ func run(args []string) error {
 	case "schedule":
 		return scheduleCmd(r, *fl.workloadName, *fl.bts, *fl.radix,
 			*fl.rotations, *fl.requests, *fl.jsonPath)
+	case "shard":
+		return shardCmd(shardConfig{
+			addr:      *fl.addr,
+			tenants:   *fl.tenants,
+			logN:      *fl.logN,
+			towers:    *fl.towers,
+			dnum:      *fl.dnum,
+			workers:   *fl.workers,
+			keyBudget: *fl.keyBudget,
+			maxBatch:  *fl.maxBatch,
+			window:    *fl.window,
+		})
+	case "router":
+		return routerCmd(routerConfig{
+			shardAddrs: *fl.shardAddrs,
+			replicas:   *fl.replicas,
+			logN:       *fl.logN,
+			towers:     *fl.towers,
+			dnum:       *fl.dnum,
+		})
+	case "cluster":
+		wl := *fl.workloadName
+		if wl == "fanout" {
+			// The cluster experiment always replays a schedule DAG;
+			// bootstrap is its canonical shape.
+			wl = "bootstrap"
+		}
+		dnum := *fl.dnum
+		if wl == "bootstrap" {
+			dnum = flagDnum(fl)
+		}
+		return clusterCmd(clusterConfig{
+			shards:    *fl.shards,
+			tenants:   *fl.tenants,
+			replicas:  *fl.replicas,
+			kill:      *fl.kill,
+			workload:  wl,
+			bts:       *fl.bts,
+			radix:     *fl.radix,
+			dfName:    *fl.dfName,
+			rotations: *fl.rotations,
+			giants:    *fl.requests,
+			logN:      *fl.logN,
+			towers:    *fl.towers,
+			dnum:      dnum,
+			workers:   *fl.workers,
+			keyBudget: *fl.keyBudget,
+			maxBatch:  *fl.maxBatch,
+			window:    *fl.window,
+		}, *fl.jsonPath, *fl.check)
 	case "perfgate":
 		return perfgate(*fl.baseline, *fl.freshPath, *fl.maxRegression,
 			*fl.serveBaseline, *fl.serveFresh,
-			*fl.workloadBaseline, *fl.workloadFresh)
+			*fl.workloadBaseline, *fl.workloadFresh,
+			*fl.clusterBaseline, *fl.clusterFresh)
 	case "all":
 		fmt.Print(analysis.FormatTableIII())
 		fmt.Println()

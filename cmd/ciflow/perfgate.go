@@ -127,6 +127,71 @@ func perfgateWorkload(baselinePath, freshPath string, maxRegression float64, fai
 	return nil
 }
 
+func readClusterReport(path string) (*clusterReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep clusterReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Served == 0 {
+		return nil, fmt.Errorf("%s: no served switches", path)
+	}
+	return &rep, nil
+}
+
+// perfgateCluster gates the sharded serving fabric: the generous
+// ops/sec tolerance, plus the distribution invariants that must hold
+// at any speed — per-shard stats summing exactly to tenants x the
+// schedule prediction, bit-exactness end-to-end over the wire, exact
+// router delivery and attribution (no result lost or double-counted
+// across retries), and dependency order. The baseline pins the fabric
+// shape: a bench run with fewer shards or tenants — or without the
+// mid-replay drain — must not pass just because its own invariants
+// hold.
+func perfgateCluster(baselinePath, freshPath string, maxRegression float64, failures *[]string) error {
+	base, err := readClusterReport(baselinePath)
+	if err != nil {
+		return fmt.Errorf("cluster baseline: %w", err)
+	}
+	fresh, err := readClusterReport(freshPath)
+	if err != nil {
+		return fmt.Errorf("cluster fresh: %w", err)
+	}
+	ratio := fresh.OpsPerSec / base.OpsPerSec
+	status := "ok"
+	if fresh.OpsPerSec*maxRegression < base.OpsPerSec {
+		status = "FAIL"
+		*failures = append(*failures,
+			fmt.Sprintf("cluster: %.2f ops/sec vs baseline %.2f (>%.1fx regression)",
+				fresh.OpsPerSec, base.OpsPerSec, maxRegression))
+	}
+	fmt.Printf("%-8s %14.2f %14.2f %7.2fx %6s\n", "cluster", base.OpsPerSec, fresh.OpsPerSec, ratio, status)
+	if err := clusterCheck(fresh); err != nil {
+		*failures = append(*failures, err.Error())
+	}
+	if fresh.Shards < base.Shards {
+		*failures = append(*failures,
+			fmt.Sprintf("cluster: fresh report covers %d shards, baseline %d (bench run with fewer shards?)",
+				fresh.Shards, base.Shards))
+	}
+	if fresh.Tenants < base.Tenants {
+		*failures = append(*failures,
+			fmt.Sprintf("cluster: fresh report covers %d tenants, baseline %d (bench run with fewer tenants?)",
+				fresh.Tenants, base.Tenants))
+	}
+	if base.Drained >= 0 && fresh.Drained < 0 {
+		*failures = append(*failures,
+			"cluster: baseline drained a shard mid-replay but the fresh run did not (bench run without -kill?)")
+	}
+	fmt.Printf("cluster %s: %d shards x %d tenants, %d delivered, shard-sum exact %v, bit-exact %v, drained shard %d\n",
+		fresh.Schedule, fresh.Shards, fresh.Tenants, fresh.Delivered,
+		fresh.ShardSumExact, fresh.BitExact, fresh.Drained)
+	return nil
+}
+
 // perfgateServe gates the serving layer: same generous ops/sec
 // tolerance as the throughput gate, plus the machine-independent
 // invariants — bit-exactness, coalescing actually sharing ModUps, the
@@ -199,9 +264,11 @@ func perfgateServe(baselinePath, freshPath string, maxRegression float64, failur
 // perfgate compares fresh against baseline; maxRegression is the
 // allowed ops/sec ratio (2.0 = fail only when fresh is less than half
 // the baseline). Non-empty serveBaselinePath/serveFreshPath extend the
-// gate to the serving layer's reports, and non-empty
-// workloadBaselinePath/workloadFreshPath to the schedule-DAG replay's.
-func perfgate(baselinePath, freshPath string, maxRegression float64, serveBaselinePath, serveFreshPath, workloadBaselinePath, workloadFreshPath string) error {
+// gate to the serving layer's reports, non-empty
+// workloadBaselinePath/workloadFreshPath to the schedule-DAG replay's,
+// and non-empty clusterBaselinePath/clusterFreshPath to the sharded
+// serving fabric's.
+func perfgate(baselinePath, freshPath string, maxRegression float64, serveBaselinePath, serveFreshPath, workloadBaselinePath, workloadFreshPath, clusterBaselinePath, clusterFreshPath string) error {
 	if maxRegression < 1 {
 		return fmt.Errorf("max regression %g must be >= 1", maxRegression)
 	}
@@ -210,6 +277,9 @@ func perfgate(baselinePath, freshPath string, maxRegression float64, serveBaseli
 	}
 	if (workloadBaselinePath == "") != (workloadFreshPath == "") {
 		return fmt.Errorf("-workload-baseline and -workload-fresh must be given together")
+	}
+	if (clusterBaselinePath == "") != (clusterFreshPath == "") {
+		return fmt.Errorf("-cluster-baseline and -cluster-fresh must be given together")
 	}
 	base, err := readReport(baselinePath)
 	if err != nil {
@@ -281,6 +351,11 @@ func perfgate(baselinePath, freshPath string, maxRegression float64, serveBaseli
 	}
 	if workloadBaselinePath != "" {
 		if err := perfgateWorkload(workloadBaselinePath, workloadFreshPath, maxRegression, &failures); err != nil {
+			return err
+		}
+	}
+	if clusterBaselinePath != "" {
+		if err := perfgateCluster(clusterBaselinePath, clusterFreshPath, maxRegression, &failures); err != nil {
 			return err
 		}
 	}

@@ -2,6 +2,7 @@ package ckks
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sync"
 
 	"ciflow/internal/hks"
@@ -30,9 +31,16 @@ type PublicKey struct {
 // and generation is memoized under one lock, so every caller of
 // RotKey/HoistKey observes the identical key material — which is what
 // keeps served results bit-exact across cache evictions and reloads.
+// Beyond memoization, each key's randomness is derived from the chain
+// seed and the key's own identity (keySampler), so two chains built
+// from one seed agree bit-for-bit on every key regardless of the
+// order keys are requested — the property that lets cluster shards
+// regenerate a tenant's keys independently and still serve replicas
+// bit-exactly.
 type KeyChain struct {
 	ctx     *Context
-	sampler *ring.Sampler
+	seed    int64
+	sampler *ring.Sampler // sequential stream for *ephemeral* randomness (Encrypt)
 	sk      *SecretKey
 	sSquare *ring.Poly // s², full D basis, coefficient domain
 
@@ -42,7 +50,7 @@ type KeyChain struct {
 	// satisfies serve.SwitcherSource through Switcher.
 	pool *hks.SwitcherPool
 
-	mu    sync.Mutex // guards the maps and the sampler below
+	mu    sync.Mutex // guards the maps below
 	relin map[int]*hks.Evk
 	rot   map[int]map[int]*hks.Evk // rot -> level -> evk
 	hoist map[int]map[int]*hks.Evk // rot -> level -> hoisting-form evk
@@ -77,6 +85,7 @@ func GenKeys(ctx *Context, seed int64) (*KeyChain, *PublicKey) {
 
 	kc := &KeyChain{
 		ctx:     ctx,
+		seed:    seed,
 		sampler: sampler,
 		sk:      sk,
 		sSquare: s2,
@@ -90,6 +99,21 @@ func GenKeys(ctx *Context, seed int64) (*KeyChain, *PublicKey) {
 
 // Secret exposes the secret key for decryption and testing.
 func (kc *KeyChain) Secret() *SecretKey { return kc.sk }
+
+// keySampler derives the sampler for one evaluation key from the
+// chain seed and the key's identity (form, rotation, level) — NOT
+// from a shared sequential stream. This makes every evaluation key a
+// pure function of (context, seed, key identity): two independently
+// constructed chains with one seed produce bit-identical keys no
+// matter which keys are requested, in which order, from how many
+// goroutines. The cluster layer is built on that property — any shard
+// (or a router-side verifier) regenerates a tenant's keys from the
+// tenant seed alone and must land on the same bits as every replica.
+func (kc *KeyChain) keySampler(form string, rotBy, level int) *ring.Sampler {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d|%d", kc.seed, form, rotBy, level)
+	return ring.NewSampler(kc.ctx.R, int64(h.Sum64()&^(1<<63)))
+}
 
 // Switcher returns (building if needed) the HKS switcher for a level.
 // The signature matches serve.SwitcherSource, so a KeyChain can route
@@ -119,7 +143,7 @@ func (kc *KeyChain) RelinKey(level int) (*hks.Evk, error) {
 	if err != nil {
 		return nil, err
 	}
-	evk := sw.GenEvk(kc.sampler, kc.sSquare, kc.sk.S)
+	evk := sw.GenEvk(kc.keySampler("relin", 0, level), kc.sSquare, kc.sk.S)
 	kc.relin[level] = evk
 	return evk, nil
 }
@@ -145,7 +169,7 @@ func (kc *KeyChain) ConjKey(level int) (*hks.Evk, error) {
 	full := r.DBasis(r.NumQ - 1)
 	sConj := r.NewPoly(full)
 	r.Automorphism(kc.sk.S, 2*r.N-1, sConj)
-	evk := sw.GenEvk(kc.sampler, sConj, kc.sk.S)
+	evk := sw.GenEvk(kc.keySampler("conj", 0, level), sConj, kc.sk.S)
 	if kc.rot[conjSlot] == nil {
 		kc.rot[conjSlot] = map[int]*hks.Evk{}
 	}
@@ -172,7 +196,7 @@ func (kc *KeyChain) RotKey(rotBy, level int) (*hks.Evk, error) {
 	full := r.DBasis(r.NumQ - 1)
 	sRot := r.NewPoly(full)
 	r.Automorphism(kc.sk.S, g, sRot)
-	evk := sw.GenEvk(kc.sampler, sRot, kc.sk.S)
+	evk := sw.GenEvk(kc.keySampler("rot", rotBy, level), sRot, kc.sk.S)
 	if kc.rot[rotBy] == nil {
 		kc.rot[rotBy] = map[int]*hks.Evk{}
 	}
@@ -209,7 +233,7 @@ func (kc *KeyChain) HoistKey(rotBy, level int) (*hks.Evk, error) {
 	full := r.DBasis(r.NumQ - 1)
 	sInv := r.NewPoly(full)
 	r.Automorphism(kc.sk.S, gInv, sInv)
-	evk := sw.GenEvk(kc.sampler, kc.sk.S, sInv)
+	evk := sw.GenEvk(kc.keySampler("hoist", rotBy, level), kc.sk.S, sInv)
 	if kc.hoist[rotBy] == nil {
 		kc.hoist[rotBy] = map[int]*hks.Evk{}
 	}

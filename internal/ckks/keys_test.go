@@ -1,0 +1,90 @@
+package ckks
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Evaluation keys must be a pure function of (context, seed, key
+// identity), independent of the order keys are requested: two chains
+// built from one seed — on two cluster shards, or a shard and a
+// verifier — have to agree on every key bit even though concurrent
+// serving generates them in arbitrary order.
+func TestKeyChainDeterministicAcrossInstances(t *testing.T) {
+	ctx, err := NewContext(128, 4, 30, 2, 31, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := GenKeys(ctx, 42)
+	b, _ := GenKeys(ctx, 42)
+	other, _ := GenKeys(ctx, 43)
+
+	type req struct {
+		rot   int
+		level int
+	}
+	reqs := []req{{1, 3}, {2, 3}, {4, 2}, {1, 1}, {8, 3}}
+	// Chain b generates the same keys in reverse order, with unrelated
+	// keys interleaved, so any shared-stream dependence would surface.
+	for i := len(reqs) - 1; i >= 0; i-- {
+		if _, err := b.RelinKey(reqs[i].level); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.HoistKey(reqs[i].rot, reqs[i].level); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, rq := range reqs {
+		ka, err := a.HoistKey(rq.rot, rq.level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kb, err := b.HoistKey(rq.rot, rq.level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ko, err := other.HoistKey(rq.rot, rq.level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw, err := ctx.Switchers().Switcher(rq.level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ba, bb, bo bytes.Buffer
+		if err := sw.WriteEvk(&ba, ka); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.WriteEvk(&bb, kb); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.WriteEvk(&bo, ko); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+			t.Fatalf("hoist key (rot %d, level %d) differs between same-seed chains", rq.rot, rq.level)
+		}
+		if bytes.Equal(ba.Bytes(), bo.Bytes()) {
+			t.Fatalf("hoist key (rot %d, level %d) identical across different seeds", rq.rot, rq.level)
+		}
+	}
+	ra, err := a.RelinKey(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.RelinKey(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, _ := ctx.Switchers().Switcher(3)
+	var ba, bb bytes.Buffer
+	if err := sw.WriteEvk(&ba, ra); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteEvk(&bb, rb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatal("relin key differs between same-seed chains")
+	}
+}

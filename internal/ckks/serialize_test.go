@@ -2,6 +2,8 @@ package ckks
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"strings"
 	"testing"
 )
@@ -83,5 +85,43 @@ func TestReadCiphertextRejectsCorruption(t *testing.T) {
 	}
 	if _, err := ctx.ReadCiphertext(strings.NewReader("")); err == nil {
 		t.Error("empty stream accepted")
+	}
+}
+
+// Exhaustive truncation sweep: every strict prefix of a serialized
+// ciphertext must error without panicking, and non-finite or negative
+// scales are rejected at the header.
+func TestReadCiphertextTruncationRobust(t *testing.T) {
+	ctx, enc, _, pk, ev := testContext(t)
+	pt, _ := enc.Encode(randomValues(4, 0.7), ctx.MaxLevel)
+	ct := ev.Encrypt(pt, pk)
+	var buf bytes.Buffer
+	if err := ctx.WriteCiphertext(&buf, ct); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for i := 0; i < len(good); i++ {
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("truncation at %d/%d panicked: %v", i, len(good), rec)
+				}
+			}()
+			if _, err := ctx.ReadCiphertext(bytes.NewReader(good[:i])); err == nil {
+				t.Errorf("truncation at %d/%d read successfully", i, len(good))
+			}
+		}()
+	}
+	// +Inf and negative scale encodings must be refused.
+	for name, bits := range map[string]uint64{
+		"inf scale":      math.Float64bits(math.Inf(1)),
+		"negative scale": math.Float64bits(-ct.Scale),
+		"nan scale":      math.Float64bits(math.NaN()),
+	} {
+		bad := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint64(bad[4:12], bits)
+		if _, err := ctx.ReadCiphertext(bytes.NewReader(bad)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
 	}
 }

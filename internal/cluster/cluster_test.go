@@ -1,0 +1,371 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"ciflow/internal/ckks"
+	"ciflow/internal/engine"
+	"ciflow/internal/serve"
+	"ciflow/internal/workload"
+)
+
+// testCluster is an in-process fabric: n shards on loopback TCP, one
+// router, all sharing one ckks context (the processes of the `ciflow
+// cluster` experiment, minus the process boundary — the wire between
+// them is the real one).
+type testCluster struct {
+	cctx   *ckks.Context
+	rt     *Router
+	shards []*Shard
+}
+
+func startCluster(t *testing.T, n int, tenants []string, s *workload.Schedule, rcfg RouterConfig) *testCluster {
+	t.Helper()
+	cctx := testCtx(t)
+	tc := &testCluster{cctx: cctx}
+	var addrs []string
+	for i := 0; i < n; i++ {
+		e := engine.New(2)
+		t.Cleanup(e.Close)
+		cfg := workload.ReplayServiceConfig(s)
+		cfg.Engine = e
+		sh, err := NewShard(cctx, tenants, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go sh.Serve(ln)
+		t.Cleanup(sh.Close)
+		tc.shards = append(tc.shards, sh)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	rt, err := NewRouter(cctx.R, addrs, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	tc.rt = rt
+	return tc
+}
+
+// replayTenant drives one tenant's schedule through the router with
+// the serial bit-exactness reference enabled; the reference keys are
+// re-derived locally from the tenant's deterministic seed, never
+// fetched from a shard.
+func (tc *testCluster) replayTenant(s *workload.Schedule, tenant string) (*workload.ReplayResult, error) {
+	kc, _ := ckks.GenKeys(tc.cctx, KeySeed(tenant))
+	chains := serve.KeyChains{tenant: kc}
+	tv := &TenantView{Router: tc.rt, Tenant: tenant}
+	return workload.Replay(context.Background(), tv, tc.cctx.Switchers(), chains, tc.cctx.R,
+		s, workload.ReplayConfig{Tenant: tenant, Seed: 7, Check: true})
+}
+
+func testSchedule(t *testing.T) *workload.Schedule {
+	t.Helper()
+	s, err := workload.Bootstrap(workload.BootstrapParams{LogSlots: 4, Radix: 16, Top: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func assertReplayExact(t *testing.T, res *workload.ReplayResult, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CountsExact {
+		t.Fatalf("cluster counters drifted from the schedule: %v", res.Mismatches)
+	}
+	if !res.Checked || !res.BitExact {
+		t.Fatalf("serial reference check failed over the wire: %v", res.Mismatches)
+	}
+	if res.DepViolations != 0 {
+		t.Fatalf("%d dependency-order violations", res.DepViolations)
+	}
+}
+
+// assertShardSum checks the cluster's cardinal invariant: per-shard
+// stats summed across the fabric equal tenants× the schedule
+// prediction, including the per-level breakdown.
+func assertShardSum(t *testing.T, rt *Router, s *workload.Schedule, tenants int) {
+	t.Helper()
+	p := s.Counts()
+	agg := AggregateStats(rt.AllStats())
+	n := uint64(tenants)
+	if agg.Served != n*uint64(p.Switches) || agg.ModUps != n*uint64(p.ModUps) ||
+		agg.Groups != n*uint64(p.ModUps) || agg.Coalesced != n*uint64(p.Coalesced) {
+		t.Fatalf("shard-sum: served=%d modUps=%d groups=%d coalesced=%d, schedule×%d predicts %+v",
+			agg.Served, agg.ModUps, agg.Groups, agg.Coalesced, n, p)
+	}
+	measured := map[int]serve.LevelStats{}
+	for _, ls := range agg.PerLevel {
+		measured[ls.Level] = ls
+	}
+	for _, pl := range p.PerLevel {
+		m := measured[pl.Level]
+		if m.Switches != n*uint64(pl.Switches) || m.ModUps != n*uint64(pl.ModUps) {
+			t.Fatalf("shard-sum level %d: measured %+v, schedule×%d predicts %+v", pl.Level, m, n, pl)
+		}
+		delete(measured, pl.Level)
+	}
+	for l, m := range measured {
+		if m.Switches != 0 || m.ModUps != 0 {
+			t.Fatalf("shard-sum: level %d has %+v but the schedule predicts nothing there", l, m)
+		}
+	}
+}
+
+func TestClusterReplayExactMultiTenant(t *testing.T) {
+	s := testSchedule(t)
+	tenants := []string{"t0", "t1"}
+	tc := startCluster(t, 2, tenants, s, RouterConfig{})
+
+	type out struct {
+		res *workload.ReplayResult
+		err error
+	}
+	results := make(chan out, len(tenants))
+	for _, tn := range tenants {
+		go func(tn string) {
+			res, err := tc.replayTenant(s, tn)
+			results <- out{res, err}
+		}(tn)
+	}
+	for range tenants {
+		o := <-results
+		assertReplayExact(t, o.res, o.err)
+	}
+	assertShardSum(t, tc.rt, s, len(tenants))
+	if got := tc.rt.Delivered(); got != uint64(2*s.Counts().Switches) {
+		t.Fatalf("router delivered %d results, want %d", got, 2*s.Counts().Switches)
+	}
+	for i := range tc.shards {
+		if err := tc.rt.Ping(i); err != nil {
+			t.Fatalf("ping shard %d: %v", i, err)
+		}
+	}
+}
+
+// With replication, one tenant's groups round-robin over two owners —
+// and the shard-sum invariant must still hold exactly, because groups
+// never split across replicas and key material is deterministic.
+func TestClusterReplicationExact(t *testing.T) {
+	s := testSchedule(t)
+	tc := startCluster(t, 2, []string{"t0"}, s, RouterConfig{Replicas: 2})
+	res, err := tc.replayTenant(s, "t0")
+	assertReplayExact(t, res, err)
+	assertShardSum(t, tc.rt, s, 1)
+	for i := range tc.shards {
+		if tc.rt.Completed(i) == 0 {
+			t.Fatalf("replica shard %d served nothing; replication did not spread the load", i)
+		}
+	}
+}
+
+// Draining a shard mid-replay must keep the books exact: the drained
+// shard's final snapshot plus the survivors' counters still sum to
+// the prediction, because a draining shard requeues groups before
+// executing them — requeued work lands in exactly one shard's stats.
+func TestClusterDrainMidReplayExact(t *testing.T) {
+	s := testSchedule(t)
+	tc := startCluster(t, 3, []string{"t0"}, s, RouterConfig{})
+
+	type out struct {
+		res *workload.ReplayResult
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := tc.replayTenant(s, "t0")
+		done <- out{res, err}
+	}()
+	waitFor(t, "first delivery", func() bool { return tc.rt.Delivered() >= 1 })
+	victim := 0
+	for i := range tc.shards {
+		if tc.rt.Completed(i) > tc.rt.Completed(victim) {
+			victim = i
+		}
+	}
+	final, err := tc.rt.Drain(victim)
+	if err != nil {
+		t.Fatalf("drain shard %d: %v", victim, err)
+	}
+	if final.Served == 0 {
+		t.Fatalf("drained the owner shard %d but its final snapshot served nothing", victim)
+	}
+	o := <-done
+	assertReplayExact(t, o.res, o.err)
+	assertShardSum(t, tc.rt, s, 1)
+
+	st := tc.rt.Status()
+	if st[victim].State != ShardDrained {
+		t.Fatalf("victim state %q, want drained", st[victim].State)
+	}
+	// The drained final is immutable: requeued groups may not have
+	// leaked into it after DrainDone.
+	after, err := tc.rt.ShardStats(victim)
+	if err != nil || after.Served != final.Served || after.ModUps != final.ModUps {
+		t.Fatalf("drained shard stats moved after DrainDone: %+v -> %+v (%v)", final, after, err)
+	}
+}
+
+// Killing a shard abruptly mid-replay (severed connection, no drain)
+// must preserve delivery exactness: every request completes, results
+// stay bit-exact (deterministic keys make the re-execution identical),
+// no result is delivered or attributed twice — the router's per-shard
+// completion counters still sum exactly to the schedule prediction.
+func TestClusterKillMidReplayDelivery(t *testing.T) {
+	s := testSchedule(t)
+	tenants := []string{"t0", "t1"}
+	tc := startCluster(t, 3, tenants, s, RouterConfig{})
+
+	type out struct {
+		res *workload.ReplayResult
+		err error
+	}
+	results := make(chan out, len(tenants))
+	for _, tn := range tenants {
+		go func(tn string) {
+			res, err := tc.replayTenant(s, tn)
+			results <- out{res, err}
+		}(tn)
+	}
+	waitFor(t, "first delivery", func() bool { return tc.rt.Delivered() >= 1 })
+	victim := 0
+	for i := range tc.shards {
+		if tc.rt.Completed(i) > tc.rt.Completed(victim) {
+			victim = i
+		}
+	}
+	tc.rt.Kill(victim)
+
+	for range tenants {
+		o := <-results
+		if o.err != nil {
+			t.Fatalf("replay failed after shard kill: %v", o.err)
+		}
+		// Counters measured through serve.Stats may legitimately be
+		// inexact here — the killed shard took its books down with it,
+		// and half-executed groups re-ran elsewhere. Delivery must
+		// still be perfect: bit-exact results, dependency order intact.
+		if !o.res.Checked || !o.res.BitExact {
+			t.Fatalf("results not bit-exact after shard kill: %v", o.res.Mismatches)
+		}
+		if o.res.DepViolations != 0 {
+			t.Fatalf("%d dependency violations after shard kill", o.res.DepViolations)
+		}
+	}
+	want := uint64(len(tenants) * s.Counts().Switches)
+	if got := tc.rt.Delivered(); got != want {
+		t.Fatalf("router delivered %d results, want exactly %d (no loss, no double delivery)", got, want)
+	}
+	var completed uint64
+	for i := range tc.shards {
+		completed += tc.rt.Completed(i)
+	}
+	if completed != want {
+		t.Fatalf("per-shard completions sum to %d, want exactly %d: a request was attributed to two shards", completed, want)
+	}
+	if st := tc.rt.Status(); st[victim].State != ShardDown {
+		t.Fatalf("victim state %q, want down", st[victim].State)
+	}
+}
+
+// Every shard must hand back bit-identical evaluation keys for the
+// same (tenant, rot, level): key material is derived from KeySeed, so
+// replication never has to ship keys between shards to stay exact.
+func TestClusterEvkFetchBitIdentical(t *testing.T) {
+	s := testSchedule(t)
+	tc := startCluster(t, 2, []string{"t0"}, s, RouterConfig{})
+	sw, err := tc.cctx.Switchers().Switcher(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := EvkID{Tenant: "t0", Rot: 1, Level: 3}
+	var enc [2][]byte
+	for i := 0; i < 2; i++ {
+		evk, err := tc.rt.FetchEvk(i, id, tc.cctx.Switchers())
+		if err != nil {
+			t.Fatalf("fetch evk from shard %d: %v", i, err)
+		}
+		var buf bytes.Buffer
+		if err := sw.WriteEvk(&buf, evk); err != nil {
+			t.Fatal(err)
+		}
+		enc[i] = buf.Bytes()
+	}
+	if !bytes.Equal(enc[0], enc[1]) {
+		t.Fatal("two shards returned different key material for the same EvkID")
+	}
+}
+
+func TestAggregateStats(t *testing.T) {
+	a := serve.Stats{
+		Submitted: 4, Served: 4, Batches: 2, Groups: 2, ModUps: 2, Coalesced: 2,
+		P50: 2 * time.Millisecond, P99: 5 * time.Millisecond,
+		PerLevel: []serve.LevelStats{{Level: 3, Switches: 4, ModUps: 2}},
+		Tenants: []serve.TenantStats{
+			{Tenant: "t0", Served: 4, ModUps: 2, PerLevel: []serve.LevelStats{{Level: 3, Switches: 4, ModUps: 2}}},
+		},
+	}
+	a.Keys.Hits = 3
+	a.Keys.Misses = 1
+	b := serve.Stats{
+		Submitted: 6, Served: 6, Batches: 3, Groups: 4, ModUps: 4, Coalesced: 2,
+		P50: 3 * time.Millisecond, P99: 4 * time.Millisecond,
+		PerLevel: []serve.LevelStats{{Level: 3, Switches: 2, ModUps: 2}, {Level: 1, Switches: 4, ModUps: 2}},
+		Tenants: []serve.TenantStats{
+			{Tenant: "t0", Served: 2, ModUps: 2, PerLevel: []serve.LevelStats{{Level: 3, Switches: 2, ModUps: 2}}},
+			{Tenant: "t1", Served: 4, ModUps: 2, PerLevel: []serve.LevelStats{{Level: 1, Switches: 4, ModUps: 2}}},
+		},
+	}
+	b.Keys.Hits = 1
+	b.Keys.Misses = 3
+
+	agg := AggregateStats([]serve.Stats{a, b})
+	if agg.Submitted != 10 || agg.Served != 10 || agg.Batches != 5 ||
+		agg.Groups != 6 || agg.ModUps != 6 || agg.Coalesced != 4 {
+		t.Fatalf("aggregate counters wrong: %+v", agg)
+	}
+	if agg.P50 != 3*time.Millisecond || agg.P99 != 5*time.Millisecond {
+		t.Fatalf("aggregate percentiles should take the worst shard: p50=%v p99=%v", agg.P50, agg.P99)
+	}
+	if agg.CoalescingFactor != float64(10)/6 {
+		t.Fatalf("coalescing factor %v not recomputed from summed counters", agg.CoalescingFactor)
+	}
+	if agg.Keys.Hits != 4 || agg.Keys.Misses != 4 || agg.Keys.HitRate != 0.5 {
+		t.Fatalf("aggregate key-cache stats wrong: %+v", agg.Keys)
+	}
+	wantLevels := []serve.LevelStats{{Level: 3, Switches: 6, ModUps: 4}, {Level: 1, Switches: 4, ModUps: 2}}
+	if len(agg.PerLevel) != 2 || agg.PerLevel[0] != wantLevels[0] || agg.PerLevel[1] != wantLevels[1] {
+		t.Fatalf("aggregate per-level merge wrong: %+v", agg.PerLevel)
+	}
+	if len(agg.Tenants) != 2 || agg.Tenants[0].Tenant != "t0" || agg.Tenants[1].Tenant != "t1" {
+		t.Fatalf("aggregate tenants wrong: %+v", agg.Tenants)
+	}
+	if agg.Tenants[0].Served != 6 || agg.Tenants[0].ModUps != 4 {
+		t.Fatalf("tenant t0 merge wrong: %+v", agg.Tenants[0])
+	}
+	if len(agg.Tenants[0].PerLevel) != 1 || agg.Tenants[0].PerLevel[0] != (serve.LevelStats{Level: 3, Switches: 6, ModUps: 4}) {
+		t.Fatalf("tenant t0 per-level merge wrong: %+v", agg.Tenants[0].PerLevel)
+	}
+}

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestHashRingDeterministic(t *testing.T) {
+	a := newHashRing(4, 0)
+	b := newHashRing(4, 0)
+	for _, tenant := range []string{"t0", "t1", "alpha", "beta"} {
+		if !reflect.DeepEqual(a.owners(tenant, 2), b.owners(tenant, 2)) {
+			t.Fatalf("owner walk for %q differs between identical rings", tenant)
+		}
+	}
+}
+
+func TestHashRingOwners(t *testing.T) {
+	h := newHashRing(4, 64)
+	owners := h.owners("tenant", 3)
+	if len(owners) != 3 {
+		t.Fatalf("owners returned %v, want 3 shards", owners)
+	}
+	seen := map[int]bool{}
+	for _, s := range owners {
+		if s < 0 || s >= 4 || seen[s] {
+			t.Fatalf("owners returned invalid or duplicate shard: %v", owners)
+		}
+		seen[s] = true
+	}
+	// n beyond the live count clamps; n ≤ 0 means one owner.
+	if got := h.owners("tenant", 99); len(got) != 4 {
+		t.Fatalf("over-asking returned %v, want all 4", got)
+	}
+	if got := h.owners("tenant", 0); len(got) != 1 {
+		t.Fatalf("n=0 returned %v, want one owner", got)
+	}
+}
+
+func TestHashRingRemove(t *testing.T) {
+	h := newHashRing(3, 64)
+	tenants := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	before := map[string]int{}
+	for _, tn := range tenants {
+		before[tn] = h.owners(tn, 1)[0]
+	}
+	h.remove(1)
+	if h.liveCount() != 2 {
+		t.Fatalf("liveCount %d after removal, want 2", h.liveCount())
+	}
+	for _, tn := range tenants {
+		owners := h.owners(tn, 1)
+		if len(owners) != 1 || owners[0] == 1 {
+			t.Fatalf("tenant %q routed to removed shard: %v", tn, owners)
+		}
+		// Consistent hashing: tenants not owned by the removed shard
+		// keep their placement.
+		if before[tn] != 1 && owners[0] != before[tn] {
+			t.Fatalf("tenant %q moved from %d to %d though shard 1 was removed",
+				tn, before[tn], owners[0])
+		}
+	}
+	h.remove(0)
+	h.remove(2)
+	if got := h.owners("a", 1); got != nil {
+		t.Fatalf("empty ring returned owners %v", got)
+	}
+}
+
+func TestKeySeed(t *testing.T) {
+	if KeySeed("t0") != KeySeed("t0") {
+		t.Fatal("KeySeed not deterministic")
+	}
+	if KeySeed("t0") == KeySeed("t1") {
+		t.Fatal("KeySeed collides on distinct tenants")
+	}
+	for _, tn := range []string{"", "t0", "t1", "a-long-tenant-name"} {
+		if KeySeed(tn) <= 0 {
+			t.Fatalf("KeySeed(%q) = %d, want positive", tn, KeySeed(tn))
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package cluster
+
+// The shard backend: one serve.Service behind a TCP listener. A shard
+// decodes group frames, re-materializes the pointer-shared input the
+// serve coalescer keys on, submits the members in one tight loop
+// (exactly like the in-process replay client), and streams result
+// frames back as they complete. Its evaluation keys are derived
+// deterministically from tenant names (KeySeed), so every shard of a
+// cluster serves bit-identical results for the same request — the
+// property replication and the router-side serial reference rely on.
+//
+// Drain is the stats-exactness mechanism: once draining, a shard
+// requeues incoming group frames *before executing anything* (a group
+// is one frame, so the decision is atomic per group), finishes its
+// in-flight groups, and replies with a final stats snapshot. After
+// DrainDone its counters can never move again, so the router can add
+// them to the live shards' deltas and still land exactly on the
+// schedule prediction: requeued work is counted only by the shard
+// that eventually runs it.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"ciflow/internal/ckks"
+	"ciflow/internal/serve"
+)
+
+// frameWriter serializes frame writes on one connection, which result
+// streaming (many goroutines) and control replies share.
+type frameWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (fw *frameWriter) write(typ FrameType, payload []byte) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return WriteFrame(fw.w, typ, payload)
+}
+
+// Shard wraps one serve.Service behind the wire protocol. Construct
+// with NewShard, serve with Serve, and stop with Close (or a
+// FrameShutdown from the router; Done unblocks either way).
+type Shard struct {
+	cctx   *ckks.Context
+	svc    *serve.Service
+	chains serve.KeyChains
+
+	// drainMu orders group acceptance against drain: a group either
+	// lands in inflight before draining flips, or observes draining
+	// and is requeued — never half of each.
+	drainMu  sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+// NewShard builds a shard serving the given tenants on cctx: one
+// deterministic key chain per tenant (seeded by KeySeed, so every
+// shard and the router's verifier agree on key material) behind a
+// serve.Service configured by scfg.
+func NewShard(cctx *ckks.Context, tenants []string, scfg serve.Config) (*Shard, error) {
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("cluster: shard needs at least one tenant")
+	}
+	chains := make(serve.KeyChains, len(tenants))
+	for _, t := range tenants {
+		kc, _ := ckks.GenKeys(cctx, KeySeed(t))
+		chains[t] = kc
+	}
+	svc, err := serve.New(cctx.Switchers(), chains, scfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Shard{
+		cctx:   cctx,
+		svc:    svc,
+		chains: chains,
+		conns:  make(map[net.Conn]struct{}),
+		done:   make(chan struct{}),
+	}, nil
+}
+
+// Done is closed when the shard has been told to shut down (Close or
+// a FrameShutdown).
+func (s *Shard) Done() <-chan struct{} { return s.done }
+
+// Stats exposes the underlying service's snapshot (tests and the
+// in-process cluster experiment use it; remote routers go through
+// FrameStatsReq).
+func (s *Shard) Stats() serve.Stats { return s.svc.Stats() }
+
+// Serve accepts router connections on ln until Close. It owns ln.
+func (s *Shard) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("cluster: shard closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	var wg sync.WaitGroup
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			wg.Wait()
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+// Close stops the listener, drops connections, and drains the
+// service. Safe to call more than once.
+func (s *Shard) Close() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.inflight.Wait()
+	s.svc.Close()
+	s.doneOnce.Do(func() { close(s.done) })
+}
+
+// acceptGroup claims an inflight slot unless the shard is draining.
+func (s *Shard) acceptGroup() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// handle runs one connection's read loop. A protocol error (bad
+// frame) drops the connection; the router treats that like a death.
+func (s *Shard) handle(conn net.Conn) {
+	fw := &frameWriter{w: conn}
+	for {
+		typ, payload, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case FramePing:
+			fw.write(FramePong, nil)
+		case FrameStatsReq:
+			p, err := EncodeStats(s.svc.Stats())
+			if err != nil {
+				return
+			}
+			fw.write(FrameStats, p)
+		case FrameGroup:
+			g, err := DecodeGroup(s.cctx.R, payload)
+			if err != nil {
+				return
+			}
+			if !s.acceptGroup() {
+				for i := range g.Rots {
+					s.writeResult(fw, &WireResult{ReqID: g.BaseID + uint64(i), Code: ResultRequeue})
+				}
+				continue
+			}
+			go s.runGroup(fw, g)
+		case FrameEvkReq:
+			id, err := DecodeEvkReq(payload)
+			if err != nil {
+				return
+			}
+			s.sendEvk(fw, id)
+		case FrameDrain:
+			s.drainMu.Lock()
+			s.draining = true
+			s.drainMu.Unlock()
+			go func() {
+				s.inflight.Wait()
+				p, err := EncodeStats(s.svc.Stats())
+				if err != nil {
+					return
+				}
+				fw.write(FrameDrainDone, p)
+			}()
+		case FrameShutdown:
+			s.doneOnce.Do(func() { close(s.done) })
+			return
+		default:
+			// Reply frames are never valid from a router; drop the
+			// connection rather than guess.
+			return
+		}
+	}
+}
+
+// runGroup executes one accepted group: submit every member in a
+// tight loop sharing the decoded input pointer (the coalescer groups
+// them exactly as an in-process fan-out), then stream results back.
+func (s *Shard) runGroup(fw *frameWriter, g *Group) {
+	defer s.inflight.Done()
+	chans := make([]<-chan serve.Result, len(g.Rots))
+	for i, rot := range g.Rots {
+		rc, err := s.svc.Submit(context.Background(), serve.Request{
+			Input: g.Input, Rot: rot, Dataflow: g.Dataflow,
+			Tenant: g.Tenant, Level: g.Level,
+		})
+		if err != nil {
+			s.writeResult(fw, &WireResult{ReqID: g.BaseID + uint64(i), Code: ResultErr, ErrMsg: err.Error()})
+			continue
+		}
+		chans[i] = rc
+	}
+	for i, rc := range chans {
+		if rc == nil {
+			continue
+		}
+		res := <-rc
+		wr := &WireResult{ReqID: g.BaseID + uint64(i)}
+		if res.Err != nil {
+			wr.Code = ResultErr
+			wr.ErrMsg = res.Err.Error()
+		} else {
+			wr.C0, wr.C1 = res.C0, res.C1
+		}
+		s.writeResult(fw, wr)
+	}
+}
+
+// writeResult encodes and sends one result; a dead connection is the
+// router's problem (it requeues undelivered requests), so write
+// errors are dropped here.
+func (s *Shard) writeResult(fw *frameWriter, wr *WireResult) {
+	p, err := EncodeResult(s.cctx.R, wr)
+	if err != nil {
+		return
+	}
+	fw.write(FrameResult, p)
+}
+
+// sendEvk answers one evaluation-key fetch from the shard's
+// deterministic chains.
+func (s *Shard) sendEvk(fw *frameWriter, id EvkID) {
+	evk, err := s.chains.Key(serve.KeyID{Tenant: id.Tenant, Rot: id.Rot, Level: id.Level})
+	if err != nil {
+		return
+	}
+	sw, err := s.cctx.Switchers().Switcher(id.Level)
+	if err != nil {
+		return
+	}
+	p, err := EncodeEvk(id, sw, evk)
+	if err != nil {
+		return
+	}
+	fw.write(FrameEvk, p)
+}

@@ -71,3 +71,42 @@ func TestReadEvkRejectsMismatch(t *testing.T) {
 		t.Error("basis mismatch accepted")
 	}
 }
+
+// Every strict prefix of a serialized evk must error — never panic —
+// and a lying digit count is rejected on the header check before any
+// digit is read or allocated.
+func TestReadEvkTruncationRobust(t *testing.T) {
+	r, s, sOld, sNew := testSetup(t, 32, 4, 30, 2, 31)
+	sw, err := NewSwitcher(r, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evk := sw.GenEvk(s, sOld, sNew)
+	var buf bytes.Buffer
+	if err := sw.WriteEvk(&buf, evk); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for i := 0; i < len(good); i++ {
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("truncation at %d/%d panicked: %v", i, len(good), rec)
+				}
+			}()
+			if _, err := sw.ReadEvk(bytes.NewReader(good[:i])); err == nil {
+				t.Errorf("truncation at %d/%d read successfully", i, len(good))
+			}
+		}()
+	}
+	bad := append([]byte(nil), good...)
+	bad[0], bad[1], bad[2], bad[3] = 0xff, 0xff, 0xff, 0xff
+	if _, err := sw.ReadEvk(bytes.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "digits") {
+		t.Errorf("oversized digit count: got %v", err)
+	}
+	// A malformed evk (uneven digit lists) is refused on write.
+	if err := sw.WriteEvk(&bytes.Buffer{}, &Evk{B: evk.B}); err == nil {
+		t.Error("WriteEvk accepted an evk with mismatched digit lists")
+	}
+}

@@ -77,3 +77,38 @@ func TestReadPolyRejectsGarbage(t *testing.T) {
 		t.Error("empty stream accepted")
 	}
 }
+
+// Every strict prefix of a serialized polynomial must produce an
+// error — never a panic, never a false success — and a lying tower
+// count must be rejected before any count-sized allocation. This is
+// the robustness contract the cluster wire protocol composes on.
+func TestReadPolyTruncationRobust(t *testing.T) {
+	r := quickRing(t)
+	p := NewSampler(r, 5).Uniform(r.QBasis(2))
+	p.IsNTT = true
+	var buf bytes.Buffer
+	if err := r.WritePoly(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for i := 0; i < len(good); i++ {
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("truncation at %d/%d panicked: %v", i, len(good), rec)
+				}
+			}()
+			if _, err := r.ReadPoly(bytes.NewReader(good[:i])); err == nil {
+				t.Errorf("truncation at %d/%d read successfully", i, len(good))
+			}
+		}()
+	}
+	// Oversized tower-count declaration: must error on the range
+	// check, not allocate towers' worth of memory.
+	bad := append([]byte(nil), good...)
+	bad[8], bad[9], bad[10], bad[11] = 0xff, 0xff, 0xff, 0xff
+	if _, err := r.ReadPoly(bytes.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "tower count") {
+		t.Errorf("oversized tower count: got %v", err)
+	}
+}

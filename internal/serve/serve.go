@@ -210,8 +210,9 @@ type tenantWorker struct {
 	mu     sync.RWMutex
 	closed bool
 
-	stats serviceCounters
-	lats  latencyRecorder
+	stats  serviceCounters
+	levels levelCounters
+	lats   latencyRecorder
 }
 
 // send enqueues under the worker's read lock so Close cannot close the
@@ -247,8 +248,9 @@ type Service struct {
 	closed  bool
 	workers map[string]*tenantWorker
 
-	stats serviceCounters
-	lats  latencyRecorder
+	stats  serviceCounters
+	levels levelCounters
+	lats   latencyRecorder
 }
 
 // New starts a service routing levels through switchers and loading
@@ -503,6 +505,11 @@ func (s *Service) runGroup(w *tenantWorker, g groupKey, ps []*pending) {
 		c0 := sw.R.NewPoly(sw.QBasis())
 		c1 := sw.R.NewPoly(sw.QBasis())
 		sw.SwitchParallelInto(s.cfg.Engine, g.df, p.req.Input, evk, c0, c1)
+		// Level counters land before the result delivers, so a caller
+		// that snapshots Stats after receiving its last result sees a
+		// per-level breakdown consistent with the totals.
+		w.levels.add(g.level, 1, 1)
+		s.levels.add(g.level, 1, 1)
 		s.finish(w, p, Result{C0: c0, C1: c1})
 		return
 	}
@@ -511,6 +518,12 @@ func (s *Service) runGroup(w *tenantWorker, g groupKey, ps []*pending) {
 	s.stats.coalesced.Add(uint64(len(live)))
 	w.stats.modUps.Add(1)
 	s.stats.modUps.Add(1)
+	// One hoisted ModUp for the group regardless of per-key failures
+	// (it runs either way); each request's switch is counted just
+	// before its result delivers, so the level slices always sum to
+	// the Served/ModUps totals a concurrent snapshot observes.
+	w.levels.add(g.level, 0, 1)
+	s.levels.add(g.level, 0, 1)
 	h := sw.HoistParallel(s.cfg.Engine, g.df, g.in)
 	defer h.Release()
 	for _, p := range live {
@@ -522,6 +535,8 @@ func (s *Service) runGroup(w *tenantWorker, g groupKey, ps []*pending) {
 		c0 := sw.R.NewPoly(sw.QBasis())
 		c1 := sw.R.NewPoly(sw.QBasis())
 		h.SwitchParallelInto(s.cfg.Engine, evk, c0, c1)
+		w.levels.add(g.level, 1, 0)
+		s.levels.add(g.level, 1, 0)
 		s.finish(w, p, Result{C0: c0, C1: c1})
 	}
 }
@@ -580,6 +595,7 @@ func (s *Service) tenantStatsLocked(keys map[string]TenantCacheStats) []TenantSt
 			ts.CoalescingFactor = float64(ts.Served) / float64(ts.ModUps)
 		}
 		ts.P50, ts.P99 = w.lats.percentiles()
+		ts.PerLevel = w.levels.snapshot()
 		out = append(out, ts)
 	}
 	return out

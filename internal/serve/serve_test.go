@@ -2,7 +2,9 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -908,5 +910,137 @@ func TestLevelRouting(t *testing.T) {
 	st := svc.Stats()
 	if st.Served != 4 || st.ModUps != 2 {
 		t.Fatalf("stats %+v: want 4 served over 2 level-scoped ModUps", st)
+	}
+}
+
+// TestPerLevelCounters drives two levels through one service and
+// checks the per-level switch/ModUp breakdown — globally and in the
+// tenant slice — matches what was submitted: at each level, two
+// rotations sharing one input are 2 switches over 1 hoisted ModUp.
+func TestPerLevelCounters(t *testing.T) {
+	ctx, err := ckks.NewContext(32, 4, 30, 2, 31, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kc, _ := ckks.GenKeys(ctx, 11)
+	e := engine.New(2)
+	defer e.Close()
+	svc, err := New(kc, KeyChains{"": kc}, Config{
+		Engine: e, MaxBatch: 4, Window: time.Minute, DefaultLevel: ctx.MaxLevel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	s := ring.NewSampler(ctx.R, 4)
+	levels := []int{ctx.MaxLevel, ctx.MaxLevel - 1}
+	var chans []<-chan Result
+	for _, level := range levels {
+		sw, err := kc.Switcher(level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := s.Uniform(sw.QBasis())
+		in.IsNTT = true
+		for k := 0; k < 2; k++ {
+			ch, err := svc.Submit(context.Background(), Request{Input: in, Rot: 1 + k, Level: level})
+			if err != nil {
+				t.Fatal(err)
+			}
+			chans = append(chans, ch)
+		}
+	}
+	for _, ch := range chans {
+		if res := <-ch; res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+
+	st := svc.Stats()
+	if len(st.PerLevel) != 2 {
+		t.Fatalf("PerLevel %+v, want both levels", st.PerLevel)
+	}
+	var sumSw, sumMu uint64
+	for i, lc := range st.PerLevel {
+		if lc.Level != levels[i] {
+			t.Fatalf("PerLevel not descending: %+v", st.PerLevel)
+		}
+		if lc.Switches != 2 || lc.ModUps != 1 {
+			t.Fatalf("level %d counters %+v, want 2 switches / 1 ModUp", lc.Level, lc)
+		}
+		sumSw += lc.Switches
+		sumMu += lc.ModUps
+	}
+	// The slice must reproduce the totals.
+	if sumSw != st.Served || sumMu != st.ModUps {
+		t.Fatalf("per-level sums %d/%d vs totals %d/%d", sumSw, sumMu, st.Served, st.ModUps)
+	}
+	// The single tenant's breakdown is the whole breakdown.
+	ts := tenantStats(t, st, "")
+	if len(ts.PerLevel) != 2 || ts.PerLevel[0] != st.PerLevel[0] || ts.PerLevel[1] != st.PerLevel[1] {
+		t.Fatalf("tenant PerLevel %+v differs from global %+v", ts.PerLevel, st.PerLevel)
+	}
+}
+
+// TestStatsSnapshotIsolated pins the two serialization properties the
+// cluster wire format relies on: Snapshot() shares no storage with
+// later snapshots (mutating one cannot corrupt another), and the JSON
+// field names are the stable wire contract.
+func TestStatsSnapshotIsolated(t *testing.T) {
+	b := newTestBench(t, 2)
+	svc := b.newService(t, Config{MaxBatch: 2, Window: time.Minute})
+	defer svc.Close()
+	in := b.input()
+	for k := 0; k < 2; k++ {
+		ch, err := svc.Submit(context.Background(), Request{Input: in, Rot: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { <-ch }()
+	}
+	var st Stats
+	waitUntil := time.Now().Add(5 * time.Second)
+	for st = svc.Stats().Snapshot(); st.Served < 2 && time.Now().Before(waitUntil); st = svc.Stats().Snapshot() {
+		time.Sleep(time.Millisecond)
+	}
+	if st.Served != 2 || len(st.PerLevel) == 0 || len(st.Tenants) == 0 {
+		t.Fatalf("snapshot incomplete: %+v", st)
+	}
+
+	// Mutating the snapshot's slices must not leak into fresh ones.
+	st.PerLevel[0].Switches = 999
+	st.Tenants[0].PerLevel[0].ModUps = 999
+	st.Keys.Tenants[0].Hits = 999
+	fresh := svc.Stats().Snapshot()
+	if fresh.PerLevel[0].Switches == 999 || fresh.Tenants[0].PerLevel[0].ModUps == 999 ||
+		fresh.Keys.Tenants[0].Hits == 999 {
+		t.Fatal("snapshot mutation visible in a fresh snapshot")
+	}
+
+	// The JSON wire names are a compatibility contract: a stats frame
+	// written by one shard build must parse on another.
+	raw, err := json.Marshal(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"submitted", "served", "failed", "batches", "groups", "mod_ups",
+		"coalesced", "coalescing_factor", "keys", "p50", "p99", "per_level", "tenants",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("stats JSON missing %q: %s", key, raw)
+		}
+	}
+	var back Stats
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, fresh) {
+		t.Fatalf("stats JSON round trip differs:\n%+v\n%+v", back, fresh)
 	}
 }

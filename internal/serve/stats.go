@@ -20,6 +20,58 @@ type serviceCounters struct {
 	coalesced atomic.Uint64
 }
 
+// LevelStats is one ciphertext level's slice of the switch counters:
+// requests served and hoisted Decompose+ModUp executions at that
+// level. The per-level breakdown is what lets internal/workload
+// cross-validate its per-level schedule predictions *server-side* —
+// the serving layer's own books must show the schedule's level mix,
+// not just the right totals.
+type LevelStats struct {
+	Level    int    `json:"level"`
+	Switches uint64 `json:"switches"`
+	ModUps   uint64 `json:"mod_ups"`
+}
+
+// levelCounters aggregates the per-level counters. Unlike the hot
+// per-request atomics it is mutex-guarded: it is touched once per
+// *group* (runGroup), where a map update is noise next to the hoist
+// graph it accounts for.
+type levelCounters struct {
+	mu sync.Mutex
+	m  map[int]*LevelStats
+}
+
+func (lc *levelCounters) add(level int, switches, modUps uint64) {
+	lc.mu.Lock()
+	if lc.m == nil {
+		lc.m = make(map[int]*LevelStats)
+	}
+	e := lc.m[level]
+	if e == nil {
+		e = &LevelStats{Level: level}
+		lc.m[level] = e
+	}
+	e.Switches += switches
+	e.ModUps += modUps
+	lc.mu.Unlock()
+}
+
+// snapshot returns the levels sorted descending from the top level,
+// matching workload.Counts.PerLevel order.
+func (lc *levelCounters) snapshot() []LevelStats {
+	lc.mu.Lock()
+	out := make([]LevelStats, 0, len(lc.m))
+	for _, e := range lc.m {
+		out = append(out, *e)
+	}
+	lc.mu.Unlock()
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Level > out[b].Level })
+	return out
+}
+
 // TenantStats is one tenant's slice of the service: its request
 // counters, latency percentiles, and key-cache shard. Because batches
 // and coalesced groups never span tenants, the per-tenant ModUps sum
@@ -43,6 +95,10 @@ type TenantStats struct {
 	// isolation test pins: a hot neighbour must not move them.
 	P50 time.Duration `json:"p50"`
 	P99 time.Duration `json:"p99"`
+
+	// PerLevel is this tenant's switch/ModUp breakdown by ciphertext
+	// level, descending from the top level.
+	PerLevel []LevelStats `json:"per_level,omitempty"`
 
 	Keys TenantCacheStats `json:"keys"`
 }
@@ -70,8 +126,42 @@ type Stats struct {
 	P50 time.Duration `json:"p50"`
 	P99 time.Duration `json:"p99"`
 
+	// PerLevel is the switch/ModUp breakdown by ciphertext level,
+	// descending from the top level. Per level, Switches sum the served
+	// requests and ModUps the hoisted Decompose+ModUp executions, so
+	// summing the slice reproduces the Served and ModUps totals.
+	PerLevel []LevelStats `json:"per_level,omitempty"`
+
 	// Tenants is the per-tenant breakdown, sorted by tenant name.
 	Tenants []TenantStats `json:"tenants"`
+}
+
+// Snapshot returns a deep copy of st: the slices (per-tenant,
+// per-level, cache breakdowns) share no storage with the original, so
+// the copy is safe to hold, mutate, or serialize while the service
+// keeps running and later Stats() calls produce new snapshots.
+// Service.Stats() already builds fresh slices on every call; Snapshot
+// is for callers that aggregate or forward Stats values (the cluster
+// wire protocol ships them as JSON frames) and must not alias them.
+func (st Stats) Snapshot() Stats {
+	st.Keys = st.Keys.Snapshot()
+	st.PerLevel = append([]LevelStats(nil), st.PerLevel...)
+	if st.Tenants != nil {
+		tenants := make([]TenantStats, len(st.Tenants))
+		for i, ts := range st.Tenants {
+			ts.PerLevel = append([]LevelStats(nil), ts.PerLevel...)
+			tenants[i] = ts
+		}
+		st.Tenants = tenants
+	}
+	return st
+}
+
+// Snapshot returns a deep copy of cs whose Tenants slice shares no
+// storage with the original.
+func (cs CacheStats) Snapshot() CacheStats {
+	cs.Tenants = append([]TenantCacheStats(nil), cs.Tenants...)
+	return cs
 }
 
 // Stats snapshots the service counters, cache counters, latency
@@ -91,6 +181,7 @@ func (s *Service) Stats() Stats {
 		st.CoalescingFactor = float64(st.Served) / float64(st.ModUps)
 	}
 	st.P50, st.P99 = s.lats.percentiles()
+	st.PerLevel = s.levels.snapshot()
 
 	keyShards := make(map[string]TenantCacheStats, len(st.Keys.Tenants))
 	for _, ts := range st.Keys.Tenants {

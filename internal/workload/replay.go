@@ -28,6 +28,29 @@ import (
 	"ciflow/internal/serve"
 )
 
+// Server is the serving surface Replay drives: request submission and
+// the measured counters. *serve.Service implements it directly; the
+// cluster router's per-tenant views implement it over the wire, which
+// is how one replay client asserts the identical exact-count
+// invariants against one process or a sharded fabric.
+type Server interface {
+	Submit(ctx context.Context, req serve.Request) (<-chan serve.Result, error)
+	Stats() serve.Stats
+}
+
+// GroupSubmitter is an optional Server extension: submit one whole
+// hoist group in a single call. All requests of the group share one
+// Input, and the transport may exploit that — the cluster wire
+// protocol ships the input polynomial once per group frame, the
+// network-level counterpart of the paper's hoisting argument (one
+// ModUp shared by a rotation fan-out). Implementations must deliver
+// one result channel per request, in order, and must hand the whole
+// group to a single executor so its coalescing behaviour matches a
+// tight Submit loop.
+type GroupSubmitter interface {
+	SubmitGroup(ctx context.Context, reqs []serve.Request) ([]<-chan serve.Result, error)
+}
+
 // ReplayConfig tunes one schedule replay.
 type ReplayConfig struct {
 	// Tenant is the keyspace every request is addressed to.
@@ -55,6 +78,11 @@ type ReplayResult struct {
 	Groups    uint64 `json:"groups"`
 	Coalesced uint64 `json:"coalesced"`
 	Batches   uint64 `json:"batches"`
+
+	// PerLevel is the measured per-level switch/ModUp delta, validated
+	// level by level against Predicted.PerLevel (the server-side
+	// cross-check of the schedule's level mix).
+	PerLevel []LevelCount `json:"per_level,omitempty"`
 
 	// CountsExact is true when every measured counter equals its
 	// prediction; Mismatches lists the offenders otherwise.
@@ -110,7 +138,7 @@ func ReplayServiceConfig(s *Schedule) serve.Config {
 // replayer carries one replay's bookkeeping.
 type replayer struct {
 	s       *Schedule
-	svc     *serve.Service
+	svc     Server
 	cfg     ReplayConfig
 	r       *ring.Ring
 	sampler *ring.Sampler
@@ -126,11 +154,13 @@ type replayer struct {
 // measured counters are deltas of svc.Stats() around the replay) and
 // configured per ReplayServiceConfig. switchers resolves the levels'
 // bases (and, with cfg.Check, runs the serial reference); keys is
-// only used by the reference and must be the same source the service
-// loads from (ckks key-chain memoization makes the comparison
-// meaningful). r is the service's ring; cfg.Seed makes the run
-// reproducible.
-func Replay(ctx context.Context, svc *serve.Service, switchers serve.SwitcherSource, keys serve.KeySource, r *ring.Ring, s *Schedule, cfg ReplayConfig) (*ReplayResult, error) {
+// only used by the reference and must resolve the same key material
+// the server loads (ckks key-chain memoization — or, across a wire,
+// deterministic seed-derived chains — makes the comparison
+// meaningful). r is the server's ring; cfg.Seed makes the run
+// reproducible. When svc also implements GroupSubmitter, hoist groups
+// are handed over whole instead of request by request.
+func Replay(ctx context.Context, svc Server, switchers serve.SwitcherSource, keys serve.KeySource, r *ring.Ring, s *Schedule, cfg ReplayConfig) (*ReplayResult, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -183,6 +213,25 @@ func Replay(ctx context.Context, svc *serve.Service, switchers serve.SwitcherSou
 	exact("mod_ups", res.ModUps, res.Predicted.ModUps)
 	exact("groups", res.Groups, res.Predicted.ModUps)
 	exact("coalesced", res.Coalesced, res.Predicted.Coalesced)
+	res.PerLevel = perLevelDelta(before.PerLevel, after.PerLevel)
+	measured := map[int]LevelCount{}
+	for _, lc := range res.PerLevel {
+		measured[lc.Level] = lc
+	}
+	for _, p := range res.Predicted.PerLevel {
+		m := measured[p.Level]
+		exact(fmt.Sprintf("level %d switches", p.Level), uint64(m.Switches), p.Switches)
+		exact(fmt.Sprintf("level %d mod_ups", p.Level), uint64(m.ModUps), p.ModUps)
+		delete(measured, p.Level)
+	}
+	for l, m := range measured {
+		if m.Switches != 0 || m.ModUps != 0 {
+			res.CountsExact = false
+			res.Mismatches = append(res.Mismatches,
+				fmt.Sprintf("level %d: measured %d switches / %d mod_ups, schedule predicts none",
+					l, m.Switches, m.ModUps))
+		}
+	}
 	if res.Predicted.HoistGroups > 0 {
 		res.HoistCoalescingFactor = float64(res.Coalesced) / float64(res.Predicted.HoistGroups)
 	}
@@ -237,6 +286,27 @@ func (rp *replayer) groupInput(gi int) *ring.Poly {
 // first derived group differs from the raw predecessor sum.
 func groupSalt(gi int) uint64 { return uint64(gi) + 2 }
 
+// perLevelDelta subtracts two serve per-level snapshots, keeping the
+// descending level order of the after snapshot.
+func perLevelDelta(before, after []serve.LevelStats) []LevelCount {
+	prev := map[int]serve.LevelStats{}
+	for _, ls := range before {
+		prev[ls.Level] = ls
+	}
+	var out []LevelCount
+	for _, ls := range after {
+		d := LevelCount{
+			Level:    ls.Level,
+			Switches: int(ls.Switches - prev[ls.Level].Switches),
+			ModUps:   int(ls.ModUps - prev[ls.Level].ModUps),
+		}
+		if d.Switches != 0 || d.ModUps != 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 type nodeDone struct {
 	id  int
 	res serve.Result
@@ -244,7 +314,29 @@ type nodeDone struct {
 
 func (rp *replayer) submitGroup(ctx context.Context, gi int, ch chan<- nodeDone) error {
 	in := rp.groupInput(gi)
-	for _, id := range rp.groups[gi] {
+	ids := rp.groups[gi]
+	forward := func(id int, rc <-chan serve.Result) {
+		go func() { ch <- nodeDone{id: id, res: <-rc} }()
+	}
+	if gs, ok := rp.svc.(GroupSubmitter); ok {
+		reqs := make([]serve.Request, len(ids))
+		for i, id := range ids {
+			n := rp.s.Nodes[id]
+			reqs[i] = serve.Request{
+				Input: in, Rot: n.Rot, Dataflow: rp.cfg.Dataflow,
+				Tenant: rp.cfg.Tenant, Level: n.Level,
+			}
+		}
+		rcs, err := gs.SubmitGroup(ctx, reqs)
+		if err != nil {
+			return fmt.Errorf("workload: submit group %d (%s): %w", gi, rp.s.Nodes[ids[0]].Stage, err)
+		}
+		for i, id := range ids {
+			forward(id, rcs[i])
+		}
+		return nil
+	}
+	for _, id := range ids {
 		n := rp.s.Nodes[id]
 		rc, err := rp.svc.Submit(ctx, serve.Request{
 			Input: in, Rot: n.Rot, Dataflow: rp.cfg.Dataflow,
@@ -253,9 +345,7 @@ func (rp *replayer) submitGroup(ctx context.Context, gi int, ch chan<- nodeDone)
 		if err != nil {
 			return fmt.Errorf("workload: submit node %d (%s): %w", id, n.Stage, err)
 		}
-		go func(id int, rc <-chan serve.Result) {
-			ch <- nodeDone{id: id, res: <-rc}
-		}(id, rc)
+		forward(id, rc)
 	}
 	return nil
 }

@@ -196,10 +196,16 @@ func equalDeps(a, b []int) bool {
 	return true
 }
 
-// LevelCount is one level's slice of a schedule's switch count.
+// LevelCount is one level's slice of a schedule's predicted counts:
+// key switches at the level and hoisted Decompose+ModUp executions
+// (one per hoist group running at the level). The replay client
+// cross-validates these against the service's own per-level counters
+// (serve.Stats.PerLevel), so the level mix — not just the totals —
+// must survive any serving layer between client and executor.
 type LevelCount struct {
 	Level    int `json:"level"`
 	Switches int `json:"switches"`
+	ModUps   int `json:"mod_ups"`
 }
 
 // Counts are the exact operation counts a schedule predicts for any
@@ -293,8 +299,10 @@ func (s *Schedule) Counts() Counts {
 			c.Depth = depth[i]
 		}
 	}
+	perLevelMod := map[int]int{}
 	for _, g := range s.Groups() {
 		c.ModUps++
+		perLevelMod[s.Nodes[g[0]].Level]++ // group members share one level
 		if len(g) > c.MaxWidth {
 			c.MaxWidth = len(g)
 		}
@@ -310,7 +318,7 @@ func (s *Schedule) Counts() Counts {
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(levels)))
 	for _, l := range levels {
-		c.PerLevel = append(c.PerLevel, LevelCount{Level: l, Switches: perLevel[l]})
+		c.PerLevel = append(c.PerLevel, LevelCount{Level: l, Switches: perLevel[l], ModUps: perLevelMod[l]})
 	}
 	return c
 }

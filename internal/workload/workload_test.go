@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -310,5 +311,34 @@ func TestBootstrapBTSLevels(t *testing.T) {
 				t.Fatalf("%s node %d at level %d outside [0,%d)", b.Name, n.ID, n.Level, b.KL)
 			}
 		}
+	}
+}
+
+// TestBootstrapPerLevelModUps pins the per-level ModUp prediction the
+// cluster layer cross-validates server-side: with radix 16 the CtS
+// and StC halves each run one 4x4 BSGS stage (3 babies sharing one
+// hoisted ModUp, 3 giants each their own), and the relin sits alone
+// on the middle level.
+func TestBootstrapPerLevelModUps(t *testing.T) {
+	s, err := Bootstrap(BootstrapParams{LogSlots: 4, Radix: 16, Top: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Counts()
+	want := []LevelCount{
+		{Level: 3, Switches: 6, ModUps: 4},
+		{Level: 2, Switches: 1, ModUps: 1},
+		{Level: 1, Switches: 6, ModUps: 4},
+	}
+	if !reflect.DeepEqual(c.PerLevel, want) {
+		t.Fatalf("per-level prediction %+v, want %+v", c.PerLevel, want)
+	}
+	var sw, mu int
+	for _, lc := range c.PerLevel {
+		sw += lc.Switches
+		mu += lc.ModUps
+	}
+	if sw != c.Switches || mu != c.ModUps {
+		t.Fatalf("per-level sums %d/%d vs totals %d/%d", sw, mu, c.Switches, c.ModUps)
 	}
 }
