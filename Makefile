@@ -29,8 +29,11 @@ fmt:
 # from PR to PR. It then drives the internal/serve multi-tenant
 # service with the `ciflow serve` load generator (overlapping
 # rotations from concurrent clients over a 2-tenant x 2-level
-# keyspace matrix) and snapshots its ops/sec, per-tenant cache hit
-# rates, key-byte residency, and coalescing factor to BENCH_serve.json.
+# keyspace matrix, serving seed-compressed keys at HALF the previous
+# 256 MiB budget — the perfgate pins that the working set still fits
+# and throughput holds) and snapshots its ops/sec, per-tenant cache
+# hit rates, key-byte residency, streamed-expansion counts, and
+# coalescing factor to BENCH_serve.json.
 # Finally it replays a BTS2-shaped bootstrapping schedule DAG
 # (CoeffToSlot/SlotToCoeff chains with hoistable fan-outs) through the
 # service with the dependency-aware workload client and snapshots the
@@ -42,7 +45,7 @@ fmt:
 # Tune with e.g.
 #   make bench BENCH_FLAGS="-logn 14 -requests 32 -workers 8"
 BENCH_FLAGS ?= -logn 13 -requests 8
-SERVE_FLAGS ?= -logn 13 -clients 4 -rotations 8 -requests 8 -tenants 2 -levels 2
+SERVE_FLAGS ?= -logn 13 -clients 4 -rotations 8 -requests 8 -tenants 2 -levels 2 -keycomp -keybudget 134217728
 WORKLOAD_FLAGS ?= -logn 13 -towers 6 -bts 2
 CLUSTER_FLAGS ?= -logn 12 -towers 6 -bts 2 -shards 3 -tenants 4 -replicas 2 -kill
 

@@ -70,6 +70,7 @@ type cliFlags struct {
 	tenants   *int
 	levels    *int
 	keyBudget *int64
+	keyComp   *bool
 	maxBatch  *int
 	window    *time.Duration
 	check     *bool
@@ -122,6 +123,7 @@ func newFlags() *cliFlags {
 	fl.tenants = fs.Int("tenants", 1, "serve tenant count (distinct keyspaces, round-robin over clients)")
 	fl.levels = fs.Int("levels", 1, "serve distinct ciphertext levels, topmost first")
 	fl.keyBudget = fs.Int64("keybudget", 0, "serve global key-cache byte budget (0 = serve default)")
+	fl.keyComp = fs.Bool("keycomp", false, "serve: cache seed-compressed evaluation keys, expanded per digit at use")
 	fl.maxBatch = fs.Int("batch", 64, "serve micro-batch size cap")
 	fl.window = fs.Duration("window", 500*time.Microsecond, "serve micro-batch gather window")
 	fl.check = fs.Bool("check", false, "serve: fail unless coalescing > 1, hit rates > 50%, keyspaces isolated, bit-exact")

@@ -234,6 +234,28 @@ func perfgateServe(baselinePath, freshPath string, maxRegression float64, failur
 		*failures = append(*failures,
 			fmt.Sprintf("serve: resident key bytes %d exceed the %d budget", fresh.KeyBytes, fresh.KeyBudget))
 	}
+	// Compression invariants. The baseline pins both the compressed
+	// form and the (halved) budget: a bench run without -keycomp, or
+	// with the budget quietly loosened back up, must not pass.
+	if base.KeyComp && !fresh.KeyComp {
+		*failures = append(*failures,
+			"serve: baseline caches compressed keys but the fresh run does not (bench run without -keycomp?)")
+	}
+	if base.KeyBudget > 0 && fresh.KeyBudget > base.KeyBudget {
+		*failures = append(*failures,
+			fmt.Sprintf("serve: fresh key budget %d above baseline %d (bench run with a loosened budget?)",
+				fresh.KeyBudget, base.KeyBudget))
+	}
+	if fresh.KeyComp {
+		if fresh.KeyExpansions == 0 {
+			*failures = append(*failures, "serve: compressed run counted no streamed key expansions")
+		}
+		if fresh.KeyDenseBytes <= fresh.KeyBytes {
+			*failures = append(*failures,
+				fmt.Sprintf("serve: dense-equivalent footprint %d not above compressed resident %d",
+					fresh.KeyDenseBytes, fresh.KeyBytes))
+		}
+	}
 	if len(fresh.Tenants) < len(base.Tenants) {
 		*failures = append(*failures,
 			fmt.Sprintf("serve: fresh report covers %d tenants, baseline %d (bench run with a smaller -tenants matrix?)",
@@ -256,8 +278,13 @@ func perfgateServe(baselinePath, freshPath string, maxRegression float64, failur
 			fmt.Sprintf("serve: per-tenant ModUps sum %d != global %d (cross-tenant coalescing)",
 				tenantModUps, fresh.ModUps))
 	}
-	fmt.Printf("serve coalescing %.2fx, key hit rate %.0f%%, %d tenants, resident %d/%d key bytes\n",
-		fresh.CoalescingFactor, 100*fresh.KeyHitRate, len(fresh.Tenants), fresh.KeyBytes, fresh.KeyBudget)
+	form := "dense keys"
+	if fresh.KeyComp {
+		form = fmt.Sprintf("compressed keys (%d expansions, dense-equivalent %d bytes)",
+			fresh.KeyExpansions, fresh.KeyDenseBytes)
+	}
+	fmt.Printf("serve coalescing %.2fx, key hit rate %.0f%%, %d tenants, resident %d/%d key bytes, %s\n",
+		fresh.CoalescingFactor, 100*fresh.KeyHitRate, len(fresh.Tenants), fresh.KeyBytes, fresh.KeyBudget, form)
 	return nil
 }
 

@@ -2,8 +2,10 @@ package main
 
 // The serve experiment is the load generator for internal/serve: it
 // stands up the multi-tenant batching key-switch service — one
-// ckks.KeyChain (keyspace) per tenant over a shared context, routed
-// through one per-level switcher pool — and drives it with concurrent
+// ckks.KeyChain (keyspace) per tenant over a shared context, derived
+// through serve.NewSeedKeySource (with -keycomp, serving
+// seed-compressed key material), routed through one per-level
+// switcher pool — and drives it with concurrent
 // clients issuing overlapping rotation fan-outs across a (tenant,
 // level) matrix: the request stream of diagonal-method linear-
 // transform workloads, served instead of evaluated inline. The report
@@ -43,20 +45,22 @@ type serveConfig struct {
 	tenants   int   // distinct keyspaces
 	levels    int   // distinct ciphertext levels, topmost first
 	keyBudget int64 // global key-cache byte budget; 0 = serve default
+	keyComp   bool  // cache seed-compressed keys, expand per digit at use
 	maxBatch  int
 	window    time.Duration
 }
 
 // serveTenantReport is one tenant's slice of the serve report.
 type serveTenantReport struct {
-	Tenant       string  `json:"tenant"`
-	Served       uint64  `json:"served"`
-	P99Ms        float64 `json:"p99_ms"`
-	ModUps       uint64  `json:"mod_ups"`
-	KeyHitRate   float64 `json:"key_hit_rate"`
-	KeyMisses    uint64  `json:"key_misses"`
-	KeyEvictions uint64  `json:"key_evictions"`
-	KeyBytes     int64   `json:"key_bytes"`
+	Tenant        string  `json:"tenant"`
+	Served        uint64  `json:"served"`
+	P99Ms         float64 `json:"p99_ms"`
+	ModUps        uint64  `json:"mod_ups"`
+	KeyHitRate    float64 `json:"key_hit_rate"`
+	KeyMisses     uint64  `json:"key_misses"`
+	KeyEvictions  uint64  `json:"key_evictions"`
+	KeyBytes      int64   `json:"key_bytes"`
+	KeyExpansions uint64  `json:"key_expansions"`
 }
 
 // serveReport is the JSON artifact of the serve experiment
@@ -96,6 +100,13 @@ type serveReport struct {
 	// the run; the perf gate asserts it never exceeds KeyBudget.
 	KeyBytes   int64   `json:"key_resident_bytes"`
 	KeyHitRate float64 `json:"key_hit_rate"`
+	// KeyComp records whether the cache held seed-compressed keys;
+	// KeyDenseBytes is then the what-if dense footprint of the same
+	// resident set, and KeyExpansions counts streamed per-digit
+	// expansions (one per served request — hits expand too).
+	KeyComp       bool   `json:"keycomp"`
+	KeyDenseBytes int64  `json:"key_dense_bytes"`
+	KeyExpansions uint64 `json:"key_expansions"`
 
 	Tenants []serveTenantReport `json:"tenant_stats"`
 
@@ -163,19 +174,26 @@ func serveRun(cfg serveConfig) (*serveReport, error) {
 	}
 
 	// One keyspace (secret + key chain) per tenant over the shared
-	// context; all of them route through the context's one per-level
-	// switcher pool (switchers hold no secret material).
+	// context, built through the same seed-derived source the cluster
+	// shards use (keys are pure functions of context + TenantSeed);
+	// all of them route through the context's one per-level switcher
+	// pool (switchers hold no secret material). With -keycomp the
+	// source hands the cache seed-compressed material, so the service
+	// expands the a-halves per digit, streamed under the hoist phase.
 	tenantName := func(i int) string { return fmt.Sprintf("t%d", i) }
-	chains := serve.KeyChains{}
-	for i := 0; i < cfg.tenants; i++ {
-		kc, _ := ckks.GenKeys(cctx, int64(i+1))
-		chains[tenantName(i)] = kc
+	names := make([]string, cfg.tenants)
+	for i := range names {
+		names[i] = tenantName(i)
+	}
+	src, err := serve.NewSeedKeySource(cctx, names, cfg.keyComp)
+	if err != nil {
+		return nil, err
 	}
 	levelAt := func(i int) int { return cctx.MaxLevel - i%cfg.levels }
 
 	e := engine.New(cfg.workers)
 	defer e.Close()
-	svc, err := serve.New(cctx.Switchers(), chains, serve.Config{
+	svc, err := serve.New(cctx.Switchers(), src, serve.Config{
 		Engine:       e,
 		KeyBudget:    cfg.keyBudget,
 		MaxBatch:     cfg.maxBatch,
@@ -302,16 +320,20 @@ func serveRun(cfg serveConfig) (*serveReport, error) {
 	rep.KeyBytes = st.Keys.Bytes
 	rep.KeyBudget = st.Keys.BudgetBytes // effective (default applied)
 	rep.KeyHitRate = st.Keys.HitRate
+	rep.KeyComp = cfg.keyComp
+	rep.KeyDenseBytes = st.Keys.DenseBytes
+	rep.KeyExpansions = st.KeyExpansions
 	for _, ts := range st.Tenants {
 		rep.Tenants = append(rep.Tenants, serveTenantReport{
-			Tenant:       ts.Tenant,
-			Served:       ts.Served,
-			P99Ms:        float64(ts.P99) / float64(time.Millisecond),
-			ModUps:       ts.ModUps,
-			KeyHitRate:   ts.Keys.HitRate,
-			KeyMisses:    ts.Keys.Misses,
-			KeyEvictions: ts.Keys.Evictions,
-			KeyBytes:     ts.Keys.Bytes,
+			Tenant:        ts.Tenant,
+			Served:        ts.Served,
+			P99Ms:         float64(ts.P99) / float64(time.Millisecond),
+			ModUps:        ts.ModUps,
+			KeyHitRate:    ts.Keys.HitRate,
+			KeyMisses:     ts.Keys.Misses,
+			KeyEvictions:  ts.Keys.Evictions,
+			KeyBytes:      ts.Keys.Bytes,
+			KeyExpansions: ts.KeyExpansions,
 		})
 	}
 
@@ -324,7 +346,10 @@ func serveRun(cfg serveConfig) (*serveReport, error) {
 	for c := 0; c < pairs; c++ {
 		tenant := tenantName(c % cfg.tenants)
 		level := levelAt(c / cfg.tenants)
-		kc := chains[tenant]
+		kc, err := src.Chain(tenant)
+		if err != nil {
+			return nil, err
+		}
 		sw, err := kc.Switcher(level)
 		if err != nil {
 			return nil, err
@@ -379,6 +404,17 @@ func serveCheck(rep *serveReport) error {
 	if rep.KeyBytes > rep.KeyBudget {
 		return fmt.Errorf("serve check: resident key bytes %d exceed the %d budget", rep.KeyBytes, rep.KeyBudget)
 	}
+	if rep.KeyComp {
+		if rep.KeyExpansions == 0 {
+			return fmt.Errorf("serve check: -keycomp set but no streamed expansions counted")
+		}
+		if rep.KeyDenseBytes <= rep.KeyBytes {
+			return fmt.Errorf("serve check: dense-equivalent footprint %d not above compressed resident %d",
+				rep.KeyDenseBytes, rep.KeyBytes)
+		}
+	} else if rep.KeyExpansions != 0 {
+		return fmt.Errorf("serve check: dense run counted %d streamed expansions", rep.KeyExpansions)
+	}
 	var tenantModUps uint64
 	for _, ts := range rep.Tenants {
 		if ts.KeyHitRate <= 0.5 {
@@ -416,6 +452,10 @@ func serveCmd(cfg serveConfig, jsonPath string, check bool) error {
 		"key cache hit rate", 100*rep.KeyHitRate, rep.KeyHits, rep.KeyMisses, rep.KeyEvictions)
 	fmt.Printf("%-22s %8.1f MiB  of %.1f MiB budget\n",
 		"resident key bytes", float64(rep.KeyBytes)/(1<<20), float64(rep.KeyBudget)/(1<<20))
+	if rep.KeyComp {
+		fmt.Printf("%-22s %8.1f MiB  dense-equivalent (%d streamed expansions)\n",
+			"compressed keys", float64(rep.KeyDenseBytes)/(1<<20), rep.KeyExpansions)
+	}
 	fmt.Printf("%-22s %12v\n", "bit-exact", rep.BitExact)
 	if len(rep.Tenants) > 1 {
 		fmt.Printf("%-8s %10s %10s %8s %10s %10s %12s\n",

@@ -50,28 +50,22 @@
 package cluster
 
 import (
-	"hash/fnv"
 	"sort"
 
 	"ciflow/internal/serve"
 )
 
 // KeySeed maps a tenant name to the deterministic key-generation seed
-// every member of the cluster uses for that tenant's keyspace.
-// ckks.GenKeys is deterministic in (context, seed), so any shard — and
-// the router-side serial reference — derives bit-identical key
+// every member of the cluster uses for that tenant's keyspace. It is
+// serve.TenantSeed — the single-process service and the shards build
+// key material through the one serve.SeedKeySource code path, so any
+// shard and the router-side serial reference derive bit-identical key
 // material from the tenant name alone, without secret material ever
 // crossing the wire. That determinism is what makes hot-key
 // replication exactness-safe (any replica computes the same bits) and
 // the end-to-end bit-exactness check meaningful.
 func KeySeed(tenant string) int64 {
-	h := fnv.New64a()
-	h.Write([]byte(tenant))
-	s := int64(h.Sum64() &^ (1 << 63))
-	if s == 0 {
-		s = 1
-	}
-	return s
+	return serve.TenantSeed(tenant)
 }
 
 // AggregateStats sums per-shard serve.Stats snapshots into one
@@ -117,11 +111,13 @@ func AggregateStats(shards []serve.Stats) serve.Stats {
 		agg.Groups += st.Groups
 		agg.ModUps += st.ModUps
 		agg.Coalesced += st.Coalesced
+		agg.KeyExpansions += st.KeyExpansions
 		maxDur(&agg, st)
 		addLevels(levels, st.PerLevel)
 
 		agg.Keys.BudgetBytes += st.Keys.BudgetBytes
 		agg.Keys.Bytes += st.Keys.Bytes
+		agg.Keys.DenseBytes += st.Keys.DenseBytes
 		agg.Keys.Size += st.Keys.Size
 		agg.Keys.Hits += st.Keys.Hits
 		agg.Keys.Misses += st.Keys.Misses
@@ -134,6 +130,7 @@ func AggregateStats(shards []serve.Stats) serve.Stats {
 			}
 			e.Size += tc.Size
 			e.Bytes += tc.Bytes
+			e.DenseBytes += tc.DenseBytes
 			e.Hits += tc.Hits
 			e.Misses += tc.Misses
 			e.Evictions += tc.Evictions
@@ -153,6 +150,7 @@ func AggregateStats(shards []serve.Stats) serve.Stats {
 			e.Groups += ts.Groups
 			e.ModUps += ts.ModUps
 			e.Coalesced += ts.Coalesced
+			e.KeyExpansions += ts.KeyExpansions
 			if ts.P50 > e.P50 {
 				e.P50 = ts.P50
 			}

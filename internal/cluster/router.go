@@ -98,6 +98,15 @@ func (sc *shardClient) deliverReply(typ FrameType, payload []byte) {
 	}
 }
 
+// cancel unregisters an outstanding waiter that will never see a reply
+// — FetchEvk registers for both the dense and compressed reply frames
+// and the shard answers on exactly one of them.
+func (sc *shardClient) cancel(typ FrameType) {
+	sc.waitMu.Lock()
+	delete(sc.waiters, typ)
+	sc.waitMu.Unlock()
+}
+
 func (sc *shardClient) setFinal(st serve.Stats) {
 	sc.finalMu.Lock()
 	sc.final = st
@@ -248,7 +257,7 @@ func (rt *Router) readLoop(sc *shardClient) {
 				return
 			}
 			rt.handleResult(sc, wr)
-		case FrameStats, FramePong, FrameDrainDone, FrameEvk:
+		case FrameStats, FramePong, FrameDrainDone, FrameEvk, FrameEvkComp:
 			sc.deliverReply(typ, payload)
 		default:
 			rt.markDown(sc)
@@ -570,6 +579,9 @@ func (rt *Router) Drain(i int) (serve.Stats, error) {
 // FetchEvk pulls one evaluation key from shard i, validating it
 // against switchers — the replica-consistency probe (deterministic
 // keygen means every shard must return bit-identical key material).
+// The shard may answer dense (FrameEvk) or compressed (FrameEvkComp);
+// a compressed reply is expanded locally, so the caller always gets a
+// dense key and seed expansion stays bit-exact with shard-side keygen.
 func (rt *Router) FetchEvk(i int, id EvkID, switchers serve.SwitcherSource) (*hks.Evk, error) {
 	sc := rt.shards[i]
 	if sc.down.Load() {
@@ -581,24 +593,52 @@ func (rt *Router) FetchEvk(i int, id EvkID, switchers serve.SwitcherSource) (*hk
 	if err != nil {
 		return nil, err
 	}
+	chComp, err := sc.expect(FrameEvkComp)
+	if err != nil {
+		sc.cancel(FrameEvk)
+		return nil, err
+	}
 	req, err := EncodeEvkReq(id)
 	if err != nil {
+		sc.cancel(FrameEvk)
+		sc.cancel(FrameEvkComp)
 		return nil, err
 	}
 	if err := sc.write(FrameEvkReq, req); err != nil {
 		rt.markDown(sc)
 		return nil, err
 	}
+	check := func(got EvkID) error {
+		if got != id {
+			return fmt.Errorf("cluster: %s returned evk %+v, want %+v", sc.name, got, id)
+		}
+		return nil
+	}
 	select {
 	case p := <-ch:
+		sc.cancel(FrameEvkComp)
 		got, evk, err := DecodeEvk(p, switchers)
 		if err != nil {
 			return nil, err
 		}
-		if got != id {
-			return nil, fmt.Errorf("cluster: %s returned evk %+v, want %+v", sc.name, got, id)
+		if err := check(got); err != nil {
+			return nil, err
 		}
 		return evk, nil
+	case p := <-chComp:
+		sc.cancel(FrameEvk)
+		got, c, err := DecodeEvkComp(p, switchers)
+		if err != nil {
+			return nil, err
+		}
+		if err := check(got); err != nil {
+			return nil, err
+		}
+		sw, err := switchers.Switcher(id.Level)
+		if err != nil {
+			return nil, err
+		}
+		return c.Expand(sw.R), nil
 	case <-sc.closed:
 		return nil, fmt.Errorf("cluster: %s died awaiting evk", sc.name)
 	}
@@ -702,8 +742,9 @@ func (tv *TenantView) Stats() serve.Stats {
 		return serve.Stats{
 			Submitted: ts.Submitted, Served: ts.Served, Failed: ts.Failed,
 			Batches: ts.Batches, Groups: ts.Groups, ModUps: ts.ModUps,
-			Coalesced: ts.Coalesced, CoalescingFactor: ts.CoalescingFactor,
-			P50: ts.P50, P99: ts.P99,
+			Coalesced: ts.Coalesced, KeyExpansions: ts.KeyExpansions,
+			CoalescingFactor: ts.CoalescingFactor,
+			P50:              ts.P50, P99: ts.P99,
 			PerLevel: append([]serve.LevelStats(nil), ts.PerLevel...),
 			Tenants:  []serve.TenantStats{ts},
 		}

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"ciflow/internal/ckks"
+	"ciflow/internal/hks"
 	"ciflow/internal/serve"
 )
 
@@ -47,9 +48,9 @@ func (fw *frameWriter) write(typ FrameType, payload []byte) error {
 // with NewShard, serve with Serve, and stop with Close (or a
 // FrameShutdown from the router; Done unblocks either way).
 type Shard struct {
-	cctx   *ckks.Context
-	svc    *serve.Service
-	chains serve.KeyChains
+	cctx *ckks.Context
+	svc  *serve.Service
+	src  *serve.SeedKeySource
 
 	// drainMu orders group acceptance against drain: a group either
 	// lands in inflight before draining flips, or observes draining
@@ -68,28 +69,28 @@ type Shard struct {
 }
 
 // NewShard builds a shard serving the given tenants on cctx: one
-// deterministic key chain per tenant (seeded by KeySeed, so every
-// shard and the router's verifier agree on key material) behind a
-// serve.Service configured by scfg.
+// seed-derived key source (serve.SeedKeySource with compression on, so
+// every shard and the router's verifier agree on key material while
+// each shard's cache holds keys at their compressed footprint) behind
+// a serve.Service configured by scfg.
 func NewShard(cctx *ckks.Context, tenants []string, scfg serve.Config) (*Shard, error) {
 	if len(tenants) == 0 {
 		return nil, fmt.Errorf("cluster: shard needs at least one tenant")
 	}
-	chains := make(serve.KeyChains, len(tenants))
-	for _, t := range tenants {
-		kc, _ := ckks.GenKeys(cctx, KeySeed(t))
-		chains[t] = kc
+	src, err := serve.NewSeedKeySource(cctx, tenants, true)
+	if err != nil {
+		return nil, err
 	}
-	svc, err := serve.New(cctx.Switchers(), chains, scfg)
+	svc, err := serve.New(cctx.Switchers(), src, scfg)
 	if err != nil {
 		return nil, err
 	}
 	return &Shard{
-		cctx:   cctx,
-		svc:    svc,
-		chains: chains,
-		conns:  make(map[net.Conn]struct{}),
-		done:   make(chan struct{}),
+		cctx:  cctx,
+		svc:   svc,
+		src:   src,
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
 	}, nil
 }
 
@@ -281,9 +282,11 @@ func (s *Shard) writeResult(fw *frameWriter, wr *WireResult) {
 }
 
 // sendEvk answers one evaluation-key fetch from the shard's
-// deterministic chains.
+// seed-derived source. Compressed material ships as a FrameEvkComp
+// (seeds + B halves — half the traffic); material that does not
+// compress falls back to the dense FrameEvk.
 func (s *Shard) sendEvk(fw *frameWriter, id EvkID) {
-	evk, err := s.chains.Key(serve.KeyID{Tenant: id.Tenant, Rot: id.Rot, Level: id.Level})
+	mat, err := s.src.Key(serve.KeyID{Tenant: id.Tenant, Rot: id.Rot, Level: id.Level})
 	if err != nil {
 		return
 	}
@@ -291,9 +294,18 @@ func (s *Shard) sendEvk(fw *frameWriter, id EvkID) {
 	if err != nil {
 		return
 	}
-	p, err := EncodeEvk(id, sw, evk)
-	if err != nil {
-		return
+	switch m := mat.(type) {
+	case *hks.CompressedEvk:
+		p, err := EncodeEvkComp(id, sw, m)
+		if err != nil {
+			return
+		}
+		fw.write(FrameEvkComp, p)
+	case *hks.Evk:
+		p, err := EncodeEvk(id, sw, m)
+		if err != nil {
+			return
+		}
+		fw.write(FrameEvk, p)
 	}
-	fw.write(FrameEvk, p)
 }

@@ -83,14 +83,21 @@ const (
 	FrameDrainDone
 	// FrameShutdown tells the shard process to exit.
 	FrameShutdown
+	// FrameEvkComp is the compressed reply to FrameEvkReq: each digit
+	// ships as its 32-byte expansion seed plus the dense B half
+	// (hks.WriteCompressedEvk), halving evk traffic. Shards answer with
+	// it whenever their key material compresses; the router expands
+	// locally. Appended after FrameShutdown so every pre-existing frame
+	// value is unchanged — no wire-version bump.
+	FrameEvkComp
 
-	frameTypeMax = FrameShutdown
+	frameTypeMax = FrameEvkComp
 )
 
 // String names the frame type for errors and traces.
 func (t FrameType) String() string {
 	names := [...]string{"group", "result", "stats-req", "stats", "evk-req",
-		"evk", "ping", "pong", "drain", "drain-done", "shutdown"}
+		"evk", "ping", "pong", "drain", "drain-done", "shutdown", "evk-comp"}
 	if t >= 1 && t <= frameTypeMax {
 		return names[t-1]
 	}
@@ -471,4 +478,38 @@ func DecodeEvk(payload []byte, switchers serve.SwitcherSource) (EvkID, *hks.Evk,
 		return id, nil, err
 	}
 	return id, evk, trailing(br, FrameEvk)
+}
+
+// EncodeEvkComp encodes a FrameEvkComp payload: the key's identity
+// followed by the hks compressed-evk serialization under sw.
+func EncodeEvkComp(id EvkID, sw *hks.Switcher, c *hks.CompressedEvk) ([]byte, error) {
+	if len(id.Tenant) > maxTenantLen {
+		return nil, fmt.Errorf("cluster: tenant name %d bytes (cap %d)", len(id.Tenant), maxTenantLen)
+	}
+	var buf bytes.Buffer
+	encodeEvkID(&buf, id)
+	if err := sw.WriteCompressedEvk(&buf, c); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeEvkComp decodes a FrameEvkComp payload. The key comes back
+// still compressed; the caller chooses when to expand (FetchEvk does
+// so immediately, since its contract is a dense key).
+func DecodeEvkComp(payload []byte, switchers serve.SwitcherSource) (EvkID, *hks.CompressedEvk, error) {
+	br := bytes.NewReader(payload)
+	id, err := decodeEvkID(br)
+	if err != nil {
+		return id, nil, err
+	}
+	sw, err := switchers.Switcher(id.Level)
+	if err != nil {
+		return id, nil, fmt.Errorf("cluster: no switcher at evk level %d: %w", id.Level, err)
+	}
+	c, err := sw.ReadCompressedEvk(br)
+	if err != nil {
+		return id, nil, err
+	}
+	return id, c, trailing(br, FrameEvkComp)
 }

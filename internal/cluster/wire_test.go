@@ -281,7 +281,7 @@ func TestEvkRoundTrip(t *testing.T) {
 	kc, _ := ckks.GenKeys(cctx, KeySeed("t0"))
 	chains := serve.KeyChains{"t0": kc}
 	id := EvkID{Tenant: "t0", Rot: 3, Level: 3}
-	evk, err := chains.Key(serve.KeyID{Tenant: id.Tenant, Rot: id.Rot, Level: id.Level})
+	mat, err := chains.Key(serve.KeyID{Tenant: id.Tenant, Rot: id.Rot, Level: id.Level})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,6 +289,7 @@ func TestEvkRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	evk := mat.Dense(sw.R)
 
 	reqPayload, err := EncodeEvkReq(id)
 	if err != nil {

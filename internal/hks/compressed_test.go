@@ -1,0 +1,256 @@
+package hks
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ciflow/internal/dataflow"
+	"ciflow/internal/engine"
+)
+
+// Expand(Compress(evk)) must reproduce the generated key bit for bit,
+// and the two forms' footprints must satisfy the pinned relation:
+// compressed = B-half + 32 bytes of seed per digit.
+func TestCompressRoundTrip(t *testing.T) {
+	r, s, sOld, sNew := testSetup(t, 32, 4, 30, 2, 31)
+	sw, err := NewSwitcher(r, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evk := sw.GenEvk(s, sOld, sNew)
+	c, ok := evk.Compress()
+	if !ok {
+		t.Fatal("generated evk did not compress")
+	}
+	got := c.Expand(r)
+	for j := range evk.B {
+		if !got.B[j].Equal(evk.B[j]) {
+			t.Fatalf("digit %d B differs after compress/expand", j)
+		}
+		if !got.A[j].Equal(evk.A[j]) {
+			t.Fatalf("digit %d A differs after compress/expand", j)
+		}
+	}
+	if _, ok := got.Compress(); !ok {
+		t.Fatal("expanded key lost its seeds")
+	}
+
+	towers := len(sw.DBasis())
+	wantDense := sw.Dnum * 2 * towers * r.N * 8
+	wantComp := sw.Dnum * (towers*r.N*8 + 32)
+	if evk.SizeBytes() != wantDense || c.DenseSizeBytes() != wantDense {
+		t.Fatalf("dense footprint %d/%d, want %d", evk.SizeBytes(), c.DenseSizeBytes(), wantDense)
+	}
+	if c.SizeBytes() != wantComp {
+		t.Fatalf("compressed footprint %d, want %d", c.SizeBytes(), wantComp)
+	}
+	if c.SizeBytes() >= evk.SizeBytes() {
+		t.Fatal("compression did not shrink the key")
+	}
+
+	// A key without seeds (legacy/hand-built) must refuse to compress.
+	if _, ok := (&Evk{B: evk.B, A: evk.A}).Compress(); ok {
+		t.Fatal("seedless evk compressed")
+	}
+
+	// CheckMaterial accepts both forms and rejects digit mismatches.
+	if err := sw.CheckMaterial(evk); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.CheckMaterial(c); err != nil {
+		t.Fatal(err)
+	}
+	sw4, err := NewSwitcher(r, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw4.CheckMaterial(c); err == nil {
+		t.Fatal("digit-count mismatch accepted")
+	}
+	if err := sw.CheckMaterial(nil); err == nil {
+		t.Fatal("nil material accepted")
+	}
+}
+
+// Streamed application must be bit-exact with the dense paths —
+// KeySwitch, SwitchInto on a hoisted state, and SwitchParallelInto —
+// for every dataflow shape. Run under -race this also exercises the
+// expansion goroutine handoff.
+func TestSwitchStreamedBitExact(t *testing.T) {
+	r, s, sOld, sNew := testSetup(t, 32, 6, 30, 3, 31)
+	sw, err := NewSwitcher(r, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evk := sw.GenEvk(s, sOld, sNew)
+	c, ok := evk.Compress()
+	if !ok {
+		t.Fatal("evk did not compress")
+	}
+	d := s.Uniform(sw.QBasis())
+	d.IsNTT = true
+	want0, want1 := sw.KeySwitch(d, evk)
+
+	e := engine.New(4)
+	defer e.Close()
+	for _, df := range []dataflow.Dataflow{dataflow.MP, dataflow.DC, dataflow.OC} {
+		c0, c1 := sw.SwitchStreamed(e, df, d, c)
+		if !c0.Equal(want0) || !c1.Equal(want1) {
+			t.Fatalf("%v: SwitchStreamed differs from KeySwitch", df)
+		}
+		// The Into variant on an explicitly hoisted state, replayed
+		// twice off one fresh stream each to prove state reuse stays
+		// clean.
+		h := sw.HoistParallel(e, df, d)
+		for i := 0; i < 2; i++ {
+			st := c.StartExpand(r)
+			g0 := r.NewPoly(sw.QBasis())
+			g1 := r.NewPoly(sw.QBasis())
+			h.SwitchStreamedInto(st, g0, g1)
+			if !g0.Equal(want0) || !g1.Equal(want1) {
+				t.Fatalf("%v replay %d: SwitchStreamedInto differs from KeySwitch", df, i)
+			}
+		}
+		h.Release()
+	}
+}
+
+// Streamed apply must panic (not corrupt) on digit-structure and
+// aliasing misuse, matching the dense replay's checks.
+func TestSwitchStreamedChecks(t *testing.T) {
+	r, s, sOld, sNew := testSetup(t, 32, 4, 30, 2, 31)
+	sw2, _ := NewSwitcher(r, 3, 2)
+	sw4, _ := NewSwitcher(r, 3, 4)
+	evk := sw4.GenEvk(s, sOld, sNew)
+	c, _ := evk.Compress()
+	d := s.Uniform(sw2.QBasis())
+	d.IsNTT = true
+	h := sw2.Hoist(d)
+	defer h.Release()
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	c0 := r.NewPoly(sw2.QBasis())
+	c1 := r.NewPoly(sw2.QBasis())
+	mustPanic("digit mismatch", func() {
+		h.SwitchStreamedInto(c.StartExpand(r), c0, c1)
+	})
+	c2, _ := sw2.GenEvk(s, sOld, sNew).Compress()
+	mustPanic("aliased outputs", func() {
+		h.SwitchStreamedInto(c2.StartExpand(r), c0, c0)
+	})
+}
+
+func TestCompressedEvkSerializeRoundTrip(t *testing.T) {
+	r, s, sOld, sNew := testSetup(t, 32, 4, 30, 2, 31)
+	sw, err := NewSwitcher(r, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evk := sw.GenEvk(s, sOld, sNew)
+	c, _ := evk.Compress()
+	var buf bytes.Buffer
+	if err := sw.WriteCompressedEvk(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Len()
+	got, err := sw.ReadCompressedEvk(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := got.Expand(r)
+	for j := range evk.B {
+		if !dense.B[j].Equal(evk.B[j]) || !dense.A[j].Equal(evk.A[j]) {
+			t.Fatalf("digit %d differs after compressed roundtrip", j)
+		}
+	}
+	// The compressed frame must actually be smaller than the dense one.
+	var denseBuf bytes.Buffer
+	if err := sw.WriteEvk(&denseBuf, evk); err != nil {
+		t.Fatal(err)
+	}
+	if wire >= denseBuf.Len() {
+		t.Fatalf("compressed frame %d bytes, dense %d", wire, denseBuf.Len())
+	}
+	// Mismatched switchers reject the frame.
+	sw4, _ := NewSwitcher(r, 3, 4)
+	if _, err := sw4.ReadCompressedEvk(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("digit-count mismatch accepted")
+	}
+	swLow, _ := NewSwitcher(r, 1, 2)
+	var buf2 bytes.Buffer
+	if err := sw.WriteCompressedEvk(&buf2, c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := swLow.ReadCompressedEvk(&buf2); err == nil {
+		t.Error("basis mismatch accepted")
+	}
+}
+
+// Every strict prefix of a serialized compressed evk must error —
+// never panic — a lying digit count is rejected on the header check,
+// and a malformed key is refused on write (the dense frame's
+// robustness contract, applied to the compressed frame).
+func TestReadCompressedEvkTruncationRobust(t *testing.T) {
+	r, s, sOld, sNew := testSetup(t, 32, 4, 30, 2, 31)
+	sw, err := NewSwitcher(r, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := sw.GenEvk(s, sOld, sNew).Compress()
+	var buf bytes.Buffer
+	if err := sw.WriteCompressedEvk(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for i := 0; i < len(good); i++ {
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("truncation at %d/%d panicked: %v", i, len(good), rec)
+				}
+			}()
+			if _, err := sw.ReadCompressedEvk(bytes.NewReader(good[:i])); err == nil {
+				t.Errorf("truncation at %d/%d read successfully", i, len(good))
+			}
+		}()
+	}
+	bad := append([]byte(nil), good...)
+	bad[0], bad[1], bad[2], bad[3] = 0xff, 0xff, 0xff, 0xff
+	if _, err := sw.ReadCompressedEvk(bytes.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "digits") {
+		t.Errorf("oversized digit count: got %v", err)
+	}
+	if err := sw.WriteCompressedEvk(&bytes.Buffer{}, &CompressedEvk{B: c.B}); err == nil {
+		t.Error("WriteCompressedEvk accepted mismatched digit lists")
+	}
+}
+
+// The dense wire frame drops seeds (it predates them), so a
+// deserialized dense key reports itself as non-compressible instead of
+// inventing wrong seeds.
+func TestDenseFrameDropsSeeds(t *testing.T) {
+	r, s, sOld, sNew := testSetup(t, 32, 4, 30, 2, 31)
+	sw, err := NewSwitcher(r, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evk := sw.GenEvk(s, sOld, sNew)
+	var buf bytes.Buffer
+	if err := sw.WriteEvk(&buf, evk); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sw.ReadEvk(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.Compress(); ok {
+		t.Fatal("dense-frame key claims to be compressible")
+	}
+}

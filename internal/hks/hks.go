@@ -241,16 +241,30 @@ func (sw *Switcher) CheckEvk(evk *Evk) error {
 	return nil
 }
 
-// Evk is an evaluation key converting ciphertexts under sOld to sNew:
-// one RLWE pair (B_j, A_j) over D_ℓ per digit, in the NTT domain.
-// Its size is dnum × 2 × N × (ℓ+K) words (paper §III-B P4).
+// Evk is a dense evaluation key converting ciphertexts under sOld to
+// sNew: one RLWE pair (B_j, A_j) over D_ℓ per digit, in the NTT
+// domain. Its size is dnum × 2 × N × (ℓ+K) words (paper §III-B P4).
+// Keys produced by GenEvk also carry the expansion seed of every
+// random A_j, so Compress can drop the A-half down to 32 bytes per
+// digit; see CompressedEvk. Evk and CompressedEvk both implement
+// KeyMaterial.
 type Evk struct {
 	B []*ring.Poly
 	A []*ring.Poly
+
+	// Seeds, when present (one per digit), regenerate A through
+	// ring.UniformFromSeed — the handle Compress trades A for.
+	Seeds []ring.Seed
 }
 
-// SizeBytes returns the evk footprint at 8 bytes per residue, the
-// quantity Table III reports (112–360 MB at paper scale).
+// SizeBytes returns the *dense* resident footprint at 8 bytes per
+// residue — both polynomial halves of every digit, the quantity
+// Table III reports (112–360 MB at paper scale). The seed slice is
+// ignored: it is metadata until Compress turns it into the resident
+// form, whose (roughly halved) footprint CompressedEvk.SizeBytes
+// reports. Budget accounting must use the method of the form actually
+// resident, which is what the serve cache's KeyMaterial contract
+// guarantees.
 func (e *Evk) SizeBytes() int {
 	var n int
 	for i := range e.B {
@@ -261,6 +275,9 @@ func (e *Evk) SizeBytes() int {
 
 // GenEvk generates the evaluation key that re-encrypts from sOld to
 // sNew. Both secrets must span the full D basis (coefficient domain).
+// Each digit's uniform A-half is drawn by expanding a fresh 32-byte
+// seed from the sampler's stream (recorded on the key for Compress),
+// so the key remains a pure function of the sampler's seed.
 func (sw *Switcher) GenEvk(sampler *ring.Sampler, sOld, sNew *ring.Poly) *Evk {
 	r := sw.R
 	sNewD := sNew.SubPoly(sw.dBasis).Copy()
@@ -270,7 +287,8 @@ func (sw *Switcher) GenEvk(sampler *ring.Sampler, sOld, sNew *ring.Poly) *Evk {
 
 	evk := &Evk{}
 	for j := 0; j < sw.Dnum; j++ {
-		a := sampler.Uniform(sw.dBasis)
+		seed := sampler.NewSeed()
+		a := r.UniformFromSeed(sw.dBasis, seed)
 		a.IsNTT = true // uniform residues are uniform in either domain
 		e := sampler.Gaussian(sw.dBasis)
 		r.NTT(e)
@@ -286,6 +304,7 @@ func (sw *Switcher) GenEvk(sampler *ring.Sampler, sOld, sNew *ring.Poly) *Evk {
 
 		evk.B = append(evk.B, b)
 		evk.A = append(evk.A, a)
+		evk.Seeds = append(evk.Seeds, seed)
 	}
 	return evk
 }

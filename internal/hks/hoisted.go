@@ -271,6 +271,79 @@ func (h *Hoisted) SwitchParallelInto(e *engine.Engine, evk *Evk, c0, c1 *ring.Po
 	h.unbind(c0, c1)
 }
 
+// checkStreamed is checkReplay for the streamed path, where the evk
+// arrives digit by digit instead of as one dense value.
+func (h *Hoisted) checkStreamed(st *ExpandStream, c0, c1 *ring.Poly) {
+	sw := h.sw
+	if st.Digits() != sw.Dnum {
+		panic(fmt.Sprintf("hks: streamed evk has %d digits, switcher expects %d", st.Digits(), sw.Dnum))
+	}
+	if !c0.Basis.Equal(sw.qBasis) || !c1.Basis.Equal(sw.qBasis) {
+		panic("hks: hoisted switch output basis mismatch")
+	}
+	if c0 == c1 || sameStorage(c0, c1) {
+		panic("hks: hoisted switch outputs must not alias each other")
+	}
+}
+
+// accumulateDigit folds one streamed evk digit into the replay
+// accumulators. For any fixed (tower, coefficient) the digit-ascending
+// calls perform exactly applyTower's operation sequence — zero, then
+// add digit 0, 1, … — and modular adds are exact, so the streamed
+// replay is bit-identical to the tower-major dense one.
+func (h *Hoisted) accumulateDigit(j int, eb, ea *ring.Poly) {
+	sw := h.sw
+	for t := range sw.dBasis {
+		m := sw.R.Mods[sw.dBasis[t]]
+		up := h.ups[j].Coeffs[t]
+		b0, b1 := h.acc0.Coeffs[t], h.acc1.Coeffs[t]
+		ebr, ear := eb.Coeffs[t], ea.Coeffs[t]
+		for k := range b0 {
+			b0[k] = m.Add(b0[k], m.Mul(up[k], ebr[k]))
+			b1[k] = m.Add(b1[k], m.Mul(up[k], ear[k]))
+		}
+	}
+}
+
+// SwitchStreamedInto replays the hoisted ModUp against a compressed
+// key's expansion stream, consuming digits in ascending order as they
+// become ready, then runs ModDown into (c0, c1). Because the stream's
+// producer goroutine runs ahead of the consumer, per-digit seed
+// expansion overlaps both the preceding hoist phase (when the stream
+// was started before Hoist/HoistParallel) and this apply loop itself.
+// Bit-exact with SwitchInto of the expanded dense key.
+func (h *Hoisted) SwitchStreamedInto(st *ExpandStream, c0, c1 *ring.Poly) {
+	h.checkStreamed(st, c0, c1)
+	h.bind(nil, c0, c1)
+	for t := range h.sw.dBasis {
+		b0, b1 := h.acc0.Coeffs[t], h.acc1.Coeffs[t]
+		for k := range b0 {
+			b0[k], b1[k] = 0, 0
+		}
+	}
+	for j := 0; j < h.sw.Dnum; j++ {
+		eb, ea := st.Digit(j)
+		h.accumulateDigit(j, eb, ea)
+	}
+	h.runModDownSerial()
+	h.unbind(c0, c1)
+}
+
+// SwitchStreamed is the full overlapped miss path for one compressed
+// key: start the expansion stream, hoist d on the engine under df
+// (expansion running concurrently with Decompose+ModUp), then apply
+// the key digit by digit. Returns freshly allocated (c0, c1) over
+// B_ℓ, bit-exact with KeySwitch(d, cevk.Expand(sw.R)).
+func (sw *Switcher) SwitchStreamed(e *engine.Engine, df dataflow.Dataflow, d *ring.Poly, cevk *CompressedEvk) (c0, c1 *ring.Poly) {
+	st := cevk.StartExpand(sw.R)
+	h := sw.HoistParallel(e, df, d)
+	defer h.Release()
+	c0 = sw.R.NewPoly(sw.qBasis)
+	c1 = sw.R.NewPoly(sw.qBasis)
+	h.SwitchStreamedInto(st, c0, c1)
+	return c0, c1
+}
+
 // SwitchHoisted switches d (NTT domain over B_ℓ) with every key in
 // evks while running Decompose+ModUp only once, serially, returning
 // one freshly allocated (c0, c1) pair per key in input order. Each

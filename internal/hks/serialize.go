@@ -12,7 +12,10 @@ import (
 // (B, A) polynomial pairs in digit order (see ring.WritePoly for the
 // polynomial wire format). At paper scale an evk is 99–360 MB
 // (Table III), so keys are produced once and shipped, exactly what
-// this format supports.
+// this format supports. The compressed frame
+// (WriteCompressedEvk/ReadCompressedEvk) ships each digit as its
+// 32-byte expansion seed plus the dense B polynomial — on the wire,
+// exactly the halving that CompressedEvk buys in memory.
 
 // WriteEvk serializes evk.
 func (sw *Switcher) WriteEvk(w io.Writer, evk *Evk) error {
@@ -65,4 +68,59 @@ func (sw *Switcher) ReadEvk(r io.Reader) (*Evk, error) {
 		evk.A = append(evk.A, a)
 	}
 	return evk, nil
+}
+
+// WriteCompressedEvk serializes c: the digit count, then per digit the
+// 32-byte expansion seed followed by the dense B polynomial.
+func (sw *Switcher) WriteCompressedEvk(w io.Writer, c *CompressedEvk) error {
+	if len(c.B) != len(c.Seeds) {
+		return fmt.Errorf("hks: malformed compressed evk: %d B vs %d seed digits", len(c.B), len(c.Seeds))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(c.B))); err != nil {
+		return err
+	}
+	for j := range c.B {
+		if _, err := w.Write(c.Seeds[j][:]); err != nil {
+			return err
+		}
+		if err := sw.R.WritePoly(w, c.B[j]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCompressedEvk deserializes a compressed evk written by
+// WriteCompressedEvk, validating the digit count and bases exactly as
+// ReadEvk does. The key is returned still compressed; the caller
+// chooses when (and how — Expand or StartExpand) to pay for the
+// A-half.
+func (sw *Switcher) ReadCompressedEvk(r io.Reader) (*CompressedEvk, error) {
+	var dnum uint32
+	if err := binary.Read(r, binary.LittleEndian, &dnum); err != nil {
+		return nil, fmt.Errorf("hks: short compressed evk header: %w", err)
+	}
+	if int(dnum) != sw.Dnum {
+		return nil, fmt.Errorf("hks: compressed evk has %d digits, switcher expects %d", dnum, sw.Dnum)
+	}
+	c := &CompressedEvk{}
+	for j := 0; j < int(dnum); j++ {
+		var seed ring.Seed
+		if _, err := io.ReadFull(r, seed[:]); err != nil {
+			return nil, fmt.Errorf("hks: short compressed evk digit %d seed: %w", j, err)
+		}
+		b, err := sw.R.ReadPoly(r)
+		if err != nil {
+			return nil, err
+		}
+		if !b.Basis.Equal(sw.dBasis) {
+			return nil, fmt.Errorf("hks: compressed evk digit %d basis %v, want %v", j, b.Basis, sw.dBasis)
+		}
+		if !b.IsNTT {
+			return nil, fmt.Errorf("hks: compressed evk digit %d not in NTT domain", j)
+		}
+		c.Seeds = append(c.Seeds, seed)
+		c.B = append(c.B, b)
+	}
+	return c, nil
 }

@@ -1,0 +1,86 @@
+package ring
+
+// Seed-expandable uniform polynomials. The random `a`-half of an RLWE
+// pair is uniform, so instead of storing N×(ℓ+K) residues it can be
+// stored as the 32-byte seed of the PRG that produced it and expanded
+// on load — the HEAAN-Demystified evaluation-key compression that
+// halves key bytes. UniformFromSeed is the expansion: a pure function
+// of (ring, basis, seed), so any process holding the seed regenerates
+// the identical polynomial, bit for bit.
+//
+// The expander is xoshiro256** with its 256-bit state whitened from
+// the seed bytes through splitmix64. Like Sampler it is NOT
+// constant-time and NOT a CSPRNG — this library analyzes dataflow, not
+// production cryptography — but unlike Sampler's shared sequential
+// stream, expansion is stateless per seed, which is what lets one evk
+// digit be expanded independently of (and concurrently with) every
+// other.
+
+import "encoding/binary"
+
+// Seed identifies one seed-expandable uniform polynomial.
+type Seed [32]byte
+
+// NewSeed draws a fresh expansion seed from the sampler's stream, so
+// key generation stays a pure function of the sampler's own seed.
+func (s *Sampler) NewSeed() Seed {
+	var sd Seed
+	for i := 0; i < 4; i++ {
+		binary.LittleEndian.PutUint64(sd[8*i:], s.rng.Uint64())
+	}
+	return sd
+}
+
+// splitmix64 whitens one 64-bit lane of the seed. Even an all-zero
+// Seed lands on a non-degenerate xoshiro state (xoshiro256** cycles at
+// the zero state), so every Seed value is usable.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// seedRNG is the xoshiro256** generator behind UniformFromSeed.
+type seedRNG struct{ s0, s1, s2, s3 uint64 }
+
+func newSeedRNG(seed Seed) seedRNG {
+	return seedRNG{
+		s0: splitmix64(binary.LittleEndian.Uint64(seed[0:8]) + 1),
+		s1: splitmix64(binary.LittleEndian.Uint64(seed[8:16]) + 2),
+		s2: splitmix64(binary.LittleEndian.Uint64(seed[16:24]) + 3),
+		s3: splitmix64(binary.LittleEndian.Uint64(seed[24:32]) + 4),
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+func (g *seedRNG) next() uint64 {
+	res := rotl(g.s1*5, 7) * 9
+	t := g.s1 << 17
+	g.s2 ^= g.s0
+	g.s3 ^= g.s1
+	g.s1 ^= g.s2
+	g.s0 ^= g.s3
+	g.s2 ^= t
+	g.s3 = rotl(g.s3, 45)
+	return res
+}
+
+// UniformFromSeed expands seed into a fresh polynomial over basis b
+// with independent uniform residues in each tower (coefficient-domain
+// flag left false; uniform residues are uniform in either domain, so
+// callers mark IsNTT as needed, exactly like Sampler.Uniform).
+// Deterministic: the same (basis, seed) always yields the same bits.
+func (r *Ring) UniformFromSeed(b Basis, seed Seed) *Poly {
+	g := newSeedRNG(seed)
+	p := r.NewPoly(b)
+	for i, t := range b {
+		q := r.Mods[t].Q
+		row := p.Coeffs[i]
+		for j := range row {
+			row[j] = g.next() % q
+		}
+	}
+	return p
+}

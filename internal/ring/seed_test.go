@@ -1,0 +1,56 @@
+package ring
+
+import "testing"
+
+func TestUniformFromSeedDeterministic(t *testing.T) {
+	r := testRing(t)
+	b := r.DBasis(3)
+	s := NewSampler(r, 7)
+	seed := s.NewSeed()
+	p1 := r.UniformFromSeed(b, seed)
+	p2 := r.UniformFromSeed(b, seed)
+	if !p1.Equal(p2) {
+		t.Fatal("same seed expanded to different polynomials")
+	}
+	for i, tw := range b {
+		q := r.Mods[tw].Q
+		for j, v := range p1.Coeffs[i] {
+			if v >= q {
+				t.Fatalf("tower %d coeff %d = %d out of range mod %d", i, j, v, q)
+			}
+		}
+	}
+	// A different seed must diverge; a same-seed expansion over a
+	// prefix basis must agree on the shared towers (digit-independent
+	// streams would break this — each tower is drawn in basis order,
+	// so only an identical basis guarantees identical rows; assert the
+	// full-basis property we rely on instead: distinct seeds differ).
+	if p3 := r.UniformFromSeed(b, s.NewSeed()); p3.Equal(p1) {
+		t.Fatal("distinct seeds expanded to identical polynomials")
+	}
+}
+
+func TestNewSeedStreamsFromSampler(t *testing.T) {
+	r := testRing(t)
+	a, b := NewSampler(r, 42), NewSampler(r, 42)
+	if a.NewSeed() != b.NewSeed() {
+		t.Fatal("equal sampler seeds produced different expansion seeds")
+	}
+	s := NewSampler(r, 42)
+	if s.NewSeed() == s.NewSeed() {
+		t.Fatal("consecutive NewSeed calls repeated a seed")
+	}
+	// The all-zero seed must still expand (splitmix64 whitening keeps
+	// the xoshiro state non-degenerate).
+	p := r.UniformFromSeed(r.QBasis(0), Seed{})
+	var nonzero bool
+	for _, v := range p.Coeffs[0] {
+		if v != 0 {
+			nonzero = true
+			break
+		}
+	}
+	if !nonzero {
+		t.Fatal("zero seed expanded to the zero polynomial")
+	}
+}

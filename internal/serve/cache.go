@@ -5,10 +5,19 @@ package serve
 // of hybrid key switching (dnum × 2 × N × (ℓ+K) words, 112–360 MB at
 // paper scale — Table III), so a server cannot keep one resident per
 // (tenant, rotation, level) forever. The cache bounds residency by
-// *bytes*, not key count — eviction is weighted by Evk.SizeBytes under
-// one global budget — because a level-5 key is an order of magnitude
-// heavier than a level-0 key and a count cap would let the budget
-// drift with the level mix.
+// *bytes*, not key count — eviction is weighted by the material's
+// SizeBytes under one global budget — because a level-5 key is an
+// order of magnitude heavier than a level-0 key and a count cap would
+// let the budget drift with the level mix.
+//
+// The cache stores hks.KeyMaterial, not dense keys: a KeySource that
+// hands back seed-compressed material (SeedKeySource with compression
+// on) is charged the *compressed* footprint, so the same byte budget
+// holds roughly twice the keys, and the service expands on demand at
+// replay time — streamed, overlapping the hoist phase. DenseBytes in
+// the stats is the what-if dense footprint of the resident set; its
+// ratio to Bytes is the measured compression the `ciflow serve` report
+// and `ablate-keycomp` print.
 //
 // Residency is tenant-sharded: entries carry their KeyID's tenant,
 // recency is tracked globally, and eviction takes the globally
@@ -19,9 +28,9 @@ package serve
 // eviction, and resident-byte counters feed the `ciflow serve` report.
 //
 // Eviction is safe mid-flight by construction: Get hands out the
-// *hks.Evk pointer, and an in-flight replay keeps it alive after the
-// cache drops its reference — exactly like a DMA'd key staying pinned
-// until the last consumer finishes. The eviction-mid-flight test in
+// material reference, and an in-flight replay keeps it alive after the
+// cache drops its own — exactly like a DMA'd key staying pinned until
+// the last consumer finishes. The eviction-mid-flight test in
 // serve_test.go exercises this.
 
 import (
@@ -42,32 +51,56 @@ type KeyID struct {
 	Level  int
 }
 
-// KeySource resolves KeyIDs to evaluation keys — the cache's backing
-// store. Implementations must be safe for concurrent use and should
-// memoize (like ckks.KeyChain), so re-loading an evicted key returns
-// identical material and served results stay bit-exact across
-// evictions. KeyChains adapts tenant-keyed ckks key chains; tests
-// inject counting sources via KeySourceFunc.
+// KeySource resolves KeyIDs to evaluation-key material — the cache's
+// backing store. The result is hks.KeyMaterial, the sealed union over
+// dense (*hks.Evk) and seed-compressed (*hks.CompressedEvk) keys, so a
+// source chooses the residency form it hands the cache: compressed
+// material is cached at its compressed footprint and expanded only at
+// replay time. Implementations must be safe for concurrent use and
+// should memoize (like ckks.KeyChain), so re-loading an evicted key
+// returns identical material and served results stay bit-exact across
+// evictions. SeedKeySource and KeyChains adapt ckks key chains; tests
+// inject counting sources via KeyMaterialFunc (or the legacy
+// KeySourceFunc).
 type KeySource interface {
-	Key(id KeyID) (*hks.Evk, error)
+	Key(id KeyID) (hks.KeyMaterial, error)
 }
 
-// KeySourceFunc adapts a function to the KeySource interface.
+// KeyMaterialFunc adapts a function to the KeySource interface.
+type KeyMaterialFunc func(id KeyID) (hks.KeyMaterial, error)
+
+// Key implements KeySource.
+func (f KeyMaterialFunc) Key(id KeyID) (hks.KeyMaterial, error) { return f(id) }
+
+// KeySourceFunc adapts a dense-key function to the KeySource
+// interface — the pre-KeyMaterial contract, kept as a one-line
+// compatibility shim so sources written against it keep compiling.
+//
+// Deprecated: implement KeySource directly (or use KeyMaterialFunc),
+// which can also return compressed material.
 type KeySourceFunc func(id KeyID) (*hks.Evk, error)
 
 // Key implements KeySource.
-func (f KeySourceFunc) Key(id KeyID) (*hks.Evk, error) { return f(id) }
+func (f KeySourceFunc) Key(id KeyID) (hks.KeyMaterial, error) {
+	evk, err := f(id)
+	if err != nil || evk == nil {
+		return nil, err
+	}
+	return evk, nil
+}
 
 // TenantCacheStats is one tenant's slice of the key cache: resident
-// keys and bytes, and the hit/miss/eviction counters.
+// keys and bytes (with the dense-equivalent footprint alongside), and
+// the hit/miss/eviction counters.
 type TenantCacheStats struct {
-	Tenant    string  `json:"tenant"`
-	Size      int     `json:"size"`
-	Bytes     int64   `json:"bytes"`
-	Hits      uint64  `json:"hits"`
-	Misses    uint64  `json:"misses"`
-	Evictions uint64  `json:"evictions"`
-	HitRate   float64 `json:"hit_rate"`
+	Tenant     string  `json:"tenant"`
+	Size       int     `json:"size"`
+	Bytes      int64   `json:"bytes"`
+	DenseBytes int64   `json:"dense_bytes"`
+	Hits       uint64  `json:"hits"`
+	Misses     uint64  `json:"misses"`
+	Evictions  uint64  `json:"evictions"`
+	HitRate    float64 `json:"hit_rate"`
 }
 
 // CacheStats is a point-in-time snapshot of the key cache: the global
@@ -76,28 +109,34 @@ type TenantCacheStats struct {
 // caller's in-flight load counts as a hit (the load was shared);
 // HitRate is hits over all Gets.
 type CacheStats struct {
-	BudgetBytes int64              `json:"budget_bytes"`
-	Bytes       int64              `json:"bytes"`
-	Size        int                `json:"size"`
-	Hits        uint64             `json:"hits"`
-	Misses      uint64             `json:"misses"`
-	Evictions   uint64             `json:"evictions"`
-	HitRate     float64            `json:"hit_rate"`
-	Tenants     []TenantCacheStats `json:"tenants"`
+	BudgetBytes int64 `json:"budget_bytes"`
+	Bytes       int64 `json:"bytes"`
+	// DenseBytes is what the resident set would occupy fully expanded;
+	// DenseBytes/Bytes is the measured compression ratio (1.0 when
+	// every resident key is dense).
+	DenseBytes int64              `json:"dense_bytes"`
+	Size       int                `json:"size"`
+	Hits       uint64             `json:"hits"`
+	Misses     uint64             `json:"misses"`
+	Evictions  uint64             `json:"evictions"`
+	HitRate    float64            `json:"hit_rate"`
+	Tenants    []TenantCacheStats `json:"tenants"`
 }
 
 type cacheEntry struct {
-	id    KeyID
-	evk   *hks.Evk
-	bytes int64
+	id         KeyID
+	mat        hks.KeyMaterial
+	bytes      int64 // resident footprint of the cached form
+	denseBytes int64 // footprint once expanded (== bytes when dense)
 }
 
 // tenantShard carries one tenant's residency and counters. Recency
 // lives in the cache-global list, not here: eviction weighs tenants
 // against each other, so it needs one global order.
 type tenantShard struct {
-	size  int
-	bytes int64
+	size       int
+	bytes      int64
+	denseBytes int64
 
 	hits, misses, evictions uint64
 }
@@ -106,25 +145,26 @@ type tenantShard struct {
 // concurrent Get of the same KeyID.
 type keyLoad struct {
 	done chan struct{}
-	evk  *hks.Evk
+	mat  hks.KeyMaterial
 	err  error
 }
 
-// keyCache is the tenant-sharded LRU map KeyID → *hks.Evk under one
-// global byte budget, with singleflight loading. Safe for concurrent
-// use. The source runs outside the cache lock, so slow key generation
-// never blocks hits on other keys.
+// keyCache is the tenant-sharded LRU map KeyID → hks.KeyMaterial under
+// one global byte budget, with singleflight loading. Safe for
+// concurrent use. The source runs outside the cache lock, so slow key
+// generation never blocks hits on other keys.
 type keyCache struct {
 	src    KeySource
 	budget int64
 	floor  int // per-tenant resident keys protected from budget eviction
 
-	mu      sync.Mutex
-	entries map[KeyID]*list.Element // id -> element in order
-	order   *list.List              // front = most recently used *cacheEntry
-	shards  map[string]*tenantShard
-	loading map[KeyID]*keyLoad
-	bytes   int64
+	mu         sync.Mutex
+	entries    map[KeyID]*list.Element // id -> element in order
+	order      *list.List              // front = most recently used *cacheEntry
+	shards     map[string]*tenantShard
+	loading    map[KeyID]*keyLoad
+	bytes      int64
+	denseBytes int64
 }
 
 func newKeyCache(src KeySource, budget int64, floor int) *keyCache {
@@ -148,47 +188,54 @@ func (c *keyCache) shard(tenant string) *tenantShard {
 	return s
 }
 
-// Get returns the evaluation key for id, loading it through the
-// backing KeySource on a miss. Concurrent Gets of the same absent key
-// share one load. The returned key remains valid after eviction;
-// failed loads are not cached.
-func (c *keyCache) Get(id KeyID) (*hks.Evk, error) {
+// Get returns the key material for id, loading it through the backing
+// KeySource on a miss. Concurrent Gets of the same absent key share
+// one load. The returned material remains valid after eviction; failed
+// loads are not cached.
+func (c *keyCache) Get(id KeyID) (hks.KeyMaterial, error) {
 	c.mu.Lock()
 	sh := c.shard(id.Tenant)
 	if el, ok := c.entries[id]; ok {
 		c.order.MoveToFront(el)
 		sh.hits++
-		evk := el.Value.(*cacheEntry).evk
+		mat := el.Value.(*cacheEntry).mat
 		c.mu.Unlock()
-		return evk, nil
+		return mat, nil
 	}
 	if l, ok := c.loading[id]; ok {
 		sh.hits++ // shared someone else's load
 		c.mu.Unlock()
 		<-l.done
-		return l.evk, l.err
+		return l.mat, l.err
 	}
 	sh.misses++
 	l := &keyLoad{done: make(chan struct{})}
 	c.loading[id] = l
 	c.mu.Unlock()
 
-	l.evk, l.err = c.src.Key(id)
+	l.mat, l.err = c.src.Key(id)
 	close(l.done)
 
 	c.mu.Lock()
 	delete(c.loading, id)
-	if l.err == nil {
-		e := &cacheEntry{id: id, evk: l.evk, bytes: int64(l.evk.SizeBytes())}
+	if l.err == nil && l.mat != nil {
+		e := &cacheEntry{
+			id:         id,
+			mat:        l.mat,
+			bytes:      int64(l.mat.SizeBytes()),
+			denseBytes: int64(l.mat.DenseSizeBytes()),
+		}
 		c.entries[id] = c.order.PushFront(e)
 		sh := c.shard(id.Tenant)
 		sh.size++
 		sh.bytes += e.bytes
+		sh.denseBytes += e.denseBytes
 		c.bytes += e.bytes
+		c.denseBytes += e.denseBytes
 		c.evictLocked()
 	}
 	c.mu.Unlock()
-	return l.evk, l.err
+	return l.mat, l.err
 }
 
 // evictLocked drops least-recently-used entries until resident bytes
@@ -214,8 +261,10 @@ func (c *keyCache) evictLocked() {
 		sh := c.shards[e.id.Tenant]
 		sh.size--
 		sh.bytes -= e.bytes
+		sh.denseBytes -= e.denseBytes
 		sh.evictions++
 		c.bytes -= e.bytes
+		c.denseBytes -= e.denseBytes
 	}
 }
 
@@ -226,6 +275,7 @@ func (c *keyCache) Stats() CacheStats {
 	st := CacheStats{
 		BudgetBytes: c.budget,
 		Bytes:       c.bytes,
+		DenseBytes:  c.denseBytes,
 		Size:        c.order.Len(),
 	}
 	names := make([]string, 0, len(c.shards))
@@ -236,12 +286,13 @@ func (c *keyCache) Stats() CacheStats {
 	for _, name := range names {
 		sh := c.shards[name]
 		ts := TenantCacheStats{
-			Tenant:    name,
-			Size:      sh.size,
-			Bytes:     sh.bytes,
-			Hits:      sh.hits,
-			Misses:    sh.misses,
-			Evictions: sh.evictions,
+			Tenant:     name,
+			Size:       sh.size,
+			Bytes:      sh.bytes,
+			DenseBytes: sh.denseBytes,
+			Hits:       sh.hits,
+			Misses:     sh.misses,
+			Evictions:  sh.evictions,
 		}
 		if total := ts.Hits + ts.Misses; total > 0 {
 			ts.HitRate = float64(ts.Hits) / float64(total)

@@ -78,7 +78,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	var calls atomic.Uint64
 	c := newKeyCache(fakeSource(&calls, 64), 2*keyBytes, 1)
 
-	mustGet := func(rot int) *hks.Evk {
+	mustGet := func(rot int) hks.KeyMaterial {
 		t.Helper()
 		evk, err := c.Get(rotID(rot))
 		if err != nil {
@@ -189,7 +189,7 @@ func TestCacheSingleflight(t *testing.T) {
 		return evk, nil
 	}), 1<<20, 1)
 
-	results := make(chan *hks.Evk, waiters)
+	results := make(chan hks.KeyMaterial, waiters)
 	errs := make(chan error, waiters)
 	for i := 0; i < waiters; i++ {
 		go func() {
@@ -241,11 +241,13 @@ func TestCacheLoadError(t *testing.T) {
 	}
 }
 
-// TestEvkSizeBytesPinned pins Evk.SizeBytes — the weight the byte
-// budget evicts by — to the allocated size a real switcher produces:
-// dnum × 2 polys × (ℓ+K) towers × N coefficients × 8 bytes. If
-// SizeBytes ever drifts from the allocation, the budget silently stops
-// meaning bytes; this test and the cache's accounting fail instead.
+// TestEvkSizeBytesPinned pins the footprints the byte budget evicts by
+// — one formula per residency form. Dense (Evk.SizeBytes):
+// dnum × 2 polys × (ℓ+K) towers × N coefficients × 8 bytes. Compressed
+// (CompressedEvk.SizeBytes): dnum × (towers × N × 8 + 32) — the B half
+// plus one 32-byte seed per digit, the A half gone. If either drifts
+// from the allocation, the budget silently stops meaning bytes; this
+// test and the cache's accounting fail instead.
 func TestEvkSizeBytesPinned(t *testing.T) {
 	r, err := ring.NewRingGenerated(32, 4, 40, 3, 41)
 	if err != nil {
@@ -259,16 +261,38 @@ func TestEvkSizeBytesPinned(t *testing.T) {
 	full := r.DBasis(r.NumQ - 1)
 	evk := sw.GenEvk(s, s.Ternary(full), s.Ternary(full))
 
-	want := sw.Dnum * 2 * len(sw.DBasis()) * r.N * 8
-	if got := evk.SizeBytes(); got != want {
-		t.Fatalf("SizeBytes %d, want dnum×2×towers×N×8 = %d", got, want)
+	wantDense := sw.Dnum * 2 * len(sw.DBasis()) * r.N * 8
+	if got := evk.SizeBytes(); got != wantDense {
+		t.Fatalf("SizeBytes %d, want dnum×2×towers×N×8 = %d", got, wantDense)
 	}
-	// And the cache accounts residency with exactly that weight.
+	comp, ok := evk.Compress()
+	if !ok {
+		t.Fatal("generated evk did not compress")
+	}
+	wantComp := sw.Dnum * (len(sw.DBasis())*r.N*8 + 32)
+	if got := comp.SizeBytes(); got != wantComp {
+		t.Fatalf("compressed SizeBytes %d, want dnum×(towers×N×8+32) = %d", got, wantComp)
+	}
+	if got := comp.DenseSizeBytes(); got != wantDense {
+		t.Fatalf("compressed DenseSizeBytes %d, want %d", got, wantDense)
+	}
+
+	// The cache accounts each form with exactly its own weight: dense
+	// entries at the dense footprint (DenseBytes == Bytes), compressed
+	// entries at the compressed footprint with the what-if dense
+	// footprint alongside.
 	c := newKeyCache(KeySourceFunc(func(KeyID) (*hks.Evk, error) { return evk, nil }), 1<<30, 1)
 	if _, err := c.Get(rotID(0)); err != nil {
 		t.Fatal(err)
 	}
-	if st := c.Stats(); st.Bytes != int64(want) {
-		t.Fatalf("cache resident bytes %d, want %d", st.Bytes, want)
+	if st := c.Stats(); st.Bytes != int64(wantDense) || st.DenseBytes != int64(wantDense) {
+		t.Fatalf("dense cache bytes %d/%d, want %d/%d", st.Bytes, st.DenseBytes, wantDense, wantDense)
+	}
+	cc := newKeyCache(KeyMaterialFunc(func(KeyID) (hks.KeyMaterial, error) { return comp, nil }), 1<<30, 1)
+	if _, err := cc.Get(rotID(0)); err != nil {
+		t.Fatal(err)
+	}
+	if st := cc.Stats(); st.Bytes != int64(wantComp) || st.DenseBytes != int64(wantDense) {
+		t.Fatalf("compressed cache bytes %d/%d, want %d/%d", st.Bytes, st.DenseBytes, wantComp, wantDense)
 	}
 }

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"fmt"
+	"hash/fnv"
+	"sync"
 
 	"ciflow/internal/ckks"
 	"ciflow/internal/hks"
@@ -22,19 +24,128 @@ import (
 // across evictions.
 type KeyChains map[string]*ckks.KeyChain
 
-// Key implements KeySource. Unknown tenants fail the one request.
-func (m KeyChains) Key(id KeyID) (*hks.Evk, error) {
+// Key implements KeySource. Unknown tenants fail the one request. The
+// material is handed back dense; use SeedKeySource for compressed
+// residency.
+func (m KeyChains) Key(id KeyID) (hks.KeyMaterial, error) {
 	kc, ok := m[id.Tenant]
 	if !ok {
 		return nil, fmt.Errorf("serve: no key chain for tenant %q", id.Tenant)
 	}
-	return kc.HoistKey(id.Rot, id.Level)
+	evk, err := kc.HoistKey(id.Rot, id.Level)
+	if err != nil {
+		return nil, err
+	}
+	return evk, nil
 }
 
 // HasTenant implements TenantChecker, so Submit rejects requests for
 // tenants with no key chain before allocating them a dispatcher.
 func (m KeyChains) HasTenant(tenant string) bool {
 	_, ok := m[tenant]
+	return ok
+}
+
+// TenantSeed maps a tenant name to the deterministic key-generation
+// seed every process serving that tenant uses for its keyspace.
+// ckks.GenKeys is deterministic in (context, seed), so any process —
+// a single-process service, a cluster shard, or a serial verifier —
+// derives bit-identical key material from the tenant name alone,
+// without secret material ever crossing process boundaries. Seeds are
+// positive and never zero, so they stay distinguishable from "unset".
+func TenantSeed(tenant string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(tenant))
+	s := int64(h.Sum64() &^ (1 << 63))
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// SeedKeySource is the seed-derived KeySource: it serves a fixed set
+// of tenants, building each tenant's ckks.KeyChain lazily from
+// TenantSeed(tenant), and hands the cache either dense or
+// seed-compressed material depending on how it was constructed. It is
+// the one code path through which both the single-process service
+// (`ciflow serve`) and the cluster shards construct key material, so
+// the two deployments agree on every bit by construction.
+//
+// Safe for concurrent use; chains are memoized, so re-loading an
+// evicted key returns identical material.
+type SeedKeySource struct {
+	ctx      *ckks.Context
+	compress bool
+
+	mu     sync.Mutex
+	chains map[string]*ckks.KeyChain
+}
+
+// NewSeedKeySource builds a source serving exactly the given tenants
+// from their TenantSeed-derived chains. With compress set, Key hands
+// the cache seed-compressed material (hks.CompressedEvk), halving the
+// resident footprint per key; the service expands at replay time.
+func NewSeedKeySource(ctx *ckks.Context, tenants []string, compress bool) (*SeedKeySource, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("serve: nil ckks context")
+	}
+	src := &SeedKeySource{
+		ctx:      ctx,
+		compress: compress,
+		chains:   make(map[string]*ckks.KeyChain, len(tenants)),
+	}
+	for _, t := range tenants {
+		if _, dup := src.chains[t]; dup {
+			return nil, fmt.Errorf("serve: duplicate tenant %q", t)
+		}
+		src.chains[t] = nil // allowed, chain not yet built
+	}
+	return src, nil
+}
+
+// Chain returns (building if needed) the tenant's key chain, for
+// callers that need the dense keys or the secret — the serial
+// bit-exactness verifiers. Unknown tenants return an error.
+func (src *SeedKeySource) Chain(tenant string) (*ckks.KeyChain, error) {
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	kc, ok := src.chains[tenant]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown tenant %q", tenant)
+	}
+	if kc == nil {
+		kc, _ = ckks.GenKeys(src.ctx, TenantSeed(tenant))
+		src.chains[tenant] = kc
+	}
+	return kc, nil
+}
+
+// Key implements KeySource: the tenant's hoisting-form rotation key,
+// compressed when the source was built with compression on. A key
+// that refuses to compress (no seeds) is handed back dense rather
+// than failing the request.
+func (src *SeedKeySource) Key(id KeyID) (hks.KeyMaterial, error) {
+	kc, err := src.Chain(id.Tenant)
+	if err != nil {
+		return nil, err
+	}
+	evk, err := kc.HoistKey(id.Rot, id.Level)
+	if err != nil {
+		return nil, err
+	}
+	if src.compress {
+		if c, ok := evk.Compress(); ok {
+			return c, nil
+		}
+	}
+	return evk, nil
+}
+
+// HasTenant implements TenantChecker against the fixed tenant set.
+func (src *SeedKeySource) HasTenant(tenant string) bool {
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	_, ok := src.chains[tenant]
 	return ok
 }
 

@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"ciflow/internal/ckks"
+	"ciflow/internal/engine"
+	"ciflow/internal/hks"
+	"ciflow/internal/ring"
+)
+
+// compressedSource is the testBench backing store handing back
+// seed-compressed material: the same keys as keySource, in the form a
+// SeedKeySource with compression on would serve them.
+func (b *testBench) compressedSource(t *testing.T) KeySource {
+	t.Helper()
+	return KeyMaterialFunc(func(id KeyID) (hks.KeyMaterial, error) {
+		b.loads.Add(1)
+		if id.Level != benchLevel {
+			return nil, fmt.Errorf("no keys at level %d", id.Level)
+		}
+		evk, ok := b.evks[id.Tenant][id.Rot]
+		if !ok {
+			return nil, fmt.Errorf("no key for tenant %q rotation %d", id.Tenant, id.Rot)
+		}
+		c, ok := evk.Compress()
+		if !ok {
+			return nil, fmt.Errorf("key for rotation %d did not compress", id.Rot)
+		}
+		return c, nil
+	})
+}
+
+// TestCompressedServingBitExact serves a coalesced group and a
+// singleton from a compressed key source and checks every result
+// against the dense direct switch: the streamed expand-and-apply path
+// must change residency and scheduling, never values. It also pins the
+// expansion accounting — one expansion per served request (hits expand
+// too; that is the compression trade) — and the cache's two-footprint
+// books (DenseBytes > Bytes when compressed material is resident).
+func TestCompressedServingBitExact(t *testing.T) {
+	const K = 4
+	b := newTestBench(t, K)
+	e := engine.New(4)
+	defer e.Close()
+	svc, err := New(b.pool, b.compressedSource(t), b.config(Config{
+		Engine: e, MaxBatch: K, Window: 20 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Coalesced group: K rotations of one input.
+	in := b.input()
+	chans := make([]<-chan Result, K)
+	for rot := 0; rot < K; rot++ {
+		ch, err := svc.Submit(context.Background(), Request{Input: in, Rot: rot})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[rot] = ch
+	}
+	for rot := 0; rot < K; rot++ {
+		want0, want1 := b.wantSwitch("", in, rot)
+		checkResult(t, <-chans[rot], want0, want1, fmt.Sprintf("coalesced rotation %d", rot))
+	}
+	// Singleton on a fresh input: the non-hoisted streamed path.
+	lone := b.input()
+	want0, want1 := b.wantSwitch("", lone, 1)
+	checkResult(t, svc.Do(context.Background(), Request{Input: lone, Rot: 1}), want0, want1, "singleton")
+
+	st := svc.Stats()
+	if st.Served != K+1 {
+		t.Fatalf("served %d, want %d", st.Served, K+1)
+	}
+	if st.KeyExpansions != K+1 {
+		t.Fatalf("%d key expansions for %d served requests, want one each", st.KeyExpansions, K+1)
+	}
+	if ts := tenantStats(t, st, ""); ts.KeyExpansions != K+1 {
+		t.Fatalf("tenant expansions %d, want %d", ts.KeyExpansions, K+1)
+	}
+	if st.Keys.DenseBytes <= st.Keys.Bytes {
+		t.Fatalf("dense footprint %d not above compressed resident %d", st.Keys.DenseBytes, st.Keys.Bytes)
+	}
+	wantComp := int64(K) * int64(b.sw.Dnum*(len(b.sw.DBasis())*b.r.N*8+32))
+	if st.Keys.Bytes != wantComp {
+		t.Fatalf("compressed resident %d bytes, want %d", st.Keys.Bytes, wantComp)
+	}
+}
+
+// TestCompressedHalvedBudget runs the identical request sequence
+// through a dense service with budget B and a compressed service with
+// budget B/2: the halved budget must hold the same working set — same
+// hits, misses, evictions — and serve bit-identical results. This is
+// the tentpole claim at unit scale; the perf gate checks it on the
+// full `ciflow serve` benchmark.
+func TestCompressedHalvedBudget(t *testing.T) {
+	const K = 4
+	b := newTestBench(t, K)
+	e := engine.New(4)
+	defer e.Close()
+
+	denseKey := int64(b.evks[""][0].SizeBytes())
+	budget := K*denseKey + 4096 // all K dense keys fit, with slack
+
+	run := func(keys KeySource, budget int64) (Stats, []Result) {
+		svc, err := New(b.pool, keys, b.config(Config{
+			Engine: e, KeyBudget: budget, MaxBatch: K, Window: 20 * time.Millisecond,
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer svc.Close()
+		var out []Result
+		// Two passes over every rotation: pass one misses, pass two hits.
+		for pass := 0; pass < 2; pass++ {
+			in := b.input()
+			chans := make([]<-chan Result, K)
+			for rot := 0; rot < K; rot++ {
+				ch, err := svc.Submit(context.Background(), Request{Input: in, Rot: rot})
+				if err != nil {
+					t.Fatal(err)
+				}
+				chans[rot] = ch
+			}
+			for rot := 0; rot < K; rot++ {
+				res := <-chans[rot]
+				if res.Err != nil {
+					t.Fatal(res.Err)
+				}
+				want0, want1 := b.wantSwitch("", in, rot)
+				checkResult(t, res, want0, want1, fmt.Sprintf("pass %d rotation %d", pass, rot))
+				out = append(out, res)
+			}
+		}
+		return svc.Stats(), out
+	}
+
+	dense, _ := run(b.keySource(), budget)
+	comp, _ := run(b.compressedSource(t), budget/2)
+
+	dk, ck := dense.Keys, comp.Keys
+	if ck.Hits != dk.Hits || ck.Misses != dk.Misses || ck.Evictions != dk.Evictions {
+		t.Fatalf("halved-budget compressed cache (h/m/e %d/%d/%d) differs from full-budget dense (%d/%d/%d)",
+			ck.Hits, ck.Misses, ck.Evictions, dk.Hits, dk.Misses, dk.Evictions)
+	}
+	if dk.Evictions != 0 {
+		t.Fatalf("dense run evicted %d keys; budget was sized to fit", dk.Evictions)
+	}
+	if ck.Bytes > budget/2 {
+		t.Fatalf("compressed resident %d exceeds halved budget %d", ck.Bytes, budget/2)
+	}
+	if dense.KeyExpansions != 0 {
+		t.Fatalf("dense run counted %d expansions", dense.KeyExpansions)
+	}
+	if comp.KeyExpansions == 0 {
+		t.Fatal("compressed run counted no expansions")
+	}
+}
+
+// TestSeedKeySourceUnified pins the satellite contract: the
+// single-process service and the cluster shards construct keys through
+// one code path. A SeedKeySource's material — compressed or dense —
+// must be bit-identical to an independently built chain seeded with
+// TenantSeed (what a shard does), and serving through it must match
+// that chain's direct switch.
+func TestSeedKeySourceUnified(t *testing.T) {
+	ctx, err := ckks.NewContext(32, 4, 30, 2, 31, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenants := []string{"alpha", "beta"}
+	src, err := NewSeedKeySource(ctx, tenants, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcDense, err := NewSeedKeySource(ctx, tenants, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSeedKeySource(nil, tenants, false); err == nil {
+		t.Fatal("nil context accepted")
+	}
+	if _, err := NewSeedKeySource(ctx, []string{"a", "a"}, false); err == nil {
+		t.Fatal("duplicate tenant accepted")
+	}
+	if !src.HasTenant("alpha") || src.HasTenant("gamma") {
+		t.Fatal("HasTenant does not match the fixed tenant set")
+	}
+	if _, err := src.Key(KeyID{Tenant: "gamma"}); err == nil {
+		t.Fatal("unknown tenant served a key")
+	}
+
+	level := ctx.MaxLevel
+	sw, err := ctx.Switchers().Switcher(level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rot = 3
+	for _, tenant := range tenants {
+		// The shard-side reference: an independent chain from the seed.
+		refChain, _ := ckks.GenKeys(ctx, TenantSeed(tenant))
+		ref, err := refChain.HoistKey(rot, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := KeyID{Tenant: tenant, Rot: rot, Level: level}
+		mat, err := src.Key(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, ok := mat.(*hks.CompressedEvk)
+		if !ok {
+			t.Fatalf("compressing source returned %T", mat)
+		}
+		got := c.Expand(ctx.R)
+		matDense, err := srcDense.Key(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := matDense.(*hks.Evk); !ok {
+			t.Fatalf("dense source returned %T", matDense)
+		}
+		for _, evk := range []*hks.Evk{got, matDense.Dense(ctx.R)} {
+			for j := range ref.B {
+				if !evk.B[j].Equal(ref.B[j]) || !evk.A[j].Equal(ref.A[j]) {
+					t.Fatalf("tenant %q digit %d differs from the seed-chain reference", tenant, j)
+				}
+			}
+		}
+	}
+
+	// Serving through the compressing source is bit-exact with the
+	// chain's direct switch.
+	e := engine.New(2)
+	defer e.Close()
+	svc, err := New(ctx.Switchers(), src, Config{
+		Engine: e, MaxBatch: 2, Window: 20 * time.Millisecond, DefaultLevel: level,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	s := ring.NewSampler(ctx.R, 9)
+	in := s.Uniform(sw.QBasis())
+	in.IsNTT = true
+	kc, err := src.Chain("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evk, err := kc.HoistKey(rot, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0, want1 := sw.KeySwitch(in, evk)
+	res := svc.Do(context.Background(), Request{Input: in, Rot: rot, Tenant: "alpha"})
+	checkResult(t, res, want0, want1, "seed-source serve")
+	if st := svc.Stats(); st.KeyExpansions == 0 {
+		t.Fatal("compressed serve counted no expansions")
+	}
+}

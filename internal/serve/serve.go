@@ -14,9 +14,14 @@
 //
 //  1. An evaluation-key cache (cache.go): a tenant-sharded LRU over
 //     KeyID{Tenant, Rot, Level}, bounded by one global *byte* budget
-//     with eviction weighted by Evk.SizeBytes, a per-tenant residency
-//     floor, singleflight loading, and per-tenant hit/miss/eviction/
-//     byte accounting.
+//     with eviction weighted by the resident material's SizeBytes, a
+//     per-tenant residency floor, singleflight loading, and per-tenant
+//     hit/miss/eviction/byte accounting. The cache stores
+//     hks.KeyMaterial: a source handing back seed-compressed keys
+//     (hks.CompressedEvk) is charged roughly half the dense footprint,
+//     so one budget holds twice the working set, and the service
+//     expands at replay time — streamed digit-by-digit, overlapped
+//     with the group's hoist phase, bit-exact with the dense path.
 //  2. A hoisted-state coalescer: concurrent requests of one tenant on
 //     the same input polynomial at the same level are grouped into one
 //     shared hks.Hoisted Decompose+ModUp, replaying only
@@ -132,8 +137,9 @@ type Config struct {
 	// engine.Default(). The service does not close it.
 	Engine *engine.Engine
 	// KeyBudget bounds the bytes of evaluation keys resident in the
-	// cache, across all tenants (default 256 MiB). Eviction is
-	// LRU weighted by Evk.SizeBytes; see cache.go.
+	// cache, across all tenants (default 256 MiB). Eviction is LRU
+	// weighted by the resident material's SizeBytes — compressed keys
+	// are charged their compressed footprint; see cache.go.
 	KeyBudget int64
 	// TenantKeyFloor is the number of resident keys per tenant that
 	// budget eviction prefers to spare (default 1): victims are taken
@@ -495,7 +501,7 @@ func (s *Service) runGroup(w *tenantWorker, g groupKey, ps []*pending) {
 
 	if len(live) == 1 {
 		p := live[0]
-		evk, err := s.getKey(sw, KeyID{Tenant: w.tenant, Rot: p.req.Rot, Level: g.level})
+		mat, st, err := s.getKey(w, sw, KeyID{Tenant: w.tenant, Rot: p.req.Rot, Level: g.level})
 		if err != nil {
 			s.finish(w, p, Result{Err: err})
 			return
@@ -504,7 +510,16 @@ func (s *Service) runGroup(w *tenantWorker, g groupKey, ps []*pending) {
 		s.stats.modUps.Add(1)
 		c0 := sw.R.NewPoly(sw.QBasis())
 		c1 := sw.R.NewPoly(sw.QBasis())
-		sw.SwitchParallelInto(s.cfg.Engine, g.df, p.req.Input, evk, c0, c1)
+		if st != nil {
+			// Compressed key: the seed expansion started in getKey runs
+			// while HoistParallel executes Decompose+ModUp, and the
+			// streamed replay consumes digits as both become ready.
+			h := sw.HoistParallel(s.cfg.Engine, g.df, p.req.Input)
+			h.SwitchStreamedInto(st, c0, c1)
+			h.Release()
+		} else {
+			sw.SwitchParallelInto(s.cfg.Engine, g.df, p.req.Input, mat.(*hks.Evk), c0, c1)
+		}
 		// Level counters land before the result delivers, so a caller
 		// that snapshots Stats after receiving its last result sees a
 		// per-level breakdown consistent with the totals.
@@ -524,35 +539,59 @@ func (s *Service) runGroup(w *tenantWorker, g groupKey, ps []*pending) {
 	// the Served/ModUps totals a concurrent snapshot observes.
 	w.levels.add(g.level, 0, 1)
 	s.levels.add(g.level, 0, 1)
-	h := sw.HoistParallel(s.cfg.Engine, g.df, g.in)
-	defer h.Release()
+	// Resolve every member's key material *before* hoisting: compressed
+	// entries start their seed expansions here, so all of them overlap
+	// the one Decompose+ModUp below instead of serializing after it.
+	type member struct {
+		p   *pending
+		mat hks.KeyMaterial
+		st  *hks.ExpandStream
+	}
+	members := make([]member, 0, len(live))
 	for _, p := range live {
-		evk, err := s.getKey(sw, KeyID{Tenant: w.tenant, Rot: p.req.Rot, Level: g.level})
+		mat, st, err := s.getKey(w, sw, KeyID{Tenant: w.tenant, Rot: p.req.Rot, Level: g.level})
 		if err != nil {
 			s.finish(w, p, Result{Err: err})
 			continue
 		}
+		members = append(members, member{p: p, mat: mat, st: st})
+	}
+	h := sw.HoistParallel(s.cfg.Engine, g.df, g.in)
+	defer h.Release()
+	for _, m := range members {
 		c0 := sw.R.NewPoly(sw.QBasis())
 		c1 := sw.R.NewPoly(sw.QBasis())
-		h.SwitchParallelInto(s.cfg.Engine, evk, c0, c1)
+		if m.st != nil {
+			h.SwitchStreamedInto(m.st, c0, c1)
+		} else {
+			h.SwitchParallelInto(s.cfg.Engine, m.mat.(*hks.Evk), c0, c1)
+		}
 		w.levels.add(g.level, 1, 0)
 		s.levels.add(g.level, 1, 0)
-		s.finish(w, p, Result{C0: c0, C1: c1})
+		s.finish(w, m.p, Result{C0: c0, C1: c1})
 	}
 }
 
-// getKey loads an evaluation key through the cache and validates its
-// digit structure, so a misbehaving KeySource fails the one request
-// instead of panicking an engine worker.
-func (s *Service) getKey(sw *hks.Switcher, id KeyID) (*hks.Evk, error) {
-	evk, err := s.keys.Get(id)
+// getKey loads evaluation-key material through the cache and validates
+// its digit structure, so a misbehaving KeySource fails the one request
+// instead of panicking an engine worker. For compressed material it
+// also starts the streamed seed expansion (counted per use: expansion
+// happens on hits too — that is the compression trade) and returns the
+// stream; dense material returns a nil stream and is applied directly.
+func (s *Service) getKey(w *tenantWorker, sw *hks.Switcher, id KeyID) (hks.KeyMaterial, *hks.ExpandStream, error) {
+	mat, err := s.keys.Get(id)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if err := sw.CheckEvk(evk); err != nil {
-		return nil, err
+	if err := sw.CheckMaterial(mat); err != nil {
+		return nil, nil, err
 	}
-	return evk, nil
+	if c, ok := mat.(*hks.CompressedEvk); ok {
+		w.stats.expanded.Add(1)
+		s.stats.expanded.Add(1)
+		return mat, c.StartExpand(sw.R), nil
+	}
+	return mat, nil, nil
 }
 
 func (s *Service) finish(w *tenantWorker, p *pending, res Result) {
@@ -581,15 +620,16 @@ func (s *Service) tenantStatsLocked(keys map[string]TenantCacheStats) []TenantSt
 	for _, name := range names {
 		w := s.workers[name]
 		ts := TenantStats{
-			Tenant:    name,
-			Submitted: w.stats.submitted.Load(),
-			Served:    w.stats.served.Load(),
-			Failed:    w.stats.failed.Load(),
-			Batches:   w.stats.batches.Load(),
-			Groups:    w.stats.groups.Load(),
-			ModUps:    w.stats.modUps.Load(),
-			Coalesced: w.stats.coalesced.Load(),
-			Keys:      keys[name],
+			Tenant:        name,
+			Submitted:     w.stats.submitted.Load(),
+			Served:        w.stats.served.Load(),
+			Failed:        w.stats.failed.Load(),
+			Batches:       w.stats.batches.Load(),
+			Groups:        w.stats.groups.Load(),
+			ModUps:        w.stats.modUps.Load(),
+			Coalesced:     w.stats.coalesced.Load(),
+			KeyExpansions: w.stats.expanded.Load(),
+			Keys:          keys[name],
 		}
 		if ts.ModUps > 0 {
 			ts.CoalescingFactor = float64(ts.Served) / float64(ts.ModUps)

@@ -18,6 +18,7 @@ type serviceCounters struct {
 	groups    atomic.Uint64
 	modUps    atomic.Uint64
 	coalesced atomic.Uint64
+	expanded  atomic.Uint64 // compressed keys expanded at replay time
 }
 
 // LevelStats is one ciphertext level's slice of the switch counters:
@@ -87,6 +88,10 @@ type TenantStats struct {
 	ModUps    uint64 `json:"mod_ups"`
 	Coalesced uint64 `json:"coalesced"`
 
+	// KeyExpansions counts this tenant's streamed seed expansions of
+	// compressed key material at replay time (0 for a dense source).
+	KeyExpansions uint64 `json:"key_expansions"`
+
 	// CoalescingFactor is this tenant's served requests per ModUp.
 	CoalescingFactor float64 `json:"coalescing_factor"`
 
@@ -112,6 +117,12 @@ type Stats struct {
 	Groups    uint64 `json:"groups"`    // (tenant, level, input, dataflow) groups formed
 	ModUps    uint64 `json:"mod_ups"`   // Decompose+ModUp executions
 	Coalesced uint64 `json:"coalesced"` // requests served from a shared hoisted state
+
+	// KeyExpansions counts streamed seed expansions of compressed key
+	// material at replay time: every use of a compressed cache entry
+	// expands it once, overlapped with the hoist phase. 0 means the
+	// key source hands the cache dense keys.
+	KeyExpansions uint64 `json:"key_expansions"`
 
 	// CoalescingFactor is served requests per ModUp execution: 1.0
 	// means no sharing, k means every request amortized its ModUp
@@ -168,14 +179,15 @@ func (cs CacheStats) Snapshot() CacheStats {
 // percentiles, and the per-tenant breakdown.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		Submitted: s.stats.submitted.Load(),
-		Served:    s.stats.served.Load(),
-		Failed:    s.stats.failed.Load(),
-		Batches:   s.stats.batches.Load(),
-		Groups:    s.stats.groups.Load(),
-		ModUps:    s.stats.modUps.Load(),
-		Coalesced: s.stats.coalesced.Load(),
-		Keys:      s.keys.Stats(),
+		Submitted:     s.stats.submitted.Load(),
+		Served:        s.stats.served.Load(),
+		Failed:        s.stats.failed.Load(),
+		Batches:       s.stats.batches.Load(),
+		Groups:        s.stats.groups.Load(),
+		ModUps:        s.stats.modUps.Load(),
+		Coalesced:     s.stats.coalesced.Load(),
+		KeyExpansions: s.stats.expanded.Load(),
+		Keys:          s.keys.Stats(),
 	}
 	if st.ModUps > 0 {
 		st.CoalescingFactor = float64(st.Served) / float64(st.ModUps)

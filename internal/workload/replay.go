@@ -423,11 +423,11 @@ func (rp *replayer) checkSerial(switchers serve.SwitcherSource, keys serve.KeySo
 		}
 		for _, id := range g {
 			n := rp.s.Nodes[id]
-			evk, err := keys.Key(serve.KeyID{Tenant: rp.cfg.Tenant, Rot: n.Rot, Level: n.Level})
+			mat, err := keys.Key(serve.KeyID{Tenant: rp.cfg.Tenant, Rot: n.Rot, Level: n.Level})
 			if err != nil {
 				return fmt.Errorf("workload: reference key for node %d: %w", id, err)
 			}
-			c0, c1 := sw.KeySwitch(in, evk)
+			c0, c1 := sw.KeySwitch(in, mat.Dense(sw.R))
 			c1s[id] = c1
 			if !c0.Equal(rp.results[id].C0) || !c1.Equal(rp.results[id].C1) {
 				bad = append(bad, fmt.Sprint(id))
