@@ -37,22 +37,27 @@ fmt:
 # Finally it replays a BTS2-shaped bootstrapping schedule DAG
 # (CoeffToSlot/SlotToCoeff chains with hoistable fan-outs) through the
 # service with the dependency-aware workload client and snapshots the
-# exact-count cross-validation to BENCH_workload.json, then replays
-# the same shape across a sharded multi-process fabric (ciflow
-# cluster: shard subprocesses behind the internal/cluster wire
-# protocol, with replication and a mid-replay drain) and snapshots
-# the shard-sum/bit-exactness verdicts to BENCH_cluster.json.
+# exact-count cross-validation to BENCH_workload.json, replays the
+# committed private-inference library scenario the same way from its
+# golden file (the import path, exercised end to end) to
+# BENCH_scenario.json, then replays the bootstrap shape across a
+# sharded multi-process fabric (ciflow cluster: shard subprocesses
+# behind the internal/cluster wire protocol, with replication and a
+# mid-replay drain) and snapshots the shard-sum/bit-exactness
+# verdicts to BENCH_cluster.json.
 # Tune with e.g.
 #   make bench BENCH_FLAGS="-logn 14 -requests 32 -workers 8"
 BENCH_FLAGS ?= -logn 13 -requests 8
 SERVE_FLAGS ?= -logn 13 -clients 4 -rotations 8 -requests 8 -tenants 2 -levels 2 -keycomp -keybudget 134217728
 WORKLOAD_FLAGS ?= -logn 13 -towers 6 -bts 2
+SCENARIO_FLAGS ?= -logn 13 -towers 6 -dnum 2
 CLUSTER_FLAGS ?= -logn 12 -towers 6 -bts 2 -shards 3 -tenants 4 -replicas 2 -kill
 
 bench:
 	$(GO) run ./cmd/ciflow throughput $(BENCH_FLAGS) -hoisted -rotations 8 -json BENCH_engine.json
 	$(GO) run ./cmd/ciflow serve $(SERVE_FLAGS) -check -json BENCH_serve.json
 	$(GO) run ./cmd/ciflow serve -workload bootstrap $(WORKLOAD_FLAGS) -check -json BENCH_workload.json
+	$(GO) run ./cmd/ciflow serve -workload file:internal/workload/testdata/private-inference.schedule.json $(SCENARIO_FLAGS) -check -json BENCH_scenario.json
 	$(GO) build -o bin/ciflow ./cmd/ciflow && bin/ciflow cluster $(CLUSTER_FLAGS) -check -json BENCH_cluster.json
 	$(GO) test -run NONE -bench 'KeySwitchN4096|SwitchParallel|SwitchHoisted' -benchtime 2x ./internal/hks/
 
@@ -65,23 +70,27 @@ bench:
 # coalesces, no starved tenant), or the workload invariants breaking
 # (replay bit-exact with serial schedule execution, measured counters
 # equal to the DAG's predictions — dependency order respected, hoist
-# groups coalescing > 1, zero coalesces across chain steps), or the
+# groups coalescing > 1, zero coalesces across chain steps; applied to
+# the generated bootstrap schedule and the imported library scenario
+# alike), or the
 # cluster invariants breaking (per-shard stats summing exactly to
 # tenants x the schedule prediction, bit-exactness over the wire,
 # exact router delivery/attribution across the mid-replay drain).
 BASELINE ?= bench_baseline.json
 SERVE_BASELINE ?= serve_baseline.json
 WORKLOAD_BASELINE ?= workload_baseline.json
+SCENARIO_BASELINE ?= scenario_baseline.json
 CLUSTER_BASELINE ?= cluster_baseline.json
 
 perfgate:
 	$(GO) run ./cmd/ciflow perfgate -baseline $(BASELINE) -fresh BENCH_engine.json \
 		-serve-baseline $(SERVE_BASELINE) -serve-fresh BENCH_serve.json \
 		-workload-baseline $(WORKLOAD_BASELINE) -workload-fresh BENCH_workload.json \
+		-scenario-baseline $(SCENARIO_BASELINE) -scenario-fresh BENCH_scenario.json \
 		-cluster-baseline $(CLUSTER_BASELINE) -cluster-fresh BENCH_cluster.json \
 		-max-regression 2
 
 clean:
-	rm -f BENCH_engine.json BENCH_serve.json BENCH_workload.json BENCH_cluster.json \
-		bench_baseline.json serve_baseline.json workload_baseline.json cluster_baseline.json
+	rm -f BENCH_engine.json BENCH_serve.json BENCH_workload.json BENCH_scenario.json BENCH_cluster.json \
+		bench_baseline.json serve_baseline.json workload_baseline.json scenario_baseline.json cluster_baseline.json
 	rm -rf bin

@@ -386,15 +386,15 @@ func clusterRun(cfg clusterConfig) (*clusterReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.workload == "fanout" {
+		return nil, fmt.Errorf("cluster: -workload fanout has no schedule to replay; use bootstrap, matvec, pir, private-inference, evalmod, or file:<path>")
+	}
 	sched, err := workloadSchedule(workloadConfig{
 		workload: cfg.workload, bts: cfg.bts, radix: cfg.radix,
 		logN: cfg.logN, rotations: cfg.rotations, giants: cfg.giants,
 	}, cctx.MaxLevel)
 	if err != nil {
 		return nil, err
-	}
-	if cfg.workload == "fanout" {
-		return nil, fmt.Errorf("cluster: -workload fanout has no schedule to replay; use bootstrap or matvec")
 	}
 	pred := sched.Counts()
 
@@ -570,13 +570,14 @@ func shardSumCheck(agg serve.Stats, pred workload.Counts, tenants int, mism []st
 		m := measured[pl.Level]
 		want(fmt.Sprintf("level %d switches", pl.Level), m.Switches, n*uint64(pl.Switches))
 		want(fmt.Sprintf("level %d mod_ups", pl.Level), m.ModUps, n*uint64(pl.ModUps))
+		want(fmt.Sprintf("level %d coalesced", pl.Level), m.Coalesced, n*uint64(pl.Coalesced))
 		delete(measured, pl.Level)
 	}
 	for l, m := range measured {
-		if m.Switches != 0 || m.ModUps != 0 {
+		if m.Switches != 0 || m.ModUps != 0 || m.Coalesced != 0 {
 			exact = false
-			mism = append(mism, fmt.Sprintf("shard-sum: level %d has %d/%d but the schedule predicts nothing there",
-				l, m.Switches, m.ModUps))
+			mism = append(mism, fmt.Sprintf("shard-sum: level %d has %d/%d/%d but the schedule predicts nothing there",
+				l, m.Switches, m.ModUps, m.Coalesced))
 		}
 	}
 	return exact, mism
@@ -608,7 +609,7 @@ func clusterCheck(rep *clusterReport) error {
 		return fmt.Errorf("cluster check: per-shard completion attribution sums to %d, want exactly %d (a retry was double-counted)",
 			rep.CompletedSum, total)
 	}
-	if rep.HoistCoalescingFactor <= 1 {
+	if rep.Predicted.HoistGroups > 0 && rep.HoistCoalescingFactor <= 1 {
 		return fmt.Errorf("cluster check: hoist-group coalescing factor %.2f, want > 1", rep.HoistCoalescingFactor)
 	}
 	return nil

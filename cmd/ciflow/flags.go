@@ -34,7 +34,7 @@ var experiments = []experiment{
 	{"area", "SRAM/area saving summary (§VI-B)"},
 	{"throughput", "measured HKS ops/sec and latency per dataflow on the engine pool"},
 	{"serve", "batching key-switch service load generator (cache + coalescing; -workload replays schedule DAGs)"},
-	{"schedule", "print a workload schedule DAG's shape, predicted op counts, and modeled cost"},
+	{"schedule", "print a workload schedule DAG's shape, predicted op counts, and modeled cost (-export/-import versioned JSON)"},
 	{"shard", "one cluster shard backend: a serve service behind the wire protocol (-addr)"},
 	{"router", "probe running shards (-shardaddrs) and print the cluster status table"},
 	{"cluster", "sharded serving experiment: spawn -shards shard processes, replay -tenants schedules through the router, verify exact shard-sum and bit-exactness (-replicas, -kill)"},
@@ -79,6 +79,8 @@ type cliFlags struct {
 	workloadName *string
 	bts          *int
 	radix        *int
+	exportPath   *string
+	importPath   *string
 
 	// cluster (shard, router, cluster)
 	shards     *int
@@ -94,6 +96,8 @@ type cliFlags struct {
 	serveFresh       *string
 	workloadBaseline *string
 	workloadFresh    *string
+	scenarioBaseline *string
+	scenarioFresh    *string
 	clusterBaseline  *string
 	clusterFresh     *string
 	maxRegression    *float64
@@ -128,9 +132,11 @@ func newFlags() *cliFlags {
 	fl.window = fs.Duration("window", 500*time.Microsecond, "serve micro-batch gather window")
 	fl.check = fs.Bool("check", false, "serve: fail unless coalescing > 1, hit rates > 50%, keyspaces isolated, bit-exact")
 
-	fl.workloadName = fs.String("workload", "fanout", "serve/schedule shape: fanout, bootstrap, or matvec")
+	fl.workloadName = fs.String("workload", "fanout", "serve/schedule shape: fanout, bootstrap, matvec, pir, private-inference, evalmod, or file:<path>")
 	fl.bts = fs.Int("bts", 2, "BTS parameter set (1, 2, or 3) shaping bootstrap schedules")
 	fl.radix = fs.Int("radix", 0, "bootstrap DFT radix, a power of two (0 = auto-fit the level budget)")
+	fl.exportPath = fs.String("export", "", "schedule: also write the schedule as versioned JSON to this file")
+	fl.importPath = fs.String("import", "", "schedule: load and re-validate the schedule from this JSON file instead of generating it")
 
 	fl.shards = fs.Int("shards", 2, "cluster shard process count")
 	fl.replicas = fs.Int("replicas", 1, "cluster shards eligible to serve one tenant (hot-key replication)")
@@ -144,6 +150,8 @@ func newFlags() *cliFlags {
 	fl.serveFresh = fs.String("serve-fresh", "", "perfgate fresh serve report (empty = skip serve gate)")
 	fl.workloadBaseline = fs.String("workload-baseline", "", "perfgate workload-replay baseline report (empty = skip workload gate)")
 	fl.workloadFresh = fs.String("workload-fresh", "", "perfgate fresh workload-replay report (empty = skip workload gate)")
+	fl.scenarioBaseline = fs.String("scenario-baseline", "", "perfgate scenario-replay baseline report (empty = skip scenario gate)")
+	fl.scenarioFresh = fs.String("scenario-fresh", "", "perfgate fresh scenario-replay report (empty = skip scenario gate)")
 	fl.clusterBaseline = fs.String("cluster-baseline", "", "perfgate cluster baseline report (empty = skip cluster gate)")
 	fl.clusterFresh = fs.String("cluster-fresh", "", "perfgate fresh cluster report (empty = skip cluster gate)")
 	fl.maxRegression = fs.Float64("max-regression", 2, "perfgate allowed ops/sec drop factor")

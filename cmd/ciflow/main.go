@@ -39,19 +39,26 @@
 //	               the previous operation's output); the report shows
 //	               ops/sec, p50/p99, key cache hit rate, resident key
 //	               bytes vs the -keybudget, and coalescing factor,
-//	               globally and per tenant. With -workload bootstrap or
-//	               -workload matvec it instead replays a schedule DAG
-//	               (internal/workload) with the dependency-aware
-//	               client: bootstrapping CoeffToSlot/SlotToCoeff
-//	               stages shaped by -bts/-radix, or a baby-step/
-//	               giant-step matvec (-rotations babies, -requests
-//	               giants), cross-validating measured serve counters
-//	               against the schedule's predicted counts exactly
+//	               globally and per tenant. With a non-fanout -workload
+//	               it instead replays a schedule DAG (internal/workload)
+//	               with the dependency-aware client: bootstrapping
+//	               CoeffToSlot/SlotToCoeff stages shaped by -bts/-radix,
+//	               a baby-step/giant-step matvec (-rotations babies,
+//	               -requests giants), a PIR fan-out (-requests batches
+//	               of -rotations probes), a private-inference matvec/
+//	               relin layer stack, an evalmod relin chain, or any
+//	               imported schedule (-workload file:PATH), cross-
+//	               validating measured serve counters — per level
+//	               included — against the schedule's predicted counts
+//	               exactly
 //	schedule       print a workload schedule DAG at the paper's
 //	               canonical BTS geometry (-workload, -bts, -radix):
 //	               shape, per-level switch counts, predicted ModUps
 //	               with/without hoisting, and the analysis model's
-//	               cost estimate including shared-ModUp savings
+//	               cost estimate including shared-ModUp savings;
+//	               -export FILE writes the schedule as versioned JSON,
+//	               -import FILE loads and re-validates one instead of
+//	               generating it
 //	shard          one cluster shard backend: a serve.Service behind
 //	               the internal/cluster wire protocol on -addr; prints
 //	               "listening <addr>" once bound, exits on stdin EOF
@@ -71,7 +78,9 @@
 //	perfgate       CI performance-regression gate: compare fresh
 //	               throughput (and, with -serve-baseline/-serve-fresh,
 //	               serve; with -workload-baseline/-workload-fresh,
-//	               workload replay; with -cluster-baseline/
+//	               workload replay; with -scenario-baseline/
+//	               -scenario-fresh, an imported library-scenario
+//	               replay; with -cluster-baseline/
 //	               -cluster-fresh, sharded cluster) JSON reports
 //	               against committed baselines, fail on gross
 //	               (> -max-regression x) ops/sec drops or broken
@@ -120,18 +129,25 @@
 //	-check         serve: exit non-zero unless coalescing factor > 1,
 //	               global and per-tenant cache hit rates > 50%,
 //	               resident key bytes within budget, keyspaces
-//	               isolated, and results bit-exact; with -workload
-//	               bootstrap/matvec: unless the replay is bit-exact
-//	               with serial execution, measured counters equal the
+//	               isolated, and results bit-exact; with a schedule
+//	               -workload: unless the replay is bit-exact with
+//	               serial execution, measured counters equal the
 //	               schedule's predictions exactly, dependency order
-//	               holds, and hoist groups coalesce (factor > 1)
+//	               holds, and hoist groups (when the schedule has any)
+//	               coalesce (factor > 1)
 //	-workload W    serve/schedule shape: fanout (default; independent
 //	               bursts), bootstrap (CoeffToSlot/SlotToCoeff DAG),
-//	               or matvec (baby-step/giant-step DAG)
+//	               matvec (baby-step/giant-step DAG), pir (wide
+//	               fan-out batches plus a combine), private-inference
+//	               (matvec layers with relins between levels), evalmod
+//	               (relin chain), or file:PATH (imported JSON)
 //	-bts N         BTS parameter set (1, 2, or 3) shaping bootstrap
 //	               schedules (default 2)
 //	-radix R       bootstrap DFT radix, a power of two (default 0 =
 //	               auto-fit the level budget)
+//	-export F      schedule: also write the schedule as versioned JSON
+//	-import F      schedule: load and re-validate the schedule from
+//	               this JSON file instead of generating it
 //	-shards N      cluster shard process count (default 2)
 //	-replicas R    cluster shards eligible to serve one tenant — hot-key
 //	               replication via per-tenant round-robin (default 1)
@@ -146,6 +162,8 @@
 //	-serve-fresh F     perfgate fresh serve report (default: skip)
 //	-workload-baseline F  perfgate workload-replay baseline (default: skip)
 //	-workload-fresh F     perfgate fresh workload-replay report (default: skip)
+//	-scenario-baseline F  perfgate scenario-replay baseline (default: skip)
+//	-scenario-fresh F     perfgate fresh scenario-replay report (default: skip)
 //	-cluster-baseline F   perfgate cluster baseline (default: skip)
 //	-cluster-fresh F      perfgate fresh cluster report (default: skip)
 //	-max-regression X  perfgate allowed ops/sec drop factor (default 2)
@@ -307,7 +325,7 @@ func run(args []string) error {
 		return serveCmd(cfg, *fl.jsonPath, *fl.check)
 	case "schedule":
 		return scheduleCmd(r, *fl.workloadName, *fl.bts, *fl.radix,
-			*fl.rotations, *fl.requests, *fl.jsonPath)
+			*fl.rotations, *fl.requests, *fl.jsonPath, *fl.exportPath, *fl.importPath)
 	case "shard":
 		return shardCmd(shardConfig{
 			addr:      *fl.addr,
@@ -359,10 +377,19 @@ func run(args []string) error {
 			window:    *fl.window,
 		}, *fl.jsonPath, *fl.check)
 	case "perfgate":
-		return perfgate(*fl.baseline, *fl.freshPath, *fl.maxRegression,
-			*fl.serveBaseline, *fl.serveFresh,
-			*fl.workloadBaseline, *fl.workloadFresh,
-			*fl.clusterBaseline, *fl.clusterFresh)
+		return perfgate(perfgateConfig{
+			Baseline:         *fl.baseline,
+			Fresh:            *fl.freshPath,
+			MaxRegression:    *fl.maxRegression,
+			ServeBaseline:    *fl.serveBaseline,
+			ServeFresh:       *fl.serveFresh,
+			WorkloadBaseline: *fl.workloadBaseline,
+			WorkloadFresh:    *fl.workloadFresh,
+			ScenarioBaseline: *fl.scenarioBaseline,
+			ScenarioFresh:    *fl.scenarioFresh,
+			ClusterBaseline:  *fl.clusterBaseline,
+			ClusterFresh:     *fl.clusterFresh,
+		})
 	case "all":
 		fmt.Print(analysis.FormatTableIII())
 		fmt.Println()

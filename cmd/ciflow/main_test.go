@@ -163,7 +163,7 @@ func TestPerfgate(t *testing.T) {
 	}
 	okPath := dir + "/ok.json"
 	writeReport(t, okPath, ok)
-	if err := perfgate(basePath, okPath, 2, "", "", "", "", "", ""); err != nil {
+	if err := perfgatePaths(basePath, okPath, 2, "", "", "", "", "", ""); err != nil {
 		t.Fatalf("perfgate failed on healthy report: %v", err)
 	}
 
@@ -177,7 +177,7 @@ func TestPerfgate(t *testing.T) {
 	}
 	badPath := dir + "/bad.json"
 	writeReport(t, badPath, bad)
-	if err := perfgate(basePath, badPath, 2, "", "", "", "", "", ""); err == nil {
+	if err := perfgatePaths(basePath, badPath, 2, "", "", "", "", "", ""); err == nil {
 		t.Fatal("perfgate passed a >2x regression")
 	}
 
@@ -190,7 +190,7 @@ func TestPerfgate(t *testing.T) {
 	}
 	slowPath := dir + "/slow.json"
 	writeReport(t, slowPath, slowHoist)
-	if err := perfgate(basePath, slowPath, 2, "", "", "", "", "", ""); err == nil {
+	if err := perfgatePaths(basePath, slowPath, 2, "", "", "", "", "", ""); err == nil {
 		t.Fatal("perfgate passed a hoisted slowdown")
 	}
 
@@ -209,7 +209,7 @@ func TestPerfgate(t *testing.T) {
 	}
 	noHoistPath := dir + "/no_hoist.json"
 	writeReport(t, noHoistPath, noHoist)
-	if err := perfgate(hoistedBasePath, noHoistPath, 2, "", "", "", "", "", ""); err == nil {
+	if err := perfgatePaths(hoistedBasePath, noHoistPath, 2, "", "", "", "", "", ""); err == nil {
 		t.Fatal("perfgate passed a fresh report that dropped the hoisted section")
 	}
 
@@ -219,7 +219,7 @@ func TestPerfgate(t *testing.T) {
 	}
 	inexactPath := dir + "/inexact.json"
 	writeReport(t, inexactPath, inexact)
-	if err := perfgate(basePath, inexactPath, 2, "", "", "", "", "", ""); err == nil {
+	if err := perfgatePaths(basePath, inexactPath, 2, "", "", "", "", "", ""); err == nil {
 		t.Fatal("perfgate passed a non-bit-exact report")
 	}
 }
@@ -229,20 +229,20 @@ func TestPerfgateErrors(t *testing.T) {
 	good := dir + "/good.json"
 	writeReport(t, good, &throughputReport{BitExact: true,
 		Results: []throughputRow{{Dataflow: "serial", OpsPerSec: 1}}})
-	if err := perfgate(dir+"/missing.json", good, 2, "", "", "", "", "", ""); err == nil {
+	if err := perfgatePaths(dir+"/missing.json", good, 2, "", "", "", "", "", ""); err == nil {
 		t.Error("missing baseline accepted")
 	}
-	if err := perfgate(good, dir+"/missing.json", 2, "", "", "", "", "", ""); err == nil {
+	if err := perfgatePaths(good, dir+"/missing.json", 2, "", "", "", "", "", ""); err == nil {
 		t.Error("missing fresh report accepted")
 	}
-	if err := perfgate(good, good, 0.5, "", "", "", "", "", ""); err == nil {
+	if err := perfgatePaths(good, good, 0.5, "", "", "", "", "", ""); err == nil {
 		t.Error("tolerance below 1 accepted")
 	}
 	empty := dir + "/empty.json"
 	if err := os.WriteFile(empty, []byte("{}"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := perfgate(empty, good, 2, "", "", "", "", "", ""); err == nil {
+	if err := perfgatePaths(empty, good, 2, "", "", "", "", "", ""); err == nil {
 		t.Error("empty baseline accepted")
 	}
 }
@@ -420,7 +420,7 @@ func TestPerfgateServe(t *testing.T) {
 		Requests: 64, OpsPerSec: 51, CoalescingFactor: 2,
 		KeyHitRate: 0.6, BitExact: true,
 	})
-	if err := perfgate(basePath, freshPath, 2, sBase, sOK, "", "", "", ""); err != nil {
+	if err := perfgatePaths(basePath, freshPath, 2, sBase, sOK, "", "", "", ""); err != nil {
 		t.Fatalf("perfgate failed on healthy serve report: %v", err)
 	}
 
@@ -444,7 +444,7 @@ func TestPerfgateServe(t *testing.T) {
 	} {
 		p := dir + "/serve_" + name + ".json"
 		writeServeReport(t, p, bad)
-		if err := perfgate(basePath, freshPath, 2, sBase, p, "", "", "", ""); err == nil {
+		if err := perfgatePaths(basePath, freshPath, 2, sBase, p, "", "", "", ""); err == nil {
 			t.Errorf("%s: perfgate passed a degraded serve report", name)
 		}
 	}
@@ -455,7 +455,7 @@ func TestPerfgateServe(t *testing.T) {
 		Requests: 64, OpsPerSec: 100, CoalescingFactor: 4, ModUps: 8,
 		KeyHitRate: 0.9, BitExact: true, Tenants: healthyTenants,
 	})
-	if err := perfgate(basePath, freshPath, 2, tenantBase, sOK, "", "", "", ""); err == nil {
+	if err := perfgatePaths(basePath, freshPath, 2, tenantBase, sOK, "", "", "", ""); err == nil {
 		t.Error("perfgate passed a fresh report that dropped the tenant stats")
 	}
 	tenantOK := dir + "/serve_tenant_ok.json"
@@ -464,7 +464,7 @@ func TestPerfgateServe(t *testing.T) {
 		KeyHitRate: 0.9, BitExact: true, KeyBudget: 100, KeyBytes: 80,
 		Tenants: healthyTenants,
 	})
-	if err := perfgate(basePath, freshPath, 2, tenantBase, tenantOK, "", "", "", ""); err != nil {
+	if err := perfgatePaths(basePath, freshPath, 2, tenantBase, tenantOK, "", "", "", ""); err != nil {
 		t.Errorf("perfgate failed a healthy multi-tenant report: %v", err)
 	}
 	// Shrinking the tenant matrix (2 -> 1) must fail the pinning check
@@ -474,23 +474,23 @@ func TestPerfgateServe(t *testing.T) {
 		Requests: 64, OpsPerSec: 90, CoalescingFactor: 4, ModUps: 4,
 		KeyHitRate: 0.9, BitExact: true, Tenants: healthyTenants[:1],
 	})
-	if err := perfgate(basePath, freshPath, 2, tenantBase, shrunk, "", "", "", ""); err == nil {
+	if err := perfgatePaths(basePath, freshPath, 2, tenantBase, shrunk, "", "", "", ""); err == nil {
 		t.Error("perfgate passed a fresh report with a shrunken tenant matrix")
 	}
 
 	// Half-specified serve gate flags and unreadable reports error out.
-	if err := perfgate(basePath, freshPath, 2, sBase, "", "", "", "", ""); err == nil {
+	if err := perfgatePaths(basePath, freshPath, 2, sBase, "", "", "", "", ""); err == nil {
 		t.Error("half-specified serve gate accepted")
 	}
-	if err := perfgate(basePath, freshPath, 2, sBase, dir+"/missing.json", "", "", "", ""); err == nil {
+	if err := perfgatePaths(basePath, freshPath, 2, sBase, dir+"/missing.json", "", "", "", ""); err == nil {
 		t.Error("missing fresh serve report accepted")
 	}
-	if err := perfgate(basePath, freshPath, 2, dir+"/missing.json", sOK, "", "", "", ""); err == nil {
+	if err := perfgatePaths(basePath, freshPath, 2, dir+"/missing.json", sOK, "", "", "", ""); err == nil {
 		t.Error("missing serve baseline accepted")
 	}
 	empty := dir + "/serve_empty.json"
 	writeServeReport(t, empty, &serveReport{})
-	if err := perfgate(basePath, freshPath, 2, empty, sOK, "", "", "", ""); err == nil {
+	if err := perfgatePaths(basePath, freshPath, 2, empty, sOK, "", "", "", ""); err == nil {
 		t.Error("empty serve baseline accepted")
 	}
 }
@@ -557,7 +557,6 @@ func TestWorkloadCheckRejects(t *testing.T) {
 		"inexact":    func(r *workloadReport) { r.BitExact = false },
 		"drift":      func(r *workloadReport) { r.CountsExact = false },
 		"dep-order":  func(r *workloadReport) { r.DepViolations = 1 },
-		"no-hoist":   func(r *workloadReport) { r.Predicted.HoistGroups = 0 },
 		"no-coalesc": func(r *workloadReport) { r.HoistCoalescingFactor = 1 },
 	} {
 		rep := *good
@@ -565,6 +564,16 @@ func TestWorkloadCheckRejects(t *testing.T) {
 		if workloadCheck(&rep) == nil {
 			t.Errorf("%s: degraded workload report accepted", name)
 		}
+	}
+	// The coalescing-factor check only applies to schedules with
+	// hoistable fan-out: an honest evalmod-style report (zero hoist
+	// groups, nothing coalesced) must pass, not trip the factor gate.
+	chain := *good
+	chain.Predicted.HoistGroups = 0
+	chain.Predicted.Coalesced = 0
+	chain.HoistCoalescingFactor = 0
+	if err := workloadCheck(&chain); err != nil {
+		t.Errorf("hoist-free report rejected: %v", err)
 	}
 }
 
@@ -715,7 +724,7 @@ func TestPerfgateWorkload(t *testing.T) {
 	ok := healthy()
 	ok.OpsPerSec = 51
 	writeWorkloadReport(t, wOK, ok)
-	if err := perfgate(basePath, basePath, 2, "", "", wBase, wOK, "", ""); err != nil {
+	if err := perfgatePaths(basePath, basePath, 2, "", "", wBase, wOK, "", ""); err != nil {
 		t.Fatalf("perfgate failed on a healthy workload report: %v", err)
 	}
 
@@ -744,24 +753,24 @@ func TestPerfgateWorkload(t *testing.T) {
 		mut(bad)
 		p := dir + "/workload_" + name + ".json"
 		writeWorkloadReport(t, p, bad)
-		if err := perfgate(basePath, basePath, 2, "", "", wBase, p, "", ""); err == nil {
+		if err := perfgatePaths(basePath, basePath, 2, "", "", wBase, p, "", ""); err == nil {
 			t.Errorf("%s: perfgate passed a degraded workload report", name)
 		}
 	}
 
 	// Half-specified flags, unreadable and empty reports error out.
-	if err := perfgate(basePath, basePath, 2, "", "", wBase, "", "", ""); err == nil {
+	if err := perfgatePaths(basePath, basePath, 2, "", "", wBase, "", "", ""); err == nil {
 		t.Error("half-specified workload gate accepted")
 	}
-	if err := perfgate(basePath, basePath, 2, "", "", wBase, dir+"/missing.json", "", ""); err == nil {
+	if err := perfgatePaths(basePath, basePath, 2, "", "", wBase, dir+"/missing.json", "", ""); err == nil {
 		t.Error("missing fresh workload report accepted")
 	}
-	if err := perfgate(basePath, basePath, 2, "", "", dir+"/missing.json", wOK, "", ""); err == nil {
+	if err := perfgatePaths(basePath, basePath, 2, "", "", dir+"/missing.json", wOK, "", ""); err == nil {
 		t.Error("missing workload baseline accepted")
 	}
 	empty := dir + "/workload_empty.json"
 	writeWorkloadReport(t, empty, &workloadReport{})
-	if err := perfgate(basePath, basePath, 2, "", "", empty, wOK, "", ""); err == nil {
+	if err := perfgatePaths(basePath, basePath, 2, "", "", empty, wOK, "", ""); err == nil {
 		t.Error("empty workload baseline accepted")
 	}
 }
@@ -818,4 +827,17 @@ func TestHelpMatchesREADME(t *testing.T) {
 	if err := run([]string{"-h"}); err != nil {
 		t.Fatalf("ciflow -h: %v", err)
 	}
+}
+
+// perfgatePaths adapts the historical positional call sites of these
+// tests to perfgateConfig; the order mirrors the gate's layer order
+// (throughput, serve, workload, cluster). The scenario pair reuses the
+// workload gate and is exercised directly in TestPerfgateScenario.
+func perfgatePaths(base, fresh string, maxReg float64, sBase, sFresh, wBase, wFresh, cBase, cFresh string) error {
+	return perfgate(perfgateConfig{
+		Baseline: base, Fresh: fresh, MaxRegression: maxReg,
+		ServeBaseline: sBase, ServeFresh: sFresh,
+		WorkloadBaseline: wBase, WorkloadFresh: wFresh,
+		ClusterBaseline: cBase, ClusterFresh: cFresh,
+	})
 }

@@ -59,48 +59,50 @@ func readWorkloadReport(path string) (*workloadReport, error) {
 	return &rep, nil
 }
 
-// perfgateWorkload gates the schedule-DAG replay: the generous
-// ops/sec tolerance, plus the machine-independent schedule invariants
-// — the replay bit-exact with serial execution, measured counters
-// equal to the schedule's predictions (one ModUp per group means zero
-// coalesces across dependent chain steps and none missing inside
-// hoist groups), dependency order respected, and a hoist-group
-// coalescing factor above 1 — which must hold at any speed.
-func perfgateWorkload(baselinePath, freshPath string, maxRegression float64, failures *[]string) error {
+// perfgateWorkload gates one schedule-DAG replay report pair: the
+// generous ops/sec tolerance, plus the machine-independent schedule
+// invariants — the replay bit-exact with serial execution, measured
+// counters equal to the schedule's predictions (one ModUp per group
+// means zero coalesces across dependent chain steps and none missing
+// inside hoist groups), dependency order respected, and — when the
+// schedule has hoistable fan-outs — a hoist-group coalescing factor
+// above 1 — which must hold at any speed. It gates both the generated
+// bench schedule (label "workload") and the imported library scenario
+// (label "scenario"); the label prefixes every failure so the two
+// gates stay distinguishable in CI output.
+func perfgateWorkload(label, baselinePath, freshPath string, maxRegression float64, failures *[]string) error {
 	base, err := readWorkloadReport(baselinePath)
 	if err != nil {
-		return fmt.Errorf("workload baseline: %w", err)
+		return fmt.Errorf("%s baseline: %w", label, err)
 	}
 	fresh, err := readWorkloadReport(freshPath)
 	if err != nil {
-		return fmt.Errorf("workload fresh: %w", err)
+		return fmt.Errorf("%s fresh: %w", label, err)
 	}
 	ratio := fresh.OpsPerSec / base.OpsPerSec
 	status := "ok"
 	if fresh.OpsPerSec*maxRegression < base.OpsPerSec {
 		status = "FAIL"
 		*failures = append(*failures,
-			fmt.Sprintf("workload: %.2f ops/sec vs baseline %.2f (>%.1fx regression)",
-				fresh.OpsPerSec, base.OpsPerSec, maxRegression))
+			fmt.Sprintf("%s: %.2f ops/sec vs baseline %.2f (>%.1fx regression)",
+				label, fresh.OpsPerSec, base.OpsPerSec, maxRegression))
 	}
-	fmt.Printf("%-8s %14.2f %14.2f %7.2fx %6s\n", "workload", base.OpsPerSec, fresh.OpsPerSec, ratio, status)
+	fmt.Printf("%-8s %14.2f %14.2f %7.2fx %6s\n", label, base.OpsPerSec, fresh.OpsPerSec, ratio, status)
 	if !fresh.BitExact {
-		*failures = append(*failures, "workload: replay not bit-exact with serial schedule execution")
+		*failures = append(*failures, label+": replay not bit-exact with serial schedule execution")
 	}
 	if !fresh.CountsExact {
 		*failures = append(*failures,
-			fmt.Sprintf("workload: measured counters drifted from the schedule's prediction: %v",
-				fresh.Mismatches))
+			fmt.Sprintf("%s: measured counters drifted from the schedule's prediction: %v",
+				label, fresh.Mismatches))
 	}
 	if fresh.DepViolations != 0 {
 		*failures = append(*failures,
-			fmt.Sprintf("workload: %d dependency-order violations", fresh.DepViolations))
+			fmt.Sprintf("%s: %d dependency-order violations", label, fresh.DepViolations))
 	}
-	if fresh.Predicted.HoistGroups == 0 {
-		*failures = append(*failures, "workload: fresh schedule has no hoistable fan-out (bench shape changed?)")
-	} else if fresh.HoistCoalescingFactor <= 1 {
+	if fresh.Predicted.HoistGroups > 0 && fresh.HoistCoalescingFactor <= 1 {
 		*failures = append(*failures,
-			fmt.Sprintf("workload: hoist-group coalescing factor %.2f, want > 1", fresh.HoistCoalescingFactor))
+			fmt.Sprintf("%s: hoist-group coalescing factor %.2f, want > 1", label, fresh.HoistCoalescingFactor))
 	}
 	// The baseline pins the schedule shape, like the serve gate pins
 	// the tenant matrix: a bench run against a smaller or
@@ -108,21 +110,21 @@ func perfgateWorkload(baselinePath, freshPath string, maxRegression float64, fai
 	// internal invariants hold.
 	if fresh.Predicted.Switches < base.Predicted.Switches {
 		*failures = append(*failures,
-			fmt.Sprintf("workload: fresh schedule has %d switches, baseline %d (bench run with a smaller schedule?)",
-				fresh.Predicted.Switches, base.Predicted.Switches))
+			fmt.Sprintf("%s: fresh schedule has %d switches, baseline %d (bench run with a smaller schedule?)",
+				label, fresh.Predicted.Switches, base.Predicted.Switches))
 	}
 	if fresh.Predicted.HoistGroups < base.Predicted.HoistGroups {
 		*failures = append(*failures,
-			fmt.Sprintf("workload: fresh schedule has %d hoist groups, baseline %d (bench run with a flatter schedule?)",
-				fresh.Predicted.HoistGroups, base.Predicted.HoistGroups))
+			fmt.Sprintf("%s: fresh schedule has %d hoist groups, baseline %d (bench run with a flatter schedule?)",
+				label, fresh.Predicted.HoistGroups, base.Predicted.HoistGroups))
 	}
 	if fresh.Predicted.Depth < base.Predicted.Depth {
 		*failures = append(*failures,
-			fmt.Sprintf("workload: fresh schedule has depth %d, baseline %d (bench run with a shallower schedule?)",
-				fresh.Predicted.Depth, base.Predicted.Depth))
+			fmt.Sprintf("%s: fresh schedule has depth %d, baseline %d (bench run with a shallower schedule?)",
+				label, fresh.Predicted.Depth, base.Predicted.Depth))
 	}
-	fmt.Printf("workload %s: %d switches, %d/%d ModUps (predicted/measured), hoist coalescing %.2fx, depth %d\n",
-		fresh.Schedule, fresh.Served, fresh.Predicted.ModUps, fresh.ModUps,
+	fmt.Printf("%s %s: %d switches, %d/%d ModUps (predicted/measured), hoist coalescing %.2fx, depth %d\n",
+		label, fresh.Schedule, fresh.Served, fresh.Predicted.ModUps, fresh.ModUps,
 		fresh.HoistCoalescingFactor, fresh.Predicted.Depth)
 	return nil
 }
@@ -288,31 +290,46 @@ func perfgateServe(baselinePath, freshPath string, maxRegression float64, failur
 	return nil
 }
 
-// perfgate compares fresh against baseline; maxRegression is the
+// perfgateConfig names the report pairs the gate compares. Baseline
+// is always required; each optional baseline/fresh pair extends the
+// gate to another layer — serve (serving layer), workload (generated
+// schedule-DAG replay), scenario (imported library scenario replay),
+// cluster (sharded serving fabric).
+type perfgateConfig struct {
+	Baseline, Fresh                 string
+	MaxRegression                   float64
+	ServeBaseline, ServeFresh       string
+	WorkloadBaseline, WorkloadFresh string
+	ScenarioBaseline, ScenarioFresh string
+	ClusterBaseline, ClusterFresh   string
+}
+
+// perfgate compares fresh against baseline; MaxRegression is the
 // allowed ops/sec ratio (2.0 = fail only when fresh is less than half
-// the baseline). Non-empty serveBaselinePath/serveFreshPath extend the
-// gate to the serving layer's reports, non-empty
-// workloadBaselinePath/workloadFreshPath to the schedule-DAG replay's,
-// and non-empty clusterBaselinePath/clusterFreshPath to the sharded
-// serving fabric's.
-func perfgate(baselinePath, freshPath string, maxRegression float64, serveBaselinePath, serveFreshPath, workloadBaselinePath, workloadFreshPath, clusterBaselinePath, clusterFreshPath string) error {
-	if maxRegression < 1 {
-		return fmt.Errorf("max regression %g must be >= 1", maxRegression)
+// the baseline). Each optional pair in the config extends the gate to
+// another layer's reports.
+func perfgate(cfg perfgateConfig) error {
+	if cfg.MaxRegression < 1 {
+		return fmt.Errorf("max regression %g must be >= 1", cfg.MaxRegression)
 	}
-	if (serveBaselinePath == "") != (serveFreshPath == "") {
+	maxRegression := cfg.MaxRegression
+	if (cfg.ServeBaseline == "") != (cfg.ServeFresh == "") {
 		return fmt.Errorf("-serve-baseline and -serve-fresh must be given together")
 	}
-	if (workloadBaselinePath == "") != (workloadFreshPath == "") {
+	if (cfg.WorkloadBaseline == "") != (cfg.WorkloadFresh == "") {
 		return fmt.Errorf("-workload-baseline and -workload-fresh must be given together")
 	}
-	if (clusterBaselinePath == "") != (clusterFreshPath == "") {
+	if (cfg.ScenarioBaseline == "") != (cfg.ScenarioFresh == "") {
+		return fmt.Errorf("-scenario-baseline and -scenario-fresh must be given together")
+	}
+	if (cfg.ClusterBaseline == "") != (cfg.ClusterFresh == "") {
 		return fmt.Errorf("-cluster-baseline and -cluster-fresh must be given together")
 	}
-	base, err := readReport(baselinePath)
+	base, err := readReport(cfg.Baseline)
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)
 	}
-	fresh, err := readReport(freshPath)
+	fresh, err := readReport(cfg.Fresh)
 	if err != nil {
 		return fmt.Errorf("fresh: %w", err)
 	}
@@ -327,7 +344,7 @@ func perfgate(baselinePath, freshPath string, maxRegression float64, serveBaseli
 
 	var failures []string
 	fmt.Printf("Perf gate: fresh %s vs baseline %s (fail below 1/%.1fx)\n",
-		freshPath, baselinePath, maxRegression)
+		cfg.Fresh, cfg.Baseline, maxRegression)
 	fmt.Printf("%-8s %14s %14s %8s %6s\n", "dataflow", "baseline op/s", "fresh op/s", "ratio", "gate")
 	for _, row := range fresh.Results {
 		b, ok := baseRows[row.Dataflow]
@@ -371,18 +388,23 @@ func perfgate(baselinePath, freshPath string, maxRegression float64, serveBaseli
 		}
 	}
 
-	if serveBaselinePath != "" {
-		if err := perfgateServe(serveBaselinePath, serveFreshPath, maxRegression, &failures); err != nil {
+	if cfg.ServeBaseline != "" {
+		if err := perfgateServe(cfg.ServeBaseline, cfg.ServeFresh, maxRegression, &failures); err != nil {
 			return err
 		}
 	}
-	if workloadBaselinePath != "" {
-		if err := perfgateWorkload(workloadBaselinePath, workloadFreshPath, maxRegression, &failures); err != nil {
+	if cfg.WorkloadBaseline != "" {
+		if err := perfgateWorkload("workload", cfg.WorkloadBaseline, cfg.WorkloadFresh, maxRegression, &failures); err != nil {
 			return err
 		}
 	}
-	if clusterBaselinePath != "" {
-		if err := perfgateCluster(clusterBaselinePath, clusterFreshPath, maxRegression, &failures); err != nil {
+	if cfg.ScenarioBaseline != "" {
+		if err := perfgateWorkload("scenario", cfg.ScenarioBaseline, cfg.ScenarioFresh, maxRegression, &failures); err != nil {
+			return err
+		}
+	}
+	if cfg.ClusterBaseline != "" {
+		if err := perfgateCluster(cfg.ClusterBaseline, cfg.ClusterFresh, maxRegression, &failures); err != nil {
 			return err
 		}
 	}

@@ -4,13 +4,21 @@ package main
 // paper's canonical geometry — without executing anything. For
 // `-workload bootstrap` that is the CoeffToSlot/SlotToCoeff pipeline
 // of a BTS parameter set over its own 2^16 slots and KL levels; for
-// matvec/fanout, the BSGS and burst shapes at the set's top level. It
-// reports the exact counts the DAG predicts for any correct executor
-// (switches per level, ModUps with and without hoisting, coalescing
-// factors) next to the analysis model's cost estimate, which prices
-// the same schedule's shared-ModUp savings through
-// analysis.EstimateWorkload — the exact-counts / modeled-cost pair
-// the dataflow analysis is about.
+// matvec/fanout, the BSGS and burst shapes at the set's top level;
+// for pir/private-inference/evalmod, the library shapes at the same
+// geometry. It reports the exact counts the DAG predicts for any
+// correct executor (switches per level, ModUps with and without
+// hoisting, per-level coalesces) next to the analysis model's cost
+// estimate, which prices the same schedule's shared-ModUp savings
+// through analysis.EstimateWorkload — the exact-counts / modeled-cost
+// pair the dataflow analysis is about.
+//
+// -export FILE writes the schedule as versioned JSON (the canonical
+// byte-stable form the testdata goldens pin); -import FILE loads and
+// fully re-validates one instead of generating, so export→import is a
+// lossless round trip and a hand-written DAG is either rejected with
+// a precise structural error or printed/priced/replayed like any
+// generated schedule.
 
 import (
 	"fmt"
@@ -47,15 +55,42 @@ func scheduleFor(name string, bts int, radix, rotations, requests int) (*workloa
 	case "fanout":
 		s, err := workload.Fanout(requests, rotations, b.KL-1)
 		return s, b, err
+	case "pir":
+		s, err := workload.PIR(requests, rotations, b.KL-1)
+		return s, b, err
+	case "private-inference":
+		s, err := workload.PrivateInference(b.KL/2, rotations, requests, b.KL-1)
+		return s, b, err
+	case "evalmod":
+		s, err := workload.EvalMod(b.KL, b.KL-1)
+		return s, b, err
 	default:
-		return nil, params.Benchmark{}, fmt.Errorf("unknown workload %q (want fanout, bootstrap, or matvec)", name)
+		return nil, params.Benchmark{}, fmt.Errorf("unknown workload %q (want fanout, bootstrap, matvec, pir, private-inference, or evalmod)", name)
 	}
 }
 
-func scheduleCmd(r *analysis.Runner, name string, bts, radix, rotations, requests int, jsonPath string) error {
-	sched, b, err := scheduleFor(name, bts, radix, rotations, requests)
-	if err != nil {
+func scheduleCmd(r *analysis.Runner, name string, bts, radix, rotations, requests int, jsonPath, exportPath, importPath string) error {
+	var sched *workload.Schedule
+	var b params.Benchmark
+	var err error
+	if importPath != "" {
+		// Imported schedules are fully re-validated by ImportFile; the
+		// -bts set still anchors the cost-model pricing below.
+		if sched, err = workload.ImportFile(importPath); err != nil {
+			return err
+		}
+		if b, err = workload.BTSBenchmark(bts); err != nil {
+			return err
+		}
+		name = "import"
+	} else if sched, b, err = scheduleFor(name, bts, radix, rotations, requests); err != nil {
 		return err
+	}
+	if exportPath != "" {
+		if err := sched.ExportFile(exportPath); err != nil {
+			return err
+		}
+		fmt.Printf("exported %s to %s\n", sched.Name, exportPath)
 	}
 	c := sched.Counts()
 
@@ -68,10 +103,10 @@ func scheduleCmd(r *analysis.Runner, name string, bts, radix, rotations, request
 		"predicted coalescing", c.CoalescingFactor(), c.HoistCoalescingFactor())
 	fmt.Printf("%-28s %8d  switches\n", "dependency depth", c.Depth)
 	fmt.Printf("%-28s %8d\n", "distinct evaluation keys", c.DistinctKeys)
-	fmt.Println("switches per level (top first):")
-	fmt.Printf("  %-8s %s\n", "level", "switches")
+	fmt.Println("per level (top first):")
+	fmt.Printf("  %-8s %-10s %-10s %s\n", "level", "switches", "mod_ups", "coalesced")
 	for _, lc := range c.PerLevel {
-		fmt.Printf("  %-8d %d\n", lc.Level, lc.Switches)
+		fmt.Printf("  %-8d %-10d %-10d %d\n", lc.Level, lc.Switches, lc.ModUps, lc.Coalesced)
 	}
 	fmt.Println()
 

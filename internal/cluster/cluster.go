@@ -90,6 +90,7 @@ func AggregateStats(shards []serve.Stats) serve.Stats {
 			}
 			e.Switches += ls.Switches
 			e.ModUps += ls.ModUps
+			e.Coalesced += ls.Coalesced
 		}
 	}
 	maxDur := func(a, b *serve.Stats) {

@@ -523,8 +523,8 @@ func (s *Service) runGroup(w *tenantWorker, g groupKey, ps []*pending) {
 		// Level counters land before the result delivers, so a caller
 		// that snapshots Stats after receiving its last result sees a
 		// per-level breakdown consistent with the totals.
-		w.levels.add(g.level, 1, 1)
-		s.levels.add(g.level, 1, 1)
+		w.levels.add(g.level, 1, 1, 0)
+		s.levels.add(g.level, 1, 1, 0)
 		s.finish(w, p, Result{C0: c0, C1: c1})
 		return
 	}
@@ -534,11 +534,12 @@ func (s *Service) runGroup(w *tenantWorker, g groupKey, ps []*pending) {
 	w.stats.modUps.Add(1)
 	s.stats.modUps.Add(1)
 	// One hoisted ModUp for the group regardless of per-key failures
-	// (it runs either way); each request's switch is counted just
-	// before its result delivers, so the level slices always sum to
-	// the Served/ModUps totals a concurrent snapshot observes.
-	w.levels.add(g.level, 0, 1)
-	s.levels.add(g.level, 0, 1)
+	// (it runs either way), and the whole group's coalesce credit with
+	// it; each request's switch is counted just before its result
+	// delivers, so the level slices always sum to the Served/ModUps/
+	// Coalesced totals a concurrent snapshot observes.
+	w.levels.add(g.level, 0, 1, uint64(len(live)))
+	s.levels.add(g.level, 0, 1, uint64(len(live)))
 	// Resolve every member's key material *before* hoisting: compressed
 	// entries start their seed expansions here, so all of them overlap
 	// the one Decompose+ModUp below instead of serializing after it.
@@ -566,8 +567,8 @@ func (s *Service) runGroup(w *tenantWorker, g groupKey, ps []*pending) {
 		} else {
 			h.SwitchParallelInto(s.cfg.Engine, m.mat.(*hks.Evk), c0, c1)
 		}
-		w.levels.add(g.level, 1, 0)
-		s.levels.add(g.level, 1, 0)
+		w.levels.add(g.level, 1, 0, 0)
+		s.levels.add(g.level, 1, 0, 0)
 		s.finish(w, m.p, Result{C0: c0, C1: c1})
 	}
 }

@@ -22,15 +22,17 @@ type serviceCounters struct {
 }
 
 // LevelStats is one ciphertext level's slice of the switch counters:
-// requests served and hoisted Decompose+ModUp executions at that
-// level. The per-level breakdown is what lets internal/workload
-// cross-validate its per-level schedule predictions *server-side* —
-// the serving layer's own books must show the schedule's level mix,
-// not just the right totals.
+// requests served, hoisted Decompose+ModUp executions, and requests
+// served out of shared hoisted state (coalesced) at that level. The
+// per-level breakdown is what lets internal/workload cross-validate
+// its per-level schedule predictions *server-side* — the serving
+// layer's own books must show the schedule's level mix (hoist-group
+// placement included), not just the right totals.
 type LevelStats struct {
-	Level    int    `json:"level"`
-	Switches uint64 `json:"switches"`
-	ModUps   uint64 `json:"mod_ups"`
+	Level     int    `json:"level"`
+	Switches  uint64 `json:"switches"`
+	ModUps    uint64 `json:"mod_ups"`
+	Coalesced uint64 `json:"coalesced,omitempty"`
 }
 
 // levelCounters aggregates the per-level counters. Unlike the hot
@@ -42,7 +44,7 @@ type levelCounters struct {
 	m  map[int]*LevelStats
 }
 
-func (lc *levelCounters) add(level int, switches, modUps uint64) {
+func (lc *levelCounters) add(level int, switches, modUps, coalesced uint64) {
 	lc.mu.Lock()
 	if lc.m == nil {
 		lc.m = make(map[int]*LevelStats)
@@ -54,6 +56,7 @@ func (lc *levelCounters) add(level int, switches, modUps uint64) {
 	}
 	e.Switches += switches
 	e.ModUps += modUps
+	e.Coalesced += coalesced
 	lc.mu.Unlock()
 }
 

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzScheduleImport drives the importer with arbitrary bytes, seeded
+// with the committed scenario goldens and the rejection corpus. The
+// properties: Import never panics; whatever it accepts passes
+// Validate() (so it is replayable with exact Counts() predictions),
+// exports canonically (export→import→export is byte-stable), and
+// predicts the same counts after the round trip. CI runs this briefly
+// on every push (see .github/workflows/ci.yml); longer local runs:
+//
+//	go test ./internal/workload -run NONE -fuzz FuzzScheduleImport
+func FuzzScheduleImport(f *testing.F) {
+	goldens, err := filepath.Glob(filepath.Join("testdata", "*.schedule.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range goldens {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(validScheduleJSON))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"name":"x","nodes":[]}`))
+	f.Add([]byte(`{"version":2,"name":"x","nodes":[]}`))
+	f.Add([]byte(`{"version":1,"name":"x","nodes":[{"id":0,"kind":"rotate","rot":1,"level":0,"deps":[0],"group":0}]}`))
+	f.Add([]byte(`not a schedule`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Import(data)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("import accepted a schedule failing Validate: %v", err)
+		}
+		out, err := s.Export()
+		if err != nil {
+			t.Fatalf("accepted schedule does not export: %v", err)
+		}
+		again, err := Import(out)
+		if err != nil {
+			t.Fatalf("canonical export does not re-import: %v", err)
+		}
+		re, err := again.Export()
+		if err != nil {
+			t.Fatalf("re-export: %v", err)
+		}
+		if !bytes.Equal(re, out) {
+			t.Fatal("export not byte-stable across a round trip")
+		}
+		if !reflect.DeepEqual(again.Counts(), s.Counts()) {
+			t.Fatal("round trip changed the count predictions")
+		}
+	})
+}

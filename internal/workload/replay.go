@@ -218,18 +218,31 @@ func Replay(ctx context.Context, svc Server, switchers serve.SwitcherSource, key
 	for _, lc := range res.PerLevel {
 		measured[lc.Level] = lc
 	}
+	// Per-level mismatches name the schedule nodes running at the
+	// diverging level, so a -check failure points at the stage that
+	// was split or merged instead of one aggregate number.
+	exactLevel := func(level int, what string, m, p int) {
+		if m == p {
+			return
+		}
+		res.CountsExact = false
+		res.Mismatches = append(res.Mismatches,
+			fmt.Sprintf("level %d %s: measured %d, schedule predicts %d (nodes at this level: %s)",
+				level, what, m, p, s.describeLevel(level)))
+	}
 	for _, p := range res.Predicted.PerLevel {
 		m := measured[p.Level]
-		exact(fmt.Sprintf("level %d switches", p.Level), uint64(m.Switches), p.Switches)
-		exact(fmt.Sprintf("level %d mod_ups", p.Level), uint64(m.ModUps), p.ModUps)
+		exactLevel(p.Level, "switches", m.Switches, p.Switches)
+		exactLevel(p.Level, "mod_ups", m.ModUps, p.ModUps)
+		exactLevel(p.Level, "coalesced", m.Coalesced, p.Coalesced)
 		delete(measured, p.Level)
 	}
 	for l, m := range measured {
-		if m.Switches != 0 || m.ModUps != 0 {
+		if m.Switches != 0 || m.ModUps != 0 || m.Coalesced != 0 {
 			res.CountsExact = false
 			res.Mismatches = append(res.Mismatches,
-				fmt.Sprintf("level %d: measured %d switches / %d mod_ups, schedule predicts none",
-					l, m.Switches, m.ModUps))
+				fmt.Sprintf("level %d: measured %d switches / %d mod_ups / %d coalesced, schedule predicts none",
+					l, m.Switches, m.ModUps, m.Coalesced))
 		}
 	}
 	if res.Predicted.HoistGroups > 0 {
@@ -296,15 +309,56 @@ func perLevelDelta(before, after []serve.LevelStats) []LevelCount {
 	var out []LevelCount
 	for _, ls := range after {
 		d := LevelCount{
-			Level:    ls.Level,
-			Switches: int(ls.Switches - prev[ls.Level].Switches),
-			ModUps:   int(ls.ModUps - prev[ls.Level].ModUps),
+			Level:     ls.Level,
+			Switches:  int(ls.Switches - prev[ls.Level].Switches),
+			ModUps:    int(ls.ModUps - prev[ls.Level].ModUps),
+			Coalesced: int(ls.Coalesced - prev[ls.Level].Coalesced),
 		}
-		if d.Switches != 0 || d.ModUps != 0 {
+		if d.Switches != 0 || d.ModUps != 0 || d.Coalesced != 0 {
 			out = append(out, d)
 		}
 	}
 	return out
+}
+
+// describeLevel summarizes the schedule nodes running at one level as
+// compact "first-last (stage)" runs — the context a per-level count
+// mismatch message carries so the offending stage is named, not just
+// the level number.
+func (s *Schedule) describeLevel(level int) string {
+	var parts []string
+	runStart, runEnd := -1, -1
+	label := ""
+	flush := func() {
+		if runStart < 0 {
+			return
+		}
+		if runStart == runEnd {
+			parts = append(parts, fmt.Sprintf("%d (%s)", runStart, label))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d-%d (%s)", runStart, runEnd, label))
+		}
+	}
+	for _, n := range s.Nodes {
+		if n.Level != level {
+			continue
+		}
+		l := n.Stage
+		if l == "" {
+			l = n.Kind.String()
+		}
+		if runStart >= 0 && n.ID == runEnd+1 && l == label {
+			runEnd = n.ID
+			continue
+		}
+		flush()
+		runStart, runEnd, label = n.ID, n.ID, l
+	}
+	flush()
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ", ")
 }
 
 type nodeDone struct {
@@ -430,13 +484,17 @@ func (rp *replayer) checkSerial(switchers serve.SwitcherSource, keys serve.KeySo
 			c0, c1 := sw.KeySwitch(in, mat.Dense(sw.R))
 			c1s[id] = c1
 			if !c0.Equal(rp.results[id].C0) || !c1.Equal(rp.results[id].C1) {
-				bad = append(bad, fmt.Sprint(id))
+				// Name the node fully — stage, kind, rotation, level — so
+				// a bit-exactness failure localizes to a schedule position
+				// without cross-referencing the DAG by hand.
+				bad = append(bad, fmt.Sprintf("%d (%s: %s rot %d at level %d)",
+					id, n.Stage, n.Kind, n.Rot, n.Level))
 			}
 		}
 	}
 	if len(bad) > 0 {
 		return fmt.Errorf("workload: served outputs differ from serial replay at node(s) %s",
-			strings.Join(bad, ", "))
+			strings.Join(bad, "; "))
 	}
 	return nil
 }

@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ciflow/internal/params"
+)
+
+// roundTripSchedules builds one schedule of every generator shape —
+// the full surface the serializer must carry losslessly.
+func roundTripSchedules(t *testing.T) []*Schedule {
+	t.Helper()
+	var out []*Schedule
+	add := func(s *Schedule, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, s)
+	}
+	add(Fanout(3, 4, 2))
+	add(Matvec(6, 3, 4))
+	add(BootstrapBTS(params.BTS1, 16))
+	add(PIR(2, 5, 3))
+	add(PrivateInference(2, 3, 2, 4))
+	add(EvalMod(4, 5))
+	return out
+}
+
+// TestExportImportRoundTrip pins the serializer's core contract:
+// Export is canonical (exporting an import yields identical bytes)
+// and Import is lossless (the imported schedule predicts the same
+// counts, per level included).
+func TestExportImportRoundTrip(t *testing.T) {
+	for _, s := range roundTripSchedules(t) {
+		data, err := s.Export()
+		if err != nil {
+			t.Fatalf("%s: export: %v", s.Name, err)
+		}
+		if !bytes.HasSuffix(data, []byte("\n")) {
+			t.Errorf("%s: export not newline-terminated", s.Name)
+		}
+		imp, err := Import(data)
+		if err != nil {
+			t.Fatalf("%s: import: %v", s.Name, err)
+		}
+		if imp.Name != s.Name || imp.Radix != s.Radix || len(imp.Nodes) != len(s.Nodes) {
+			t.Fatalf("%s: import changed shape: %q radix %d, %d nodes",
+				s.Name, imp.Name, imp.Radix, len(imp.Nodes))
+		}
+		if !reflect.DeepEqual(imp.Counts(), s.Counts()) {
+			t.Fatalf("%s: imported counts %+v, want %+v", s.Name, imp.Counts(), s.Counts())
+		}
+		again, err := imp.Export()
+		if err != nil {
+			t.Fatalf("%s: re-export: %v", s.Name, err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatalf("%s: export not byte-stable across a round trip", s.Name)
+		}
+	}
+}
+
+// validScheduleJSON is a minimal hand-written valid schedule file.
+const validScheduleJSON = `{
+  "version": 1,
+  "name": "hand",
+  "nodes": [
+    {"id": 0, "kind": "rotate", "rot": 1, "level": 2, "group": 0},
+    {"id": 1, "kind": "relin", "rot": 0, "level": 1, "deps": [0], "group": 1}
+  ]
+}`
+
+func TestImportAcceptsHandWritten(t *testing.T) {
+	s, err := Import([]byte(validScheduleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("accepted schedule fails Validate: %v", err)
+	}
+	c := s.Counts()
+	if c.Switches != 2 || c.Rotations != 1 || c.Relins != 1 || c.ModUps != 2 {
+		t.Fatalf("counts %+v", c)
+	}
+}
+
+// TestImportRejects walks the rejection surface: version errors first
+// (missing, unsupported, wrong type), then strict-field and kind
+// errors, then the Validate() structural errors — each with the
+// message an author of a hand-written schedule needs.
+func TestImportRejects(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"not-json", "schedule", "schedule"},
+		{"missing-version", `{"name":"x","nodes":[{"id":0,"kind":"rotate","rot":1,"level":0,"group":0}]}`,
+			"missing the schema version"},
+		{"future-version", `{"version":2,"name":"x","nodes":[]}`, "version 2 not supported"},
+		{"string-version", `{"version":"one","name":"x","nodes":[]}`, "schedule"},
+		{"unknown-field", `{"version":1,"name":"x","surprise":true,"nodes":[{"id":0,"kind":"rotate","rot":1,"level":0,"group":0}]}`,
+			"unknown field"},
+		{"unknown-kind", `{"version":1,"name":"x","nodes":[{"id":0,"kind":"conjugate","rot":1,"level":0,"group":0}]}`,
+			`unknown node kind "conjugate"`},
+		{"numeric-kind", `{"version":1,"name":"x","nodes":[{"id":0,"kind":0,"rot":1,"level":0,"group":0}]}`,
+			"node kind must be a string"},
+		{"no-nodes", `{"version":1,"name":"x","nodes":[]}`, "has no nodes"},
+		{"forward-dep", `{"version":1,"name":"x","nodes":[{"id":0,"kind":"rotate","rot":1,"level":0,"deps":[1],"group":0},{"id":1,"kind":"rotate","rot":2,"level":0,"group":1}]}`,
+			"must be an earlier node"},
+		{"level-up", `{"version":1,"name":"x","nodes":[{"id":0,"kind":"rotate","rot":1,"level":1,"group":0},{"id":1,"kind":"rotate","rot":2,"level":2,"deps":[0],"group":1}]}`,
+			"at lower level"},
+		{"dup-id", `{"version":1,"name":"x","nodes":[{"id":0,"kind":"rotate","rot":1,"level":0,"group":0},{"id":0,"kind":"rotate","rot":2,"level":0,"group":1}]}`,
+			"has ID 0"},
+		{"split-group", `{"version":1,"name":"x","nodes":[{"id":0,"kind":"rotate","rot":1,"level":0,"group":0},{"id":1,"kind":"rotate","rot":2,"level":0,"group":1},{"id":2,"kind":"rotate","rot":3,"level":0,"group":0}]}`,
+			"dense and consecutive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Import([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("accepted %s", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestKindJSON(t *testing.T) {
+	if data, err := Rotate.MarshalJSON(); err != nil || string(data) != `"rotate"` {
+		t.Fatalf("rotate marshals to %s, %v", data, err)
+	}
+	if data, err := Relin.MarshalJSON(); err != nil || string(data) != `"relin"` {
+		t.Fatalf("relin marshals to %s, %v", data, err)
+	}
+	if _, err := Kind(9).MarshalJSON(); err == nil {
+		t.Fatal("unknown kind marshaled")
+	}
+	var k Kind
+	if err := k.UnmarshalJSON([]byte(`"relin"`)); err != nil || k != Relin {
+		t.Fatalf("relin unmarshals to %v, %v", k, err)
+	}
+}
+
+// TestExportRejectsInvalid: a hand-assembled broken DAG cannot reach a
+// file — Export re-validates.
+func TestExportRejectsInvalid(t *testing.T) {
+	s := &Schedule{Name: "broken", Nodes: []Node{{ID: 5}}}
+	if _, err := s.Export(); err == nil {
+		t.Fatal("broken schedule exported")
+	}
+}
+
+func TestImportExportFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.schedule.json")
+	s, err := Matvec(4, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ExportFile(path); err != nil {
+		t.Fatal(err)
+	}
+	imp, err := ImportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(imp.Counts(), s.Counts()) {
+		t.Fatalf("file round trip changed counts")
+	}
+
+	if _, err := ImportFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file imported")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = ImportFile(bad)
+	if err == nil {
+		t.Fatal("bad file imported")
+	}
+	if !strings.Contains(err.Error(), bad) {
+		t.Fatalf("error %q does not name the file", err)
+	}
+}

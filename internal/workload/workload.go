@@ -197,15 +197,18 @@ func equalDeps(a, b []int) bool {
 }
 
 // LevelCount is one level's slice of a schedule's predicted counts:
-// key switches at the level and hoisted Decompose+ModUp executions
-// (one per hoist group running at the level). The replay client
-// cross-validates these against the service's own per-level counters
-// (serve.Stats.PerLevel), so the level mix — not just the totals —
-// must survive any serving layer between client and executor.
+// key switches at the level, hoisted Decompose+ModUp executions (one
+// per hoist group running at the level), and requests served out of
+// shared hoisted state (the summed width of the level's hoist groups
+// with at least two members). The replay client cross-validates these
+// against the service's own per-level counters (serve.Stats.PerLevel),
+// so the level mix — not just the totals — must survive any serving
+// layer between client and executor.
 type LevelCount struct {
-	Level    int `json:"level"`
-	Switches int `json:"switches"`
-	ModUps   int `json:"mod_ups"`
+	Level     int `json:"level"`
+	Switches  int `json:"switches"`
+	ModUps    int `json:"mod_ups"`
+	Coalesced int `json:"coalesced,omitempty"`
 }
 
 // Counts are the exact operation counts a schedule predicts for any
@@ -300,15 +303,18 @@ func (s *Schedule) Counts() Counts {
 		}
 	}
 	perLevelMod := map[int]int{}
+	perLevelCoal := map[int]int{}
 	for _, g := range s.Groups() {
 		c.ModUps++
-		perLevelMod[s.Nodes[g[0]].Level]++ // group members share one level
+		gl := s.Nodes[g[0]].Level // group members share one level
+		perLevelMod[gl]++
 		if len(g) > c.MaxWidth {
 			c.MaxWidth = len(g)
 		}
 		if len(g) >= 2 {
 			c.HoistGroups++
 			c.Coalesced += len(g)
+			perLevelCoal[gl] += len(g)
 		}
 	}
 	c.DistinctKeys = len(keys)
@@ -318,7 +324,9 @@ func (s *Schedule) Counts() Counts {
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(levels)))
 	for _, l := range levels {
-		c.PerLevel = append(c.PerLevel, LevelCount{Level: l, Switches: perLevel[l], ModUps: perLevelMod[l]})
+		c.PerLevel = append(c.PerLevel, LevelCount{
+			Level: l, Switches: perLevel[l], ModUps: perLevelMod[l], Coalesced: perLevelCoal[l],
+		})
 	}
 	return c
 }

@@ -241,40 +241,53 @@ func TestGeneratorErrors(t *testing.T) {
 	}
 }
 
+// TestValidateRejects corrupts a valid schedule one invariant at a
+// time and asserts both the rejection and its message — the same
+// precise errors an importer of hand-written JSON sees, so they must
+// name the offending node and the broken rule, not just fail.
 func TestValidateRejects(t *testing.T) {
 	ok, err := Matvec(4, 2, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mutate := map[string]func(s *Schedule){
-		"id":         func(s *Schedule) { s.Nodes[1].ID = 7 },
-		"fwd-dep":    func(s *Schedule) { s.Nodes[0].Deps = []int{2} },
-		"self-dep":   func(s *Schedule) { s.Nodes[1].Deps = []int{1} },
-		"neg-level":  func(s *Schedule) { s.Nodes[2].Level = -1 },
-		"level-up":   func(s *Schedule) { s.Nodes[3].Level = 9 },
-		"group-skip": func(s *Schedule) { s.Nodes[3].Group = 5 },
-		"group-mix":  func(s *Schedule) { s.Nodes[1].Level = 2 },
-		"relin-rot":  func(s *Schedule) { s.Nodes[3].Kind = Relin },
-		"bad-kind":   func(s *Schedule) { s.Nodes[0].Kind = Kind(9) },
+	mutate := map[string]struct {
+		f    func(s *Schedule)
+		want string
+	}{
+		"dup-id":       {func(s *Schedule) { s.Nodes[1].ID = 0 }, "node at index 1 has ID 0"},
+		"gapped-id":    {func(s *Schedule) { s.Nodes[1].ID = 7 }, "node at index 1 has ID 7"},
+		"fwd-dep":      {func(s *Schedule) { s.Nodes[0].Deps = []int{2} }, "must be an earlier node"},
+		"self-dep":     {func(s *Schedule) { s.Nodes[1].Deps = []int{1} }, "must be an earlier node"},
+		"dangling-dep": {func(s *Schedule) { s.Nodes[1].Deps = []int{42} }, "depends on 42 (must be an earlier node)"},
+		"neg-level":    {func(s *Schedule) { s.Nodes[2].Level = -1 }, "negative level"},
+		"level-up":     {func(s *Schedule) { s.Nodes[3].Level = 9 }, "at lower level"},
+		"group-split":  {func(s *Schedule) { s.Nodes[1].Group = 1 }, "dense and consecutive"},
+		"group-skip":   {func(s *Schedule) { s.Nodes[3].Group = 5 }, "dense and consecutive"},
+		"group-mix":    {func(s *Schedule) { s.Nodes[1].Level = 2 }, "level/kind/deps differ"},
+		"relin-rot":    {func(s *Schedule) { s.Nodes[3].Kind = Relin }, "carries rotation"},
+		"bad-kind":     {func(s *Schedule) { s.Nodes[0].Kind = Kind(9) }, "unknown kind"},
 	}
-	for name, f := range mutate {
+	for name, m := range mutate {
 		s := &Schedule{Name: ok.Name, Nodes: append([]Node(nil), ok.Nodes...)}
 		for i := range s.Nodes {
 			s.Nodes[i].Deps = append([]int(nil), s.Nodes[i].Deps...)
 		}
-		f(s)
-		if s.Validate() == nil {
+		m.f(s)
+		err := s.Validate()
+		if err == nil {
 			t.Errorf("%s: corrupted schedule validated", name)
+		} else if !strings.Contains(err.Error(), m.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, m.want)
 		}
 	}
-	if (&Schedule{Name: "empty"}).Validate() == nil {
-		t.Error("empty schedule validated")
+	if err := (&Schedule{Name: "empty"}).Validate(); err == nil || !strings.Contains(err.Error(), "has no nodes") {
+		t.Errorf("empty schedule: %v", err)
 	}
 	// A negative group on the first node must error, not panic (the
 	// group-continuation case would otherwise index Nodes[-1]).
 	neg := &Schedule{Name: "neg", Nodes: []Node{{ID: 0, Group: -1}}}
-	if neg.Validate() == nil {
-		t.Error("negative first group validated")
+	if err := neg.Validate(); err == nil || !strings.Contains(err.Error(), "dense and consecutive") {
+		t.Errorf("negative first group: %v", err)
 	}
 }
 
@@ -326,9 +339,9 @@ func TestBootstrapPerLevelModUps(t *testing.T) {
 	}
 	c := s.Counts()
 	want := []LevelCount{
-		{Level: 3, Switches: 6, ModUps: 4},
+		{Level: 3, Switches: 6, ModUps: 4, Coalesced: 3},
 		{Level: 2, Switches: 1, ModUps: 1},
-		{Level: 1, Switches: 6, ModUps: 4},
+		{Level: 1, Switches: 6, ModUps: 4, Coalesced: 3},
 	}
 	if !reflect.DeepEqual(c.PerLevel, want) {
 		t.Fatalf("per-level prediction %+v, want %+v", c.PerLevel, want)
