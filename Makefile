@@ -45,6 +45,12 @@ fmt:
 # behind the internal/cluster wire protocol, with replication and a
 # mid-replay drain) and snapshots the shard-sum/bit-exactness
 # verdicts to BENCH_cluster.json.
+# The throughput, serve, and cluster legs run under -profile, so every
+# snapshot carries stage_shares (internal/obs stage histograms priced
+# against wall time); the perfgate pins that the serial row's shares
+# keep summing to ~1, that the serve/cluster profiles stay present,
+# and that the cluster's router-merged histograms equal the per-shard
+# sums exactly.
 # Tune with e.g.
 #   make bench BENCH_FLAGS="-logn 14 -requests 32 -workers 8"
 BENCH_FLAGS ?= -logn 13 -requests 8
@@ -54,11 +60,11 @@ SCENARIO_FLAGS ?= -logn 13 -towers 6 -dnum 2
 CLUSTER_FLAGS ?= -logn 12 -towers 6 -bts 2 -shards 3 -tenants 4 -replicas 2 -kill
 
 bench:
-	$(GO) run ./cmd/ciflow throughput $(BENCH_FLAGS) -hoisted -rotations 8 -json BENCH_engine.json
-	$(GO) run ./cmd/ciflow serve $(SERVE_FLAGS) -check -json BENCH_serve.json
+	$(GO) run ./cmd/ciflow throughput $(BENCH_FLAGS) -hoisted -rotations 8 -profile -json BENCH_engine.json
+	$(GO) run ./cmd/ciflow serve $(SERVE_FLAGS) -profile -check -json BENCH_serve.json
 	$(GO) run ./cmd/ciflow serve -workload bootstrap $(WORKLOAD_FLAGS) -check -json BENCH_workload.json
 	$(GO) run ./cmd/ciflow serve -workload file:internal/workload/testdata/private-inference.schedule.json $(SCENARIO_FLAGS) -check -json BENCH_scenario.json
-	$(GO) build -o bin/ciflow ./cmd/ciflow && bin/ciflow cluster $(CLUSTER_FLAGS) -check -json BENCH_cluster.json
+	$(GO) build -o bin/ciflow ./cmd/ciflow && bin/ciflow cluster $(CLUSTER_FLAGS) -profile -check -json BENCH_cluster.json
 	$(GO) test -run NONE -bench 'KeySwitchN4096|SwitchParallel|SwitchHoisted' -benchtime 2x ./internal/hks/
 
 # perfgate compares fresh BENCH_engine.json / BENCH_serve.json /
@@ -75,7 +81,10 @@ bench:
 # alike), or the
 # cluster invariants breaking (per-shard stats summing exactly to
 # tenants x the schedule prediction, bit-exactness over the wire,
-# exact router delivery/attribution across the mid-replay drain).
+# exact router delivery/attribution across the mid-replay drain), or
+# the observability invariants breaking (serial stage shares summing
+# to 1 within 10%, profiles present wherever the baseline has them,
+# cluster-merged histogram buckets equal to the per-shard sums).
 BASELINE ?= bench_baseline.json
 SERVE_BASELINE ?= serve_baseline.json
 WORKLOAD_BASELINE ?= workload_baseline.json

@@ -31,6 +31,7 @@ import (
 	"ciflow/internal/ckks"
 	"ciflow/internal/cluster"
 	"ciflow/internal/engine"
+	"ciflow/internal/obs"
 	"ciflow/internal/serve"
 	"ciflow/internal/workload"
 )
@@ -60,6 +61,7 @@ type shardConfig struct {
 	keyBudget int64
 	maxBatch  int
 	window    time.Duration
+	profile   bool // record stage/kernel histograms, shipped in stats frames
 }
 
 // shardCmd runs one shard backend: serve.Service + wire listener. It
@@ -75,6 +77,12 @@ func shardCmd(cfg shardConfig) error {
 	}
 	if cfg.workers <= 0 {
 		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.profile {
+		// The recorder snapshot rides every stats frame (serve.Stats
+		// .Profile), so the router can merge shard profiles exactly.
+		obs.Enable()
+		defer obs.Disable()
 	}
 	cctx, err := ckks.NewContext(1<<cfg.logN, cfg.towers, 40, 3, 41, cfg.dnum)
 	if err != nil {
@@ -186,6 +194,7 @@ type clusterConfig struct {
 	keyBudget int64
 	maxBatch  int
 	window    time.Duration
+	profile   bool // shards record stage histograms; router merges them
 }
 
 // clusterShardReport is one shard's line in the report.
@@ -249,6 +258,16 @@ type clusterReport struct {
 	DepViolations         int     `json:"dep_violations"`
 	HoistCoalescingFactor float64 `json:"hoist_coalescing_factor"`
 
+	// Profiled says the shards ran with -profile and shipped stage
+	// histograms in their stats frames. ProfileSumExact then asserts
+	// the router-merged fabric profile equals the per-shard snapshots
+	// summed bucket by bucket — verified by an independent summation,
+	// not by the merge under test. StageShares prices the merged
+	// profile against the replay wall clock.
+	Profiled        bool             `json:"profiled"`
+	ProfileSumExact bool             `json:"profile_sum_exact"`
+	StageShares     []obs.StageShare `json:"stage_shares,omitempty"`
+
 	PerShard []clusterShardReport `json:"per_shard"`
 }
 
@@ -263,7 +282,7 @@ type shardProc struct {
 // "listening" line. The returned proc's stdin must stay open for the
 // shard's lifetime — closing it is the kill switch.
 func spawnShard(exe string, cfg shardConfig) (*shardProc, error) {
-	cmd := exec.Command(exe, "shard",
+	args := []string{"shard",
 		"-addr", cfg.addr,
 		"-tenants", strconv.Itoa(cfg.tenants),
 		"-logn", strconv.Itoa(cfg.logN),
@@ -273,7 +292,11 @@ func spawnShard(exe string, cfg shardConfig) (*shardProc, error) {
 		"-keybudget", strconv.FormatInt(cfg.keyBudget, 10),
 		"-batch", strconv.Itoa(cfg.maxBatch),
 		"-window", cfg.window.String(),
-	)
+	}
+	if cfg.profile {
+		args = append(args, "-profile")
+	}
+	cmd := exec.Command(exe, args...)
 	stdin, err := cmd.StdinPipe()
 	if err != nil {
 		return nil, err
@@ -427,7 +450,7 @@ func clusterRun(cfg clusterConfig) (*clusterReport, error) {
 			addr: "127.0.0.1:0", tenants: cfg.tenants,
 			logN: cfg.logN, towers: cfg.towers, dnum: cfg.dnum,
 			workers: cfg.workers, keyBudget: cfg.keyBudget,
-			maxBatch: maxBatch, window: window,
+			maxBatch: maxBatch, window: window, profile: cfg.profile,
 		})
 		if err != nil {
 			return nil, err
@@ -527,9 +550,23 @@ func clusterRun(cfg clusterConfig) (*clusterReport, error) {
 	}
 	rep.OpsPerSec = float64(total) / wall.Seconds()
 
-	agg := cluster.AggregateStats(rt.AllStats())
+	// Snapshot the shard books once: the aggregate and the per-shard
+	// profile exactness check below must see the same frames.
+	all := rt.AllStats()
+	agg := cluster.AggregateStats(all)
 	rep.Served, rep.ModUps = agg.Served, agg.ModUps
 	rep.Groups, rep.Coalesced = agg.Groups, agg.Coalesced
+	if agg.Profile != nil {
+		snaps := make([]*obs.Snapshot, 0, len(all))
+		for i := range all {
+			if all[i].Profile != nil {
+				snaps = append(snaps, all[i].Profile)
+			}
+		}
+		rep.Profiled = true
+		rep.ProfileSumExact = profileSumExact(snaps, agg.Profile)
+		rep.StageShares = obs.Shares(agg.Profile, wall.Seconds())
+	}
 	rep.Delivered = rt.Delivered()
 	for i := 0; i < rt.NumShards(); i++ {
 		rep.CompletedSum += rt.Completed(i)
@@ -545,6 +582,93 @@ func clusterRun(cfg clusterConfig) (*clusterReport, error) {
 
 	rt.ShutdownShards()
 	return rep, nil
+}
+
+// profileSumExact verifies the merged fabric profile against the
+// per-shard snapshots with a summation of its own — a plain
+// per-(name,dataflow) tally over counts, nanosecond sums, and every
+// bucket — so it would catch a broken obs.Merge rather than agree
+// with it. Exact means: every key the shards recorded appears in the
+// merge with the summed values, and the merge has nothing extra.
+func profileSumExact(shards []*obs.Snapshot, merged *obs.Snapshot) bool {
+	if merged == nil {
+		return len(shards) == 0
+	}
+	type key struct{ name, df string }
+	sum := func(pick func(*obs.Snapshot) []obs.HistogramSnapshot) map[key]obs.HistogramSnapshot {
+		m := map[key]obs.HistogramSnapshot{}
+		for _, s := range shards {
+			if s == nil {
+				continue
+			}
+			for _, hs := range pick(s) {
+				k := key{hs.Name, hs.Dataflow}
+				e := m[k]
+				e.Name, e.Dataflow = hs.Name, hs.Dataflow
+				e.Count += hs.Count
+				e.SumNs += hs.SumNs
+				if len(hs.Buckets) > len(e.Buckets) {
+					e.Buckets = append(e.Buckets, make([]uint64, len(hs.Buckets)-len(e.Buckets))...)
+				}
+				for b, v := range hs.Buckets {
+					e.Buckets[b] += v
+				}
+				m[k] = e
+			}
+		}
+		return m
+	}
+	check := func(want map[key]obs.HistogramSnapshot, got []obs.HistogramSnapshot) bool {
+		if len(got) != len(want) {
+			return false
+		}
+		for _, hs := range got {
+			w, ok := want[key{hs.Name, hs.Dataflow}]
+			if !ok || hs.Count != w.Count || hs.SumNs != w.SumNs || len(hs.Buckets) != len(w.Buckets) {
+				return false
+			}
+			for b, v := range hs.Buckets {
+				if v != w.Buckets[b] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if !check(sum(func(s *obs.Snapshot) []obs.HistogramSnapshot { return s.Stages }), merged.Stages) {
+		return false
+	}
+	if !check(sum(func(s *obs.Snapshot) []obs.HistogramSnapshot { return s.Kernels }), merged.Kernels) {
+		return false
+	}
+	type lkey struct {
+		stage string
+		level int
+	}
+	want := map[lkey]obs.LevelSnapshot{}
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		for _, ls := range s.Levels {
+			k := lkey{ls.Stage, ls.Level}
+			e := want[k]
+			e.Stage, e.Level = ls.Stage, ls.Level
+			e.Count += ls.Count
+			e.SumNs += ls.SumNs
+			want[k] = e
+		}
+	}
+	if len(merged.Levels) != len(want) {
+		return false
+	}
+	for _, ls := range merged.Levels {
+		w, ok := want[lkey{ls.Stage, ls.Level}]
+		if !ok || ls.Count != w.Count || ls.SumNs != w.SumNs {
+			return false
+		}
+	}
+	return true
 }
 
 // shardSumCheck compares the aggregated shard books against tenants x
@@ -612,6 +736,9 @@ func clusterCheck(rep *clusterReport) error {
 	if rep.Predicted.HoistGroups > 0 && rep.HoistCoalescingFactor <= 1 {
 		return fmt.Errorf("cluster check: hoist-group coalescing factor %.2f, want > 1", rep.HoistCoalescingFactor)
 	}
+	if rep.Profiled && !rep.ProfileSumExact {
+		return fmt.Errorf("cluster check: merged stage-histogram buckets do not equal the sum of the per-shard snapshots")
+	}
 	return nil
 }
 
@@ -633,6 +760,9 @@ func clusterCmd(cfg clusterConfig, jsonPath string, check bool) error {
 	if rep.Drained >= 0 {
 		fmt.Printf("%-26s %12d  (drained mid-replay)\n", "killed shard", rep.Drained)
 	}
+	if rep.Profiled {
+		fmt.Printf("%-26s %12v\n", "profile-sum exact", rep.ProfileSumExact)
+	}
 	for _, m := range rep.Mismatches {
 		fmt.Printf("  mismatch: %s\n", m)
 	}
@@ -642,6 +772,10 @@ func clusterCmd(cfg clusterConfig, jsonPath string, check bool) error {
 	for _, s := range rep.PerShard {
 		fmt.Printf("%-6d %-22s %-8s %10d %10d %8d\n",
 			s.Shard, s.Addr, s.State, s.Completed, s.Served, s.ModUps)
+	}
+	if len(rep.StageShares) > 0 {
+		fmt.Println("\nStage profile (fabric-wide, merged across shards):")
+		printStageShares(rep.StageShares)
 	}
 
 	if jsonPath != "" {

@@ -82,6 +82,12 @@ type cliFlags struct {
 	exportPath   *string
 	importPath   *string
 
+	// observability (throughput, serve, cluster, shard, schedule)
+	profile   *bool
+	tracePath *string
+	pprofDir  *string
+	dotPath   *string
+
 	// cluster (shard, router, cluster)
 	shards     *int
 	replicas   *int
@@ -137,6 +143,11 @@ func newFlags() *cliFlags {
 	fl.radix = fs.Int("radix", 0, "bootstrap DFT radix, a power of two (0 = auto-fit the level budget)")
 	fl.exportPath = fs.String("export", "", "schedule: also write the schedule as versioned JSON to this file")
 	fl.importPath = fs.String("import", "", "schedule: load and re-validate the schedule from this JSON file instead of generating it")
+
+	fl.profile = fs.Bool("profile", false, "record per-stage/per-kernel runtime histograms; adds stage_shares to throughput/serve/cluster reports")
+	fl.tracePath = fs.String("trace", "", "throughput/serve: write a Chrome trace-event timeline (chrome://tracing, Perfetto) to this file")
+	fl.pprofDir = fs.String("pprof", "", "throughput/serve: write cpu.prof and mem.prof (runtime/pprof) into this directory")
+	fl.dotPath = fs.String("dot", "", "schedule: render the schedule DAG in Graphviz DOT format to this file")
 
 	fl.shards = fs.Int("shards", 2, "cluster shard process count")
 	fl.replicas = fs.Int("replicas", 1, "cluster shards eligible to serve one tenant (hot-key replication)")

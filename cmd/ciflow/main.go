@@ -148,6 +148,19 @@
 //	-export F      schedule: also write the schedule as versioned JSON
 //	-import F      schedule: load and re-validate the schedule from
 //	               this JSON file instead of generating it
+//	-dot F         schedule: render the schedule DAG in Graphviz DOT
+//	               format to this file (one compute node per key
+//	               switch, dependency edges preserved)
+//	-profile       throughput/serve/cluster: record per-stage and
+//	               per-kernel runtime histograms (internal/obs) and add
+//	               stage_shares to the report; cluster shards ship
+//	               their histograms in stats frames and the router
+//	               merges them exactly, bucket by bucket
+//	-trace F       throughput/serve: write a Chrome trace-event
+//	               timeline of engine node and serve batch spans to
+//	               this file (load in chrome://tracing or Perfetto)
+//	-pprof DIR     throughput/serve: write cpu.prof and mem.prof
+//	               (runtime/pprof) into this directory
 //	-shards N      cluster shard process count (default 2)
 //	-replicas R    cluster shards eligible to serve one tenant — hot-key
 //	               replication via per-tenant round-robin (default 1)
@@ -275,7 +288,8 @@ func run(args []string) error {
 			}
 			rot = *fl.rotations
 		}
-		return throughput(*fl.dfName, *fl.workers, *fl.requests, *fl.logN, *fl.towers, *fl.dnum, rot, *fl.jsonPath)
+		return throughput(*fl.dfName, *fl.workers, *fl.requests, *fl.logN, *fl.towers, *fl.dnum, rot,
+			*fl.jsonPath, *fl.profile, *fl.tracePath, *fl.pprofDir)
 	case "serve":
 		if *fl.workloadName != "fanout" {
 			// Schedule-DAG replay: the dependency-aware client drives
@@ -322,10 +336,10 @@ func run(args []string) error {
 			maxBatch:  *fl.maxBatch,
 			window:    *fl.window,
 		}
-		return serveCmd(cfg, *fl.jsonPath, *fl.check)
+		return serveCmd(cfg, *fl.jsonPath, *fl.check, *fl.profile, *fl.tracePath, *fl.pprofDir)
 	case "schedule":
 		return scheduleCmd(r, *fl.workloadName, *fl.bts, *fl.radix,
-			*fl.rotations, *fl.requests, *fl.jsonPath, *fl.exportPath, *fl.importPath)
+			*fl.rotations, *fl.requests, *fl.jsonPath, *fl.exportPath, *fl.importPath, *fl.dotPath)
 	case "shard":
 		return shardCmd(shardConfig{
 			addr:      *fl.addr,
@@ -337,6 +351,7 @@ func run(args []string) error {
 			keyBudget: *fl.keyBudget,
 			maxBatch:  *fl.maxBatch,
 			window:    *fl.window,
+			profile:   *fl.profile,
 		})
 	case "router":
 		return routerCmd(routerConfig{
@@ -375,6 +390,7 @@ func run(args []string) error {
 			keyBudget: *fl.keyBudget,
 			maxBatch:  *fl.maxBatch,
 			window:    *fl.window,
+			profile:   *fl.profile,
 		}, *fl.jsonPath, *fl.check)
 	case "perfgate":
 		return perfgate(perfgateConfig{

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"ciflow/internal/obs"
 )
 
 func TestRunVerbs(t *testing.T) {
@@ -107,6 +109,72 @@ func TestThroughputVerb(t *testing.T) {
 	}
 	if _, err := os.Stat(jsonPath); err != nil {
 		t.Fatalf("JSON report not written: %v", err)
+	}
+}
+
+// TestObservabilityFlags drives the -profile/-trace/-pprof/-dot
+// wiring end to end through the CLI dispatch: the throughput report
+// gains stage_shares summing near 1 on the serial row, the trace and
+// pprof artifacts appear on disk, and the schedule DAG renders as DOT.
+func TestObservabilityFlags(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := dir + "/bench.json"
+	tracePath := dir + "/trace.json"
+	args := []string{"throughput", "-dataflow", "oc", "-workers", "2",
+		"-requests", "2", "-logn", "5", "-towers", "4", "-dnum", "2",
+		"-profile", "-trace", tracePath, "-pprof", dir + "/prof",
+		"-json", jsonPath}
+	if err := run(args); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep throughputReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Results {
+		if len(row.StageShares) == 0 {
+			t.Errorf("%s row has no stage shares under -profile", row.Dataflow)
+			continue
+		}
+		sum := obs.SumShares(row.StageShares)
+		if row.Dataflow == "serial" && (sum < 0.9 || sum > 1.1) {
+			t.Errorf("serial stage shares sum to %.3f, want within 10%% of 1", sum)
+		}
+	}
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	var tf struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceData, &tf); err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Error("trace has no events")
+	}
+	for _, prof := range []string{"/prof/cpu.prof", "/prof/mem.prof"} {
+		if _, err := os.Stat(dir + prof); err != nil {
+			t.Errorf("pprof artifact missing: %v", err)
+		}
+	}
+
+	dotPath := dir + "/sched.dot"
+	if err := run([]string{"schedule", "-workload", "pir", "-requests", "2",
+		"-rotations", "4", "-dot", dotPath}); err != nil {
+		t.Fatal(err)
+	}
+	dot, err := os.ReadFile(dotPath)
+	if err != nil {
+		t.Fatalf("DOT not written: %v", err)
+	}
+	if !strings.Contains(string(dot), "digraph") || !strings.Contains(string(dot), "->") {
+		t.Error("DOT output has no digraph/edges")
 	}
 }
 
@@ -221,6 +289,68 @@ func TestPerfgate(t *testing.T) {
 	writeReport(t, inexactPath, inexact)
 	if err := perfgatePaths(basePath, inexactPath, 2, "", "", "", "", "", ""); err == nil {
 		t.Fatal("perfgate passed a non-bit-exact report")
+	}
+}
+
+func TestPerfgateStageShares(t *testing.T) {
+	dir := t.TempDir()
+	shares := func(sum float64) []obs.StageShare {
+		return []obs.StageShare{
+			{Stage: "mod_up", Share: sum / 2},
+			{Stage: "mod_down", Share: sum / 2},
+		}
+	}
+	profiled := func(serialSum, mpSum float64) *throughputReport {
+		return &throughputReport{
+			BitExact: true, Workers: 2,
+			Results: []throughputRow{
+				{Dataflow: "serial", OpsPerSec: 100, StageShares: shares(serialSum)},
+				{Dataflow: "MP", OpsPerSec: 120, StageShares: shares(mpSum)},
+			},
+		}
+	}
+	basePath := dir + "/base.json"
+	writeReport(t, basePath, profiled(1.0, 1.8))
+
+	// A healthy profiled report: serial sums to ~1, MP within workers+2.
+	okPath := dir + "/ok.json"
+	writeReport(t, okPath, profiled(0.95, 2.1))
+	if err := perfgatePaths(basePath, okPath, 2, "", "", "", "", "", ""); err != nil {
+		t.Fatalf("perfgate failed on healthy stage shares: %v", err)
+	}
+
+	// The serial row's shares must tile the wall clock within 10%.
+	for _, sum := range []float64{0.5, 1.3} {
+		p := dir + "/serial_off.json"
+		writeReport(t, p, profiled(sum, 1.8))
+		if err := perfgatePaths(basePath, p, 2, "", "", "", "", "", ""); err == nil {
+			t.Errorf("perfgate passed a serial share sum of %.1f", sum)
+		}
+	}
+
+	// Engine rows are bounded by workers+2.
+	highMP := dir + "/high_mp.json"
+	writeReport(t, highMP, profiled(1.0, 9.0))
+	if err := perfgatePaths(basePath, highMP, 2, "", "", "", "", "", ""); err == nil {
+		t.Error("perfgate passed an MP share sum of 9.0 at 2 workers")
+	}
+
+	// A profiled baseline pins the profile in the fresh report.
+	bare := &throughputReport{
+		BitExact: true, Workers: 2,
+		Results: []throughputRow{
+			{Dataflow: "serial", OpsPerSec: 100},
+			{Dataflow: "MP", OpsPerSec: 120},
+		},
+	}
+	barePath := dir + "/bare.json"
+	writeReport(t, barePath, bare)
+	if err := perfgatePaths(basePath, barePath, 2, "", "", "", "", "", ""); err == nil {
+		t.Error("perfgate passed a fresh report that dropped its stage shares")
+	}
+	// ...but an unprofiled baseline does not demand one.
+	if err := perfgatePaths(barePath, barePath, 2, "", "", "", "", "", ""); err != nil {
+		t.Errorf("perfgate failed on an unprofiled pair: %v", err)
 	}
 }
 

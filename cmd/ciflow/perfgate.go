@@ -12,6 +12,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"ciflow/internal/obs"
 )
 
 func readReport(path string) (*throughputReport, error) {
@@ -188,6 +190,13 @@ func perfgateCluster(baselinePath, freshPath string, maxRegression float64, fail
 		*failures = append(*failures,
 			"cluster: baseline drained a shard mid-replay but the fresh run did not (bench run without -kill?)")
 	}
+	// clusterCheck above already fails when a profiled run's merged
+	// histograms drift from the per-shard sums; this pin keeps the
+	// profile in the fresh report at all (bench run without -profile).
+	if base.Profiled && !fresh.Profiled {
+		*failures = append(*failures,
+			"cluster: baseline shipped shard stage profiles but the fresh run did not (bench run without -profile?)")
+	}
 	fmt.Printf("cluster %s: %d shards x %d tenants, %d delivered, shard-sum exact %v, bit-exact %v, drained shard %d\n",
 		fresh.Schedule, fresh.Shards, fresh.Tenants, fresh.Delivered,
 		fresh.ShardSumExact, fresh.BitExact, fresh.Drained)
@@ -280,6 +289,22 @@ func perfgateServe(baselinePath, freshPath string, maxRegression float64, failur
 			fmt.Sprintf("serve: per-tenant ModUps sum %d != global %d (cross-tenant coalescing)",
 				tenantModUps, fresh.ModUps))
 	}
+	// Observability pins: a baseline with stage shares or phase
+	// counters keeps them in the fresh report, so the bench flags
+	// cannot silently drop -profile or lose the lifecycle counters.
+	if len(base.StageShares) > 0 {
+		if len(fresh.StageShares) == 0 {
+			*failures = append(*failures,
+				"serve: baseline has stage shares but the fresh report does not (bench run without -profile?)")
+		} else if sum := obs.SumShares(fresh.StageShares); sum <= 0 {
+			*failures = append(*failures,
+				fmt.Sprintf("serve: stage shares sum to %.3f, want > 0", sum))
+		}
+	}
+	if len(base.Phases) > 0 && len(fresh.Phases) == 0 {
+		*failures = append(*failures,
+			"serve: baseline has request-lifecycle phases but the fresh report does not")
+	}
 	form := "dense keys"
 	if fresh.KeyComp {
 		form = fmt.Sprintf("compressed keys (%d expansions, dense-equivalent %d bytes)",
@@ -361,6 +386,41 @@ func perfgate(cfg perfgateConfig) error {
 					row.Dataflow, row.OpsPerSec, b.OpsPerSec, maxRegression))
 		}
 		fmt.Printf("%-8s %14.2f %14.2f %7.2fx %6s\n", row.Dataflow, b.OpsPerSec, row.OpsPerSec, ratio, status)
+	}
+
+	// Stage-share accounting. The serial row runs the switch pipeline
+	// on one goroutine with no engine underneath, so its profiled
+	// stage times must tile the measured wall time: the share sum is
+	// pinned to 1 within 10%. Engine rows overlap stages across
+	// workers (plus the caller draining the graph), so they only get a
+	// sanity band — nonzero and at most workers+2 times the wall. A
+	// baseline with serial shares pins them in the fresh report, so
+	// dropping -profile from the bench flags cannot vacate the gate.
+	for _, row := range fresh.Results {
+		b, pinned := baseRows[row.Dataflow]
+		if pinned && len(b.StageShares) > 0 && len(row.StageShares) == 0 {
+			failures = append(failures,
+				fmt.Sprintf("%s: baseline has stage shares but the fresh report does not (bench run without -profile?)", row.Dataflow))
+			continue
+		}
+		if len(row.StageShares) == 0 {
+			continue
+		}
+		sum := obs.SumShares(row.StageShares)
+		if row.Dataflow == "serial" {
+			if sum < 0.9 || sum > 1.1 {
+				failures = append(failures,
+					fmt.Sprintf("serial: stage shares sum to %.3f of wall time, want within 10%% of 1.0", sum))
+			}
+			fmt.Printf("serial stage shares sum %.3f of wall (gate [0.9, 1.1])\n", sum)
+		} else {
+			limit := float64(fresh.Workers + 2)
+			if sum <= 0 || sum > limit {
+				failures = append(failures,
+					fmt.Sprintf("%s: stage shares sum to %.3f of wall time, want in (0, %.0f] at %d workers",
+						row.Dataflow, sum, limit, fresh.Workers))
+			}
+		}
 	}
 
 	// Hoisting must never lose to the per-rotation path: it executes

@@ -22,9 +22,11 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"ciflow/internal/analysis"
 	"ciflow/internal/params"
+	"ciflow/internal/trace"
 	"ciflow/internal/workload"
 )
 
@@ -69,7 +71,44 @@ func scheduleFor(name string, bts int, radix, rotations, requests int) (*workloa
 	}
 }
 
-func scheduleCmd(r *analysis.Runner, name string, bts, radix, rotations, requests int, jsonPath, exportPath, importPath string) error {
+// writeScheduleDOT renders a workload schedule DAG through the
+// trace-IR Graphviz writer: every key switch becomes one compute task
+// (same IDs, same dependency edges), so the DOT output shows the
+// hoist-group and dependency structure the replay executes.
+func writeScheduleDOT(sched *workload.Schedule, path string) error {
+	b := trace.NewBuilder()
+	for _, nd := range sched.Nodes {
+		label := nd.Stage
+		if label == "" {
+			label = nd.Kind.String()
+		}
+		if nd.Kind == workload.Rotate {
+			label = fmt.Sprintf("%s r%d g%d L%d", label, nd.Rot, nd.Group, nd.Level)
+		} else {
+			label = fmt.Sprintf("%s g%d L%d", label, nd.Group, nd.Level)
+		}
+		b.Compute(label, 1, nd.Deps...)
+	}
+	prog := b.Program()
+	if err := prog.Validate(); err != nil {
+		return fmt.Errorf("schedule DOT: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := prog.WriteDOT(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d nodes)\n", path, len(sched.Nodes))
+	return nil
+}
+
+func scheduleCmd(r *analysis.Runner, name string, bts, radix, rotations, requests int, jsonPath, exportPath, importPath, dotPath string) error {
 	var sched *workload.Schedule
 	var b params.Benchmark
 	var err error
@@ -91,6 +130,11 @@ func scheduleCmd(r *analysis.Runner, name string, bts, radix, rotations, request
 			return err
 		}
 		fmt.Printf("exported %s to %s\n", sched.Name, exportPath)
+	}
+	if dotPath != "" {
+		if err := writeScheduleDOT(sched, dotPath); err != nil {
+			return err
+		}
 	}
 	c := sched.Counts()
 

@@ -26,6 +26,7 @@ import (
 	"ciflow/internal/ckks"
 	"ciflow/internal/engine"
 	"ciflow/internal/hks"
+	"ciflow/internal/obs"
 	"ciflow/internal/ring"
 	"ciflow/internal/serve"
 )
@@ -109,6 +110,16 @@ type serveReport struct {
 	KeyExpansions uint64 `json:"key_expansions"`
 
 	Tenants []serveTenantReport `json:"tenant_stats"`
+
+	// Phases is the request-lifecycle breakdown (enqueue → dispatch →
+	// keys → hoist → replay → reply) accumulated by the service;
+	// always on, so it is present in every report.
+	Phases []serve.PhaseStats `json:"phases,omitempty"`
+
+	// StageShares breaks the run's wall time down by HKS stage
+	// (-profile only). The service runs groups concurrently, so the
+	// shares sum toward the effective parallelism, not 1.0.
+	StageShares []obs.StageShare `json:"stage_shares,omitempty"`
 
 	BitExact bool `json:"bit_exact"`
 }
@@ -303,7 +314,12 @@ func serveRun(cfg serveConfig) (*serveReport, error) {
 		return nil, clientErr
 	}
 
+	// Snapshot right here, before the bit-exactness verification below
+	// fans more switches through the service: the profile and phase
+	// books must cover exactly the timed run.
 	st := svc.Stats()
+	rep.Phases = st.Phases
+	rep.StageShares = obs.Shares(st.Profile, elapsed.Seconds())
 	rep.DurationSec = elapsed.Seconds()
 	rep.Requests = st.Served
 	rep.OpsPerSec = float64(st.Served) / elapsed.Seconds()
@@ -432,8 +448,19 @@ func serveCheck(rep *serveReport) error {
 	return nil
 }
 
-func serveCmd(cfg serveConfig, jsonPath string, check bool) error {
+func serveCmd(cfg serveConfig, jsonPath string, check bool, profile bool, tracePath, pprofDir string) error {
+	finishObs := setupObs(profile, tracePath)
+	stopPprof, err := startPprof(pprofDir)
+	if err != nil {
+		return err
+	}
 	rep, err := serveRun(cfg)
+	if perr := stopPprof(); err == nil {
+		err = perr
+	}
+	if oerr := finishObs(); err == nil {
+		err = oerr
+	}
 	if err != nil {
 		return err
 	}
@@ -457,6 +484,18 @@ func serveCmd(cfg serveConfig, jsonPath string, check bool) error {
 			"compressed keys", float64(rep.KeyDenseBytes)/(1<<20), rep.KeyExpansions)
 	}
 	fmt.Printf("%-22s %12v\n", "bit-exact", rep.BitExact)
+	if len(rep.Phases) > 0 {
+		fmt.Printf("%-10s %10s %12s %10s\n", "phase", "count", "total ms", "mean µs")
+		for _, ps := range rep.Phases {
+			totalMs := float64(ps.TotalNs) / float64(time.Millisecond)
+			meanUs := float64(ps.TotalNs) / float64(ps.Count) / float64(time.Microsecond)
+			fmt.Printf("%-10s %10d %12.3f %10.1f\n", ps.Phase, ps.Count, totalMs, meanUs)
+		}
+	}
+	if len(rep.StageShares) > 0 {
+		fmt.Println("\nStage profile (all dataflows, per-worker time):")
+		printStageShares(rep.StageShares)
+	}
 	if len(rep.Tenants) > 1 {
 		fmt.Printf("%-8s %10s %10s %8s %10s %10s %12s\n",
 			"tenant", "served", "p99 ms", "mod_ups", "hit rate", "evictions", "key MiB")

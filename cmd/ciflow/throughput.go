@@ -17,6 +17,7 @@ import (
 	"ciflow/internal/dataflow"
 	"ciflow/internal/engine"
 	"ciflow/internal/hks"
+	"ciflow/internal/obs"
 	"ciflow/internal/ring"
 )
 
@@ -28,6 +29,15 @@ type throughputRow struct {
 	P50Ms     float64 `json:"p50_ms"`
 	P99Ms     float64 `json:"p99_ms"`
 	Speedup   float64 `json:"speedup_vs_serial"`
+
+	// StageShares breaks this row's measured wall time down by HKS
+	// stage (-profile only). The recorder is reset per row, so each
+	// row's shares cover exactly its own measured section. On the
+	// serial row the instrumentation is sequential and covers the whole
+	// switch, so the shares sum to ~1.0 of wall — the invariant the
+	// perf gate pins; engine rows record per-worker time, so their sums
+	// approach the effective parallelism instead.
+	StageShares []obs.StageShare `json:"stage_shares,omitempty"`
 }
 
 // hoistedRow compares, for one dataflow, k independent switches
@@ -161,11 +171,30 @@ func throughputRun(dfName string, workers, requests, logN, towers, dnum, rotatio
 	// 1 worker is the serial API's per-op polynomial allocation).
 	ref0, ref1 := sw.KeySwitch(ds[0], evk)
 
+	// With -profile active, reset the recorder before each measured
+	// section and convert its snapshot into that row's stage shares
+	// (share = stage seconds / section wall seconds), so warm-up and
+	// verification switches never pollute a row's breakdown.
+	profiling := obs.Active() != nil
+	resetProfile := func() {
+		if profiling {
+			obs.Enable()
+		}
+	}
+	rowShares := func(opsPerSec float64) []obs.StageShare {
+		if !profiling || opsPerSec <= 0 {
+			return nil
+		}
+		return obs.Shares(obs.Active().Snapshot(), float64(requests)/opsPerSec)
+	}
+
 	// Serial baseline.
+	resetProfile()
 	ops, p50, p99 := measure(requests, func(i int) { sw.KeySwitch(ds[i], evk) })
 	rep.Results = append(rep.Results, throughputRow{
 		Dataflow: "serial", Requests: requests,
 		OpsPerSec: ops, P50Ms: p50, P99Ms: p99, Speedup: 1,
+		StageShares: rowShares(ops),
 	})
 	serialOps := ops
 
@@ -181,12 +210,14 @@ func throughputRun(dfName string, workers, requests, logN, towers, dnum, rotatio
 			rep.BitExact = false
 			return rep, fmt.Errorf("%s parallel output differs from serial", df)
 		}
+		resetProfile()
 		ops, p50, p99 := measure(requests, func(i int) {
 			sw.SwitchParallelInto(e, df, ds[i], evk, c0, c1)
 		})
 		rep.Results = append(rep.Results, throughputRow{
 			Dataflow: df.String(), Requests: requests,
 			OpsPerSec: ops, P50Ms: p50, P99Ms: p99, Speedup: ops / serialOps,
+			StageShares: rowShares(ops),
 		})
 	}
 
@@ -285,8 +316,19 @@ func hoistedRun(e *engine.Engine, sw *hks.Switcher, s *ring.Sampler, dfs []dataf
 	return hr, nil
 }
 
-func throughput(dfName string, workers, requests, logN, towers, dnum, rotations int, jsonPath string) error {
+func throughput(dfName string, workers, requests, logN, towers, dnum, rotations int, jsonPath string, profile bool, tracePath, pprofDir string) error {
+	finishObs := setupObs(profile, tracePath)
+	stopPprof, err := startPprof(pprofDir)
+	if err != nil {
+		return err
+	}
 	rep, err := throughputRun(dfName, workers, requests, logN, towers, dnum, rotations)
+	if perr := stopPprof(); err == nil {
+		err = perr
+	}
+	if oerr := finishObs(); err == nil {
+		err = oerr
+	}
 	if err != nil {
 		return err
 	}
@@ -302,6 +344,13 @@ func throughput(dfName string, workers, requests, logN, towers, dnum, rotations 
 	}
 	if rep.NumCPU == 1 {
 		fmt.Println("note: only one CPU is available; intra-op parallelism cannot beat serial here")
+	}
+	for _, row := range rep.Results {
+		if len(row.StageShares) == 0 {
+			continue
+		}
+		fmt.Printf("\nStage profile (%s):\n", row.Dataflow)
+		printStageShares(row.StageShares)
 	}
 
 	if hr := rep.Hoisted; hr != nil {

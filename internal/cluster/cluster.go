@@ -52,6 +52,7 @@ package cluster
 import (
 	"sort"
 
+	"ciflow/internal/obs"
 	"ciflow/internal/serve"
 )
 
@@ -115,6 +116,11 @@ func AggregateStats(shards []serve.Stats) serve.Stats {
 		agg.KeyExpansions += st.KeyExpansions
 		maxDur(&agg, st)
 		addLevels(levels, st.PerLevel)
+		agg.Phases = serve.MergePhases(agg.Phases, st.Phases)
+		// Histogram merge is exact: per-bucket counts sum, so the
+		// fabric-wide profile is bit-identical to what one recorder
+		// observing every shard's events would have produced.
+		agg.Profile = obs.Merge(agg.Profile, st.Profile)
 
 		agg.Keys.BudgetBytes += st.Keys.BudgetBytes
 		agg.Keys.Bytes += st.Keys.Bytes
@@ -159,6 +165,7 @@ func AggregateStats(shards []serve.Stats) serve.Stats {
 				e.P99 = ts.P99
 			}
 			addLevels(tenantLevels[ts.Tenant], ts.PerLevel)
+			e.Phases = serve.MergePhases(e.Phases, ts.Phases)
 		}
 	}
 

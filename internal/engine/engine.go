@@ -39,7 +39,37 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// Tracer receives a span for every *named* graph node the engine
+// executes (see Graph.NodeNamed). internal/obs provides the standard
+// implementation; the interface lives here so the engine does not
+// depend on the observability layer. Implementations must be safe for
+// concurrent use — spans arrive from every worker at once.
+type Tracer interface {
+	Span(name string, start, end time.Time)
+}
+
+// tracerBox wraps the interface so atomic.Value accepts differing
+// concrete types (including nil).
+type tracerBox struct{ t Tracer }
+
+var tracer atomic.Value // tracerBox
+
+// SetTracer installs (or, with nil, removes) the process-wide tracer.
+// Tracing applies only to named graph nodes; unnamed nodes and
+// ParallelFor bodies are never traced, so the zero-overhead default
+// is preserved for them.
+func SetTracer(t Tracer) { tracer.Store(tracerBox{t: t}) }
+
+// currentTracer returns the installed tracer, or nil.
+func currentTracer() Tracer {
+	if b, ok := tracer.Load().(tracerBox); ok {
+		return b.t
+	}
+	return nil
+}
 
 // Engine is a fixed-size worker pool executing func() tasks. The zero
 // value is not usable; construct with New. Safe for concurrent use.

@@ -40,8 +40,10 @@ import (
 	"fmt"
 	"math/big"
 	"sync"
+	"time"
 
 	"ciflow/internal/bconv"
+	"ciflow/internal/obs"
 	"ciflow/internal/ring"
 )
 
@@ -315,9 +317,20 @@ func (sw *Switcher) Decompose(d *ring.Poly) []*ring.Poly {
 	if !d.Basis.Equal(sw.qBasis) {
 		panic(fmt.Sprintf("hks: Decompose input basis %v, want %v", d.Basis, sw.qBasis))
 	}
+	rec := obs.Active()
+	var t0 time.Time
+	if rec != nil {
+		t0 = time.Now()
+	}
 	out := make([]*ring.Poly, sw.Dnum)
 	for j, dg := range sw.digits {
 		out[j] = d.SubPoly(dg)
+	}
+	if rec != nil {
+		// Views only — recorded so the serial profile shows Decompose
+		// is (nearly) free, which is what makes hoisting's shared
+		// Decompose+ModUp worth the state it carries.
+		rec.Stage(obs.StageDecompose, obs.DataflowSerial, sw.Level, time.Since(t0))
 	}
 	return out
 }
@@ -329,20 +342,36 @@ func (sw *Switcher) Decompose(d *ring.Poly) []*ring.Poly {
 // red towers).
 func (sw *Switcher) ModUp(d *ring.Poly) []*ring.Poly {
 	r := sw.R
+	rec := obs.Active()
 	digits := sw.Decompose(d)
 	out := make([]*ring.Poly, sw.Dnum)
+	var t0, t1, t2 time.Time
 	for j, dj := range digits {
+		if rec != nil {
+			t0 = time.Now()
+		}
 		// P1: INTT the digit's towers (on a copy; the originals stay
 		// in the evaluation domain for the bypass path).
 		coeff := dj.Copy()
 		r.INTT(coeff)
+		if rec != nil {
+			t1 = time.Now()
+			rec.Kernel(obs.KernelNTT, obs.DataflowSerial, t1.Sub(t0))
+		}
 
 		// P2: basis-convert to the complement towers.
 		conv := r.NewPoly(sw.upConv[j].Dst())
 		sw.upConv[j].Convert(coeff, conv)
+		if rec != nil {
+			t2 = time.Now()
+			rec.Kernel(obs.KernelBConv, obs.DataflowSerial, t2.Sub(t1))
+		}
 
 		// P3: NTT the converted towers.
 		r.NTT(conv)
+		if rec != nil {
+			rec.Kernel(obs.KernelNTT, obs.DataflowSerial, time.Since(t2))
+		}
 
 		// Assemble the D_ℓ polynomial: bypass towers from the input,
 		// converted towers from P2/P3.
@@ -358,6 +387,9 @@ func (sw *Switcher) ModUp(d *ring.Poly) []*ring.Poly {
 			copy(up.Coeffs[i], src)
 		}
 		out[j] = up
+		if rec != nil {
+			rec.Stage(obs.StageModUp, obs.DataflowSerial, sw.Level, time.Since(t0))
+		}
 	}
 	return out
 }
@@ -366,12 +398,20 @@ func (sw *Switcher) ModUp(d *ring.Poly) []*ring.Poly {
 // evk pair and accumulate, returning two polynomials over D_ℓ (NTT).
 func (sw *Switcher) ApplyEvk(ups []*ring.Poly, evk *Evk) (c0, c1 *ring.Poly) {
 	r := sw.R
+	rec := obs.Active()
+	var t0 time.Time
+	if rec != nil {
+		t0 = time.Now()
+	}
 	c0 = r.NewPoly(sw.dBasis)
 	c1 = r.NewPoly(sw.dBasis)
 	c0.IsNTT, c1.IsNTT = true, true
 	for j, up := range ups {
 		r.MulAddCoeffwise(up, evk.B[j], c0)
 		r.MulAddCoeffwise(up, evk.A[j], c1)
+	}
+	if rec != nil {
+		rec.Stage(obs.StageApply, obs.DataflowSerial, sw.Level, time.Since(t0))
 	}
 	return c0, c1
 }
@@ -385,16 +425,33 @@ func (sw *Switcher) ModDown(c *ring.Poly) *ring.Poly {
 	if !c.Basis.Equal(sw.dBasis) {
 		panic(fmt.Sprintf("hks: ModDown input basis %v, want %v", c.Basis, sw.dBasis))
 	}
+	rec := obs.Active()
+	var t0, t1, t2, t3 time.Time
+	if rec != nil {
+		t0 = time.Now()
+	}
 	// P1: INTT the K P-towers.
 	pPart := c.SubPoly(sw.pBasis).Copy()
 	r.INTT(pPart)
+	if rec != nil {
+		t1 = time.Now()
+		rec.Kernel(obs.KernelNTT, obs.DataflowSerial, t1.Sub(t0))
+	}
 
 	// P2: convert P -> Q_ℓ.
 	conv := r.NewPoly(sw.qBasis)
 	sw.downConv.ConvertExact(pPart, conv)
+	if rec != nil {
+		t2 = time.Now()
+		rec.Kernel(obs.KernelBConv, obs.DataflowSerial, t2.Sub(t1))
+	}
 
 	// P3: back to the evaluation domain.
 	r.NTT(conv)
+	if rec != nil {
+		t3 = time.Now()
+		rec.Kernel(obs.KernelNTT, obs.DataflowSerial, t3.Sub(t2))
+	}
 
 	// P4: out = (c_Q - conv) · P^{-1} per tower.
 	out := r.NewPoly(sw.qBasis)
@@ -408,6 +465,9 @@ func (sw *Switcher) ModDown(c *ring.Poly) *ring.Poly {
 		for k := range oRow {
 			oRow[k] = m.Mul(m.Sub(cRow[k], vRow[k]), pInv)
 		}
+	}
+	if rec != nil {
+		rec.Stage(obs.StageModDown, obs.DataflowSerial, sw.Level, time.Since(t0))
 	}
 	return out
 }

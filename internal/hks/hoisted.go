@@ -32,9 +32,11 @@ package hks
 
 import (
 	"fmt"
+	"time"
 
 	"ciflow/internal/dataflow"
 	"ciflow/internal/engine"
+	"ciflow/internal/obs"
 	"ciflow/internal/ring"
 )
 
@@ -77,17 +79,17 @@ func newHoisted(sw *Switcher, df dataflow.Dataflow) *Hoisted {
 	h.hoistG = engine.NewGraph()
 	if dfKey(df) == 1 { // DC: one node per digit pipeline
 		for j := 0; j < sw.Dnum; j++ {
-			h.hoistG.Node(func() { h.hoistDigit(j) })
+			h.hoistG.NodeNamed("hoist.digit", func() { h.hoistDigit(j) })
 		}
 	} else { // MP and OC: per-tower prep, per-tile convert
 		prep := make([]int, ell)
 		for i := 0; i < ell; i++ {
-			prep[i] = h.hoistG.Node(func() { h.hoistPrep(i) })
+			prep[i] = h.hoistG.NodeNamed("hoist.prep", func() { h.hoistPrep(i) })
 		}
 		for j := 0; j < sw.Dnum; j++ {
 			deps := prep[sw.digitLo(j):sw.digitHi(j)]
 			for di := range sw.convDstIdx[j] {
-				h.hoistG.Node(func() { h.hoistConvert(j, di) }, deps...)
+				h.hoistG.NodeNamed("hoist.conv", func() { h.hoistConvert(j, di) }, deps...)
 			}
 		}
 	}
@@ -96,7 +98,7 @@ func newHoisted(sw *Switcher, df dataflow.Dataflow) *Hoisted {
 	h.replayG = engine.NewGraph()
 	acc := make([]int, len(sw.dBasis))
 	for t := range acc {
-		acc[t] = h.replayG.Node(func() { h.applyTower(t) })
+		acc[t] = h.replayG.NodeNamed("apply", func() { h.applyTower(t) })
 	}
 	h.buildModDown(h.replayG, acc)
 	return h
@@ -108,23 +110,49 @@ func newHoisted(sw *Switcher, df dataflow.Dataflow) *Hoisted {
 // copies the bypass row into the owning digit's ModUp output (paper
 // Figure 1, red towers) so the state outlives the input.
 func (h *Hoisted) hoistPrep(i int) {
-	sw := h.sw
+	sw, rec := h.sw, h.rec
+	var t0, t1 time.Time
+	if rec != nil {
+		t0 = time.Now()
+	}
 	j := i / sw.Alpha
 	copy(h.ups[j].Coeffs[i], h.d.Coeffs[i])
 	row := h.y[i]
 	copy(row, h.d.Coeffs[i])
 	sw.R.INTTTower(sw.qBasis[i], row)
+	if rec != nil {
+		t1 = time.Now()
+		rec.Kernel(obs.KernelNTT, h.dfIdx, t1.Sub(t0))
+	}
 	sw.upConv[j].YScaleRow(i-sw.digitLo(j), row, row)
+	if rec != nil {
+		now := time.Now()
+		rec.Kernel(obs.KernelBConv, h.dfIdx, now.Sub(t1))
+		rec.Stage(obs.StageModUp, h.dfIdx, h.level, now.Sub(t0))
+	}
 }
 
 // hoistConvert is ModUp P2+P3 for one (digit, destination tower)
 // tile, writing straight into the digit's ModUp output.
 func (h *Hoisted) hoistConvert(j, di int) {
-	sw := h.sw
+	sw, rec := h.sw, h.rec
+	var t0, t1 time.Time
+	if rec != nil {
+		t0 = time.Now()
+	}
 	t := sw.convDstIdx[j][di]
 	row := h.ups[j].Coeffs[t]
 	sw.upConv[j].ConvertTowerFromY(h.y[sw.digitLo(j):sw.digitHi(j)], di, row)
+	if rec != nil {
+		t1 = time.Now()
+		rec.Kernel(obs.KernelBConv, h.dfIdx, t1.Sub(t0))
+	}
 	sw.R.NTTTower(sw.dBasis[t], row)
+	if rec != nil {
+		now := time.Now()
+		rec.Kernel(obs.KernelNTT, h.dfIdx, now.Sub(t1))
+		rec.Stage(obs.StageModUp, h.dfIdx, h.level, now.Sub(t0))
+	}
 }
 
 // hoistDigit is the DC tile: one digit's entire ModUp run serially.
@@ -142,7 +170,11 @@ func (h *Hoisted) hoistDigit(j int) {
 // (same per-coefficient order as switchState.applyTower, hence
 // bit-exact with ApplyEvk).
 func (h *Hoisted) applyTower(t int) {
-	sw := h.sw
+	sw, rec := h.sw, h.rec
+	var t0 time.Time
+	if rec != nil {
+		t0 = time.Now()
+	}
 	m := sw.R.Mods[sw.dBasis[t]]
 	b0, b1 := h.acc0.Coeffs[t], h.acc1.Coeffs[t]
 	for k := range b0 {
@@ -156,6 +188,9 @@ func (h *Hoisted) applyTower(t int) {
 			b0[k] = m.Add(b0[k], m.Mul(up[k], eb[k]))
 			b1[k] = m.Add(b1[k], m.Mul(up[k], ea[k]))
 		}
+	}
+	if rec != nil {
+		rec.Stage(obs.StageApply, h.dfIdx, h.level, time.Since(t0))
 	}
 }
 
@@ -190,6 +225,11 @@ func (sw *Switcher) hoist(e *engine.Engine, df dataflow.Dataflow, d *ring.Poly) 
 	} else {
 		h = newHoisted(sw, df)
 	}
+	h.rec = obs.Active()
+	h.dfIdx = obs.DataflowSerial
+	if e != nil {
+		h.dfIdx = obs.Dataflow(dfKey(df))
+	}
 	h.d = d
 	if e == nil {
 		for i := 0; i < sw.ell(); i++ {
@@ -210,6 +250,7 @@ func (sw *Switcher) hoist(e *engine.Engine, df dataflow.Dataflow, d *ring.Poly) 
 // Release returns the state to its switcher's pool. The Hoisted must
 // not be used afterwards.
 func (h *Hoisted) Release() {
+	h.rec = nil
 	h.sw.hoistedPools[dfKey(h.df)].Put(h)
 }
 
@@ -292,7 +333,11 @@ func (h *Hoisted) checkStreamed(st *ExpandStream, c0, c1 *ring.Poly) {
 // add digit 0, 1, … — and modular adds are exact, so the streamed
 // replay is bit-identical to the tower-major dense one.
 func (h *Hoisted) accumulateDigit(j int, eb, ea *ring.Poly) {
-	sw := h.sw
+	sw, rec := h.sw, h.rec
+	var t0 time.Time
+	if rec != nil {
+		t0 = time.Now()
+	}
 	for t := range sw.dBasis {
 		m := sw.R.Mods[sw.dBasis[t]]
 		up := h.ups[j].Coeffs[t]
@@ -302,6 +347,9 @@ func (h *Hoisted) accumulateDigit(j int, eb, ea *ring.Poly) {
 			b0[k] = m.Add(b0[k], m.Mul(up[k], ebr[k]))
 			b1[k] = m.Add(b1[k], m.Mul(up[k], ear[k]))
 		}
+	}
+	if rec != nil {
+		rec.Stage(obs.StageApply, h.dfIdx, h.level, time.Since(t0))
 	}
 }
 
@@ -321,8 +369,19 @@ func (h *Hoisted) SwitchStreamedInto(st *ExpandStream, c0, c1 *ring.Poly) {
 			b0[k], b1[k] = 0, 0
 		}
 	}
+	rec := h.rec
+	var t0 time.Time
 	for j := 0; j < h.sw.Dnum; j++ {
+		if rec != nil {
+			t0 = time.Now()
+		}
 		eb, ea := st.Digit(j)
+		if rec != nil {
+			// Time blocked on the expander: when the stream runs ahead
+			// this is ~0; when the consumer outpaces it, this is the
+			// expansion stall the overlap is meant to hide.
+			rec.Stage(obs.StageExpand, h.dfIdx, h.level, time.Since(t0))
+		}
 		h.accumulateDigit(j, eb, ea)
 	}
 	h.runModDownSerial()

@@ -1,0 +1,73 @@
+package hks
+
+import (
+	"testing"
+
+	"ciflow/internal/dataflow"
+	"ciflow/internal/engine"
+	"ciflow/internal/obs"
+)
+
+// snapshotHas reports whether the snapshot recorded the named
+// stage/kernel under the named dataflow with a nonzero count.
+func snapshotHas(entries []obs.HistogramSnapshot, name, df string) bool {
+	for _, hs := range entries {
+		if hs.Name == name && hs.Dataflow == df && hs.Count > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TestKeySwitchProfiled asserts that a profiled serial switch records
+// every pipeline stage and both kernel families — if an
+// instrumentation site is dropped, the stage vanishes from the
+// snapshot and the wall-time accounting silently under-counts.
+func TestKeySwitchProfiled(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+
+	r, s, sOld, sNew := testSetup(t, 64, 4, 30, 2, 31)
+	sw, err := NewSwitcher(r, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evk := sw.GenEvk(s, sOld, sNew)
+	d := s.Uniform(sw.QBasis())
+	d.IsNTT = true
+	sw.KeySwitch(d, evk)
+
+	snap := obs.Active().Snapshot()
+	for _, stage := range []string{"decompose", "mod_up", "apply", "mod_down"} {
+		if !snapshotHas(snap.Stages, stage, "serial") {
+			t.Errorf("serial KeySwitch recorded no %q stage", stage)
+		}
+	}
+	for _, kernel := range []string{"ntt", "bconv"} {
+		if !snapshotHas(snap.Kernels, kernel, "serial") {
+			t.Errorf("serial KeySwitch recorded no %q kernel samples", kernel)
+		}
+	}
+	if len(snap.Levels) == 0 {
+		t.Error("serial KeySwitch recorded no per-level counters")
+	}
+
+	// The profiled switch must stay bit-exact: recording is additive
+	// instrumentation, never a fork in the arithmetic.
+	c0, c1 := sw.KeySwitch(d, evk)
+	obs.Disable()
+	u0, u1 := sw.KeySwitch(d, evk)
+	if !c0.Equal(u0) || !c1.Equal(u1) {
+		t.Fatal("profiled switch differs from unprofiled")
+	}
+
+	// Engine rows record under the dataflow's own name.
+	obs.Enable()
+	e := engine.New(2)
+	defer e.Close()
+	sw.SwitchParallel(e, dataflow.MP, d, evk)
+	snap = obs.Active().Snapshot()
+	if !snapshotHas(snap.Stages, "mod_up", "mp") {
+		t.Error("MP parallel switch recorded no mod_up under the mp dataflow")
+	}
+}

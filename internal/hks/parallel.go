@@ -28,10 +28,12 @@ package hks
 
 import (
 	"fmt"
+	"time"
 
 	"ciflow/internal/bconv"
 	"ciflow/internal/dataflow"
 	"ciflow/internal/engine"
+	"ciflow/internal/obs"
 	"ciflow/internal/ring"
 )
 
@@ -66,6 +68,13 @@ type downState struct {
 	// Rebound per run.
 	out0, out1 *ring.Poly
 
+	// Observability binding: rec is obs.Active() captured at the entry
+	// point (nil when profiling is off — the tiles then skip all clock
+	// reads), dfIdx the dataflow label, level the switcher's level.
+	rec   *obs.Recorder
+	dfIdx obs.Dataflow
+	level int
+
 	// Scratch, allocated once per state.
 	acc0 *ring.Poly // ApplyKey accumulators over D
 	acc1 *ring.Poly
@@ -76,6 +85,7 @@ type downState struct {
 // initDown allocates the accumulator and ModDown scratch.
 func (ds *downState) initDown(sw *Switcher) {
 	ds.sw = sw
+	ds.level = sw.Level
 	n, kp := sw.R.N, len(sw.pBasis)
 	ds.acc0 = sw.R.NewPoly(sw.dBasis)
 	ds.acc1 = sw.R.NewPoly(sw.dBasis)
@@ -191,27 +201,57 @@ func (st *switchState) upRow(j, t int) []uint64 {
 // (folded here so it runs exactly once per tower, as the dataflow
 // model's inttWithPreOps charges it).
 func (st *switchState) prepTower(i int) {
-	sw := st.sw
+	sw, rec := st.sw, st.rec
+	var t0, t1 time.Time
+	if rec != nil {
+		t0 = time.Now()
+	}
 	row := st.y[i]
 	copy(row, st.d.Coeffs[i])
 	sw.R.INTTTower(sw.qBasis[i], row)
+	if rec != nil {
+		t1 = time.Now()
+		rec.Kernel(obs.KernelNTT, st.dfIdx, t1.Sub(t0))
+	}
 	j := i / sw.Alpha
 	sw.upConv[j].YScaleRow(i-sw.digitLo(j), row, row)
+	if rec != nil {
+		now := time.Now()
+		rec.Kernel(obs.KernelBConv, st.dfIdx, now.Sub(t1))
+		rec.Stage(obs.StageModUp, st.dfIdx, st.level, now.Sub(t0))
+	}
 }
 
 // convertTower is ModUp P2+P3 for one (digit, destination tower) tile.
 func (st *switchState) convertTower(j, di int) {
-	sw := st.sw
+	sw, rec := st.sw, st.rec
+	var t0, t1 time.Time
+	if rec != nil {
+		t0 = time.Now()
+	}
 	t := sw.convDstIdx[j][di]
 	row := st.convRows[j][t]
 	sw.upConv[j].ConvertTowerFromY(st.digitY(j), di, row)
+	if rec != nil {
+		t1 = time.Now()
+		rec.Kernel(obs.KernelBConv, st.dfIdx, t1.Sub(t0))
+	}
 	sw.R.NTTTower(sw.dBasis[t], row)
+	if rec != nil {
+		now := time.Now()
+		rec.Kernel(obs.KernelNTT, st.dfIdx, now.Sub(t1))
+		rec.Stage(obs.StageModUp, st.dfIdx, st.level, now.Sub(t0))
+	}
 }
 
 // applyTower is ModUp P4+P5 for one extended tower: accumulate every
 // digit's partial product against the evaluation key.
 func (st *switchState) applyTower(t int) {
-	sw := st.sw
+	sw, rec := st.sw, st.rec
+	var t0 time.Time
+	if rec != nil {
+		t0 = time.Now()
+	}
 	m := sw.R.Mods[sw.dBasis[t]]
 	b0, b1 := st.acc0.Coeffs[t], st.acc1.Coeffs[t]
 	for k := range b0 {
@@ -226,10 +266,14 @@ func (st *switchState) applyTower(t int) {
 			b1[k] = m.Add(b1[k], m.Mul(up[k], ea[k]))
 		}
 	}
+	if rec != nil {
+		rec.Stage(obs.StageApply, st.dfIdx, st.level, time.Since(t0))
+	}
 }
 
 // digitPipeline is the DC tile: one digit's entire ModUp (P1–P3) run
-// serially, so parallelism is across digits only.
+// serially, so parallelism is across digits only. Its prep and
+// convert tiles self-record, so the pipeline itself adds no timing.
 func (st *switchState) digitPipeline(j int) {
 	for i := st.sw.digitLo(j); i < st.sw.digitHi(j); i++ {
 		st.prepTower(i)
@@ -240,22 +284,42 @@ func (st *switchState) digitPipeline(j int) {
 }
 
 // ocTower is the OC tile: produce extended tower t's finished ApplyKey
-// accumulation, converting each digit's contribution on the fly.
+// accumulation, converting each digit's contribution on the fly. The
+// tile interleaves two logical stages, so its timing splits: the
+// on-the-fly conversions count as ModUp, the accumulation as Apply.
 func (st *switchState) ocTower(t int) {
-	sw := st.sw
+	sw, rec := st.sw, st.rec
 	m := sw.R.Mods[sw.dBasis[t]]
 	b0, b1 := st.acc0.Coeffs[t], st.acc1.Coeffs[t]
 	for k := range b0 {
 		b0[k], b1[k] = 0, 0
 	}
+	var convDur, applyDur time.Duration
 	for j := 0; j < sw.Dnum; j++ {
 		var row []uint64
 		if sw.bypass(j, t) {
 			row = st.d.Coeffs[t]
 		} else {
+			var t0, t1 time.Time
+			if rec != nil {
+				t0 = time.Now()
+			}
 			row = st.ocTmp[t]
 			sw.upConv[j].ConvertTowerFromY(st.digitY(j), sw.dstIdxOf[j][t], row)
+			if rec != nil {
+				t1 = time.Now()
+				rec.Kernel(obs.KernelBConv, st.dfIdx, t1.Sub(t0))
+			}
 			sw.R.NTTTower(sw.dBasis[t], row)
+			if rec != nil {
+				now := time.Now()
+				rec.Kernel(obs.KernelNTT, st.dfIdx, now.Sub(t1))
+				convDur += now.Sub(t0)
+			}
+		}
+		var a0 time.Time
+		if rec != nil {
+			a0 = time.Now()
 		}
 		eb := st.evk.B[j].Coeffs[t]
 		ea := st.evk.A[j].Coeffs[t]
@@ -263,6 +327,13 @@ func (st *switchState) ocTower(t int) {
 			b0[k] = m.Add(b0[k], m.Mul(row[k], eb[k]))
 			b1[k] = m.Add(b1[k], m.Mul(row[k], ea[k]))
 		}
+		if rec != nil {
+			applyDur += time.Since(a0)
+		}
+	}
+	if rec != nil {
+		rec.Stage(obs.StageModUp, st.dfIdx, st.level, convDur)
+		rec.Stage(obs.StageApply, st.dfIdx, st.level, applyDur)
 	}
 }
 
@@ -283,32 +354,69 @@ func (ds *downState) outPoly(p int) *ring.Poly {
 // downPrepTower is ModDown P1 for P tower i of output poly p, plus the
 // ŷ scaling of the P→Q conversion.
 func (ds *downState) downPrepTower(p, i int) {
-	sw := ds.sw
+	sw, rec := ds.sw, ds.rec
+	var t0, t1 time.Time
+	if rec != nil {
+		t0 = time.Now()
+	}
 	row := ds.yP[p][i]
 	copy(row, ds.accPoly(p).Coeffs[sw.ell()+i])
 	sw.R.INTTTower(sw.pBasis[i], row)
+	if rec != nil {
+		t1 = time.Now()
+		rec.Kernel(obs.KernelNTT, ds.dfIdx, t1.Sub(t0))
+	}
 	sw.downConv.YScaleRow(i, row, row)
+	if rec != nil {
+		now := time.Now()
+		rec.Kernel(obs.KernelBConv, ds.dfIdx, now.Sub(t1))
+		rec.Stage(obs.StageModDown, ds.dfIdx, ds.level, now.Sub(t0))
+	}
 }
 
 // downOvershoot estimates the exact-conversion overshoot for one
 // coefficient chunk of output poly p.
 func (ds *downState) downOvershoot(p, from, to int) {
+	rec := ds.rec
+	var t0 time.Time
+	if rec != nil {
+		t0 = time.Now()
+	}
 	ds.sw.downConv.Overshoot(ds.yP[p], ds.u[p], from, to)
+	if rec != nil {
+		d := time.Since(t0)
+		rec.Kernel(obs.KernelBConv, ds.dfIdx, d)
+		rec.Stage(obs.StageModDown, ds.dfIdx, ds.level, d)
+	}
 }
 
 // downOutTower is ModDown P2–P4 for Q tower i of output poly p:
 // exact-convert the P part into tower i, NTT it, and fold the
 // subtract-and-scale by P⁻¹ in place.
 func (ds *downState) downOutTower(p, i int) {
-	sw := ds.sw
+	sw, rec := ds.sw, ds.rec
+	var t0, t1 time.Time
+	if rec != nil {
+		t0 = time.Now()
+	}
 	dst := ds.outPoly(p).Coeffs[i]
 	sw.downConv.ConvertExactTowerFromY(ds.yP[p], ds.u[p], i, dst)
+	if rec != nil {
+		t1 = time.Now()
+		rec.Kernel(obs.KernelBConv, ds.dfIdx, t1.Sub(t0))
+	}
 	sw.R.NTTTower(sw.qBasis[i], dst)
+	if rec != nil {
+		rec.Kernel(obs.KernelNTT, ds.dfIdx, time.Since(t1))
+	}
 	m := sw.R.Mods[sw.qBasis[i]]
 	cRow := ds.accPoly(p).Coeffs[i]
 	pInv := sw.pInvModQ[i]
 	for k := range dst {
 		dst[k] = m.Mul(m.Sub(cRow[k], dst[k]), pInv)
+	}
+	if rec != nil {
+		rec.Stage(obs.StageModDown, ds.dfIdx, ds.level, time.Since(t0))
 	}
 }
 
@@ -348,7 +456,7 @@ func (ds *downState) buildModDown(g *engine.Graph, accNode []int) {
 	for p := 0; p < 2; p++ {
 		prep := make([]int, kp)
 		for i := 0; i < kp; i++ {
-			prep[i] = g.Node(func() { ds.downPrepTower(p, i) }, accNode[ell+i])
+			prep[i] = g.NodeNamed("down.prep", func() { ds.downPrepTower(p, i) }, accNode[ell+i])
 		}
 		over := make([]int, chunks)
 		for ci := 0; ci < chunks; ci++ {
@@ -357,10 +465,10 @@ func (ds *downState) buildModDown(g *engine.Graph, accNode []int) {
 			if to > n {
 				to = n
 			}
-			over[ci] = g.Node(func() { ds.downOvershoot(p, from, to) }, prep...)
+			over[ci] = g.NodeNamed("down.over", func() { ds.downOvershoot(p, from, to) }, prep...)
 		}
 		for i := 0; i < ell; i++ {
-			g.Node(func() { ds.downOutTower(p, i) }, append([]int{accNode[i]}, over...)...)
+			g.NodeNamed("down.out", func() { ds.downOutTower(p, i) }, append([]int{accNode[i]}, over...)...)
 		}
 	}
 }
@@ -373,7 +481,7 @@ func (st *switchState) buildMP() {
 
 	prep := make([]int, ell)
 	for i := 0; i < ell; i++ {
-		prep[i] = st.g.Node(func() { st.prepTower(i) })
+		prep[i] = st.g.NodeNamed("modup.prep", func() { st.prepTower(i) })
 	}
 	conv := make([][]int, sw.Dnum) // [digit][dBasis idx] -> node or -1
 	for j := 0; j < sw.Dnum; j++ {
@@ -383,7 +491,7 @@ func (st *switchState) buildMP() {
 		}
 		deps := prep[sw.digitLo(j):sw.digitHi(j)]
 		for di, t := range sw.convDstIdx[j] {
-			conv[j][t] = st.g.Node(func() { st.convertTower(j, di) }, deps...)
+			conv[j][t] = st.g.NodeNamed("modup.conv", func() { st.convertTower(j, di) }, deps...)
 		}
 	}
 	acc := make([]int, dB)
@@ -395,7 +503,7 @@ func (st *switchState) buildMP() {
 				deps = append(deps, conv[j][t])
 			}
 		}
-		acc[t] = st.g.Node(func() { st.applyTower(t) }, deps...)
+		acc[t] = st.g.NodeNamed("apply", func() { st.applyTower(t) }, deps...)
 	}
 	st.buildModDown(st.g, acc)
 }
@@ -407,7 +515,7 @@ func (st *switchState) buildDC() {
 	dB := len(sw.dBasis)
 	dig := make([]int, sw.Dnum)
 	for j := 0; j < sw.Dnum; j++ {
-		dig[j] = st.g.Node(func() { st.digitPipeline(j) })
+		dig[j] = st.g.NodeNamed("modup.digit", func() { st.digitPipeline(j) })
 	}
 	acc := make([]int, dB)
 	var deps []int
@@ -418,7 +526,7 @@ func (st *switchState) buildDC() {
 				deps = append(deps, dig[j])
 			}
 		}
-		acc[t] = st.g.Node(func() { st.applyTower(t) }, deps...)
+		acc[t] = st.g.NodeNamed("apply", func() { st.applyTower(t) }, deps...)
 	}
 	st.buildModDown(st.g, acc)
 }
@@ -430,7 +538,7 @@ func (st *switchState) buildOC() {
 	ell, dB := sw.ell(), len(sw.dBasis)
 	prep := make([]int, ell)
 	for i := 0; i < ell; i++ {
-		prep[i] = st.g.Node(func() { st.prepTower(i) })
+		prep[i] = st.g.NodeNamed("modup.prep", func() { st.prepTower(i) })
 	}
 	acc := make([]int, dB)
 	var deps []int
@@ -443,7 +551,7 @@ func (st *switchState) buildOC() {
 				deps = append(deps, prep[i])
 			}
 		}
-		acc[t] = st.g.Node(func() { st.ocTower(t) }, deps...)
+		acc[t] = st.g.NodeNamed("oc", func() { st.ocTower(t) }, deps...)
 	}
 	st.buildModDown(st.g, acc)
 }
@@ -493,9 +601,11 @@ func (sw *Switcher) SwitchParallelInto(e *engine.Engine, df dataflow.Dataflow, d
 		e = engine.Default()
 	}
 	st := sw.stateFor(df)
+	st.rec, st.dfIdx = obs.Active(), obs.Dataflow(dfKey(df))
 	st.d, st.evk, st.out0, st.out1 = d, evk, c0, c1
 	e.RunGraph(st.g)
 	st.d, st.evk, st.out0, st.out1 = nil, nil, nil, nil
+	st.rec = nil
 	sw.states[dfKey(df)].Put(st)
 	c0.IsNTT, c1.IsNTT = true, true
 }

@@ -1,0 +1,264 @@
+// Package obs is the runtime observability layer: low-overhead,
+// mergeable measurement of where key-switching time actually goes.
+//
+// Every optimization in this repository so far (hoisting, request
+// coalescing, seed compression) was justified by op-count models; the
+// only runtime signal the stack emitted was end-to-end p50/p99. obs
+// closes that gap with three primitives, all designed so that the
+// disabled state costs one atomic pointer load and the enabled state
+// allocates nothing on the hot path:
+//
+//   - Recorder: log-bucketed nanosecond histograms plus atomic
+//     counters over the HKS stages (Decompose, ModUp, ApplyKey,
+//     streamed Expand, ModDown) and the kernel tiles beneath them
+//     (NTT, BConv), broken down per dataflow (MP/DC/OC/serial) and
+//     per ciphertext level. All state is fixed-size arrays of
+//     atomics — recording is wait-free and safe from every engine
+//     worker at once, and a nil *Recorder is the disabled fast path
+//     (every method nil-checks its receiver).
+//   - Snapshot / Merge / Shares: a Recorder drains into a Snapshot of
+//     plain counts with stable JSON. Histogram merge is exact —
+//     bucket counts sum — which is what lets the cluster router add
+//     per-shard snapshots into one fabric-wide profile with no loss,
+//     and Shares turns a snapshot into the per-stage wall-time
+//     fractions the throughput/serve/cluster reports surface as
+//     stage_shares.
+//   - Tracer: a bounded in-memory span buffer drained to a Chrome
+//     trace-event (catapult) JSON timeline, loadable in
+//     chrome://tracing or Perfetto. Spans are packed into
+//     non-overlapping lanes at export time (trace.go), so the
+//     recording side never needs to know which worker it runs on.
+//
+// The package deliberately has no dependencies beyond the standard
+// library, so every layer (engine, hks, serve, cluster, cmd) can
+// import it without cycles.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one phase of a hybrid key switch.
+type Stage uint8
+
+const (
+	// StageDecompose is the gadget decomposition of the input
+	// polynomial into digits. On the engine paths this is a zero-copy
+	// view and records no time; the serial path times it.
+	StageDecompose Stage = iota
+	// StageModUp is the digit raise: per digit, INTT out of the
+	// evaluation domain, exact base conversion into the extended
+	// basis, NTT back.
+	StageModUp
+	// StageApply is the evaluation-key inner product: per-tower
+	// multiply-accumulate of every raised digit against the key.
+	StageApply
+	// StageExpand is the streamed seed-expansion wait: time the
+	// replay spends blocked on a compressed key digit that the
+	// expander has not produced yet.
+	StageExpand
+	// StageModDown is the scale back down to the ciphertext basis.
+	StageModDown
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	StageDecompose: "decompose",
+	StageModUp:     "mod_up",
+	StageApply:     "apply",
+	StageExpand:    "expand",
+	StageModDown:   "mod_down",
+}
+
+// String returns the stable snake_case name used in JSON reports.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Kernel identifies one compute kernel tile under the stages.
+type Kernel uint8
+
+const (
+	// KernelNTT covers forward and inverse number-theoretic
+	// transforms of one tower.
+	KernelNTT Kernel = iota
+	// KernelBConv covers exact base-conversion tiles (the paper's
+	// BConv), including the Y-scale precompute.
+	KernelBConv
+
+	numKernels
+)
+
+var kernelNames = [numKernels]string{
+	KernelNTT:   "ntt",
+	KernelBConv: "bconv",
+}
+
+// String returns the stable name used in JSON reports.
+func (k Kernel) String() string {
+	if int(k) < len(kernelNames) {
+		return kernelNames[k]
+	}
+	return "unknown"
+}
+
+// Dataflow indexes the per-dataflow breakdown. The first three match
+// the paper's engine dataflows; Serial is the reference path.
+type Dataflow uint8
+
+const (
+	DataflowMP Dataflow = iota
+	DataflowDC
+	DataflowOC
+	DataflowSerial
+
+	numDataflows
+)
+
+var dataflowNames = [numDataflows]string{
+	DataflowMP:     "mp",
+	DataflowDC:     "dc",
+	DataflowOC:     "oc",
+	DataflowSerial: "serial",
+}
+
+// String returns the stable name used in JSON reports.
+func (d Dataflow) String() string {
+	if int(d) < len(dataflowNames) {
+		return dataflowNames[d]
+	}
+	return "unknown"
+}
+
+// numBuckets is the histogram resolution: bucket i counts durations
+// whose nanosecond value has bit length i (so bucket boundaries are
+// powers of two), clamped into the last bucket above ~146 hours.
+const numBuckets = 64
+
+// maxLevels bounds the per-level breakdown; levels outside [0,
+// maxLevels) clamp to the edges.
+const maxLevels = 64
+
+// Histogram is a log-bucketed nanosecond histogram. All fields are
+// atomics: recording is wait-free and concurrent recorders never
+// lose counts. The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(ns uint64) int {
+	b := bits.Len64(ns)
+	if b >= numBuckets {
+		b = numBuckets - 1
+	}
+	return b
+}
+
+func (h *Histogram) observe(d time.Duration) {
+	ns := uint64(d)
+	if d < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	h.buckets[bucketOf(ns)].Add(1)
+}
+
+// levelCounter is the cheaper per-(stage, level) breakdown: count and
+// total only, no buckets.
+type levelCounter struct {
+	count atomic.Uint64
+	ns    atomic.Uint64
+}
+
+// Recorder accumulates stage and kernel timings. All storage is
+// fixed-size arrays of atomics, so recording from any number of
+// goroutines is safe and allocation-free. A nil *Recorder is the
+// disabled state: every method returns immediately, which lets call
+// sites hold the pattern
+//
+//	rec := obs.Active()   // nil when profiling is off
+//	...
+//	if rec != nil { t0 = time.Now() }
+//	work()
+//	rec.Stage(obs.StageModUp, df, level, time.Since(t0))
+//
+// without branching on an enable flag at every site.
+type Recorder struct {
+	stages  [numStages][numDataflows]Histogram
+	kernels [numKernels][numDataflows]Histogram
+	levels  [numStages][maxLevels]levelCounter
+}
+
+func clampDataflow(df Dataflow) Dataflow {
+	if df >= numDataflows {
+		return DataflowSerial
+	}
+	return df
+}
+
+func clampLevel(level int) int {
+	if level < 0 {
+		return 0
+	}
+	if level >= maxLevels {
+		return maxLevels - 1
+	}
+	return level
+}
+
+// Stage records one stage execution of duration d at the given
+// dataflow and ciphertext level. Safe on a nil receiver (no-op) and
+// from concurrent goroutines.
+func (r *Recorder) Stage(st Stage, df Dataflow, level int, d time.Duration) {
+	if r == nil || st >= numStages {
+		return
+	}
+	df = clampDataflow(df)
+	r.stages[st][df].observe(d)
+	lc := &r.levels[st][clampLevel(level)]
+	lc.count.Add(1)
+	ns := uint64(d)
+	if d < 0 {
+		ns = 0
+	}
+	lc.ns.Add(ns)
+}
+
+// Kernel records one kernel tile of duration d at the given dataflow.
+// Safe on a nil receiver (no-op) and from concurrent goroutines.
+func (r *Recorder) Kernel(k Kernel, df Dataflow, d time.Duration) {
+	if r == nil || k >= numKernels {
+		return
+	}
+	r.kernels[k][clampDataflow(df)].observe(d)
+}
+
+// active is the process-wide recorder; nil means profiling is off.
+var active atomic.Pointer[Recorder]
+
+// Enable installs a fresh process-wide Recorder and returns it.
+// Calling Enable again discards the previous recorder's counts, so it
+// doubles as a reset at the start of a timed section.
+func Enable() *Recorder {
+	r := &Recorder{}
+	active.Store(r)
+	return r
+}
+
+// Disable turns profiling off; Active returns nil afterwards.
+func Disable() { active.Store(nil) }
+
+// Active returns the process-wide recorder, or nil when profiling is
+// disabled. The nil result is safe to use directly: recording methods
+// on a nil *Recorder are no-ops.
+func Active() *Recorder { return active.Load() }

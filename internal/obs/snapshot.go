@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// HistogramSnapshot is one (stage|kernel, dataflow) histogram drained
+// to plain counts. Buckets holds the log-bucket counts with trailing
+// zero buckets trimmed; bucket i counts durations whose nanosecond
+// value has bit length i.
+type HistogramSnapshot struct {
+	Name     string   `json:"name"`
+	Dataflow string   `json:"dataflow"`
+	Count    uint64   `json:"count"`
+	SumNs    uint64   `json:"sum_ns"`
+	Buckets  []uint64 `json:"buckets"`
+}
+
+// LevelSnapshot is one (stage, level) slice of the per-level
+// breakdown.
+type LevelSnapshot struct {
+	Stage string `json:"stage"`
+	Level int    `json:"level"`
+	Count uint64 `json:"count"`
+	SumNs uint64 `json:"sum_ns"`
+}
+
+// Snapshot is a point-in-time drain of a Recorder: only entries with
+// a nonzero count appear, in deterministic (stage, dataflow) order,
+// so equal profiles serialize identically. Snapshots are plain data —
+// safe to hold, merge, and ship over the wire (the cluster stats
+// frame carries one per shard as JSON).
+type Snapshot struct {
+	Stages  []HistogramSnapshot `json:"stages,omitempty"`
+	Kernels []HistogramSnapshot `json:"kernels,omitempty"`
+	Levels  []LevelSnapshot     `json:"levels,omitempty"`
+}
+
+func drainHistogram(h *Histogram, name, df string) (HistogramSnapshot, bool) {
+	count := h.count.Load()
+	if count == 0 {
+		return HistogramSnapshot{}, false
+	}
+	hs := HistogramSnapshot{Name: name, Dataflow: df, Count: count, SumNs: h.sumNs.Load()}
+	last := -1
+	var buckets [numBuckets]uint64
+	for i := range buckets {
+		if v := h.buckets[i].Load(); v != 0 {
+			buckets[i] = v
+			last = i
+		}
+	}
+	hs.Buckets = append([]uint64(nil), buckets[:last+1]...)
+	return hs, true
+}
+
+// Snapshot drains the recorder into plain counts. Safe on a nil
+// receiver, which yields a nil snapshot. Recording may continue
+// concurrently; the snapshot is a consistent-enough point-in-time
+// view for reporting (each counter is read once, atomically).
+func (r *Recorder) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	snap := &Snapshot{}
+	for st := Stage(0); st < numStages; st++ {
+		for df := Dataflow(0); df < numDataflows; df++ {
+			if hs, ok := drainHistogram(&r.stages[st][df], st.String(), df.String()); ok {
+				snap.Stages = append(snap.Stages, hs)
+			}
+		}
+		for level := maxLevels - 1; level >= 0; level-- {
+			lc := &r.levels[st][level]
+			if count := lc.count.Load(); count != 0 {
+				snap.Levels = append(snap.Levels, LevelSnapshot{
+					Stage: st.String(), Level: level,
+					Count: count, SumNs: lc.ns.Load(),
+				})
+			}
+		}
+	}
+	for k := Kernel(0); k < numKernels; k++ {
+		for df := Dataflow(0); df < numDataflows; df++ {
+			if hs, ok := drainHistogram(&r.kernels[k][df], k.String(), df.String()); ok {
+				snap.Kernels = append(snap.Kernels, hs)
+			}
+		}
+	}
+	if len(snap.Stages) == 0 && len(snap.Kernels) == 0 && len(snap.Levels) == 0 {
+		return &Snapshot{}
+	}
+	return snap
+}
+
+// rank orders snapshot entries deterministically: known stage/kernel
+// names in enum order, then unknown names alphabetically after them.
+func rankOf(name string, names []string) int {
+	for i, n := range names {
+		if n == name {
+			return i
+		}
+	}
+	return len(names)
+}
+
+func stageRank(name string) int  { return rankOf(name, stageNames[:]) }
+func kernelRank(name string) int { return rankOf(name, kernelNames[:]) }
+func dataflowRank(name string) int {
+	return rankOf(name, dataflowNames[:])
+}
+
+func mergeHistograms(dst []HistogramSnapshot, rank func(string) int, srcs ...[]HistogramSnapshot) []HistogramSnapshot {
+	type key struct{ name, df string }
+	m := map[key]*HistogramSnapshot{}
+	for _, src := range srcs {
+		for i := range src {
+			hs := &src[i]
+			k := key{hs.Name, hs.Dataflow}
+			e := m[k]
+			if e == nil {
+				e = &HistogramSnapshot{Name: hs.Name, Dataflow: hs.Dataflow}
+				m[k] = e
+			}
+			e.Count += hs.Count
+			e.SumNs += hs.SumNs
+			if len(hs.Buckets) > len(e.Buckets) {
+				e.Buckets = append(e.Buckets, make([]uint64, len(hs.Buckets)-len(e.Buckets))...)
+			}
+			for b, v := range hs.Buckets {
+				e.Buckets[b] += v
+			}
+		}
+	}
+	for _, e := range m {
+		dst = append(dst, *e)
+	}
+	sort.Slice(dst, func(a, b int) bool {
+		ra, rb := rank(dst[a].Name), rank(dst[b].Name)
+		if ra != rb {
+			return ra < rb
+		}
+		if dst[a].Name != dst[b].Name {
+			return dst[a].Name < dst[b].Name
+		}
+		da, db := dataflowRank(dst[a].Dataflow), dataflowRank(dst[b].Dataflow)
+		if da != db {
+			return da < db
+		}
+		return dst[a].Dataflow < dst[b].Dataflow
+	})
+	return dst
+}
+
+// Merge sums snapshots into one: histogram bucket counts, totals, and
+// per-level counters add exactly, so merging per-shard snapshots
+// loses nothing — the fabric-wide bucket counts equal the sum of the
+// shards', which is the invariant the cluster report verifies. Nil
+// snapshots are skipped; merging zero non-nil snapshots returns nil.
+func Merge(snaps ...*Snapshot) *Snapshot {
+	var stages, kernels [][]HistogramSnapshot
+	type lkey struct {
+		stage string
+		level int
+	}
+	lv := map[lkey]*LevelSnapshot{}
+	any := false
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		any = true
+		stages = append(stages, s.Stages)
+		kernels = append(kernels, s.Kernels)
+		for i := range s.Levels {
+			ls := &s.Levels[i]
+			k := lkey{ls.Stage, ls.Level}
+			e := lv[k]
+			if e == nil {
+				e = &LevelSnapshot{Stage: ls.Stage, Level: ls.Level}
+				lv[k] = e
+			}
+			e.Count += ls.Count
+			e.SumNs += ls.SumNs
+		}
+	}
+	if !any {
+		return nil
+	}
+	out := &Snapshot{
+		Stages:  mergeHistograms(nil, stageRank, stages...),
+		Kernels: mergeHistograms(nil, kernelRank, kernels...),
+	}
+	for _, e := range lv {
+		out.Levels = append(out.Levels, *e)
+	}
+	sort.Slice(out.Levels, func(a, b int) bool {
+		ra, rb := stageRank(out.Levels[a].Stage), stageRank(out.Levels[b].Stage)
+		if ra != rb {
+			return ra < rb
+		}
+		return out.Levels[a].Level > out.Levels[b].Level
+	})
+	return out
+}
+
+// StageShare is one stage's slice of a measured wall-clock interval.
+type StageShare struct {
+	Stage   string  `json:"stage"`
+	Count   uint64  `json:"count"`
+	Seconds float64 `json:"seconds"`
+	// Share is Seconds over the wall time handed to Shares. At one
+	// worker the stages execute back to back, so the shares sum to
+	// ~1 minus the unprofiled remainder (orchestration, decompose
+	// views); with w workers the sum approaches w.
+	Share float64 `json:"share"`
+}
+
+// Shares reduces a snapshot to per-stage totals against a measured
+// wall time. Only the stage histograms contribute — the kernel tiles
+// execute *inside* stage timings and the per-level counters repeat
+// them, so summing either would double-count. Stages with zero count
+// are omitted; a nil snapshot or non-positive wall yields nil.
+func Shares(s *Snapshot, wallSec float64) []StageShare {
+	if s == nil || wallSec <= 0 {
+		return nil
+	}
+	totals := map[string]*StageShare{}
+	for i := range s.Stages {
+		hs := &s.Stages[i]
+		e := totals[hs.Name]
+		if e == nil {
+			e = &StageShare{Stage: hs.Name}
+			totals[hs.Name] = e
+		}
+		e.Count += hs.Count
+		e.Seconds += time.Duration(hs.SumNs).Seconds()
+	}
+	out := make([]StageShare, 0, len(totals))
+	for _, e := range totals {
+		e.Share = e.Seconds / wallSec
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ra, rb := stageRank(out[a].Stage), stageRank(out[b].Stage)
+		if ra != rb {
+			return ra < rb
+		}
+		return out[a].Stage < out[b].Stage
+	})
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// SumShares returns the total fraction of wall time the stage shares
+// account for — the number the perfgate pins against 1.0 at one
+// worker.
+func SumShares(shares []StageShare) float64 {
+	var sum float64
+	for _, s := range shares {
+		sum += s.Share
+	}
+	return sum
+}

@@ -69,6 +69,7 @@ import (
 	"ciflow/internal/dataflow"
 	"ciflow/internal/engine"
 	"ciflow/internal/hks"
+	"ciflow/internal/obs"
 	"ciflow/internal/ring"
 )
 
@@ -195,6 +196,7 @@ type pending struct {
 	sw   *hks.Switcher
 	ctx  context.Context // nil = no cancellation
 	enq  time.Time
+	deq  time.Time // set at queue pop; enq→deq is the enqueue phase
 	done chan Result
 }
 
@@ -219,6 +221,7 @@ type tenantWorker struct {
 	stats  serviceCounters
 	levels levelCounters
 	lats   latencyRecorder
+	phases phaseCounters
 }
 
 // send enqueues under the worker's read lock so Close cannot close the
@@ -257,6 +260,14 @@ type Service struct {
 	stats  serviceCounters
 	levels levelCounters
 	lats   latencyRecorder
+	phases phaseCounters
+}
+
+// phase records one lifecycle phase duration on both the tenant's and
+// the service's books.
+func (s *Service) phase(w *tenantWorker, ph int, d time.Duration) {
+	w.phases.add(ph, d)
+	s.phases.add(ph, d)
 }
 
 // New starts a service routing levels through switchers and loading
@@ -415,6 +426,8 @@ func (s *Service) dispatch(w *tenantWorker) {
 		if !ok {
 			return
 		}
+		p.deq = time.Now()
+		s.phase(w, phaseEnqueue, p.deq.Sub(p.enq))
 		s.runBatch(w, s.gather(w, []*pending{p}))
 	}
 }
@@ -434,6 +447,8 @@ func (s *Service) gather(w *tenantWorker, batch []*pending) []*pending {
 			if !ok {
 				return batch
 			}
+			p.deq = time.Now()
+			s.phase(w, phaseEnqueue, p.deq.Sub(p.enq))
 			batch = append(batch, p)
 			if len(batch) >= s.cfg.MaxBatch {
 				return batch
@@ -474,9 +489,17 @@ func (s *Service) runBatch(w *tenantWorker, batch []*pending) {
 	}
 	w.stats.groups.Add(uint64(len(order)))
 	s.stats.groups.Add(uint64(len(order)))
+	tr := obs.ActiveTracer()
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	s.cfg.Engine.ParallelFor(len(order), func(i int) {
 		s.runGroup(w, order[i], groups[order[i]])
 	})
+	if tr != nil {
+		tr.SpanTrack("serve", "batch/"+w.tenant, t0, time.Now())
+	}
 }
 
 // runGroup serves one coalesced group: requests whose context died in
@@ -486,6 +509,10 @@ func (s *Service) runBatch(w *tenantWorker, batch []*pending) {
 // results are bit-exact with independent switches. All requests of a
 // group share one pending's switcher (the group key pins the level).
 func (s *Service) runGroup(w *tenantWorker, g groupKey, ps []*pending) {
+	now := time.Now()
+	for _, p := range ps {
+		s.phase(w, phaseDispatch, now.Sub(p.deq))
+	}
 	live := ps[:0]
 	for _, p := range ps {
 		if p.ctx != nil && p.ctx.Err() != nil {
@@ -514,11 +541,19 @@ func (s *Service) runGroup(w *tenantWorker, g groupKey, ps []*pending) {
 			// Compressed key: the seed expansion started in getKey runs
 			// while HoistParallel executes Decompose+ModUp, and the
 			// streamed replay consumes digits as both become ready.
+			t0 := time.Now()
 			h := sw.HoistParallel(s.cfg.Engine, g.df, p.req.Input)
+			t1 := time.Now()
 			h.SwitchStreamedInto(st, c0, c1)
 			h.Release()
+			s.phase(w, phaseHoist, t1.Sub(t0))
+			s.phase(w, phaseReplay, time.Since(t1))
 		} else {
+			// The dense singleton runs as one fused switch; there is no
+			// separate hoist to split out, so it all books as replay.
+			t0 := time.Now()
 			sw.SwitchParallelInto(s.cfg.Engine, g.df, p.req.Input, mat.(*hks.Evk), c0, c1)
+			s.phase(w, phaseReplay, time.Since(t0))
 		}
 		// Level counters land before the result delivers, so a caller
 		// that snapshots Stats after receiving its last result sees a
@@ -557,16 +592,20 @@ func (s *Service) runGroup(w *tenantWorker, g groupKey, ps []*pending) {
 		}
 		members = append(members, member{p: p, mat: mat, st: st})
 	}
+	t0 := time.Now()
 	h := sw.HoistParallel(s.cfg.Engine, g.df, g.in)
+	s.phase(w, phaseHoist, time.Since(t0))
 	defer h.Release()
 	for _, m := range members {
 		c0 := sw.R.NewPoly(sw.QBasis())
 		c1 := sw.R.NewPoly(sw.QBasis())
+		t1 := time.Now()
 		if m.st != nil {
 			h.SwitchStreamedInto(m.st, c0, c1)
 		} else {
 			h.SwitchParallelInto(s.cfg.Engine, m.mat.(*hks.Evk), c0, c1)
 		}
+		s.phase(w, phaseReplay, time.Since(t1))
 		w.levels.add(g.level, 1, 0, 0)
 		s.levels.add(g.level, 1, 0, 0)
 		s.finish(w, m.p, Result{C0: c0, C1: c1})
@@ -580,6 +619,8 @@ func (s *Service) runGroup(w *tenantWorker, g groupKey, ps []*pending) {
 // happens on hits too — that is the compression trade) and returns the
 // stream; dense material returns a nil stream and is applied directly.
 func (s *Service) getKey(w *tenantWorker, sw *hks.Switcher, id KeyID) (hks.KeyMaterial, *hks.ExpandStream, error) {
+	t0 := time.Now()
+	defer func() { s.phase(w, phaseKeys, time.Since(t0)) }()
 	mat, err := s.keys.Get(id)
 	if err != nil {
 		return nil, nil, err
@@ -596,17 +637,19 @@ func (s *Service) getKey(w *tenantWorker, sw *hks.Switcher, id KeyID) (hks.KeyMa
 }
 
 func (s *Service) finish(w *tenantWorker, p *pending, res Result) {
+	t0 := time.Now()
 	if res.Err != nil {
 		w.stats.failed.Add(1)
 		s.stats.failed.Add(1)
 	} else {
 		w.stats.served.Add(1)
 		s.stats.served.Add(1)
-		lat := time.Since(p.enq)
+		lat := t0.Sub(p.enq)
 		w.lats.record(lat)
 		s.lats.record(lat)
 	}
 	p.done <- res // buffered; never blocks
+	s.phase(w, phaseReply, time.Since(t0))
 }
 
 // tenantStatsLocked assembles the per-tenant service stats; the caller
@@ -637,6 +680,7 @@ func (s *Service) tenantStatsLocked(keys map[string]TenantCacheStats) []TenantSt
 		}
 		ts.P50, ts.P99 = w.lats.percentiles()
 		ts.PerLevel = w.levels.snapshot()
+		ts.Phases = w.phases.snapshot()
 		out = append(out, ts)
 	}
 	return out

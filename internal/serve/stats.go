@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ciflow/internal/obs"
 )
 
 // serviceCounters are the hot-path counters (atomics: the group
@@ -19,6 +21,109 @@ type serviceCounters struct {
 	modUps    atomic.Uint64
 	coalesced atomic.Uint64
 	expanded  atomic.Uint64 // compressed keys expanded at replay time
+}
+
+// Request-lifecycle phases. Every served request passes through them
+// in order; each phase's wall time is accumulated into always-on
+// atomic counters (one set per tenant worker, one for the service),
+// so the lifecycle breakdown costs a few time.Now() calls per request
+// and needs no sampling or opt-in.
+const (
+	phaseEnqueue  = iota // Submit accepted → popped from the tenant queue
+	phaseDispatch        // queue pop → the request's group starts executing
+	phaseKeys            // key-cache fetch (and CheckMaterial) for the group
+	phaseHoist           // shared Decompose+ModUp (HoistParallel)
+	phaseReplay          // per-key replay (Switch*Into), expansion included
+	phaseReply           // result bookkeeping and delivery to the waiter
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	"enqueue", "dispatch", "keys", "hoist", "replay", "reply",
+}
+
+// phaseCounters accumulate request-lifecycle phase durations.
+type phaseCounters struct {
+	c [numPhases]struct{ count, ns atomic.Uint64 }
+}
+
+func (pc *phaseCounters) add(phase int, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	pc.c[phase].count.Add(1)
+	pc.c[phase].ns.Add(uint64(d))
+}
+
+func (pc *phaseCounters) snapshot() []PhaseStats {
+	var out []PhaseStats
+	for i := 0; i < numPhases; i++ {
+		n := pc.c[i].count.Load()
+		if n == 0 {
+			continue
+		}
+		out = append(out, PhaseStats{
+			Phase:   phaseNames[i],
+			Count:   n,
+			TotalNs: pc.c[i].ns.Load(),
+		})
+	}
+	return out
+}
+
+// PhaseStats is one request-lifecycle phase's accumulated wall time.
+// Counts differ between phases by design: enqueue/dispatch/reply are
+// per request, while keys/hoist/replay are per key-cache fetch, per
+// hoisted group, and per replayed output respectively — dividing
+// TotalNs by Count therefore yields the natural per-unit mean for
+// each phase. Totals are exactly mergeable by summation (the cluster
+// router relies on this, see MergePhases).
+type PhaseStats struct {
+	Phase   string `json:"phase"`
+	Count   uint64 `json:"count"`
+	TotalNs uint64 `json:"total_ns"`
+}
+
+// MergePhases sums two phase breakdowns entry-wise by phase name,
+// preserving canonical phase order. Summation is exact (counts and
+// nanoseconds are integers), so merging per-shard breakdowns
+// reproduces the fabric-wide breakdown a single service would have
+// recorded.
+func MergePhases(a, b []PhaseStats) []PhaseStats {
+	if len(a) == 0 {
+		return append([]PhaseStats(nil), b...)
+	}
+	if len(b) == 0 {
+		return append([]PhaseStats(nil), a...)
+	}
+	byName := make(map[string]PhaseStats, len(a)+len(b))
+	for _, ps := range a {
+		byName[ps.Phase] = ps
+	}
+	for _, ps := range b {
+		e := byName[ps.Phase]
+		e.Phase = ps.Phase
+		e.Count += ps.Count
+		e.TotalNs += ps.TotalNs
+		byName[ps.Phase] = e
+	}
+	out := make([]PhaseStats, 0, len(byName))
+	for _, name := range phaseNames {
+		if e, ok := byName[name]; ok {
+			out = append(out, e)
+			delete(byName, name)
+		}
+	}
+	// Unknown names (a newer peer's phases) go last, sorted.
+	if len(byName) > 0 {
+		rest := make([]PhaseStats, 0, len(byName))
+		for _, e := range byName {
+			rest = append(rest, e)
+		}
+		sort.Slice(rest, func(i, j int) bool { return rest[i].Phase < rest[j].Phase })
+		out = append(out, rest...)
+	}
+	return out
 }
 
 // LevelStats is one ciphertext level's slice of the switch counters:
@@ -108,6 +213,10 @@ type TenantStats struct {
 	// level, descending from the top level.
 	PerLevel []LevelStats `json:"per_level,omitempty"`
 
+	// Phases is this tenant's request-lifecycle breakdown
+	// (enqueue→dispatch→keys→hoist→replay→reply).
+	Phases []PhaseStats `json:"phases,omitempty"`
+
 	Keys TenantCacheStats `json:"keys"`
 }
 
@@ -146,6 +255,16 @@ type Stats struct {
 	// summing the slice reproduces the Served and ModUps totals.
 	PerLevel []LevelStats `json:"per_level,omitempty"`
 
+	// Phases is the request-lifecycle breakdown across all tenants:
+	// accumulated wall time per phase from Submit to result delivery.
+	Phases []PhaseStats `json:"phases,omitempty"`
+
+	// Profile is the process-wide stage/kernel histogram snapshot,
+	// present only while profiling is enabled (obs.Enable). It rides
+	// the stats frame so the cluster router can merge per-shard
+	// profiles exactly (bucket counts sum) into a fabric-wide one.
+	Profile *obs.Snapshot `json:"profile,omitempty"`
+
 	// Tenants is the per-tenant breakdown, sorted by tenant name.
 	Tenants []TenantStats `json:"tenants"`
 }
@@ -160,10 +279,15 @@ type Stats struct {
 func (st Stats) Snapshot() Stats {
 	st.Keys = st.Keys.Snapshot()
 	st.PerLevel = append([]LevelStats(nil), st.PerLevel...)
+	st.Phases = append([]PhaseStats(nil), st.Phases...)
+	// Merge of a single snapshot rebuilds every slice, so the copy
+	// shares no storage with the original.
+	st.Profile = obs.Merge(st.Profile)
 	if st.Tenants != nil {
 		tenants := make([]TenantStats, len(st.Tenants))
 		for i, ts := range st.Tenants {
 			ts.PerLevel = append([]LevelStats(nil), ts.PerLevel...)
+			ts.Phases = append([]PhaseStats(nil), ts.Phases...)
 			tenants[i] = ts
 		}
 		st.Tenants = tenants
@@ -197,6 +321,8 @@ func (s *Service) Stats() Stats {
 	}
 	st.P50, st.P99 = s.lats.percentiles()
 	st.PerLevel = s.levels.snapshot()
+	st.Phases = s.phases.snapshot()
+	st.Profile = obs.Active().Snapshot()
 
 	keyShards := make(map[string]TenantCacheStats, len(st.Keys.Tenants))
 	for _, ts := range st.Keys.Tenants {
